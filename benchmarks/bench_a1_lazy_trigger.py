@@ -1,0 +1,33 @@
+"""A1 — ablation: eager vs lazy reallocation trigger in A_M.
+
+Both satisfy Theorem 4.2; lazy repacks strictly less often (it declines
+when the current load already equals ceil(active/N)).  The timed kernel is
+the lazy variant at d = 2.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_copies_ablation
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import churn_sequence
+
+
+def test_a1_lazy_trigger(benchmark):
+    sigma = churn_sequence(256, 2000, np.random.default_rng(37))
+
+    def kernel():
+        machine = TreeMachine(256)
+        algo = PeriodicReallocationAlgorithm(machine, 2, lazy=True)
+        return run(machine, algo, sigma)
+
+    benchmark(kernel)
+
+    report = experiment_copies_ablation()
+    record_report(report)
+    for row in report.rows:
+        _d, load_eager, load_lazy, re_eager, re_lazy, tr_eager, tr_lazy = row
+        assert re_lazy <= re_eager           # lazy never repacks more
+        assert tr_lazy <= tr_eager           # and never moves more bytes

@@ -1,0 +1,39 @@
+"""A2 — ablation: two-choice vs one-choice randomized placement.
+
+The balanced-allocations effect (paper ref [2]) in the submachine setting:
+sampling two submachines and taking the less loaded one beats oblivious
+placement, increasingly so with N.  Timed kernel: one two-choice run.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_twochoice
+from repro.core.twochoice import TwoChoiceAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.distributions import FixedSize
+from repro.workloads.generators import arrivals_only_sequence
+
+
+def test_a2_twochoice(benchmark):
+    sigma = arrivals_only_sequence(
+        1024, 1024, np.random.default_rng(0), sizes=FixedSize(1)
+    )
+
+    def kernel():
+        machine = TreeMachine(1024)
+        algo = TwoChoiceAlgorithm(machine, np.random.default_rng(1))
+        return run(machine, algo, sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load >= 1
+
+    report = experiment_twochoice()
+    record_report(report)
+    for row in report.rows:
+        _n, one_choice, two_choice, gain, _logn = row
+        assert two_choice <= one_choice
+    # The gain should not shrink as N grows (Azar et al.: it widens).
+    gains = report.column("gain")
+    assert gains[-1] >= gains[0] * 0.9  # allow sampling noise

@@ -1,0 +1,38 @@
+"""A4 — the paper's open problem: randomization together with reallocation.
+
+Measures the hybrid A_randM (oblivious random placement + periodic A_R
+repacking) against its parents.  The expected load should fall from the
+never-reallocating randomized level toward the deterministic A_M level as
+d shrinks.  Timed kernel: one hybrid run at N = 256, d = 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_hybrid
+from repro.core.hybrid import RandomizedPeriodicAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import churn_sequence
+
+
+def test_a4_hybrid(benchmark):
+    sigma = churn_sequence(256, 1500, np.random.default_rng(47))
+
+    def kernel():
+        machine = TreeMachine(256)
+        algo = RandomizedPeriodicAlgorithm(machine, 1, np.random.default_rng(3))
+        return run(machine, algo, sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load >= result.optimal_load
+
+    report = experiment_hybrid()
+    record_report(report)
+    hybrid = report.column("E[A_randM load]")
+    oblivious = report.column("E[A_rand load]")
+    # At the smallest d the hybrid must clearly beat no-reallocation...
+    assert hybrid[0] < oblivious[0]
+    # ...and the hybrid's load should not decrease as d grows (repacking
+    # gets rarer), modulo sampling noise.
+    assert hybrid[0] <= hybrid[-1]

@@ -1,0 +1,47 @@
+"""A6 — operating models: the paper's shared service vs exclusive queueing.
+
+Work-driven simulation of both regimes on one workload.  Shared service
+bounds worst slowdown by the max thread load; exclusive queueing keeps the
+load at 1 but can starve short jobs arbitrarily.  Timed kernel: the
+closed-loop shared simulation at N = 64.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_operating_models
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.closedloop import simulate_shared_closed_loop
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+def _workload(num_pes, num_tasks, seed):
+    rng = np.random.default_rng(seed)
+    tasks = []
+    clock = 0.0
+    for i in range(num_tasks):
+        clock += float(rng.exponential(0.25))
+        size = int(1 << rng.integers(0, 6))
+        tasks.append(Task(TaskId(i), size, clock, work=float(rng.exponential(1.5))))
+    return tasks
+
+
+def test_a6_operating_models(benchmark):
+    tasks = _workload(64, 300, 59)
+
+    def kernel():
+        machine = TreeMachine(64)
+        return simulate_shared_closed_loop(machine, GreedyAlgorithm(machine), tasks)
+
+    shared = benchmark(kernel)
+    assert shared.worst_slowdown <= shared.max_load + 1e-9
+
+    report = experiment_operating_models()
+    record_report(report)
+    worst = [float(row[3]) for row in report.rows]
+    # Shared's worst slowdown (row 0) is far below FCFS queueing's (row 1).
+    assert worst[0] < worst[1]
+    max_loads = report.column("max load")
+    assert max_loads[1] == max_loads[2] == 1  # exclusive use by construction

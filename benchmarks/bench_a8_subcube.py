@@ -1,0 +1,40 @@
+"""A8 — related work [9]: buddy vs Gray-code subcube recognition.
+
+Verifies Chen & Shin's 2x-recognition theorem computationally at every
+size, then measures the end-to-end effect in the exclusive-queueing regime
+(small — part of the paper's case for the shared model).  Timed kernel:
+the Gray-strategy allocator under a random alloc/free churn.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_subcube_recognition
+from repro.machines.subcube import SubcubeAllocator
+
+
+def test_a8_subcube(benchmark):
+    rng = np.random.default_rng(67)
+    script = []
+    for _ in range(300):
+        script.append(("alloc", int(1 << rng.integers(0, 4))))
+        if rng.random() < 0.5:
+            script.append(("free", None))
+
+    def kernel():
+        alloc = SubcubeAllocator(64, "gray")
+        live = []
+        for op, size in script:
+            if op == "alloc" and alloc.can_host(size):
+                live.append(alloc.allocate(size))
+            elif op == "free" and live:
+                alloc.free(live.pop())
+        return alloc.num_busy
+
+    benchmark(kernel)
+
+    report = experiment_subcube_recognition()
+    record_report(report)
+    recognition_rows = [r for r in report.rows if str(r[0]).startswith("recognition")]
+    for row in recognition_rows:
+        assert row[2] == 2 * row[1]  # the 2x theorem, at every size

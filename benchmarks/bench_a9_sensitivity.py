@@ -1,0 +1,36 @@
+"""A9 — sensitivity: measured load vs d across every workload scenario.
+
+The operators' view of the trade-off: which workload shapes actually pay a
+fragmentation penalty for never reallocating, and which reach the d = 0
+optimum regardless.  Timed kernel: one A_M(d=1) run on the production-1996
+mix.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_workload_sensitivity
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.scenarios import production_1996
+
+
+def test_a9_sensitivity(benchmark):
+    sigma = production_1996(128, np.random.default_rng(71), scale=0.5)
+
+    def kernel():
+        machine = TreeMachine(128)
+        return run(machine, PeriodicReallocationAlgorithm(machine, 1), sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load >= result.optimal_load
+
+    report = experiment_workload_sensitivity()
+    record_report(report)
+    for row in report.rows:
+        lstar, load_d0, penalty = row[1], row[2], row[-1]
+        assert load_d0 == lstar          # Theorem 3.1 on every shape
+        assert penalty >= 0              # never-realloc can't beat optimal
+        # Stochastic penalties are small — the worst case needs an adversary.
+        assert penalty <= 2

@@ -1,0 +1,30 @@
+"""E1 — Figure 1: the paper's worked example on a 4-PE tree.
+
+Paper numbers: greedy A_G reaches load 2; a 1-reallocation algorithm
+reaches load 1; the optimal load is 1.  The bench reproduces all three
+exactly and times one full simulation of the example sequence.
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_figure1
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.tasks.builder import figure1_sequence
+
+
+def test_e1_figure1(benchmark):
+    sequence = figure1_sequence()
+
+    def kernel():
+        machine = TreeMachine(4)
+        return run(machine, GreedyAlgorithm(machine), sequence).max_load
+
+    assert benchmark(kernel) == 2
+
+    report = experiment_figure1()
+    record_report(report)
+    by_algo = {row[0]: row[1] for row in report.rows}
+    assert by_algo["A_G"] == 2            # paper: greedy incurs 2
+    assert by_algo["A_M(d=1,lazy)"] == 1  # paper: 1-reallocation achieves 1
+    assert by_algo["A_C"] == 1            # optimal

@@ -1,0 +1,29 @@
+"""E2 — Theorem 3.1: the constantly reallocating A_C achieves exactly L*.
+
+The bench asserts load == L* on every (N, seed) cell and times one full A_C
+run (the expensive repack-per-arrival regime, d = 0).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_optimal
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import poisson_sequence
+
+
+def test_e2_optimal_reallocation(benchmark):
+    sigma = poisson_sequence(64, 300, np.random.default_rng(0), utilization=1.2)
+
+    def kernel():
+        machine = TreeMachine(64)
+        return run(machine, OptimalReallocatingAlgorithm(machine), sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load == result.optimal_load
+
+    report = experiment_optimal()
+    record_report(report)
+    assert all(v == "yes" for v in report.column("optimal?"))

@@ -1,0 +1,33 @@
+"""E3 — Theorem 4.1: greedy A_G stays within ceil((log N + 1)/2) * L*.
+
+The report sweeps N on stochastic (churn) and adversarial inputs; the
+timed kernel is greedy's per-arrival work (the vectorized all-submachine
+min-load scan) at N = 1024.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_greedy_scaling
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import churn_sequence
+
+
+def test_e3_greedy_bound(benchmark):
+    sigma = churn_sequence(1024, 1000, np.random.default_rng(5))
+
+    def kernel():
+        machine = TreeMachine(1024)
+        return run(machine, GreedyAlgorithm(machine), sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load <= 6 * max(1, result.optimal_load)  # g(1024) = 6
+
+    report = experiment_greedy_scaling()
+    record_report(report)
+    assert all(v == "yes" for v in report.column("within?"))
+    # Tightness (factor-2) of the lower-bound construction.
+    for adv, bound in zip(report.column("adversarial ratio"), report.column("bound")):
+        assert adv >= bound / 2

@@ -1,0 +1,46 @@
+"""E4 — Theorem 4.2: the paper's headline trade-off.
+
+One table: as the reallocation parameter d grows, the worst-case load
+ratio climbs (~(d+1) until it crosses the greedy plateau, exactly the
+min{} in the theorem) while reallocation traffic falls.  The timed kernel
+is one eager A_M(d=2) churn run at N = 256.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_tradeoff
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import churn_sequence
+
+
+def test_e4_tradeoff(benchmark):
+    sigma = churn_sequence(256, 2000, np.random.default_rng(11))
+
+    def kernel():
+        machine = TreeMachine(256)
+        return run(machine, PeriodicReallocationAlgorithm(machine, 2), sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load <= 3 * max(1, result.optimal_load)  # d+1 = 3
+
+    report = experiment_tradeoff()
+    record_report(report)
+
+    worst = report.column("worst ratio")
+    lower = report.column("lower")
+    bound = report.column("bound")
+    # Sandwich: lower <= worst-case ratio <= upper for every d.
+    for w, lo, b in zip(worst, lower, bound):
+        assert lo <= w <= b
+    # The trade-off shape: worst-case load non-decreasing in d ...
+    assert all(a <= b for a, b in zip(worst, worst[1:]))
+    # ... while reallocation traffic is non-increasing in d.
+    traffic = report.column("traffic(pe-hops)")
+    assert all(a >= b for a, b in zip(traffic, traffic[1:]))
+    # d = 0 achieves the optimal load on the churn workload.
+    assert report.rows[0][1] == report.rows[0][2]

@@ -1,0 +1,29 @@
+"""E5 — Theorem 4.3: the adaptive adversary forces the lower bound.
+
+For every d, the adversary drives A_M(d) to at least
+ceil((min{d, log N} + 1)/2) * L* with L* = 1.  The timed kernel is one
+full adversary interaction against greedy at N = 256.
+"""
+
+from benchmarks.conftest import record_report
+from repro.adversary.deterministic import DeterministicAdversary
+from repro.analysis.experiments import experiment_adversary
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+
+
+def test_e5_adversary(benchmark):
+    def kernel():
+        adversary = DeterministicAdversary(TreeMachine(256), float("inf"))
+        return adversary.run(GreedyAlgorithm(adversary.machine))
+
+    outcome = benchmark(kernel)
+    assert outcome.optimal_load == 1
+    assert outcome.max_load >= outcome.guaranteed_load == 5  # ceil((8+1)/2)
+
+    report = experiment_adversary()
+    record_report(report)
+    assert all(v == "yes" for v in report.column("sandwiched?"))
+    # Forced load is non-decreasing in d (more patience, more damage).
+    forced = report.column("forced load")
+    assert all(a <= b for a, b in zip(forced, forced[1:]))

@@ -1,0 +1,35 @@
+"""E6 — Theorem 5.1: oblivious random placement's expected max load.
+
+E[max load] on an L* = 1 workload must stay under 3 log N / log log N + 1
+and grow slowly with N.  The timed kernel is one randomized run at N = 1024.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_randomized
+from repro.core.randomized import ObliviousRandomAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import arrivals_only_sequence
+from repro.workloads.distributions import FixedSize
+
+
+def test_e6_randomized(benchmark):
+    sigma = arrivals_only_sequence(
+        1024, 1024, np.random.default_rng(0), sizes=FixedSize(1)
+    )
+
+    def kernel():
+        machine = TreeMachine(1024)
+        algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(7))
+        return run(machine, algo, sigma)
+
+    result = benchmark(kernel)
+    assert result.max_load >= 1
+
+    report = experiment_randomized()
+    record_report(report)
+    assert all(v == "yes" for v in report.column("within?"))
+    loads = report.column("E[max load]")
+    assert loads[-1] > loads[0]  # grows with N (log/loglog shape)

@@ -1,0 +1,38 @@
+"""E8 — Section 2 motivation: slowdown tracks max PE load under round-robin.
+
+The paper justifies "load" as the figure of merit by noting that worst
+round-robin slowdown is proportional to the max PE load in a task's
+submachine; this bench measures both and times the fluid integration.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_slowdown
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.engine import Simulator
+from repro.sim.slowdown import measure_slowdowns
+from repro.workloads.generators import poisson_sequence
+
+
+def test_e8_slowdown(benchmark):
+    machine = TreeMachine(64)
+    sigma = poisson_sequence(64, 150, np.random.default_rng(1), utilization=1.5)
+    sim = Simulator(machine, GreedyAlgorithm(machine))
+    placements = {}
+    for event in sigma:
+        sim.step(event)
+        placements.update(sim.placements)
+
+    report_obj = benchmark(lambda: measure_slowdowns(machine, sigma, placements))
+    assert report_obj.worst_slowdown >= 1.0
+
+    report = experiment_slowdown()
+    record_report(report)
+    for row in report.rows:
+        _algo, max_load, worst_task_load, worst_slowdown, mean_slowdown = row
+        # Slowdown never exceeds the worst load a task shared (the paper's
+        # proportionality, with equality when the peak persists).
+        assert worst_slowdown <= worst_task_load + 1e-9
+        assert worst_task_load <= max_load

@@ -1,0 +1,92 @@
+"""Performance micro-benchmarks of the library's hot kernels.
+
+Not a paper artifact — these track the implementation itself, per the HPC
+guides ("no optimization without measuring").  The kernels are the ones
+every experiment leans on:
+
+* LoadTracker place/remove (O(log N) path re-aggregation),
+* the vectorized all-submachine min-load scan (greedy's inner loop),
+* procedure A_R packing throughput,
+* BuddyCopy allocate/free cycles,
+* a full greedy run at N = 4096 (end-to-end event rate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.repack import repack
+from repro.machines.copies import BuddyCopy
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.loads import LoadTracker
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.tasks.task import Task
+from repro.types import TaskId
+from repro.workloads.generators import churn_sequence
+
+N_LARGE = 4096
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return Hierarchy(N_LARGE)
+
+
+def test_perf_loadtracker_place_remove(benchmark, hierarchy):
+    tracker = LoadTracker(hierarchy)
+    node = hierarchy.node_for(64, 3)
+
+    def kernel():
+        for _ in range(100):
+            tracker.place(node, 64)
+        for _ in range(100):
+            tracker.remove(node, 64)
+
+    benchmark(kernel)
+    assert tracker.max_load == 0
+
+
+def test_perf_level_min_scan(benchmark, hierarchy):
+    tracker = LoadTracker(hierarchy)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        level = int(rng.integers(0, hierarchy.height + 1))
+        size = N_LARGE >> level
+        tracker.place(hierarchy.node_for(size, int(rng.integers(N_LARGE // size))), size)
+
+    result = benchmark(lambda: tracker.leftmost_min_submachine(16))
+    assert hierarchy.subtree_size(result[0]) == 16
+
+
+def test_perf_repack_throughput(benchmark, hierarchy):
+    rng = np.random.default_rng(1)
+    tasks = [
+        Task(TaskId(i), int(1 << rng.integers(0, 8)), 0.0) for i in range(500)
+    ]
+
+    result = benchmark(lambda: repack(hierarchy, tasks))
+    assert result.num_copies >= 1
+
+
+def test_perf_buddy_cycle(benchmark, hierarchy):
+    copy = BuddyCopy(hierarchy)
+
+    def kernel():
+        nodes = [copy.allocate(8) for _ in range(64)]
+        for node in nodes:
+            copy.free(node)
+
+    benchmark(kernel)
+    assert copy.is_empty
+
+
+def test_perf_greedy_full_run(benchmark):
+    sigma = churn_sequence(N_LARGE, 1000, np.random.default_rng(2))
+
+    def kernel():
+        machine = TreeMachine(N_LARGE)
+        return run(machine, GreedyAlgorithm(machine), sigma)
+
+    result = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert result.metrics.events_processed == 1000

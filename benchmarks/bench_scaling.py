@@ -1,0 +1,58 @@
+"""Scaling validation: the theorems hold (and run fast) at large N.
+
+Everything else in the harness runs at N <= 1024; this bench pushes the
+three heaviest code paths to N = 4096 and asserts the theory still holds
+exactly:
+
+* the Theorem 4.3 adversary still forces exactly ceil((log N + 1)/2);
+* greedy still respects its Theorem 4.1 bound on a long churn run;
+* A_C stays exactly optimal while repacking thousands of tasks.
+"""
+
+import numpy as np
+
+from repro.adversary.deterministic import DeterministicAdversary
+from repro.core.bounds import deterministic_lower_factor, greedy_upper_bound_factor
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import churn_sequence, poisson_sequence
+
+N_LARGE = 4096
+
+
+def test_scaling_adversary(benchmark):
+    def kernel():
+        machine = TreeMachine(N_LARGE)
+        adversary = DeterministicAdversary(machine, float("inf"))
+        return adversary.run(GreedyAlgorithm(machine))
+
+    outcome = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    expected = deterministic_lower_factor(N_LARGE, float(12))
+    assert outcome.optimal_load == 1
+    assert outcome.max_load == expected == 7  # ceil((12+1)/2)
+
+
+def test_scaling_greedy_churn(benchmark):
+    sigma = churn_sequence(N_LARGE, 4000, np.random.default_rng(71))
+
+    def kernel():
+        machine = TreeMachine(N_LARGE)
+        return run(machine, GreedyAlgorithm(machine), sigma)
+
+    result = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert result.max_load <= greedy_upper_bound_factor(N_LARGE) * max(
+        1, result.optimal_load
+    )
+
+
+def test_scaling_optimal_repacker(benchmark):
+    sigma = poisson_sequence(N_LARGE, 1200, np.random.default_rng(73), utilization=1.1)
+
+    def kernel():
+        machine = TreeMachine(N_LARGE)
+        return run(machine, OptimalReallocatingAlgorithm(machine), sigma)
+
+    result = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert result.max_load == result.optimal_load

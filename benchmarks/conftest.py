@@ -1,0 +1,30 @@
+"""Benchmark-session plumbing.
+
+Each bench file times a representative kernel with pytest-benchmark *and*
+runs the corresponding experiment driver, registering its table here.  The
+``pytest_terminal_summary`` hook prints every registered table after the
+benchmark results, so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` captures the reproduced paper artifacts alongside the
+timings.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list = []
+
+
+def record_report(report) -> None:
+    """Register an ExperimentReport for end-of-session printing."""
+    _REPORTS.append(report)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("reproduced paper artifacts")
+    for report in sorted(_REPORTS, key=lambda r: r.experiment_id):
+        tr.write_line("")
+        for line in report.render().splitlines():
+            tr.write_line(line)
+    _REPORTS.clear()

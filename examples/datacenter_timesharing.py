@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""A CM-5-flavoured time-sharing scenario, end to end.
+
+The paper's motivation: on machines like the CM-5 and SP2 multiple users
+share PEs, and PEs drowning in threads slow everyone down.  This example
+plays a realistic day of a shared 256-PE fat-tree:
+
+* users arrive Poisson, request power-of-two partitions (mostly small,
+  occasionally half-machine), and stay heavy-tailed (Pareto) — long-lived
+  jobs pin fragmentation, exactly the paper's hard case;
+* three operating policies are compared: never reallocate (greedy),
+  reallocate every 2N arrivals (A_M, d=2), and reallocate constantly;
+* for each policy we report the thread-load profile, the *measured
+  round-robin slowdown* users experienced, and the migration bill.
+
+Run:  python examples/datacenter_timesharing.py
+"""
+
+import numpy as np
+
+from repro import (
+    FatTree,
+    GreedyAlgorithm,
+    OptimalReallocatingAlgorithm,
+    PeriodicReallocationAlgorithm,
+)
+from repro.analysis.tables import format_table
+from repro.core.bounds import greedy_upper_bound_factor
+from repro.sim.engine import Simulator
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.sim.slowdown import measure_slowdowns_dynamic
+from repro.workloads import ParetoDurations, WeightedSizes, poisson_sequence
+
+N = 256
+SEED = 99
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    sizes = WeightedSizes(
+        sizes=[1, 2, 4, 8, 16, 32, 128],
+        weights=[30, 25, 20, 12, 8, 4, 1],
+    )
+    durations = ParetoDurations(alpha=1.3, xm=0.5, cap=200.0)
+    sigma = poisson_sequence(
+        N, 2500, rng, utilization=0.9, sizes=sizes, durations=durations
+    )
+    print(
+        f"workload: {sigma.num_tasks} user sessions over "
+        f"{sigma.horizon():.0f} time units, peak demand "
+        f"{sigma.peak_active_size}/{N} PEs, L* = {sigma.optimal_load(N)}\n"
+    )
+
+    cost_model = MigrationCostModel(
+        bytes_per_pe=4e6,        # 4 MB of state per PE, CM-5-ish
+        link_bandwidth=20e6,     # 20 MB/s per hop
+    )
+
+    policies = [
+        ("never (A_G)", lambda m: GreedyAlgorithm(m)),
+        ("every 2N arrivals (A_M d=2)", lambda m: PeriodicReallocationAlgorithm(m, 2)),
+        ("lazy 2N (A_M d=2 lazy)", lambda m: PeriodicReallocationAlgorithm(m, 2, lazy=True)),
+        ("constant (A_C)", lambda m: OptimalReallocatingAlgorithm(m)),
+    ]
+
+    rows = []
+    for label, make in policies:
+        machine = FatTree(N, fatness=2.0)
+        sim = Simulator(machine, make(machine), cost_model)
+        for event in sigma:
+            sim.step(event)
+        result_metrics = sim.metrics
+        # Integrate slowdown over the *exact* placement history, including
+        # every mid-life migration the reallocating policies performed.
+        slowdown = measure_slowdowns_dynamic(machine, sigma, sim.placement_intervals())
+        realloc = result_metrics.realloc
+        rows.append(
+            [
+                label,
+                result_metrics.max_load,
+                f"{slowdown.worst_slowdown:.2f}",
+                f"{slowdown.mean_slowdown:.2f}",
+                realloc.num_reallocations,
+                f"{realloc.checkpoint_bytes / 1e9:.1f}",
+                f"{result_metrics.fairness_at_peak():.3f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "reallocation policy",
+                "peak thread load",
+                "worst slowdown",
+                "mean slowdown",
+                "repacks",
+                "GB migrated",
+                "fairness",
+            ],
+            rows,
+            title=f"Operating a shared {N}-PE fat-tree (CM-5-style)",
+        )
+    )
+    print(
+        "\nAt steady state the peak thread load is demand-driven (L* = "
+        f"{sigma.optimal_load(N)}) and every policy sits near it — stochastic\n"
+        "arrivals rarely manufacture the worst case.  What repacking buys\n"
+        "here is *balance*: fairness climbs from ~0.9 (never) to ~0.99\n"
+        "(constant), at a price measured in gigabytes of checkpoint traffic.\n"
+        "Where repacking becomes load-critical is under adversarial churn —\n"
+        f"run examples/adversarial_analysis.py to see the factor-of-"
+        f"{greedy_upper_bound_factor(N)} gap\n"
+        "the paper's Theorem 4.3 guarantees against every no-realloc policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Watching fragmentation build — and a repack drain it — frame by frame.
+
+The quantity behind both of the paper's lower bounds is the *fragmentation
+potential* ``P(T) = N * maxload - volume``: the PE-slots held open below
+the load waterline.  This example makes it visible:
+
+1. a wave of small tasks fills a 16-PE tree; half depart, leaving holes;
+2. a second wave of larger tasks arrives; greedy must stack them over the
+   holes — we print the allocation diagram (the paper's Figure-1 view) and
+   the potential at each step;
+3. the same sequence under A_M(d=1): the repack drains the potential to
+   (near) zero before the second wave lands.
+
+Run:  python examples/fragmentation_story.py
+"""
+
+import numpy as np
+
+from repro import GreedyAlgorithm, PeriodicReallocationAlgorithm, TreeMachine
+from repro.analysis.plots import sparkline
+from repro.machines.fragmentation import fragmentation_profile
+from repro.machines.visualize import render_allocation
+from repro.sim.engine import Simulator
+from repro.tasks.builder import SequenceBuilder
+
+N = 16
+
+
+def build_sequence():
+    """8 unit tasks arrive; the even-indexed ones depart; 3 size-4 tasks land.
+
+    Volumes are chosen so the second wave *exactly* fits the free capacity
+    (4 survivors + 12 = N): L* = 1, and any stacking is pure fragmentation
+    cost.
+    """
+    b = SequenceBuilder()
+    for i in range(8):
+        b.arrive(f"s{i}", size=1)
+    for i in range(0, 8, 2):
+        b.depart(f"s{i}")
+    for j in range(3):
+        b.arrive(f"B{j}", size=4)
+    return b.build()
+
+
+def _labels(sequence):
+    """task id -> the builder name (s0..s7, B0..B2) for readable drawings."""
+    names = [f"s{i}" for i in range(8)] + [f"B{j}" for j in range(3)]
+    return {tid: names[int(tid)] for tid in sequence.tasks}
+
+
+def play(label, make_algorithm, snapshots_at):
+    print(f"=== {label} " + "=" * max(1, 60 - len(label)))
+    machine = TreeMachine(N)
+    sim = Simulator(machine, make_algorithm(machine))
+    sequence = build_sequence()
+    labels = _labels(sequence)
+    potentials = []
+    for idx, event in enumerate(sequence):
+        sim.step(event)
+        sizes = {tid: t.size for tid, t in sim.active_tasks.items()}
+        profile = fragmentation_profile(
+            machine.hierarchy, sim.leaf_loads(), sim.placements, sizes
+        )
+        potentials.append(profile.whole_machine_potential)
+        if idx in snapshots_at:
+            print(f"\nafter event {idx + 1} ({type(event).__name__.lower()}):"
+                  f"  max load = {profile.max_load}, "
+                  f"potential = {profile.whole_machine_potential} "
+                  f"({profile.normalized(N):.0%} of waterline capacity is holes)")
+            print(render_allocation(machine.hierarchy, sim.placements,
+                                    labels=labels, cell_width=5))
+    print(f"\npotential per event: {potentials}")
+    print(f"profile: {sparkline([float(p) for p in potentials])}")
+    print(f"final max load: {sim.metrics.max_load}\n")
+    return potentials, sim.metrics.max_load
+
+
+def main() -> None:
+    seq_len = len(build_sequence())
+    snapshots = {7, 11, seq_len - 1}  # after the wave, after the drain, at the end
+    p_greedy, load_greedy = play("never reallocate (A_G)", GreedyAlgorithm, snapshots)
+    p_am, load_am = play(
+        "repack each N arrivals (A_M d=1, lazy)",
+        lambda m: PeriodicReallocationAlgorithm(m, 1, lazy=True),
+        snapshots,
+    )
+    print("=" * 64)
+    print(
+        "The drain (events 9-12) leaves holes on every left-half quarter:\n"
+        f"greedy must stack the last big task (final load {load_greedy},\n"
+        f"final potential {p_greedy[-1]}), while the lazy repack re-packs the\n"
+        f"survivors into one quarter and lands every big task cleanly\n"
+        f"(final load {load_am}, final potential {p_am[-1]}).  Same sequence,\n"
+        "L* = 1 — the gap is pure fragmentation, the paper's subject."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""How the physical interconnect changes the *price* of reallocation.
+
+The paper's allocation algorithms only see the abstract binary hierarchy,
+so their load behaviour is identical on every hierarchically decomposable
+machine — tree, CM-5 fat-tree, hypercube (either PE layout), 2D mesh.
+What differs is how far checkpointed state travels when tasks migrate.
+
+This example runs the same A_M(d=2) policy over the same workload on five
+topologies and reports partition compactness (diameters) and the migration
+bill, making the case the paper sketches for why CM-5/SP2-class fat-trees
+are good hosts for reallocating allocators.
+
+Run:  python examples/topology_comparison.py
+"""
+
+import numpy as np
+
+from repro import FatTree, Hypercube, Mesh2D, PeriodicReallocationAlgorithm, TreeMachine, run
+from repro.analysis.tables import format_table
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.workloads import churn_sequence
+
+N = 256
+SEED = 5
+
+
+def main() -> None:
+    sigma = churn_sequence(N, 3000, np.random.default_rng(SEED))
+    cost_model = MigrationCostModel()
+    machines = [
+        TreeMachine(N),
+        FatTree(N, fatness=2.0),
+        Hypercube(N, layout="binary"),
+        Hypercube(N, layout="gray"),
+        Mesh2D(N),
+    ]
+
+    rows = []
+    for machine in machines:
+        result = run(
+            machine, PeriodicReallocationAlgorithm(machine, 2), sigma, cost_model
+        )
+        realloc = result.metrics.realloc
+        h = machine.hierarchy
+        # Compactness: diameter of an allocated 16-PE partition.
+        node16 = h.node_for(16, 0)
+        avg_hops = (
+            realloc.traffic_pe_hops / realloc.migrated_pe_volume
+            if realloc.migrated_pe_volume
+            else 0.0
+        )
+        rows.append(
+            [
+                machine.topology_name,
+                result.max_load,
+                machine.submachine_diameter(node16),
+                realloc.num_migrations,
+                f"{avg_hops:.2f}",
+                f"{realloc.traffic_pe_hops / 1e3:.0f}k",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "topology",
+                "max load",
+                "16-PE partition diameter",
+                "migrations",
+                "avg hops/PE moved",
+                "traffic (PE-hops)",
+            ],
+            rows,
+            title=f"Same allocator, same workload, different wires (N = {N}, d = 2)",
+        )
+    )
+    print(
+        "\nLoads are identical — allocation logic lives on the abstract\n"
+        "hierarchy.  The hypercube keeps migrations shortest (log-distance\n"
+        "routes); the mesh pays sqrt-dilation; the fat-tree matches the tree\n"
+        "in hops but its fat upper links make those hops cheaper in time\n"
+        "(see FatTree.weighted_transfer_cost)."
+    )
+
+
+if __name__ == "__main__":
+    main()

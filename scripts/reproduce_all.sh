@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot replication kit: tests, paper artifacts, and a markdown report.
+#
+# Usage: ./scripts/reproduce_all.sh [output-dir]
+set -euo pipefail
+out="${1:-reproduction-$(date +%Y%m%d-%H%M%S)}"
+mkdir -p "$out"
+
+echo "== 1/4 test suite (theorem properties included) =="
+pytest tests/ 2>&1 | tee "$out/test_output.txt"
+
+echo "== 2/4 benchmark harness (regenerates + asserts every artifact) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee "$out/bench_output.txt"
+
+echo "== 3/4 experiment tables =="
+python -m repro all 2>&1 | tee "$out/experiments.txt"
+
+echo "== 4/4 markdown report =="
+python -m repro report --out "$out/report.md"
+
+echo "done: artifacts in $out/"

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `python setup.py develop` / `pip install -e .`
+on environments whose setuptools predates PEP 660 editable wheels."""
+from setuptools import setup
+
+setup()

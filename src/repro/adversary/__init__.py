@@ -1,0 +1,26 @@
+"""Lower-bound constructions: the paper's adversaries.
+
+* :class:`~repro.adversary.deterministic.DeterministicAdversary` —
+  the adaptive Theorem 4.3 construction against deterministic
+  d-reallocation algorithms.
+* :func:`~repro.adversary.randomized.sigma_r_sequence` — the oblivious
+  random sequence sigma_r of Theorem 5.2 defeating all no-reallocation
+  algorithms in expectation.
+"""
+
+from repro.adversary.deterministic import AdversaryResult, DeterministicAdversary
+from repro.adversary.randomized import (
+    sigma_r_max_phases,
+    is_exact_sigma_r_machine,
+    sigma_r_phase_sizes,
+    sigma_r_sequence,
+)
+
+__all__ = [
+    "DeterministicAdversary",
+    "sigma_r_max_phases",
+    "AdversaryResult",
+    "sigma_r_sequence",
+    "sigma_r_phase_sizes",
+    "is_exact_sigma_r_machine",
+]

@@ -1,0 +1,196 @@
+"""The adaptive adversary of Theorem 4.3.
+
+For *any* deterministic d-reallocation algorithm, the paper constructs a
+sequence forcing load at least ``ceil((min{d, log N} + 1)/2) * L*`` while
+keeping ``L* = 1``.  The construction runs ``p = min{d, log N}`` phases
+(0 through p-1) against the algorithm:
+
+* **Phase 0**: N tasks of size 1 arrive.
+* **Phase i (i >= 1)**: for every ``2^i``-PE submachine ``T_i`` with halves
+  ``T_i^L``, ``T_i^R``, compute the *fragmentation potential*
+  ``Q(half) = 2^i * l(half) - L(half)`` (``l`` = max PE load inside the
+  half, ``L`` = cumulative size of active tasks assigned inside it), and
+  depart every active task in the half with the smaller Q (ties depart the
+  left).  Then, with S the remaining active volume, ``floor((N - S)/2^i)``
+  tasks of size ``2^i`` arrive.
+
+Killing the low-Q half preserves fragmentation: the potential argument
+(Lemma 3) shows the machine-wide potential rises by ``~N/2`` per phase, and
+potential is exactly ``N * maxload - active_volume``, so after p phases
+some PE carries ``ceil((p+1)/2)`` tasks although the active volume never
+exceeded N (hence ``L* = 1``).
+
+Because the construction is *adaptive* (each phase reads the algorithm's
+current placements), the adversary drives a live
+:class:`~repro.sim.engine.Simulator` rather than emitting a static
+sequence.  It reads only what a legitimate adversary may: the placements
+the algorithm has announced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines.fragmentation import machine_potential
+from repro.core.base import AllocationAlgorithm
+from repro.core.bounds import deterministic_lower_factor
+from repro.machines.base import PartitionableMachine
+from repro.sim.engine import Simulator
+from repro.tasks.events import Arrival, Departure, Event
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["AdversaryResult", "DeterministicAdversary"]
+
+
+@dataclass(frozen=True)
+class AdversaryResult:
+    """Outcome of running the adversary against one algorithm."""
+
+    algorithm_name: str
+    num_pes: int
+    num_phases: int
+    #: Max load observed over the whole interaction (the paper's L_A(sigma)).
+    max_load: int
+    #: Peak active volume; the construction keeps it <= N, so L* = 1
+    #: whenever any task arrived.
+    peak_active_size: int
+    optimal_load: int
+    #: The lower bound the construction guarantees: ceil((p+1)/2).
+    guaranteed_load: int
+    #: The full (now static) sequence that was generated, replayable against
+    #: any other algorithm.
+    sequence: TaskSequence
+    #: P(T, i) at the end of each phase i (the Lemma 3 potential); the
+    #: increments are the quantities Lemma 3 lower-bounds.
+    phase_potentials: tuple[int, ...] = ()
+
+    @property
+    def ratio(self) -> float:
+        return self.max_load / self.optimal_load if self.optimal_load else 0.0
+
+
+class DeterministicAdversary:
+    """Interactive lower-bound construction of Theorem 4.3."""
+
+    def __init__(self, machine: PartitionableMachine, d: float):
+        if d < 0:
+            raise ValueError(f"d must be >= 0, got {d}")
+        self.machine = machine
+        self.d = float(d)
+        logn = machine.log_num_pes
+        self.num_phases = int(min(self.d, float(logn))) if not math.isinf(self.d) else logn
+        # p = min(d, log N); at least 1 phase (phase 0) for a non-trivial run.
+        self.num_phases = max(1, self.num_phases)
+
+    # -- Main driver -------------------------------------------------------------
+
+    def run(self, algorithm: AllocationAlgorithm) -> AdversaryResult:
+        """Interact with the algorithm and return the forced outcome."""
+        if algorithm.machine is not self.machine:
+            raise ValueError("algorithm must be built for the adversary's machine")
+        sim = Simulator(self.machine, algorithm)
+        h = self.machine.hierarchy
+        n_pes = self.machine.num_pes
+        events: list[Event] = []
+        clock = 0.0
+        next_id = 0
+        peak_volume = 0
+        # Departure times are assigned as the adversary decides them; the
+        # recorded sequence is therefore an ordinary static TaskSequence.
+        live: dict[TaskId, Task] = {}
+        arrival_index: dict[TaskId, int] = {}
+
+        def arrive(size: int) -> None:
+            nonlocal clock, next_id, peak_volume
+            clock += 1.0
+            task = Task(TaskId(next_id), size, clock, math.inf)
+            next_id += 1
+            live[task.task_id] = task
+            arrival_index[task.task_id] = len(events)
+            events.append(Arrival(clock, task))
+            sim.step(events[-1])
+            peak_volume = max(peak_volume, sim.active_size())
+
+        def depart(tid: TaskId) -> None:
+            nonlocal clock
+            clock += 1.0
+            fixed = live.pop(tid).with_departure(clock)
+            # Rewrite the recorded arrival so the static sequence validates.
+            idx = arrival_index[tid]
+            events[idx] = Arrival(fixed.arrival, fixed)
+            ev = Departure(clock, tid)
+            events.append(ev)
+            sim.step(ev)
+
+        def phase_potential(i: int) -> int:
+            sizes = {tid: t.size for tid, t in sim.active_tasks.items()}
+            level = h.height - i
+            return machine_potential(
+                h, sim.leaf_loads(), sim.placements, sizes, level
+            )
+
+        phase_potentials: list[int] = []
+
+        # Phase 0: N unit tasks.
+        for _ in range(n_pes):
+            arrive(1)
+        phase_potentials.append(phase_potential(0))
+
+        # Phases 1 .. p-1.
+        for phase in range(1, self.num_phases):
+            parent_size = 1 << phase           # 2^i
+            level = h.level_for_size(parent_size)
+            half_level = level + 1
+            # Group active tasks by their enclosing half-submachine in one
+            # pass (every active task has size < parent_size here, so its
+            # placement node lies at or below the half level).
+            tasks_by_half: dict[NodeId, list[TaskId]] = {}
+            volume_by_half: dict[NodeId, int] = {}
+            placements = sim.placements
+            active = sim.active_tasks
+            for tid, node in placements.items():
+                node_level = h.level_of(node)
+                half = node >> (node_level - half_level)
+                tasks_by_half.setdefault(half, []).append(tid)
+                volume_by_half[half] = volume_by_half.get(half, 0) + active[tid].size
+            # Decide all departures first (submachines are disjoint, so the
+            # Q values are unaffected by each other's departures).
+            doomed: list[TaskId] = []
+            for parent in h.nodes_at_level(level):
+                left, right = h.left(parent), h.right(parent)
+                q_left = (
+                    parent_size * sim.submachine_load(left)
+                    - volume_by_half.get(left, 0)
+                )
+                q_right = (
+                    parent_size * sim.submachine_load(right)
+                    - volume_by_half.get(right, 0)
+                )
+                victim = left if q_left <= q_right else right
+                doomed.extend(tasks_by_half.get(victim, ()))
+            for tid in doomed:
+                depart(tid)
+            # Refill with 2^i-sized tasks up to volume N.
+            remaining = n_pes - sim.active_size()
+            for _ in range(remaining // parent_size):
+                arrive(parent_size)
+            phase_potentials.append(phase_potential(phase))
+
+        sequence = TaskSequence(events)
+        optimal = sequence.optimal_load(n_pes)
+        return AdversaryResult(
+            algorithm_name=algorithm.name,
+            num_pes=n_pes,
+            num_phases=self.num_phases,
+            max_load=sim.metrics.max_load,
+            peak_active_size=peak_volume,
+            optimal_load=optimal,
+            guaranteed_load=deterministic_lower_factor(
+                n_pes, self.d if not math.isinf(self.d) else float(self.machine.log_num_pes)
+            ),
+            sequence=sequence,
+            phase_potentials=tuple(phase_potentials),
+        )

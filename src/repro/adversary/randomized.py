@@ -1,0 +1,178 @@
+"""The random task sequence sigma_r of Theorem 5.2.
+
+sigma_r defeats *every* no-reallocation online algorithm, randomized or
+not, in expectation.  It consists of ``log N / (2 log log N)`` phases; in
+phase ``i``:
+
+1. ``N / (3 log^i N)`` tasks of size ``log^i N`` arrive;
+2. each of those tasks then departs independently with probability
+   ``1 - 1/log N`` (so a ``1/log N`` fraction of survivors "pin" the
+   fragmentation the next phase's bigger tasks must straddle).
+
+With high probability the active volume never exceeds N (Lemma 5), so
+``L* = 1``, while every online algorithm is forced to expected load
+``Omega((log N / log log N)^{1/3})`` (Lemma 7 gives the explicit constant
+``(log N / (240 log log N))^{1/3}``).
+
+Sizes: ``log^i N`` is a power of two exactly when ``N = 2^(2^k)`` (then
+``log^i N = 2^(k i)``); otherwise we round to the nearest power of two, as
+documented in DESIGN.md.  All randomness comes from the injected generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.bounds import sigma_r_num_phases
+from repro.errors import InvalidMachineError
+from repro.tasks.events import Arrival, Departure, Event
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId, ilog2, round_to_power_of_two
+
+__all__ = [
+    "sigma_r_sequence",
+    "sigma_r_phase_sizes",
+    "sigma_r_max_phases",
+    "is_exact_sigma_r_machine",
+    "measure_sigma_r_potentials",
+]
+
+
+def sigma_r_max_phases(num_pes: int) -> int:
+    """Largest phase count for which every phase has at least one arrival.
+
+    The paper's phase count ``log N / (2 log log N)`` is asymptotic and
+    degenerates to 1 at practically simulable N; experiments that want the
+    construction's *mechanism* (departure-pinning across size scales) can
+    run all phases whose arrival count ``N / (3 log^i N)`` is still >= 1.
+    """
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise InvalidMachineError("sigma_r needs N >= 4 (log log N > 0)")
+    phases = 0
+    while True:
+        size = min(round_to_power_of_two(float(logn) ** phases), num_pes)
+        if num_pes // (3 * size) < 1:
+            return max(1, phases)
+        phases += 1
+
+
+def is_exact_sigma_r_machine(num_pes: int) -> bool:
+    """True iff ``log^i N`` is a power of two for all i (``N = 2^(2^k)``)."""
+    logn = ilog2(num_pes)
+    return logn >= 2 and (logn & (logn - 1)) == 0
+
+
+def sigma_r_phase_sizes(num_pes: int, num_phases: int | None = None) -> list[int]:
+    """Task sizes per phase: ``log^i N`` rounded to powers of two, capped at N."""
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise InvalidMachineError("sigma_r needs N >= 4 (log log N > 0)")
+    phases = sigma_r_num_phases(num_pes) if num_phases is None else num_phases
+    sizes: list[int] = []
+    for i in range(phases):
+        nominal = float(logn) ** i
+        sizes.append(min(round_to_power_of_two(nominal), num_pes))
+    return sizes
+
+
+def sigma_r_sequence(
+    num_pes: int,
+    rng: np.random.Generator,
+    *,
+    num_phases: int | None = None,
+    survival_probability: float | None = None,
+) -> TaskSequence:
+    """Generate one draw of the random sequence sigma_r.
+
+    ``survival_probability`` defaults to the paper's ``1/log N``; it is
+    exposed so ablations can vary the pinning density.  Tasks that survive
+    all phases never depart (departure = inf).
+    """
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise InvalidMachineError("sigma_r needs N >= 4 (log log N > 0)")
+    p_survive = (1.0 / logn) if survival_probability is None else survival_probability
+    if not 0.0 <= p_survive <= 1.0:
+        raise ValueError(f"survival probability must be in [0, 1], got {p_survive}")
+
+    sizes = sigma_r_phase_sizes(num_pes, num_phases)
+    events: list[Event] = []
+    clock = 0.0
+    next_id = 0
+    for size in sizes:
+        count = num_pes // (3 * size)
+        if count == 0:
+            # Machine too small for this phase's task size; the phase count
+            # formula guards against this for all N >= 4, but stay safe.
+            continue
+        survives = rng.random(count) < p_survive
+        phase_arrival_clock = clock + 1.0
+        departure_clock = phase_arrival_clock + count
+        phase_tasks: list[Task] = []
+        for k in range(count):
+            arr = phase_arrival_clock + k
+            dep = math.inf if survives[k] else departure_clock + k
+            phase_tasks.append(Task(TaskId(next_id), size, arr, dep))
+            next_id += 1
+        for t in phase_tasks:
+            events.append(Arrival(t.arrival, t))
+        for t in phase_tasks:
+            if not math.isinf(t.departure):
+                events.append(Departure(t.departure, t.task_id))
+        clock = departure_clock + count
+    return TaskSequence(events)
+
+
+def measure_sigma_r_potentials(machine, algorithm, sequence, phase_sizes):
+    """Record the Lemma 6 potential P'(T, i) at each phase boundary.
+
+    The Theorem 5.2 proof tracks ``P'(T_i', i) = l(T_i', i) * log^i N``
+    summed over the ``(log^i N)``-PE submachines — i.e. the load-volume a
+    clairvoyant packer would need, the randomized analogue of the Lemma 3
+    potential.  We run ``algorithm`` over ``sequence`` and evaluate, at the
+    end of each phase (identified by the arrival sizes in
+    ``phase_sizes``), the potential at that phase's granularity:
+    ``sum over blocks of (block size * max PE load within)``.
+
+    Returns the list of per-phase potentials, which Lemma 6 predicts grows
+    by Omega(N / ell^2) per phase for any online algorithm.
+    """
+    import numpy as np
+
+    from repro.sim.engine import Simulator
+    from repro.tasks.events import Arrival
+
+    sim = Simulator(machine, algorithm)
+    # Precompute where each phase ends: the last event involving that
+    # phase's arrivals (arrival bursts come in phase order).
+    events = list(sequence)
+    phase_end_index: list[int] = []
+    for size in phase_sizes:
+        last = max(
+            (i for i, ev in enumerate(events)
+             if isinstance(ev, Arrival) and ev.task.size == size),
+            default=None,
+        )
+        phase_end_index.append(last)
+    potentials: list[int] = []
+    cursor = 0
+    for size, end in zip(phase_sizes, phase_end_index):
+        if end is None:
+            potentials.append(potentials[-1] if potentials else 0)
+            continue
+        while cursor <= end:
+            sim.step(events[cursor])
+            cursor += 1
+        loads = sim.leaf_loads()
+        block = min(size, machine.num_pes)
+        blocks = loads.reshape(machine.num_pes // block, block)
+        potentials.append(int((block * blocks.max(axis=1)).sum()))
+    # Drain remaining events so the run is complete and consistent.
+    while cursor < len(events):
+        sim.step(events[cursor])
+        cursor += 1
+    return potentials

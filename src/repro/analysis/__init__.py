@@ -1,0 +1,70 @@
+"""Analysis utilities: statistics, table rendering, experiment drivers."""
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    experiment_adversary,
+    experiment_copies_ablation,
+    experiment_figure1,
+    experiment_greedy_scaling,
+    experiment_hybrid,
+    experiment_incremental,
+    experiment_optimal,
+    experiment_randomized,
+    experiment_sigma_r,
+    experiment_slowdown,
+    experiment_topology,
+    experiment_tradeoff,
+    experiment_twochoice,
+)
+from repro.analysis.compare import Comparison, ComparisonRow, compare_algorithms
+from repro.analysis.plots import heatmap, histogram, line_plot, sparkline
+from repro.analysis.reporting import generate_report, render_markdown
+from repro.analysis.ratios import (
+    RatioSummary,
+    all_within_bound,
+    summarize_ratios,
+    worst_ratio,
+)
+from repro.analysis.stats import SummaryStats, bootstrap_ci, summarize
+from repro.analysis.sweeps import Sweep, SweepCell, SweepResults
+from repro.analysis.tables import format_kv, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "experiment_figure1",
+    "experiment_optimal",
+    "experiment_greedy_scaling",
+    "experiment_tradeoff",
+    "experiment_adversary",
+    "experiment_randomized",
+    "experiment_sigma_r",
+    "experiment_slowdown",
+    "experiment_copies_ablation",
+    "experiment_twochoice",
+    "experiment_topology",
+    "experiment_hybrid",
+    "experiment_incremental",
+    "RatioSummary",
+    "summarize_ratios",
+    "worst_ratio",
+    "all_within_bound",
+    "SummaryStats",
+    "summarize",
+    "bootstrap_ci",
+    "format_table",
+    "format_kv",
+    "sparkline",
+    "line_plot",
+    "histogram",
+    "heatmap",
+    "Sweep",
+    "generate_report",
+    "Comparison",
+    "ComparisonRow",
+    "compare_algorithms",
+    "render_markdown",
+    "SweepCell",
+    "SweepResults",
+]

@@ -1,0 +1,108 @@
+"""Side-by-side algorithm comparison on one workload.
+
+:func:`compare_algorithms` is the one-call version of what the quickstart
+example does by hand: run a set of registry algorithms over the same
+sequence on fresh machines and return a ready-to-print comparison,
+including bound compliance per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import deterministic_upper_factor
+from repro.core.registry import ALGORITHM_SPECS, make_algorithm
+from repro.machines.base import PartitionableMachine
+from repro.sim.engine import RunResult
+from repro.sim.runner import run
+from repro.tasks.sequence import TaskSequence
+
+__all__ = ["ComparisonRow", "Comparison", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm's outcome in a comparison."""
+
+    name: str
+    result: RunResult
+    bound_factor: float | None     # None for randomized / unbounded entries
+
+    @property
+    def within_bound(self) -> bool | None:
+        if self.bound_factor is None:
+            return None
+        return self.result.max_load <= self.bound_factor * max(
+            1, self.result.optimal_load
+        )
+
+
+@dataclass
+class Comparison:
+    """All rows plus rendering."""
+
+    rows: list[ComparisonRow]
+    optimal_load: int
+
+    def render(self, title: str | None = None) -> str:
+        table_rows = []
+        for row in self.rows:
+            realloc = row.result.metrics.realloc
+            table_rows.append(
+                [
+                    row.result.algorithm_name,
+                    row.result.max_load,
+                    f"{row.result.competitive_ratio:.2f}",
+                    "-" if row.bound_factor is None else f"{row.bound_factor:g}",
+                    {None: "-", True: "yes", False: "NO"}[row.within_bound],
+                    realloc.num_reallocations,
+                    realloc.num_migrations,
+                ]
+            )
+        return format_table(
+            ["algorithm", "max load", "ratio", "bound", "within?", "reallocs", "migrations"],
+            table_rows,
+            title=title,
+        )
+
+    def best(self) -> ComparisonRow:
+        """Lowest max load; ties broken by fewer migrations."""
+        return min(
+            self.rows,
+            key=lambda r: (r.result.max_load, r.result.metrics.realloc.num_migrations),
+        )
+
+
+def compare_algorithms(
+    machine_factory: Callable[[], PartitionableMachine],
+    sequence: TaskSequence,
+    names: Sequence[str] = ("optimal", "periodic", "greedy", "random"),
+    **options: Any,
+) -> Comparison:
+    """Run each named registry algorithm on a fresh machine over ``sequence``.
+
+    ``options`` (``d``, ``lazy``, ``seed``...) are routed per algorithm by
+    the registry.  Deterministic algorithms get their Theorem 4.2 bound
+    factor attached so ``within?`` can be asserted.
+    """
+    rows: list[ComparisonRow] = []
+    optimal = None
+    for name in names:
+        machine = machine_factory()
+        algo = make_algorithm(name, machine, **options)
+        result = run(machine, algo, sequence)
+        optimal = result.optimal_load
+        spec = ALGORITHM_SPECS[name]
+        if spec.randomized or spec.section == "baseline":
+            bound = None
+        else:
+            d = algo.reallocation_parameter
+            bound = deterministic_upper_factor(
+                machine.num_pes, d if not math.isinf(d) else float("inf")
+            )
+        rows.append(ComparisonRow(name=name, result=result, bound_factor=bound))
+    return Comparison(rows=rows, optimal_load=optimal or 0)

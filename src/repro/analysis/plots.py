@@ -1,0 +1,190 @@
+"""Dependency-free ASCII plotting for terminal experiment output.
+
+The benches and CLI run in environments without matplotlib (and the
+reference numbers live in text files), so the visual artifacts — load
+time-series, trade-off curves, load histograms — are rendered as plain
+text.  Four primitives:
+
+* :func:`sparkline` — one-line block-character profile of a series;
+* :func:`line_plot` — multi-row dot plot with y-axis labels, suitable for
+  the max-load-over-time series and the load-vs-d trade-off curve;
+* :func:`histogram` — horizontal bar chart of a discrete distribution
+  (e.g. per-PE loads at the peak);
+* :func:`heatmap` — max-pooled block-character matrix (e.g. per-PE load
+  evolution over a run).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["sparkline", "line_plot", "histogram", "heatmap"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character rendering of ``values``.
+
+    >>> sparkline([0, 1, 2, 3])
+    ' ▃▅█'
+    """
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int(round((v - lo) / span * (len(_BLOCKS) - 1)))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render (xs, ys) as an ASCII dot plot with axis annotations.
+
+    Points are binned into a ``width x height`` character grid; multiple
+    points in a cell collapse.  Y-axis tick labels show the data range.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return "(no data)"
+    if width < 8 or height < 3:
+        raise ValueError("plot area too small")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    label_hi = f"{y_hi:g}"
+    label_lo = f"{y_lo:g}"
+    margin = max(len(label_hi), len(label_lo), len(y_label)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label.rjust(margin))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = label_hi.rjust(margin)
+        elif i == height - 1:
+            prefix = label_lo.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width - width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Mapping[object, int] | Sequence[int],
+    *,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of a discrete distribution.
+
+    ``counts`` is either a mapping (label -> count) or a sequence whose
+    indices become the labels.  Bars scale to the largest count.
+    """
+    if isinstance(counts, Mapping):
+        items = list(counts.items())
+    else:
+        items = list(enumerate(counts))
+    if not items:
+        return "(no data)"
+    peak = max(c for _l, c in items)
+    label_w = max(len(str(label)) for label, _c in items)
+    count_w = max(len(str(c)) for _l, c in items)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, count in items:
+        if count < 0:
+            raise ValueError("histogram counts must be non-negative")
+        bar = "" if peak == 0 else "#" * max(
+            int(math.ceil(count / peak * width)) if count else 0, 1 if count else 0
+        )
+        lines.append(f"{str(label).rjust(label_w)} | {str(count).rjust(count_w)} {bar}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: Sequence[Sequence[float]],
+    *,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+    max_width: int = 100,
+    max_height: int = 24,
+) -> str:
+    """Render a 2D matrix (rows x cols) as a block-character heat map.
+
+    Intended for load evolution: rows = PEs, columns = time samples.  The
+    matrix is downsampled by max-pooling to fit ``max_width x max_height``
+    (max, not mean, because peak load is what the paper's analysis cares
+    about).  Intensity uses the sparkline block ramp; a legend line maps
+    the ramp to the value range.
+    """
+    rows = [list(r) for r in matrix]
+    if not rows or not rows[0]:
+        return "(no data)"
+    width = len(rows[0])
+    for r in rows:
+        if len(r) != width:
+            raise ValueError("heatmap rows must have equal length")
+
+    def pool(cells: Sequence[Sequence[float]], out_h: int, out_w: int):
+        in_h, in_w = len(cells), len(cells[0])
+        out = []
+        for i in range(out_h):
+            r0, r1 = (i * in_h) // out_h, max((i + 1) * in_h // out_h, (i * in_h) // out_h + 1)
+            row = []
+            for j in range(out_w):
+                c0, c1 = (j * in_w) // out_w, max((j + 1) * in_w // out_w, (j * in_w) // out_w + 1)
+                row.append(max(cells[r][c] for r in range(r0, r1) for c in range(c0, c1)))
+            out.append(row)
+        return out
+
+    out_h = min(len(rows), max_height)
+    out_w = min(width, max_width)
+    pooled = pool(rows, out_h, out_w)
+    lo = min(min(r) for r in pooled)
+    hi = max(max(r) for r in pooled)
+    span = hi - lo
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in pooled:
+        chars = []
+        for v in row:
+            idx = 4 if span == 0 else int(round((v - lo) / span * (len(_BLOCKS) - 1)))
+            chars.append(_BLOCKS[idx])
+        lines.append("|" + "".join(chars) + "|")
+    legend = f"{_BLOCKS[1]} = {lo:g}   {_BLOCKS[-1]} = {hi:g}"
+    if y_label or x_label:
+        legend += f"   (rows: {y_label or '-'}, cols: {x_label or '-'})"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Competitive-ratio summaries across runs.
+
+Helpers to aggregate :class:`~repro.sim.engine.RunResult` collections into
+the quantities the paper's statements are about: worst-case ratios over a
+family of sequences, and bound-compliance checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.engine import RunResult
+
+__all__ = ["RatioSummary", "summarize_ratios", "worst_ratio", "all_within_bound"]
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Competitive-ratio statistics over a family of runs."""
+
+    num_runs: int
+    worst: float
+    mean: float
+    best: float
+
+    def __str__(self) -> str:
+        return f"worst={self.worst:.3f} mean={self.mean:.3f} best={self.best:.3f}"
+
+
+def _ratios(results: Iterable[RunResult]) -> list[float]:
+    ratios = [r.competitive_ratio for r in results]
+    if not ratios:
+        raise ValueError("need at least one run result")
+    return ratios
+
+
+def summarize_ratios(results: Sequence[RunResult]) -> RatioSummary:
+    """Worst/mean/best competitive ratio over the runs."""
+    ratios = _ratios(results)
+    return RatioSummary(
+        num_runs=len(ratios),
+        worst=max(ratios),
+        mean=sum(ratios) / len(ratios),
+        best=min(ratios),
+    )
+
+
+def worst_ratio(results: Sequence[RunResult]) -> float:
+    """The paper's measure: max over sequences of ``L_A(sigma)/L*``."""
+    return max(_ratios(results))
+
+
+def all_within_bound(results: Sequence[RunResult], factor: float) -> bool:
+    """True iff every run satisfies ``max_load <= factor * L*``.
+
+    Uses the exact integer comparison (load vs factor * L*) rather than the
+    rounded ratio, so fractional factors are handled correctly.
+    """
+    return all(r.max_load <= factor * r.optimal_load for r in results)

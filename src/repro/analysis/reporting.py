@@ -1,0 +1,87 @@
+"""Markdown report generation: one command regenerates every artifact.
+
+``repro report`` (or :func:`generate_report`) runs the full experiment
+registry and writes a self-contained markdown report — the machine-made
+counterpart of EXPERIMENTS.md, so reviewers can diff a fresh run against
+the committed record.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.experiments import EXPERIMENTS, ExperimentReport
+
+__all__ = ["generate_report", "render_markdown"]
+
+
+def _table_to_markdown(report: ExperimentReport) -> str:
+    headers = list(report.headers)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in report.rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:.3f}" if v != int(v) else f"{v:.1f}")
+            else:
+                cells.append(str(v))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(reports: Iterable[ExperimentReport]) -> str:
+    """Render experiment reports as one markdown document."""
+    import repro
+
+    parts = [
+        "# Reproduction report",
+        "",
+        f"Generated {datetime.datetime.now().isoformat(timespec='seconds')} "
+        f"with repro {repro.__version__} on Python "
+        f"{platform.python_version()} ({platform.system()}).",
+        "",
+        "Regenerate with `repro report` (or `python -m repro report`). "
+        "Parameters and seeds are the registry defaults in "
+        "`repro/analysis/experiments.py`.",
+        "",
+    ]
+    for report in reports:
+        parts.append(f"## {report.experiment_id.upper()} — {report.title}")
+        parts.append("")
+        parts.append(_table_to_markdown(report))
+        parts.append("")
+        if report.params:
+            params = ", ".join(f"{k} = {v}" for k, v in report.params.items())
+            parts.append(f"*Parameters:* {params}")
+            parts.append("")
+        for note in report.notes:
+            parts.append(f"> {note}")
+            parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    path: Union[str, Path, None] = None,
+    *,
+    experiment_ids: Iterable[str] | None = None,
+) -> str:
+    """Run experiments (all by default) and return/write the markdown.
+
+    ``experiment_ids`` restricts the run (e.g. ``["e1", "e4"]``); unknown
+    ids raise ``KeyError`` before anything runs.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    missing = [i for i in ids if i not in EXPERIMENTS]
+    if missing:
+        raise KeyError(f"unknown experiment ids: {missing}")
+    reports = [EXPERIMENTS[i]() for i in ids]
+    text = render_markdown(reports)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

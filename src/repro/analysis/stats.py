@@ -1,0 +1,83 @@
+"""Small statistics toolkit for randomized-experiment reporting.
+
+Randomized algorithms (Section 5) are evaluated by their *expected* maximum
+load; we estimate expectations by repetition and report bootstrap
+confidence intervals so the benches can state "measured mean is below the
+Theorem 5.1 curve" with quantified uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean with spread and a confidence interval for one sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def __str__(self) -> str:  # compact table cell
+        return f"{self.mean:.3f} [{self.ci_low:.3f}, {self.ci_high:.3f}]"
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``samples``.
+
+    Vectorized: draws the whole ``(num_resamples, n)`` index matrix at once
+    (cheap for the sample sizes used here).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("bootstrap_ci requires at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if samples.size == 1:
+        v = float(samples[0])
+        return v, v
+    idx = rng.integers(samples.size, size=(num_resamples, samples.size))
+    means = samples[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def summarize(
+    samples: np.ndarray,
+    rng: np.random.Generator | None = None,
+    *,
+    confidence: float = 0.95,
+) -> SummaryStats:
+    """Mean/std/min/max plus a bootstrap CI (seeded rng optional)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("summarize requires at least one sample")
+    rng = rng or np.random.default_rng(0)
+    lo, hi = bootstrap_ci(samples, rng, confidence=confidence)
+    return SummaryStats(
+        n=int(samples.size),
+        mean=float(samples.mean()),
+        std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+        minimum=float(samples.min()),
+        maximum=float(samples.max()),
+        ci_low=lo,
+        ci_high=hi,
+        confidence=confidence,
+    )

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment output.
+
+The benches print their reproduced "figures" as aligned ASCII tables (one
+row per sweep point), which is what gets captured into
+``bench_output.txt`` and quoted in EXPERIMENTS.md.  No external
+dependencies, no color — stable diffable output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table(["n", "ratio"], [[4, 1.0], [8, 1.5]]))
+    n  ratio
+    -  -----
+    4  1.0
+    8  1.500
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, Any], *, title: str | None = None) -> str:
+    """Render a key/value block (experiment parameters, one per line)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,375 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``repro list``                 — list available experiments and scenarios.
+* ``repro experiment e4``        — run one experiment and print its table.
+* ``repro all``                  — run every experiment (the full paper).
+* ``repro simulate ...``         — ad-hoc run: one algorithm on a synthetic
+  workload or named scenario, with optional ASCII plots.
+* ``repro sweep ...``            — load-vs-d sweep on one machine size.
+* ``repro describe ...``         — profile a workload (rates, sizes, volumes).
+* ``repro simulate --save-run F`` + ``repro audit F`` — archive a run and
+  independently re-verify it (placement legality, recomputed load series).
+* ``repro compare ...``          — several algorithms side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.plots import heatmap, histogram, line_plot, sparkline
+from repro.analysis.tables import format_table
+from repro.core.bounds import deterministic_upper_factor
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.core.registry import ALGORITHM_SPECS, algorithm_names, make_algorithm
+from repro.machines.butterfly import Butterfly
+from repro.machines.fattree import FatTree
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import Mesh2D
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.workloads.generators import burst_sequence, churn_sequence, poisson_sequence
+from repro.workloads.scenarios import SCENARIOS
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for exp_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id}: {doc}")
+    print("\nalgorithms (for `simulate --algorithm`):")
+    for name in algorithm_names():
+        spec = ALGORITHM_SPECS[name]
+        print(f"  {name}: {spec.paper_name} (sec {spec.section}) — {spec.guarantee}")
+    print("\nscenarios (for `simulate --workload`):")
+    for name, fn in SCENARIOS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name}: {doc}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    exp_id = args.id.lower()
+    if exp_id not in EXPERIMENTS:
+        print(f"unknown experiment {exp_id!r}; try `repro list`", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[exp_id]().render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import generate_report
+
+    ids = args.ids.split(",") if args.ids else None
+    try:
+        text = generate_report(args.out, experiment_ids=ids)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_all(_args: argparse.Namespace) -> int:
+    for exp_id, fn in EXPERIMENTS.items():
+        print(fn().render())
+        print()
+    return 0
+
+
+_TOPOLOGIES = {
+    "tree": TreeMachine,
+    "fattree": lambda n: FatTree(n, fatness=2.0),
+    "hypercube": Hypercube,
+    "hypercube-gray": lambda n: Hypercube(n, layout="gray"),
+    "butterfly": Butterfly,
+    "mesh": Mesh2D,
+}
+
+
+def _make_machine(args: argparse.Namespace):
+    return _TOPOLOGIES[getattr(args, "topology", "tree")](args.n)
+
+
+def _make_workload(name: str, n: int, args: argparse.Namespace):
+    rng = np.random.default_rng(args.seed)
+    if name == "poisson":
+        return poisson_sequence(n, args.tasks, rng, utilization=args.utilization)
+    if name == "burst":
+        return burst_sequence(n, args.tasks, rng)
+    if name == "churn":
+        return churn_sequence(n, args.tasks, rng)
+    if name in SCENARIOS:
+        return SCENARIOS[name](n, rng, scale=args.scale)
+    raise KeyError(name)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.engine import Simulator
+
+    machine = _make_machine(args)
+    sigma = _make_workload(args.workload, args.n, args)
+    algo = make_algorithm(
+        args.algorithm,
+        machine,
+        d=args.d,
+        lazy=args.lazy,
+        moves=args.moves,
+        seed=args.seed,
+    )
+    sim = Simulator(machine, algo)
+    load_frames: list[list[int]] = []
+    if args.plot:
+        sim.add_observer(
+            lambda s, ev: load_frames.append(s.leaf_loads().tolist())
+        )
+    result = sim.run(sigma)
+    _cmd_simulate_archive_option(sim, args, machine, sigma)
+    realloc = result.metrics.realloc
+    print(f"algorithm          : {result.algorithm_name}")
+    print(f"machine            : {result.machine_description}")
+    print(f"workload           : {args.workload} ({result.metrics.events_processed} events)")
+    print(f"max load L_A(sigma): {result.max_load}")
+    print(f"optimal load L*    : {result.optimal_load}")
+    print(f"competitive ratio  : {result.competitive_ratio:.3f}")
+    print(f"reallocations      : {realloc.num_reallocations}")
+    print(f"migrations         : {realloc.num_migrations}")
+    print(f"traffic (pe-hops)  : {realloc.traffic_pe_hops:.0f}")
+    print(f"fairness at peak   : {result.metrics.fairness_at_peak():.3f}")
+    if args.plot:
+        times, loads = result.metrics.series.as_arrays()
+        print("\nmax load over events:")
+        print(sparkline(loads.tolist()))
+        print()
+        print(
+            line_plot(
+                times.tolist(),
+                loads.tolist(),
+                title="max PE load over time",
+                y_label="load",
+                x_label="time",
+            )
+        )
+        if result.metrics.peak_snapshot is not None:
+            snap = result.metrics.peak_snapshot
+            values, counts = np.unique(snap, return_counts=True)
+            print()
+            print(
+                histogram(
+                    {int(v): int(c) for v, c in zip(values, counts)},
+                    title="PE-load histogram at the peak (load: #PEs)",
+                )
+            )
+        if load_frames:
+            # rows = PEs, cols = events.
+            matrix = list(map(list, zip(*load_frames)))
+            print()
+            print(
+                heatmap(
+                    matrix,
+                    title="per-PE load over events (max-pooled)",
+                    y_label="PE",
+                    x_label="event",
+                )
+            )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.sim.archive import load_run
+    from repro.sim.audit import audit_run
+
+    machine, sequence, intervals = load_run(args.archive)
+    report = audit_run(machine, sequence, intervals)
+    print(f"archive            : {args.archive}")
+    print(f"machine            : {machine.describe()}")
+    print(f"tasks              : {sequence.num_tasks}")
+    print(f"checked breakpoints: {report.checked_times}")
+    print(f"recomputed max load: {report.max_load}")
+    if report.ok:
+        print("verdict            : OK — placements legal, loads consistent")
+        return 0
+    print("verdict            : FAILED")
+    for v in report.violations[:20]:
+        print(f"  - {v}")
+    if len(report.violations) > 20:
+        print(f"  ... and {len(report.violations) - 20} more")
+    return 1
+
+
+def _cmd_simulate_archive_option(sim, args, machine, sigma):
+    if args.save_run:
+        from repro.sim.archive import save_run
+
+        save_run(args.save_run, machine, sigma, sim,
+                 metadata={"workload": args.workload, "seed": args.seed})
+        print(f"archived run to    : {args.save_run}")
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.profiles import describe_sequence
+
+    sigma = _make_workload(args.workload, args.n, args)
+    print(describe_sequence(sigma).render(num_pes=args.n))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_algorithms
+
+    sigma = _make_workload(args.workload, args.n, args)
+    names = args.algorithms.split(",")
+    comparison = compare_algorithms(
+        lambda: _make_machine(args), sigma, names,
+        d=args.d, lazy=args.lazy, moves=args.moves, seed=args.seed,
+    )
+    print(comparison.render(title=f"{args.workload} on N = {args.n} "
+                                  f"(L* = {comparison.optimal_load})"))
+    best = comparison.best()
+    print(f"\nbest: {best.result.algorithm_name} "
+          f"(load {best.result.max_load}, "
+          f"{best.result.metrics.realloc.num_migrations} migrations)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    n = args.n
+    sigma = _make_workload(args.workload, n, args)
+    rows = []
+    d_values = [float(x) for x in args.d_values.split(",")]
+    for d in d_values:
+        machine = TreeMachine(n)
+        algo = PeriodicReallocationAlgorithm(machine, d, lazy=args.lazy)
+        result = run(machine, algo, sigma)
+        rows.append(
+            [
+                d,
+                result.max_load,
+                result.optimal_load,
+                f"{result.competitive_ratio:.2f}",
+                deterministic_upper_factor(n, d),
+                result.metrics.realloc.num_reallocations,
+                f"{result.metrics.realloc.traffic_pe_hops:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["d", "max load", "L*", "ratio", "bound", "reallocs", "traffic"],
+            rows,
+            title=f"A_M load-vs-d sweep on N = {n} ({args.workload})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    import repro
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Gao/Rosenberg/Sitaraman SPAA'96 "
+        "(task reallocation vs thread management).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scenarios").set_defaults(
+        func=_cmd_list
+    )
+
+    p_exp = sub.add_parser("experiment", help="run one experiment by id")
+    p_exp.add_argument("id", help="experiment id, e.g. e4")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    sub.add_parser("all", help="run every experiment").set_defaults(func=_cmd_all)
+
+    p_rep = sub.add_parser("report", help="write a markdown reproduction report")
+    p_rep.add_argument("--out", default=None, help="output file (stdout if omitted)")
+    p_rep.add_argument("--ids", default=None, help="comma-separated experiment ids")
+    p_rep.set_defaults(func=_cmd_report)
+
+    workload_choices = sorted(["poisson", "burst", "churn", *SCENARIOS])
+
+    def add_common(p):
+        p.add_argument("--n", type=int, default=64, help="number of PEs (power of 2)")
+        p.add_argument("--workload", choices=workload_choices, default="poisson")
+        p.add_argument("--tasks", type=int, default=500, help="tasks / events")
+        p.add_argument("--utilization", type=float, default=0.8)
+        p.add_argument("--scale", type=float, default=1.0, help="scenario size factor")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--lazy", action="store_true", help="lazy repack trigger")
+        p.add_argument("--d", type=float, default=2.0, help="reallocation parameter")
+        p.add_argument(
+            "--topology",
+            choices=sorted(_TOPOLOGIES),
+            default="tree",
+            help="physical machine model",
+        )
+
+    p_sim = sub.add_parser("simulate", help="ad-hoc single run")
+    add_common(p_sim)
+    p_sim.add_argument(
+        "--algorithm", choices=algorithm_names(), default="greedy"
+    )
+    p_sim.add_argument(
+        "--moves", type=int, default=4, help="per-repack budget (incremental)"
+    )
+    p_sim.add_argument("--plot", action="store_true", help="ASCII plots of the run")
+    p_sim.add_argument(
+        "--save-run", default=None, help="archive the run (JSON) for `repro audit`"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_audit = sub.add_parser("audit", help="independently re-verify an archived run")
+    p_audit.add_argument("archive", help="file written by `simulate --save-run`")
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_desc = sub.add_parser("describe", help="profile a workload")
+    add_common(p_desc)
+    p_desc.set_defaults(func=_cmd_describe)
+
+    p_cmp = sub.add_parser("compare", help="run several algorithms side by side")
+    add_common(p_cmp)
+    p_cmp.add_argument(
+        "--algorithms",
+        default="optimal,periodic,greedy,random",
+        help="comma-separated registry names",
+    )
+    p_cmp.add_argument("--moves", type=int, default=4)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="load-vs-d sweep with A_M")
+    add_common(p_sweep)
+    p_sweep.add_argument(
+        "--d-values", default="0,1,2,3,4,8", help="comma-separated d list"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

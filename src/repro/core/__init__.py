@@ -1,0 +1,80 @@
+"""The paper's allocation algorithms and bounds (Sections 3-5).
+
+* :class:`~repro.core.optimal.OptimalReallocatingAlgorithm` — A_C (Thm 3.1).
+* :func:`~repro.core.repack.repack` — procedure A_R (Lemma 1).
+* :class:`~repro.core.greedy.GreedyAlgorithm` — A_G (Thm 4.1).
+* :class:`~repro.core.basic.BasicAlgorithm` — A_B (Lemma 2).
+* :class:`~repro.core.periodic.PeriodicReallocationAlgorithm` — A_M (Thm 4.2).
+* :class:`~repro.core.randomized.ObliviousRandomAlgorithm` — Section 5.1.
+* :class:`~repro.core.twochoice.TwoChoiceAlgorithm` — balanced-allocations
+  extension (cited as [2]).
+* :mod:`~repro.core.bounds` — every closed-form bound in the paper.
+* :mod:`~repro.core.baselines` — comparison strawmen.
+"""
+
+from repro.core.base import AllocationAlgorithm, Placement, Reallocation
+from repro.core.basic import BasicAlgorithm
+from repro.core.baselines import (
+    FirstFitLevelAlgorithm,
+    RoundRobinAlgorithm,
+    WorstFitAlgorithm,
+)
+from repro.core.bounds import (
+    basic_copy_bound,
+    deterministic_lower_factor,
+    deterministic_upper_factor,
+    greedy_upper_bound_factor,
+    optimal_load,
+    randomized_lower_factor,
+    randomized_upper_factor,
+    sigma_r_lower_ell,
+    sigma_r_num_phases,
+    tightness_gap,
+)
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.hybrid import RandomizedPeriodicAlgorithm
+from repro.core.incremental import IncrementalReallocationAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.core.randomized import ObliviousRandomAlgorithm
+from repro.core.registry import (
+    ALGORITHM_SPECS,
+    AlgorithmSpec,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.core.repack import RepackResult, repack
+from repro.core.twochoice import TwoChoiceAlgorithm
+
+__all__ = [
+    "AllocationAlgorithm",
+    "Placement",
+    "Reallocation",
+    "BasicAlgorithm",
+    "GreedyAlgorithm",
+    "OptimalReallocatingAlgorithm",
+    "PeriodicReallocationAlgorithm",
+    "ObliviousRandomAlgorithm",
+    "RandomizedPeriodicAlgorithm",
+    "IncrementalReallocationAlgorithm",
+    "TwoChoiceAlgorithm",
+    "RoundRobinAlgorithm",
+    "WorstFitAlgorithm",
+    "FirstFitLevelAlgorithm",
+    "RepackResult",
+    "ALGORITHM_SPECS",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "make_algorithm",
+    "repack",
+    "optimal_load",
+    "greedy_upper_bound_factor",
+    "basic_copy_bound",
+    "deterministic_upper_factor",
+    "deterministic_lower_factor",
+    "randomized_upper_factor",
+    "randomized_lower_factor",
+    "sigma_r_lower_ell",
+    "sigma_r_num_phases",
+    "tightness_gap",
+]

@@ -1,0 +1,112 @@
+"""Allocation-algorithm interface shared by all of the paper's algorithms.
+
+An :class:`AllocationAlgorithm` is driven by the simulator through three
+hooks that mirror the paper's algorithm descriptions verbatim:
+
+* :meth:`AllocationAlgorithm.on_arrival` — choose a submachine (a hierarchy
+  node of exactly the task's size) for an arriving task, knowing only the
+  task's size and the algorithm's own past decisions (the online model);
+* :meth:`AllocationAlgorithm.on_departure` — release the task;
+* :meth:`AllocationAlgorithm.maybe_reallocate` — called after every arrival;
+  a d-reallocation algorithm may return a complete remapping of the active
+  tasks once the cumulative arrival volume since the last remap reaches
+  ``d * N`` (the simulator enforces the budget, the algorithm decides).
+
+Algorithms own private bookkeeping but the *authoritative* machine state
+(per-PE loads, placements) is owned by the simulator, which validates every
+placement.  This split keeps algorithms honest: they cannot accidentally
+peek at information the online model hides (departure times, future
+arrivals).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.machines.base import PartitionableMachine
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["AllocationAlgorithm", "Placement", "Reallocation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """An algorithm's decision for one arriving task."""
+
+    task_id: TaskId
+    node: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class Reallocation:
+    """A full remapping of the active tasks, produced at a reallocation point.
+
+    ``mapping`` must contain exactly the active tasks; the simulator diffs
+    it against current placements to count migrations and their cost.
+    """
+
+    mapping: Mapping[TaskId, NodeId]
+
+
+class AllocationAlgorithm(abc.ABC):
+    """Base class for online allocation algorithms on one machine.
+
+    Subclasses must be deterministic functions of the event history unless
+    they are explicitly randomized (in which case they draw exclusively from
+    the ``rng`` they were constructed with, for reproducibility).
+    """
+
+    def __init__(self, machine: PartitionableMachine):
+        self.machine = machine
+
+    # -- Identification -----------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short name used in result tables (e.g. ``"A_G"``)."""
+
+    @property
+    def is_randomized(self) -> bool:
+        """Whether the algorithm draws random bits (default: deterministic)."""
+        return False
+
+    @property
+    def reallocation_parameter(self) -> float:
+        """The ``d`` of the paper; ``inf`` for never-reallocating algorithms."""
+        return float("inf")
+
+    # -- Event hooks --------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_arrival(self, task: Task) -> Placement:
+        """Choose a submachine for an arriving task.
+
+        Must return a node whose subtree size equals ``task.size``.  The
+        simulator validates this and raises
+        :class:`~repro.errors.PlacementError` otherwise.
+        """
+
+    @abc.abstractmethod
+    def on_departure(self, task: Task) -> None:
+        """Release internal state for a departing task."""
+
+    def maybe_reallocate(self, arrived_since_last: int) -> Optional[Reallocation]:
+        """Offer the algorithm a reallocation opportunity.
+
+        Called after each arrival with the cumulative size of arrivals since
+        the last reallocation (or since the start).  Return ``None`` to
+        decline; return a :class:`Reallocation` to remap all active tasks.
+        The simulator rejects reallocations attempted before the budget
+        ``arrived_since_last >= d * N`` is reached.
+        """
+        return None
+
+    def reset(self) -> None:
+        """Forget all state (start of a fresh run).  Subclasses extend."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(machine={self.machine!r})"

@@ -1,0 +1,127 @@
+"""Every closed-form bound stated in the paper, as plain functions of (N, d).
+
+These are the theory curves the benchmark harness plots measured loads
+against.  All logs are base 2 (``log N = log2 N`` for an ``N``-leaf tree).
+
+===========================  ==========================================================
+Function                      Paper statement
+===========================  ==========================================================
+optimal_load                  ``L* = ceil(s(sigma)/N)``                       (Sec. 2)
+greedy_upper_bound_factor     ``ceil((log N + 1)/2)``                         (Thm 4.1)
+basic_copy_bound              ``ceil(S/N)``                                   (Lemma 2)
+deterministic_upper_factor    ``min{d + 1, ceil((log N + 1)/2)}``             (Thm 4.2)
+deterministic_lower_factor    ``ceil((min{d, log N} + 1)/2)``                 (Thm 4.3)
+randomized_upper_factor       ``3 log N / log log N + 1``                     (Thm 5.1)
+randomized_lower_factor       ``(1/7) (log N / log log N)^(1/3)``             (Thm 5.2)
+sigma_r_lower_ell             ``(log N / (240 log log N))^(1/3)``             (Lemma 7)
+===========================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.types import ceil_div, ilog2
+
+__all__ = [
+    "optimal_load",
+    "greedy_upper_bound_factor",
+    "basic_copy_bound",
+    "deterministic_upper_factor",
+    "deterministic_lower_factor",
+    "randomized_upper_factor",
+    "randomized_lower_factor",
+    "sigma_r_lower_ell",
+    "sigma_r_num_phases",
+    "tightness_gap",
+]
+
+
+def optimal_load(peak_active_size: int, num_pes: int) -> int:
+    """``L* = ceil(s(sigma) / N)`` — the benchmark load (Section 2)."""
+    return ceil_div(peak_active_size, num_pes)
+
+
+def greedy_upper_bound_factor(num_pes: int) -> int:
+    """Theorem 4.1 factor for A_G: ``ceil((log N + 1) / 2)``."""
+    return ceil_div(ilog2(num_pes) + 1, 2)
+
+
+def basic_copy_bound(total_arrival_size: int, num_pes: int) -> int:
+    """Lemma 2 bound for A_B: ``ceil(S / N)`` with S the total arrival volume."""
+    return ceil_div(total_arrival_size, num_pes)
+
+
+def deterministic_upper_factor(num_pes: int, d: float) -> float:
+    """Theorem 4.2 factor for A_M: ``min{d + 1, ceil((log N + 1)/2)}``.
+
+    Returned as a float because ``d`` may be fractional or infinite; for
+    integral ``d`` the value is an exact integer-valued float.
+    """
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    return min(d + 1.0, float(greedy_upper_bound_factor(num_pes)))
+
+
+def deterministic_lower_factor(num_pes: int, d: float) -> int:
+    """Theorem 4.3 lower bound: ``ceil((min{d, log N} + 1) / 2)``.
+
+    Holds against *every* deterministic d-reallocation algorithm; realised
+    by the adversary in :mod:`repro.adversary.deterministic`.
+    """
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    p = min(d, float(ilog2(num_pes)))
+    return math.ceil((p + 1.0) / 2.0)
+
+
+def randomized_upper_factor(num_pes: int) -> float:
+    """Theorem 5.1 factor for oblivious random placement: ``3 log N / log log N + 1``.
+
+    Defined for ``N >= 4`` (``log log N > 0``); the theorem is asymptotic and
+    meaningless for a 2-PE machine.
+    """
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise ValueError("randomized_upper_factor needs N >= 4 (log log N > 0)")
+    return 3.0 * logn / math.log2(logn) + 1.0
+
+
+def randomized_lower_factor(num_pes: int) -> float:
+    """Theorem 5.2 lower bound: ``(1/7) * (log N / log log N)^(1/3)``."""
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise ValueError("randomized_lower_factor needs N >= 4 (log log N > 0)")
+    return (logn / math.log2(logn)) ** (1.0 / 3.0) / 7.0
+
+
+def sigma_r_lower_ell(num_pes: int) -> float:
+    """Lemma 7's explicit load level ``ell = (log N / (240 log log N))^(1/3)``.
+
+    The load that the random sequence sigma_r forces with high probability.
+    Note the 1/240 constant makes this < 1 for every practically simulable
+    N; the benchmark reports the *shape* (growth with N), as DESIGN.md
+    documents.
+    """
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise ValueError("sigma_r_lower_ell needs N >= 4 (log log N > 0)")
+    return (logn / (240.0 * math.log2(logn))) ** (1.0 / 3.0)
+
+
+def sigma_r_num_phases(num_pes: int) -> int:
+    """Number of phases of sigma_r: ``log N / (2 log log N)`` (Section 5.2).
+
+    At least 1 so the construction is non-degenerate at small N.
+    """
+    logn = ilog2(num_pes)
+    if logn < 2:
+        raise ValueError("sigma_r_num_phases needs N >= 4 (log log N > 0)")
+    return max(1, int(logn / (2.0 * math.log2(logn))))
+
+
+def tightness_gap(num_pes: int, d: float) -> float:
+    """Ratio of the deterministic upper to lower factor (paper: tight within 2)."""
+    return deterministic_upper_factor(num_pes, d) / deterministic_lower_factor(
+        num_pes, d
+    )

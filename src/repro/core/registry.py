@@ -1,0 +1,210 @@
+"""Algorithm registry: construct any allocator by name, with metadata.
+
+One table mapping algorithm names to factories plus the facts experiments
+keep re-stating: paper section, guarantee formula, whether randomized,
+whether it reallocates.  The CLI, docs, and sweep utilities all read this
+so the set of algorithms is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm
+from repro.core.basic import BasicAlgorithm
+from repro.core.baselines import (
+    FirstFitLevelAlgorithm,
+    RoundRobinAlgorithm,
+    WorstFitAlgorithm,
+)
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.hybrid import RandomizedPeriodicAlgorithm
+from repro.core.incremental import IncrementalReallocationAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.core.randomized import ObliviousRandomAlgorithm
+from repro.core.twochoice import TwoChoiceAlgorithm
+from repro.machines.base import PartitionableMachine
+
+__all__ = ["AlgorithmSpec", "ALGORITHM_SPECS", "make_algorithm", "algorithm_names"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata + factory for one allocation algorithm."""
+
+    name: str
+    paper_name: str
+    section: str
+    guarantee: str
+    randomized: bool
+    reallocates: bool
+    factory: Callable[..., AllocationAlgorithm]
+    #: Keyword arguments the factory understands beyond (machine,).
+    options: tuple[str, ...] = ()
+
+    def build(
+        self,
+        machine: PartitionableMachine,
+        *,
+        d: float = 2.0,
+        lazy: bool = False,
+        moves: int = 4,
+        threshold: int = 1,
+        num_choices: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> AllocationAlgorithm:
+        """Construct the algorithm, supplying only the options it takes."""
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        kwargs: dict[str, Any] = {}
+        if "d" in self.options:
+            kwargs["d"] = d
+        if "lazy" in self.options:
+            kwargs["lazy"] = lazy
+        if "moves" in self.options:
+            kwargs["moves_per_realloc"] = moves
+        if "threshold" in self.options:
+            kwargs["threshold"] = threshold
+        if "num_choices" in self.options:
+            kwargs["num_choices"] = num_choices
+        if "rng" in self.options:
+            kwargs["rng"] = rng
+        return self.factory(machine, **kwargs)
+
+
+ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in [
+        AlgorithmSpec(
+            name="optimal",
+            paper_name="A_C",
+            section="3",
+            guarantee="load = L* exactly",
+            randomized=False,
+            reallocates=True,
+            factory=OptimalReallocatingAlgorithm,
+        ),
+        AlgorithmSpec(
+            name="greedy",
+            paper_name="A_G",
+            section="4.1",
+            guarantee="<= ceil((log N + 1)/2) * L*",
+            randomized=False,
+            reallocates=False,
+            factory=GreedyAlgorithm,
+        ),
+        AlgorithmSpec(
+            name="basic",
+            paper_name="A_B",
+            section="4.1",
+            guarantee="<= ceil(S/N) copies",
+            randomized=False,
+            reallocates=False,
+            factory=BasicAlgorithm,
+        ),
+        AlgorithmSpec(
+            name="periodic",
+            paper_name="A_M",
+            section="4.1",
+            guarantee="<= min{d+1, ceil((log N + 1)/2)} * L*",
+            randomized=False,
+            reallocates=True,
+            factory=PeriodicReallocationAlgorithm,
+            options=("d", "lazy"),
+        ),
+        AlgorithmSpec(
+            name="random",
+            paper_name="oblivious randomized",
+            section="5.1",
+            guarantee="E <= (3 log N / log log N + 1) * L*",
+            randomized=True,
+            reallocates=False,
+            factory=ObliviousRandomAlgorithm,
+            options=("rng",),
+        ),
+        AlgorithmSpec(
+            name="twochoice",
+            paper_name="two-choice (ref [2])",
+            section="extension",
+            guarantee="-",
+            randomized=True,
+            reallocates=False,
+            factory=TwoChoiceAlgorithm,
+            options=("rng", "num_choices"),
+        ),
+        AlgorithmSpec(
+            name="hybrid",
+            paper_name="randomized + periodic (open problem)",
+            section="5 (future work)",
+            guarantee="-",
+            randomized=True,
+            reallocates=True,
+            factory=RandomizedPeriodicAlgorithm,
+            options=("d", "rng"),
+        ),
+        AlgorithmSpec(
+            name="incremental",
+            paper_name="budget-limited reallocation",
+            section="extension",
+            guarantee="<= k migrations per repack",
+            randomized=False,
+            reallocates=True,
+            factory=IncrementalReallocationAlgorithm,
+            options=("d", "moves"),
+        ),
+        AlgorithmSpec(
+            name="roundrobin",
+            paper_name="round-robin baseline",
+            section="baseline",
+            guarantee="-",
+            randomized=False,
+            reallocates=False,
+            factory=RoundRobinAlgorithm,
+        ),
+        AlgorithmSpec(
+            name="worstfit",
+            paper_name="worst-fit-by-average baseline",
+            section="baseline",
+            guarantee="-",
+            randomized=False,
+            reallocates=False,
+            factory=WorstFitAlgorithm,
+        ),
+        AlgorithmSpec(
+            name="firstfit",
+            paper_name="threshold first-fit baseline",
+            section="baseline",
+            guarantee="-",
+            randomized=False,
+            reallocates=False,
+            factory=FirstFitLevelAlgorithm,
+            options=("threshold",),
+        ),
+    ]
+}
+
+
+def algorithm_names() -> list[str]:
+    """All registered names, sorted."""
+    return sorted(ALGORITHM_SPECS)
+
+
+def make_algorithm(
+    name: str, machine: PartitionableMachine, **options: Any
+) -> AllocationAlgorithm:
+    """Build an algorithm by registry name.
+
+    ``options`` may include ``d``, ``lazy``, ``moves``, ``threshold``,
+    ``num_choices``, ``rng`` or ``seed``; options the algorithm doesn't
+    take are ignored (so one option namespace can drive every algorithm,
+    as the CLI does).
+    """
+    if name not in ALGORITHM_SPECS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        )
+    return ALGORITHM_SPECS[name].build(machine, **options)

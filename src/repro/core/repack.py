@@ -1,0 +1,67 @@
+"""Reallocation procedure A_R (Section 3) — the repacking primitive.
+
+Given the set of active tasks, A_R maps them to fresh "copies of T":
+
+1. sort the tasks in order of decreasing size;
+2. for each task of size ``2^x``, find the *first* copy (in creation order)
+   containing a vacant ``2^x``-PE submachine, creating a new copy if none
+   does;
+3. assign the task to the *leftmost* vacant ``2^x``-PE submachine of that
+   copy.
+
+Lemma 1: for total active size ``S``, A_R uses exactly ``ceil(S/N)`` copies
+(decreasing-size first-fit leaves no hole except possibly in the last copy),
+so the resulting machine load is ``ceil(S/N)`` — the optimal load for that
+instant.  :func:`repack` implements the procedure; the returned
+:class:`RepackResult` records both the physical placement (hierarchy node)
+and the copy index of every task, plus the copy count that Lemma 1 bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.machines.copies import CopySet
+from repro.machines.hierarchy import Hierarchy
+from repro.tasks.task import Task
+from repro.types import CopyId, NodeId, TaskId
+
+__all__ = ["RepackResult", "repack"]
+
+
+@dataclass(frozen=True)
+class RepackResult:
+    """Outcome of one run of procedure A_R."""
+
+    #: Physical placement of each task (hierarchy node of its size).
+    mapping: Mapping[TaskId, NodeId]
+    #: Copy index of each task — the "thread layer" it occupies.
+    copy_of: Mapping[TaskId, CopyId]
+    #: Number of copies created; Lemma 1 guarantees ``ceil(S/N)``.
+    num_copies: int
+    #: The copy structures themselves, so an online algorithm (A_B inside
+    #: A_M) can continue first-fitting into the repacked state.
+    copies: CopySet
+
+
+def repack(hierarchy: Hierarchy, active_tasks: Iterable[Task]) -> RepackResult:
+    """Run procedure A_R on the given active tasks.
+
+    Ties between equal-size tasks are broken by task id so the procedure is
+    deterministic (the paper's analysis is indifferent to this order).
+    """
+    ordered = sorted(active_tasks, key=lambda t: (-t.size, t.task_id))
+    copies = CopySet(hierarchy)
+    mapping: dict[TaskId, NodeId] = {}
+    copy_of: dict[TaskId, CopyId] = {}
+    for task in ordered:
+        cid, node = copies.first_fit(task.size)
+        mapping[task.task_id] = node
+        copy_of[task.task_id] = cid
+    return RepackResult(
+        mapping=mapping,
+        copy_of=copy_of,
+        num_copies=copies.num_copies,
+        copies=copies,
+    )

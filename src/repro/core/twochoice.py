@@ -1,0 +1,83 @@
+"""Two-choice randomized placement — the balanced-allocations extension.
+
+The paper cites Azar, Broder, Karlin and Upfal's "Balanced Allocations" [2]
+in its related work: for balls into bins, sampling *two* random bins and
+choosing the less loaded drops the max load from ``Theta(log n / log log n)``
+to ``Theta(log log n)``.  The natural submachine analogue — sample two
+random ``2^x``-PE submachines, place in the one with smaller load, ties to
+the leftmost — is an obvious "future work" hybrid between the paper's
+oblivious randomized algorithm (Section 5.1) and its load-aware greedy A_G.
+
+Ablation A2 measures how much of the balanced-allocations gain survives the
+submachine setting, where tasks of different sizes couple the "bins".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm, Placement
+from repro.errors import AllocationError
+from repro.machines.base import PartitionableMachine
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["TwoChoiceAlgorithm"]
+
+
+class TwoChoiceAlgorithm(AllocationAlgorithm):
+    """Pick two uniformly random submachines, use the less loaded one."""
+
+    def __init__(
+        self,
+        machine: PartitionableMachine,
+        rng: np.random.Generator,
+        num_choices: int = 2,
+    ):
+        super().__init__(machine)
+        if num_choices < 1:
+            raise ValueError(f"num_choices must be >= 1, got {num_choices}")
+        self._rng = rng
+        self._num_choices = num_choices
+        self._loads = machine.new_load_tracker()
+        self._placement: dict[TaskId, NodeId] = {}
+
+    @property
+    def name(self) -> str:
+        return f"A_{self._num_choices}choice"
+
+    @property
+    def is_randomized(self) -> bool:
+        return True
+
+    def on_arrival(self, task: Task) -> Placement:
+        self.machine.validate_task_size(task.size)
+        if task.task_id in self._placement:
+            raise AllocationError(f"task {task.task_id} already placed")
+        h = self.machine.hierarchy
+        count = h.num_submachines(task.size)
+        draws = min(self._num_choices, count)
+        # Sample without replacement so two choices are genuinely distinct
+        # whenever the level has at least two submachines (as in [2]).
+        indices = self._rng.choice(count, size=draws, replace=False)
+        best_node: NodeId | None = None
+        best_key: tuple[int, int] | None = None
+        for index in np.sort(indices):
+            node = h.node_for(task.size, int(index))
+            key = (self._loads.submachine_load(node), int(index))
+            if best_key is None or key < best_key:
+                best_key, best_node = key, node
+        assert best_node is not None
+        self._loads.place(best_node, task.size)
+        self._placement[task.task_id] = best_node
+        return Placement(task.task_id, best_node)
+
+    def on_departure(self, task: Task) -> None:
+        node = self._placement.pop(task.task_id, None)
+        if node is None:
+            raise AllocationError(f"departure of unplaced task {task.task_id}")
+        self._loads.remove(node, task.size)
+
+    def reset(self) -> None:
+        self._loads = self.machine.new_load_tracker()
+        self._placement.clear()

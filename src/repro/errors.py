@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors (``TypeError``
+from misuse of the stdlib, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidTaskError",
+    "InvalidSequenceError",
+    "InvalidMachineError",
+    "AllocationError",
+    "PlacementError",
+    "ReallocationError",
+    "SimulationError",
+    "TraceFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidTaskError(ReproError, ValueError):
+    """A task violates the model constraints.
+
+    The paper's model (Section 2) requires every task size to be a power of
+    two no larger than the machine size N, and arrival strictly before
+    departure.
+    """
+
+
+class InvalidSequenceError(ReproError, ValueError):
+    """A task sequence is malformed.
+
+    Examples: a departure event for a task that never arrived, duplicate
+    task identifiers, or events out of chronological order.
+    """
+
+
+class InvalidMachineError(ReproError, ValueError):
+    """A machine was constructed with inadmissible parameters.
+
+    The tree machine of the paper requires N to be a power of two so that
+    the complete binary hierarchy exists.
+    """
+
+
+class AllocationError(ReproError, RuntimeError):
+    """An allocation algorithm failed to produce a legal placement."""
+
+
+class PlacementError(ReproError, ValueError):
+    """A placement refers to a node that cannot host the task.
+
+    Raised when a task of size ``2^x`` is mapped to a hierarchy node whose
+    subtree does not contain exactly ``2^x`` PEs, or to a node outside the
+    machine.
+    """
+
+
+class ReallocationError(ReproError, RuntimeError):
+    """A reallocation produced an inconsistent remapping.
+
+    For example, dropping an active task, or introducing a task that is not
+    active.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A workload trace file could not be parsed."""

@@ -1,0 +1,63 @@
+"""Partitionable machine models: the hierarchy, topologies, and load state.
+
+* :class:`~repro.machines.hierarchy.Hierarchy` — binary decomposition math.
+* :class:`~repro.machines.tree.TreeMachine` — the paper's model.
+* :class:`~repro.machines.hypercube.Hypercube`,
+  :class:`~repro.machines.fattree.FatTree`,
+  :class:`~repro.machines.mesh.Mesh2D` — other hierarchically decomposable
+  topologies the paper names.
+* :class:`~repro.machines.loads.LoadTracker` — per-PE thread-load state.
+* :class:`~repro.machines.copies.BuddyCopy` /
+  :class:`~repro.machines.copies.CopySet` — the "copies of T" device of
+  procedures A_R and A_B.
+"""
+
+from repro.machines.base import PartitionableMachine
+from repro.machines.butterfly import Butterfly
+from repro.machines.copies import BuddyCopy, CopySet
+from repro.machines.fattree import FatTree
+from repro.machines.fragmentation import (
+    FragmentationProfile,
+    fragmentation_profile,
+    machine_potential,
+    submachine_potential,
+)
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.hypercube import Hypercube, gray_code, inverse_gray_code
+from repro.machines.loads import LoadTracker
+from repro.machines.mesh import Mesh2D, morton_decode, morton_encode
+from repro.machines.subcube import (
+    SubcubeAllocator,
+    SubcubeRegion,
+    is_subcube,
+    recognized_subcubes,
+)
+from repro.machines.tree import TreeMachine
+from repro.machines.visualize import render_allocation, render_tree
+
+__all__ = [
+    "PartitionableMachine",
+    "Hierarchy",
+    "TreeMachine",
+    "Butterfly",
+    "Hypercube",
+    "FatTree",
+    "Mesh2D",
+    "LoadTracker",
+    "FragmentationProfile",
+    "fragmentation_profile",
+    "machine_potential",
+    "submachine_potential",
+    "render_allocation",
+    "SubcubeAllocator",
+    "SubcubeRegion",
+    "is_subcube",
+    "recognized_subcubes",
+    "render_tree",
+    "BuddyCopy",
+    "CopySet",
+    "gray_code",
+    "inverse_gray_code",
+    "morton_decode",
+    "morton_encode",
+]

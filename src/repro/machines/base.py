@@ -1,0 +1,117 @@
+"""Abstract partitionable machine: hierarchy + physical interpretation.
+
+The paper states its results for the tree machine but notes they "hold for
+any hierarchically decomposable machine such as CM-5 and SP2", and that the
+algorithms "also apply to other networks such as the butterfly, the
+hypercube and the mesh".  We factor the library accordingly:
+
+* all *allocation logic* operates on the abstract
+  :class:`~repro.machines.hierarchy.Hierarchy` (which every topology here
+  shares — a binary recursive decomposition into halves);
+* a :class:`PartitionableMachine` subclass supplies the *physical*
+  interpretation: where PEs sit, how far apart they are, and how expensive
+  it is to migrate a submachine from one hierarchy node to another.  These
+  costs feed the reallocation-cost model (``repro.sim.realloc_cost``) that
+  quantifies the "reallocation is expensive" side of the paper's trade-off.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import InvalidMachineError
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.loads import LoadTracker
+from repro.types import NodeId, PEId, ilog2, is_power_of_two
+
+__all__ = ["PartitionableMachine"]
+
+
+class PartitionableMachine(abc.ABC):
+    """A machine of ``num_pes`` PEs with a binary hierarchical decomposition.
+
+    Subclasses implement the physical geometry.  Instances are cheap: they
+    hold only the hierarchy and parameters, not load state — load lives in
+    :class:`~repro.machines.loads.LoadTracker` instances created per run.
+    """
+
+    def __init__(self, num_pes: int):
+        if not is_power_of_two(num_pes):
+            raise InvalidMachineError(
+                f"a partitionable machine needs a power-of-two PE count, got {num_pes}"
+            )
+        self._hierarchy = Hierarchy(num_pes)
+
+    # -- Shared structure ---------------------------------------------------
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        return self._hierarchy
+
+    @property
+    def num_pes(self) -> int:
+        return self._hierarchy.num_leaves
+
+    @property
+    def log_num_pes(self) -> int:
+        """``log2 N`` — the ``log N`` in all of the paper's bounds."""
+        return self._hierarchy.height
+
+    def new_load_tracker(self) -> LoadTracker:
+        """A fresh, empty load tracker for this machine."""
+        return LoadTracker(self._hierarchy)
+
+    def validate_task_size(self, size: int) -> None:
+        if not is_power_of_two(size) or size > self.num_pes:
+            raise InvalidMachineError(
+                f"task size {size} not admissible on a {self.num_pes}-PE machine"
+            )
+
+    # -- Physical interpretation (per topology) ---------------------------------
+
+    @property
+    @abc.abstractmethod
+    def topology_name(self) -> str:
+        """Short human-readable topology label (e.g. ``"tree"``)."""
+
+    @abc.abstractmethod
+    def pe_distance(self, a: PEId, b: PEId) -> int:
+        """Hop count between two PEs in the physical interconnect."""
+
+    @abc.abstractmethod
+    def submachine_diameter(self, node: NodeId) -> int:
+        """Max hop count between two PEs of the submachine at ``node``.
+
+        Measures how "compact" the topology keeps an allocated partition —
+        e.g. the dilation cost of hierarchical decomposition on a mesh.
+        """
+
+    def migration_distance(self, src: NodeId, dst: NodeId) -> int:
+        """Hop count a migrating task's state travels from ``src`` to ``dst``.
+
+        Default: distance between the first PEs of the two submachines (the
+        PE-wise transfer is a parallel shift of corresponding PEs, and in all
+        the topologies here corresponding PEs are equidistant to within a
+        constant, so the first pair is representative).  ``0`` when the task
+        does not move.
+        """
+        if src == dst:
+            return 0
+        h = self._hierarchy
+        a = h.leaf_span(src)[0]
+        b = h.leaf_span(dst)[0]
+        return self.pe_distance(a, b)
+
+    # -- Introspection ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_pes={self.num_pes})"
+
+    def describe(self) -> dict:
+        """Structured summary used by the CLI and experiment reports."""
+        return {
+            "topology": self.topology_name,
+            "num_pes": self.num_pes,
+            "log_num_pes": self.log_num_pes,
+            "num_hierarchy_nodes": self._hierarchy.num_nodes,
+        }

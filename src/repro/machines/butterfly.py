@@ -1,0 +1,82 @@
+"""Butterfly-network instantiation.
+
+The paper notes its allocation algorithms "also apply to other networks
+such as the butterfly, the hypercube and the mesh".  An order-``n``
+butterfly has ``n + 1`` ranks of ``2**n`` switch nodes; we use the common
+processor-network convention that the ``N = 2**n`` PEs sit on rank 0 and
+messages route through the ranks (a PE-to-PE route ascends to the rank
+where the address bits that differ can be fixed, then descends).
+
+Hierarchical decomposition: fixing the top ``l`` address bits selects a
+sub-butterfly of order ``n - l`` over ranks ``0 .. n - l`` — exactly the
+binary hierarchy all our allocators use.  Distance between PEs ``a`` and
+``b`` (``a != b``): a route must climb high enough to correct the most
+significant differing bit, so with ``m = index of that bit (from the top)``
+the route length is ``2 * (n - msb_position)``... concretely
+``2 * (bit_length of (a xor b))`` rank-crossings in the up-then-down
+dimension-ordered route.
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import PartitionableMachine
+from repro.types import NodeId, PEId, ilog2
+
+__all__ = ["Butterfly"]
+
+
+class Butterfly(PartitionableMachine):
+    """Order-``log2(N)`` butterfly with PEs on rank 0 and subnet partitions."""
+
+    @property
+    def topology_name(self) -> str:
+        return "butterfly"
+
+    @property
+    def order(self) -> int:
+        """The butterfly order n (N = 2**n PEs, n + 1 switch ranks)."""
+        return self.log_num_pes
+
+    @property
+    def num_switches(self) -> int:
+        """Total switch nodes: (n + 1) ranks of N switches each."""
+        return (self.order + 1) * self.num_pes
+
+    def pe_distance(self, a: PEId, b: PEId) -> int:
+        """Hops of the dimension-ordered up-then-down route.
+
+        The route from ``a`` must ascend to rank ``k`` where ``k`` is the
+        position (1-based from the least significant side) of the highest
+        bit in which the addresses differ — rank ``k`` is where that bit's
+        cross-edges live — then descend back to rank 0 at column ``b``:
+        ``2k`` hops in total.  ``0`` for ``a == b``.
+
+        Note this coincides exactly with the tree machine's leaf distance
+        (``2 x`` levels to the LCA): the butterfly is the tree's
+        constant-degree unrolling, so reallocation traffic measured in
+        hops matches the tree in ablation A3.
+        """
+        if not 0 <= a < self.num_pes or not 0 <= b < self.num_pes:
+            from repro.errors import InvalidMachineError
+
+            raise InvalidMachineError(
+                f"PE pair ({a}, {b}) outside {self.num_pes}-PE butterfly"
+            )
+        diff = a ^ b
+        if diff == 0:
+            return 0
+        return 2 * diff.bit_length()
+
+    def submachine_diameter(self, node: NodeId) -> int:
+        """Diameter of the sub-butterfly at a hierarchy node.
+
+        A ``2^x``-PE partition is an order-``x`` sub-butterfly; its
+        farthest PE pair differs in the top local bit: ``2x`` hops.
+        """
+        size = self._hierarchy.subtree_size(node)
+        return 2 * ilog2(size) if size > 1 else 0
+
+    def ranks_used(self, node: NodeId) -> int:
+        """Switch ranks internal to a partition (order + 1)."""
+        size = self._hierarchy.subtree_size(node)
+        return ilog2(size) + 1

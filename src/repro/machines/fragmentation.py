@@ -1,0 +1,128 @@
+"""Fragmentation metrics from the paper's potential functions.
+
+The Theorem 4.3 proof introduces, for a ``2^i``-PE submachine ``T_i`` with
+max PE load ``l(T_i)`` and resident task volume ``L(T_i)``,
+
+    ``P(T_i) = 2^i * l(T_i) - L(T_i)``,
+
+and notes "the potential of a submachine is a measure of its
+fragmentation": it is the volume of *holes* below the load waterline —
+PE-slots that some PE-level stack forces the partition to hold open.  This
+module computes that and a few derived diagnostics for live simulator
+states, so experiments can watch fragmentation build (and repacking drain
+it) instead of inferring it from the max load alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.machines.hierarchy import Hierarchy
+from repro.types import NodeId, TaskId
+
+__all__ = [
+    "submachine_potential",
+    "machine_potential",
+    "FragmentationProfile",
+    "fragmentation_profile",
+]
+
+
+def _volumes_per_node(
+    hierarchy: Hierarchy,
+    placements: Mapping[TaskId, NodeId],
+    sizes: Mapping[TaskId, int],
+    level: int,
+) -> np.ndarray:
+    """Resident task volume inside each submachine at ``level``."""
+    counts = np.zeros(1 << level, dtype=np.int64)
+    for tid, node in placements.items():
+        node_level = hierarchy.level_of(node)
+        if node_level < level:
+            # The task spans several level-`level` submachines entirely:
+            # distribute its volume as full coverage of each.
+            lo, hi = hierarchy.leaf_span(node)
+            width = hierarchy.num_leaves >> level
+            for j in range(lo // width, hi // width):
+                counts[j] += width
+        else:
+            ancestor = node >> (node_level - level)
+            counts[hierarchy.index_within_level(ancestor)] += sizes[tid]
+    return counts
+
+
+def submachine_potential(
+    hierarchy: Hierarchy,
+    leaf_loads: np.ndarray,
+    placements: Mapping[TaskId, NodeId],
+    sizes: Mapping[TaskId, int],
+    node: NodeId,
+) -> int:
+    """``size(v) * maxload(v) - volume(v)`` for one submachine."""
+    lo, hi = hierarchy.leaf_span(node)
+    maxload = int(leaf_loads[lo:hi].max()) if hi > lo else 0
+    level = hierarchy.level_of(node)
+    volume = int(
+        _volumes_per_node(hierarchy, placements, sizes, level)[
+            hierarchy.index_within_level(node)
+        ]
+    )
+    return (hi - lo) * maxload - volume
+
+
+def machine_potential(
+    hierarchy: Hierarchy,
+    leaf_loads: np.ndarray,
+    placements: Mapping[TaskId, NodeId],
+    sizes: Mapping[TaskId, int],
+    level: int,
+) -> int:
+    """``P(T)`` summed over all submachines at ``level`` (the proof's P(T, i))."""
+    width = hierarchy.num_leaves >> level
+    blocks = leaf_loads.reshape(1 << level, width)
+    maxloads = blocks.max(axis=1).astype(np.int64)
+    volumes = _volumes_per_node(hierarchy, placements, sizes, level)
+    return int((width * maxloads - volumes).sum())
+
+
+@dataclass(frozen=True)
+class FragmentationProfile:
+    """Per-size fragmentation snapshot of one machine state."""
+
+    #: potential P(T, level) for each level, root (0) to leaves (log N).
+    potential_by_level: tuple[int, ...]
+    #: total resident volume.
+    volume: int
+    #: machine-wide max PE load.
+    max_load: int
+
+    @property
+    def whole_machine_potential(self) -> int:
+        """``N * maxload - volume`` — the proof's terminal quantity."""
+        return self.potential_by_level[0]
+
+    def normalized(self, num_pes: int) -> float:
+        """Fraction of the load-waterline capacity that is holes."""
+        capacity = num_pes * self.max_load
+        return 0.0 if capacity == 0 else self.whole_machine_potential / capacity
+
+
+def fragmentation_profile(
+    hierarchy: Hierarchy,
+    leaf_loads: np.ndarray,
+    placements: Mapping[TaskId, NodeId],
+    sizes: Mapping[TaskId, int],
+) -> FragmentationProfile:
+    """Potentials at every level plus the headline whole-machine numbers."""
+    potentials = tuple(
+        machine_potential(hierarchy, leaf_loads, placements, sizes, level)
+        for level in range(hierarchy.height + 1)
+    )
+    return FragmentationProfile(
+        potential_by_level=potentials,
+        volume=int(sum(sizes[tid] for tid in placements)),
+        max_load=int(leaf_loads.max()) if leaf_loads.size else 0,
+    )

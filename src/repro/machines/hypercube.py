@@ -1,0 +1,114 @@
+"""Hypercube instantiation of the partitionable-machine abstraction.
+
+An ``n``-dimensional hypercube has ``N = 2**n`` PEs, one per ``n``-bit
+address, with links between addresses at Hamming distance 1.  Its natural
+hierarchical decomposition fixes address bits from the most significant
+down: the hierarchy node at level ``l`` with within-level index ``j``
+corresponds to the subcube whose top ``l`` address bits equal ``j`` — a
+``2**(n-l)``-PE subcube.  This is exactly the binary hierarchy the paper's
+algorithms operate on, so subcube allocation (the setting of the cited
+hypercube work [9, 10, 11, 12]) is the hypercube face of the same code.
+
+Two leaf layouts are provided:
+
+* ``binary`` — PE ``u`` sits at hypercube address ``u``;
+* ``gray``   — PE ``u`` sits at address ``gray(u)`` (reflected Gray code),
+  the layout used by Chen & Shin's Gray-code allocation strategy [9].  Both
+  layouts map aligned hierarchy intervals onto genuine subcubes; they differ
+  in which physical subcube hosts which interval and hence in migration
+  distances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidMachineError
+from repro.machines.base import PartitionableMachine
+from repro.types import NodeId, PEId, ilog2
+
+__all__ = ["Hypercube", "gray_code", "inverse_gray_code"]
+
+
+def gray_code(x: int) -> int:
+    """The ``x``-th codeword of the reflected binary Gray code."""
+    if x < 0:
+        raise ValueError("gray_code requires a non-negative argument")
+    return x ^ (x >> 1)
+
+
+def inverse_gray_code(g: int) -> int:
+    """Rank of codeword ``g`` in the reflected binary Gray code."""
+    if g < 0:
+        raise ValueError("inverse_gray_code requires a non-negative argument")
+    x = 0
+    while g:
+        x ^= g
+        g >>= 1
+    return x
+
+
+class Hypercube(PartitionableMachine):
+    """``log2(N)``-dimensional binary hypercube with subcube partitions."""
+
+    def __init__(self, num_pes: int, layout: str = "binary"):
+        super().__init__(num_pes)
+        if layout not in ("binary", "gray"):
+            raise InvalidMachineError(
+                f"unknown hypercube layout {layout!r}; use 'binary' or 'gray'"
+            )
+        self.layout = layout
+
+    @property
+    def topology_name(self) -> str:
+        return f"hypercube-{self.layout}"
+
+    @property
+    def dimension(self) -> int:
+        return self.log_num_pes
+
+    def address_of(self, pe: PEId) -> int:
+        """Physical hypercube address of logical PE ``pe``."""
+        if not 0 <= pe < self.num_pes:
+            raise InvalidMachineError(f"PE {pe} outside {self.num_pes}-PE hypercube")
+        return gray_code(pe) if self.layout == "gray" else pe
+
+    def pe_at(self, address: int) -> PEId:
+        """Logical PE sitting at a physical address (inverse of address_of)."""
+        if not 0 <= address < self.num_pes:
+            raise InvalidMachineError(
+                f"address {address} outside {self.num_pes}-PE hypercube"
+            )
+        return inverse_gray_code(address) if self.layout == "gray" else address
+
+    def pe_distance(self, a: PEId, b: PEId) -> int:
+        """Hamming distance between the PEs' physical addresses."""
+        return (self.address_of(a) ^ self.address_of(b)).bit_count()
+
+    def subcube_mask(self, node: NodeId) -> tuple[int, int]:
+        """``(fixed_bits, value)`` description of the subcube at ``node``.
+
+        In the ``binary`` layout, the hierarchy node at level ``l`` and index
+        ``j`` is the subcube with the top ``l`` address bits fixed to ``j``.
+        Returns the number of fixed (high) bits and their value.
+        """
+        h = self._hierarchy
+        level = h.level_of(node)
+        return level, h.index_within_level(node)
+
+    def submachine_diameter(self, node: NodeId) -> int:
+        """Diameter of a ``2^x``-PE partition.
+
+        In the binary layout a hierarchy node is a perfect subcube of
+        dimension ``x``, so the diameter is ``x``.  In the Gray layout an
+        aligned ``2^x`` interval of ranks is still a subcube (the reflected
+        Gray code maps aligned blocks onto subcubes), so the diameter is
+        ``x`` as well; we compute it explicitly to keep the layout honest.
+        """
+        h = self._hierarchy
+        lo, hi = h.leaf_span(node)
+        if self.layout == "binary":
+            return ilog2(hi - lo)
+        union = 0
+        base = self.address_of(lo)
+        for pe in range(lo, hi):
+            union |= self.address_of(pe) ^ base
+        return union.bit_count()

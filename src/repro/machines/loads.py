@@ -1,0 +1,174 @@
+"""Per-PE load tracking for a partitionable machine.
+
+The paper's central quantity is the *load* of a PE: the number of active
+tasks whose submachine contains it.  Because every placement is an aligned
+subtree, a task placed at hierarchy node ``v`` adds one to every leaf under
+``v`` — so the leaf load of PE ``u`` equals the sum, over the root-to-leaf
+path of ``u``, of the number of tasks placed exactly at each path node.
+
+:class:`LoadTracker` exploits this: it stores
+
+* ``count[v]`` — tasks currently placed exactly at node ``v``;
+* ``M[v]``     — the max, over leaves ``u`` under ``v``, of the path sum
+  from ``v`` down to ``u`` (inclusive of ``count[v]``).
+
+Then the load of submachine ``v`` (max PE load within it) is
+``M[v] + sum(count[a] for proper ancestors a of v)``, and the machine-wide
+max load is simply ``M[root]``.
+
+Arrivals and departures update ``count`` and re-aggregate ``M`` along one
+root-to-leaf path: **O(log N)** per event.  The per-level bulk query needed
+by the greedy algorithm ("loads of all 2^x-PE submachines") is vectorized
+via :meth:`Hierarchy.ancestor_sums`: O(number of submachines) NumPy work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.machines.hierarchy import Hierarchy
+from repro.types import NodeId, ilog2, is_power_of_two
+
+__all__ = ["LoadTracker"]
+
+
+class LoadTracker:
+    """Mutable load state of one machine under aligned-subtree placements."""
+
+    __slots__ = ("hierarchy", "_count", "_max_below", "_active")
+
+    def __init__(self, hierarchy: Hierarchy):
+        self.hierarchy = hierarchy
+        size = 2 * hierarchy.num_leaves
+        # Heap-indexed; slot 0 unused. int64 because adversarial sequences
+        # can push counts well past int32 in stress tests.
+        self._count = np.zeros(size, dtype=np.int64)
+        self._max_below = np.zeros(size, dtype=np.int64)
+        self._active = 0
+
+    # -- Mutation ----------------------------------------------------------
+
+    def _validate_placement(self, node: NodeId, size: int) -> None:
+        h = self.hierarchy
+        if not h.is_valid_node(node):
+            raise PlacementError(f"node {node} outside the machine")
+        if not is_power_of_two(size):
+            raise PlacementError(f"task size {size} is not a power of two")
+        if h.subtree_size(node) != size:
+            raise PlacementError(
+                f"node {node} roots a {h.subtree_size(node)}-PE submachine, "
+                f"cannot host a task of size {size}"
+            )
+
+    def _reaggregate_up(self, node: NodeId) -> None:
+        h = self.hierarchy
+        count = self._count
+        m = self._max_below
+        v = node
+        n_leaves = h.num_leaves
+        while v >= 1:
+            if v >= n_leaves:  # leaf
+                m[v] = count[v]
+            else:
+                m[v] = count[v] + max(m[2 * v], m[2 * v + 1])
+            v >>= 1
+
+    def place(self, node: NodeId, size: int) -> None:
+        """Record one task of ``size`` PEs placed at hierarchy node ``node``."""
+        self._validate_placement(node, size)
+        self._count[node] += 1
+        self._active += 1
+        self._reaggregate_up(node)
+
+    def remove(self, node: NodeId, size: int) -> None:
+        """Remove one previously placed task from ``node``."""
+        self._validate_placement(node, size)
+        if self._count[node] <= 0:
+            raise PlacementError(f"no task placed at node {node} to remove")
+        self._count[node] -= 1
+        self._active -= 1
+        self._reaggregate_up(node)
+
+    def clear(self) -> None:
+        """Drop all placements (used by reallocation: repack from scratch)."""
+        self._count[:] = 0
+        self._max_below[:] = 0
+        self._active = 0
+
+    # -- Queries -------------------------------------------------------------
+
+    @property
+    def num_active(self) -> int:
+        """Number of placements currently recorded."""
+        return self._active
+
+    @property
+    def max_load(self) -> int:
+        """Machine-wide maximum PE load, ``max_u lambda(u)`` — O(1)."""
+        return int(self._max_below[1])
+
+    def node_count(self, node: NodeId) -> int:
+        """Tasks placed exactly at ``node``."""
+        self.hierarchy._check(node)
+        return int(self._count[node])
+
+    def ancestor_load(self, node: NodeId) -> int:
+        """Sum of ``count`` over proper ancestors of ``node``."""
+        return int(sum(self._count[a] for a in self.hierarchy.ancestors(node)))
+
+    def submachine_load(self, node: NodeId) -> int:
+        """Max PE load within the submachine rooted at ``node`` — O(log N)."""
+        self.hierarchy._check(node)
+        return int(self._max_below[node]) + self.ancestor_load(node)
+
+    def leaf_load(self, pe: int) -> int:
+        """Load of one PE — O(log N)."""
+        leaf = self.hierarchy.leaf_node(pe)
+        return int(sum(self._count[v] for v in self.hierarchy.path_to_root(leaf)))
+
+    def leaf_loads(self) -> np.ndarray:
+        """Loads of all PEs, vectorized — O(N)."""
+        h = self.hierarchy
+        anc = h.ancestor_sums(self._count, h.height)
+        return anc + self._count[h.level_slice(h.height)]
+
+    def level_loads(self, size: int) -> np.ndarray:
+        """Loads of every ``size``-PE submachine, left to right — vectorized.
+
+        ``result[j]`` is the max PE load within the ``j``-th aligned
+        submachine of ``size`` PEs.  This is exactly the bulk query the
+        greedy algorithm A_G performs on each arrival.
+        """
+        h = self.hierarchy
+        level = h.level_for_size(size)
+        anc = h.ancestor_sums(self._count, level)
+        return anc + self._max_below[h.level_slice(level)]
+
+    def leftmost_min_submachine(self, size: int) -> tuple[NodeId, int]:
+        """Leftmost ``size``-PE submachine of minimum load, and that load.
+
+        ``np.argmin`` returns the first minimum, which is precisely the
+        paper's leftmost tie-break.
+        """
+        loads = self.level_loads(size)
+        j = int(np.argmin(loads))
+        return self.hierarchy.node_for(size, j), int(loads[j])
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the per-node placement counts (heap-indexed)."""
+        return self._count.copy()
+
+    def check_invariants(self) -> None:
+        """Verify internal aggregation consistency (test helper, O(N))."""
+        h = self.hierarchy
+        m = np.zeros_like(self._max_below)
+        leaves = h.level_slice(h.height)
+        m[leaves] = self._count[leaves]
+        for level in range(h.height - 1, -1, -1):
+            for v in h.nodes_at_level(level):
+                m[v] = self._count[v] + max(m[2 * v], m[2 * v + 1])
+        if not np.array_equal(m, self._max_below):
+            raise AssertionError("LoadTracker max aggregation out of sync")
+        if int(self._count[1:].sum()) != self._active:
+            raise AssertionError("LoadTracker active-count out of sync")

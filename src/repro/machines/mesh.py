@@ -1,0 +1,107 @@
+"""2D-mesh instantiation with Z-order (Morton) hierarchical decomposition.
+
+The paper remarks that its allocation algorithms "also apply to other
+networks such as ... the mesh".  A ``2**k x 2**k`` mesh is hierarchically
+decomposable by recursive halving: split into left/right halves, then each
+half into top/bottom, and so on — i.e. PEs ordered by the Morton (Z-order)
+curve.  Every aligned ``2^x`` interval of Morton ranks is then an axis-
+aligned rectangle whose aspect ratio is at most 2, so hierarchy nodes are
+compact mesh partitions.
+
+Unlike tree and hypercube, the mesh pays *dilation*: PEs adjacent in the
+hierarchy may be several mesh hops apart, and a partition's diameter grows
+like ``sqrt(size)`` rather than ``log(size)``.  The topology-ablation bench
+(A3) uses this to show how the reallocation cost side of the trade-off
+depends on the interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidMachineError
+from repro.machines.base import PartitionableMachine
+from repro.types import NodeId, PEId, ilog2, is_power_of_two
+
+__all__ = ["Mesh2D", "morton_decode", "morton_encode"]
+
+
+def morton_decode(rank: int) -> tuple[int, int]:
+    """Morton rank -> (x, y) coordinates (x from even bits, y from odd)."""
+    if rank < 0:
+        raise ValueError("morton rank must be non-negative")
+    x = y = 0
+    bit = 0
+    while rank:
+        x |= (rank & 1) << bit
+        rank >>= 1
+        y |= (rank & 1) << bit
+        rank >>= 1
+        bit += 1
+    return x, y
+
+
+def morton_encode(x: int, y: int) -> int:
+    """(x, y) coordinates -> Morton rank (inverse of :func:`morton_decode`)."""
+    if x < 0 or y < 0:
+        raise ValueError("coordinates must be non-negative")
+    rank = 0
+    bit = 0
+    while x or y:
+        rank |= (x & 1) << (2 * bit)
+        rank |= (y & 1) << (2 * bit + 1)
+        x >>= 1
+        y >>= 1
+        bit += 1
+    return rank
+
+
+class Mesh2D(PartitionableMachine):
+    """``side x side`` 2D mesh, ``side = 2**k``, Z-order decomposition.
+
+    PE ``u`` (a Morton rank) sits at ``morton_decode(u)``.  Links join
+    horizontally/vertically adjacent PEs; distance is the Manhattan metric.
+    """
+
+    def __init__(self, num_pes: int):
+        super().__init__(num_pes)
+        k2 = ilog2(num_pes)
+        if k2 % 2 != 0:
+            raise InvalidMachineError(
+                f"Mesh2D needs a square PE count (4**k); got {num_pes}"
+            )
+        self.side = 1 << (k2 // 2)
+
+    @property
+    def topology_name(self) -> str:
+        return "mesh2d"
+
+    def coordinates_of(self, pe: PEId) -> tuple[int, int]:
+        """Mesh (x, y) position of PE ``pe``."""
+        if not 0 <= pe < self.num_pes:
+            raise InvalidMachineError(f"PE {pe} outside {self.num_pes}-PE mesh")
+        return morton_decode(pe)
+
+    def pe_at(self, x: int, y: int) -> PEId:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise InvalidMachineError(f"({x}, {y}) outside {self.side}x{self.side} mesh")
+        return morton_encode(x, y)
+
+    def pe_distance(self, a: PEId, b: PEId) -> int:
+        """Manhattan distance on the mesh."""
+        xa, ya = self.coordinates_of(a)
+        xb, yb = self.coordinates_of(b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    def partition_shape(self, node: NodeId) -> tuple[int, int]:
+        """(width, height) of the rectangle covered by a hierarchy node.
+
+        An aligned ``2^x`` Morton interval is a ``2^ceil(x/2) x 2^floor(x/2)``
+        rectangle.
+        """
+        size = self._hierarchy.subtree_size(node)
+        x = ilog2(size)
+        return 1 << ((x + 1) // 2), 1 << (x // 2)
+
+    def submachine_diameter(self, node: NodeId) -> int:
+        """Manhattan diameter of the partition rectangle."""
+        w, h = self.partition_shape(node)
+        return (w - 1) + (h - 1)

@@ -1,0 +1,192 @@
+"""Subcube recognition strategies for exclusive hypercube allocation.
+
+The paper's related work ([9, 10]: Chen & Shin) studies *exclusive*
+subcube allocation in hypercubes, where the interesting question is
+*recognition*: which of the many subcubes of each dimension can a strategy
+actually find?  Two classics:
+
+* **buddy** — allocate only *aligned* subcubes (low ``k`` address bits
+  free, high bits fixed).  Recognizes ``2^(n-k)`` of the
+  ``C(n,k) * 2^(n-k)`` dimension-``k`` subcubes.
+* **single Gray code (GC)** — order addresses by the reflected Gray code
+  and allocate runs of ``2^k`` *consecutive* codewords starting at
+  multiples of ``2^(k-1)`` (cyclically).  Chen & Shin's theorem: every
+  such run is a subcube, and the strategy recognizes ``2^(n-k+1)`` of them
+  for ``k >= 1`` — exactly **twice** the buddy strategy's count.
+
+:class:`SubcubeAllocator` implements both behind one interface compatible
+with the exclusive-queueing simulator, and
+:func:`recognized_subcubes` counts recognition sets so tests can verify
+the 2x theorem computationally instead of trusting the citation.
+
+This module is about the *exclusive* regime the paper argues against; the
+paper's own shared model never needs recognition (aligned submachines
+always exist — they are just loaded).  It is included as the related-work
+substrate, exercised by ablation A8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import AllocationError, InvalidMachineError
+from repro.machines.hypercube import gray_code
+from repro.types import PEId, ilog2, is_power_of_two
+
+__all__ = ["SubcubeAllocator", "SubcubeRegion", "recognized_subcubes", "is_subcube"]
+
+
+def is_subcube(addresses: frozenset[int]) -> bool:
+    """True iff the address set is a subcube (XOR-span has matching rank).
+
+    A set S of 2^k addresses is a subcube iff there is a base ``b`` and a
+    set of ``k`` free bit positions such that S = b xor (all subsets of the
+    free bits).  Equivalently: |S| = 2^k, and the XOR of each member with
+    any fixed member spans exactly the union of their differing bits with
+    |union's popcount| = k and S is closed under those toggles.
+    """
+    size = len(addresses)
+    if size == 0 or size & (size - 1):
+        return False
+    if size == 1:
+        return True
+    base = min(addresses)
+    union = 0
+    for a in addresses:
+        union |= a ^ base
+    if union.bit_count() != ilog2(size):
+        return False
+    # Closure: every subset-mask of `union` must be present.
+    members = {a ^ base for a in addresses}
+    mask = union
+    sub = mask
+    while True:
+        if sub not in members:
+            return False
+        if sub == 0:
+            break
+        sub = (sub - 1) & mask
+    return True
+
+
+@dataclass(frozen=True)
+class SubcubeRegion:
+    """One allocatable region: the PEs (Gray ranks) and their addresses."""
+
+    start: int       # first Gray rank (inclusive)
+    size: int        # number of PEs (power of two)
+    num_pes: int     # machine size, for cyclic wrap
+
+    def ranks(self) -> Iterator[PEId]:
+        for offset in range(self.size):
+            yield (self.start + offset) % self.num_pes
+
+    def addresses(self) -> frozenset[int]:
+        return frozenset(gray_code(r) for r in self.ranks())
+
+
+def _buddy_regions(num_pes: int, size: int) -> list[SubcubeRegion]:
+    """Aligned binary blocks; addresses are the ranks themselves (identity
+    layout), so each block is the subcube with the low bits free."""
+    return [
+        SubcubeRegion(start, size, num_pes) for start in range(0, num_pes, size)
+    ]
+
+
+def _gray_regions(num_pes: int, size: int) -> list[SubcubeRegion]:
+    """Cyclic Gray-code runs of ``size`` starting at multiples of size/2.
+
+    For ``size == 1`` this degenerates to every PE (same as buddy).
+    Regions that are not genuine subcubes are filtered out defensively —
+    by Chen & Shin's theorem none should be, and tests assert that.
+    """
+    if size == 1:
+        return _buddy_regions(num_pes, size)
+    step = size // 2
+    regions = []
+    for start in range(0, num_pes, step):
+        region = SubcubeRegion(start, size, num_pes)
+        if is_subcube(region.addresses()):
+            regions.append(region)
+    return regions
+
+
+def recognized_subcubes(num_pes: int, size: int, strategy: str) -> list[SubcubeRegion]:
+    """All dimension-``log2(size)`` regions the strategy can ever allocate."""
+    if not is_power_of_two(num_pes) or not is_power_of_two(size) or size > num_pes:
+        raise InvalidMachineError(f"bad (num_pes, size) = ({num_pes}, {size})")
+    if strategy == "buddy":
+        return _buddy_regions(num_pes, size)
+    if strategy == "gray":
+        return _gray_regions(num_pes, size)
+    raise InvalidMachineError(f"unknown strategy {strategy!r}")
+
+
+class SubcubeAllocator:
+    """Exclusive subcube allocator over a hypercube, buddy or Gray strategy.
+
+    Interface mirrors :class:`~repro.machines.copies.BuddyCopy` closely
+    enough for the queueing simulator: ``can_host(size)``,
+    ``allocate(size) -> handle``, ``free(handle)``.
+    """
+
+    def __init__(self, num_pes: int, strategy: str = "buddy"):
+        if not is_power_of_two(num_pes):
+            raise InvalidMachineError(f"num_pes must be a power of two, got {num_pes}")
+        if strategy not in ("buddy", "gray"):
+            raise InvalidMachineError(f"unknown strategy {strategy!r}")
+        self.num_pes = num_pes
+        self.strategy = strategy
+        self._busy = np.zeros(num_pes, dtype=bool)
+        self._regions: dict[int, list[SubcubeRegion]] = {}
+        self._live: dict[int, SubcubeRegion] = {}
+        self._next_handle = 0
+
+    def _candidates(self, size: int) -> list[SubcubeRegion]:
+        if size not in self._regions:
+            self._regions[size] = recognized_subcubes(
+                self.num_pes, size, self.strategy
+            )
+        return self._regions[size]
+
+    def _region_free(self, region: SubcubeRegion) -> bool:
+        return not any(self._busy[r] for r in region.ranks())
+
+    @property
+    def num_busy(self) -> int:
+        return int(self._busy.sum())
+
+    def can_host(self, size: int) -> bool:
+        return any(self._region_free(r) for r in self._candidates(size))
+
+    def allocate(self, size: int) -> int:
+        """Claim the first free recognized region; returns a handle."""
+        for region in self._candidates(size):
+            if self._region_free(region):
+                for r in region.ranks():
+                    self._busy[r] = True
+                handle = self._next_handle
+                self._next_handle += 1
+                self._live[handle] = region
+                return handle
+        raise AllocationError(f"no free recognized {size}-PE subcube")
+
+    def free(self, handle: int) -> None:
+        region = self._live.pop(handle, None)
+        if region is None:
+            raise AllocationError(f"unknown allocation handle {handle}")
+        for r in region.ranks():
+            self._busy[r] = False
+
+    @property
+    def largest_hostable(self) -> int:
+        """Biggest size currently allocatable (0 if none)."""
+        size = self.num_pes
+        while size >= 1:
+            if self.can_host(size):
+                return size
+            size //= 2
+        return 0

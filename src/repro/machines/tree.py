@@ -1,0 +1,45 @@
+"""The paper's tree machine (Browning's tree machine; cf. refs [3, 6]).
+
+An ``N``-PE tree machine is an ``N``-leaf complete binary tree whose leaves
+hold PEs and whose internal nodes hold communication switches.  A message
+between PEs ``a`` and ``b`` climbs from leaf ``a`` to their lowest common
+ancestor switch and descends to leaf ``b``, so the hop count is exactly the
+tree distance between the two leaves.
+
+Submachines are complete subtrees, i.e. precisely the nodes of the shared
+:class:`~repro.machines.hierarchy.Hierarchy` — the physical and logical
+decompositions coincide, which is why the paper states everything on this
+topology.
+"""
+
+from __future__ import annotations
+
+from repro.machines.base import PartitionableMachine
+from repro.types import NodeId, PEId, ilog2
+
+__all__ = ["TreeMachine"]
+
+
+class TreeMachine(PartitionableMachine):
+    """Complete-binary-tree interconnect with PEs at the leaves."""
+
+    @property
+    def topology_name(self) -> str:
+        return "tree"
+
+    def pe_distance(self, a: PEId, b: PEId) -> int:
+        """Hops between leaves: up to the LCA switch and back down."""
+        return self._hierarchy.leaf_distance(a, b)
+
+    def submachine_diameter(self, node: NodeId) -> int:
+        """A ``2^x``-PE subtree has diameter ``2x`` (leaf-root-leaf)."""
+        size = self._hierarchy.subtree_size(node)
+        return 2 * ilog2(size)
+
+    def switch_levels_used(self, node: NodeId) -> int:
+        """Number of switch levels internal to the submachine at ``node``.
+
+        Useful for modelling per-partition switch contention: a ``2^x``-PE
+        subtree contains ``x`` internal switch levels.
+        """
+        return ilog2(self._hierarchy.subtree_size(node))

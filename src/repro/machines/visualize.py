@@ -1,0 +1,107 @@
+"""ASCII rendering of allocation states — Figure 1, drawable.
+
+The paper's Figure 1 shows tasks as boxes over the 4-PE tree.  This module
+renders any allocation state the same way:
+
+* :func:`render_allocation` — a PE-per-column diagram where each active
+  task is a row of its label repeated over its leaf span, stacked in
+  arrival order; the footer shows per-PE loads.
+* :func:`render_tree` — the hierarchy as an indented tree annotated with
+  per-node task counts and submachine loads (useful for debugging buddy
+  states).
+
+Both are plain text, deterministic, and used by the E1 bench/example to
+print the reproduced Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.loads import LoadTracker
+from repro.types import NodeId, TaskId
+
+__all__ = ["render_allocation", "render_tree"]
+
+
+def render_allocation(
+    hierarchy: Hierarchy,
+    placements: Mapping[TaskId, NodeId],
+    *,
+    labels: Mapping[TaskId, str] | None = None,
+    cell_width: int = 4,
+) -> str:
+    """Draw active tasks as stacked label rows over the PE axis.
+
+    Tasks are sorted by id (arrival order for all generators here).  Each
+    occupies one row; its label fills the columns of its leaf span.  The
+    footer line gives each PE's load — Figure 1's information content.
+
+    >>> h = Hierarchy(4)
+    >>> print(render_allocation(h, {0: h.leaf_node(0), 1: 2}))  # doctest: +SKIP
+    """
+    labels = labels or {}
+    n = hierarchy.num_leaves
+    rows: list[str] = []
+    loads = [0] * n
+    for tid in sorted(placements):
+        node = placements[tid]
+        lo, hi = hierarchy.leaf_span(node)
+        label = labels.get(tid, f"t{int(tid)}")
+        cells = []
+        for pe in range(n):
+            if lo <= pe < hi:
+                cells.append(f"[{label[: cell_width - 2].center(cell_width - 2)}]")
+                loads[pe] += 1
+            else:
+                cells.append(" " * cell_width)
+        rows.append("".join(cells))
+    header = "".join(f"PE{pe}".center(cell_width) for pe in range(n))
+    footer = "".join(str(load).center(cell_width) for load in loads)
+    lines = [header, "-" * (cell_width * n)]
+    lines.extend(rows if rows else ["(no active tasks)".center(cell_width * n)])
+    lines.append("-" * (cell_width * n))
+    lines.append(footer + "   <- load")
+    return "\n".join(lines)
+
+
+def render_tree(
+    hierarchy: Hierarchy,
+    tracker: LoadTracker,
+    *,
+    max_depth: int | None = None,
+) -> str:
+    """Indented hierarchy dump with per-node counts and submachine loads.
+
+    Each line: ``<indent><node id> [span) count=<tasks here> load=<max PE
+    load within>``.  Subtrees with no tasks at or below them are elided as
+    ``...`` to keep big machines readable.
+    """
+    out: list[str] = []
+    limit = hierarchy.height if max_depth is None else min(max_depth, hierarchy.height)
+
+    def subtree_has_tasks(v: NodeId) -> bool:
+        if tracker.node_count(v) > 0:
+            return True
+        if hierarchy.is_leaf(v):
+            return False
+        return subtree_has_tasks(2 * v) or subtree_has_tasks(2 * v + 1)
+
+    def visit(v: NodeId, depth: int) -> None:
+        lo, hi = hierarchy.leaf_span(v)
+        indent = "  " * depth
+        count = tracker.node_count(v)
+        load = tracker.submachine_load(v)
+        out.append(f"{indent}node {v} [{lo},{hi}) count={count} load={load}")
+        if depth >= limit or hierarchy.is_leaf(v):
+            return
+        for child in (2 * v, 2 * v + 1):
+            if subtree_has_tasks(child):
+                visit(child, depth + 1)
+            else:
+                clo, chi = hierarchy.leaf_span(child)
+                out.append("  " * (depth + 1) + f"node {child} [{clo},{chi}) (empty)")
+
+    visit(hierarchy.root, 0)
+    return "\n".join(out)

@@ -1,0 +1,25 @@
+"""Thread-management substrate: a discrete round-robin PE scheduler.
+
+Quantifies the "nonproductive overhead of managing many threads" that
+motivates the paper (Section 1, citing Blumofe & Leiserson), with knobs
+for context-switch cost and per-thread management tax.  See
+:func:`~repro.sched.roundrobin.simulate_round_robin`.
+"""
+
+from repro.sched.gang import GangReport, GangTask, simulate_gang_rotation
+from repro.sched.roundrobin import (
+    SchedulerConfig,
+    SchedulerReport,
+    ScheduledTask,
+    simulate_round_robin,
+)
+
+__all__ = [
+    "GangReport",
+    "GangTask",
+    "simulate_gang_rotation",
+    "SchedulerConfig",
+    "SchedulerReport",
+    "ScheduledTask",
+    "simulate_round_robin",
+]

@@ -1,0 +1,151 @@
+"""Run archives: persist a complete run and re-audit it anywhere.
+
+A reproduction artifact is more convincing when the *evidence* can be
+shipped, not just the code: this module writes a run — the task sequence
+plus the full placement history — to a single JSON file, and loads it back
+for independent re-verification with :func:`repro.sim.audit.audit_run`.
+
+Workflow::
+
+    sim = Simulator(machine, algorithm)
+    for ev in sigma: sim.step(ev)
+    save_run("run.json", machine, sigma, sim)          # archive
+
+    machine2, sigma2, intervals = load_run("run.json")  # anywhere, later
+    audit_run(machine2, sigma2, intervals).raise_if_failed()
+
+The file format is versioned JSON: machine descriptor, task table, event
+order, and per-task ``(start, end, node)`` segments.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.errors import TraceFormatError
+from repro.machines.base import PartitionableMachine
+from repro.machines.butterfly import Butterfly
+from repro.machines.fattree import FatTree
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import Mesh2D
+from repro.machines.tree import TreeMachine
+from repro.sim.engine import Simulator
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["save_run", "load_run", "machine_from_descriptor"]
+
+_FORMAT_VERSION = 1
+
+
+def _machine_descriptor(machine: PartitionableMachine) -> dict:
+    desc = {"topology": machine.topology_name, "num_pes": machine.num_pes}
+    if isinstance(machine, FatTree):
+        desc["fatness"] = machine.fatness
+        desc["base_capacity"] = machine.base_capacity
+    return desc
+
+
+def machine_from_descriptor(desc: Mapping) -> PartitionableMachine:
+    """Rebuild a machine from its archive descriptor."""
+    topology = desc["topology"]
+    n = int(desc["num_pes"])
+    if topology == "tree":
+        return TreeMachine(n)
+    if topology.startswith("fattree"):
+        return FatTree(
+            n,
+            fatness=float(desc.get("fatness", 2.0)),
+            base_capacity=float(desc.get("base_capacity", 1.0)),
+        )
+    if topology == "hypercube-binary":
+        return Hypercube(n, layout="binary")
+    if topology == "hypercube-gray":
+        return Hypercube(n, layout="gray")
+    if topology == "butterfly":
+        return Butterfly(n)
+    if topology == "mesh2d":
+        return Mesh2D(n)
+    raise TraceFormatError(f"unknown topology {topology!r} in archive")
+
+
+def _encode_number(x: float):
+    return "inf" if math.isinf(x) else x
+
+
+def _decode_number(x) -> float:
+    return math.inf if x == "inf" else float(x)
+
+
+def save_run(
+    path: Union[str, Path],
+    machine: PartitionableMachine,
+    sequence: TaskSequence,
+    simulator: Simulator,
+    *,
+    metadata: Mapping | None = None,
+) -> None:
+    """Archive one completed run (machine + sequence + placement history)."""
+    intervals = simulator.placement_intervals()
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "machine": _machine_descriptor(machine),
+        "algorithm": simulator.algorithm.name,
+        "metadata": dict(metadata or {}),
+        "tasks": [
+            {
+                "id": int(t.task_id),
+                "size": t.size,
+                "arrival": t.arrival,
+                "departure": _encode_number(t.departure),
+                "work": t.work,
+            }
+            for t in sorted(sequence.tasks.values(), key=lambda t: int(t.task_id))
+        ],
+        "segments": {
+            str(int(tid)): [
+                [start, _encode_number(end), int(node)] for start, end, node in segs
+            ]
+            for tid, segs in intervals.items()
+        },
+        "max_load": simulator.metrics.max_load,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_run(
+    path: Union[str, Path],
+) -> tuple[PartitionableMachine, TaskSequence, dict[TaskId, list[tuple[float, float, NodeId]]]]:
+    """Load an archived run: (machine, sequence, placement intervals)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid run archive: {exc}") from exc
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported archive version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    machine = machine_from_descriptor(payload["machine"])
+    tasks = [
+        Task(
+            TaskId(int(rec["id"])),
+            int(rec["size"]),
+            float(rec["arrival"]),
+            _decode_number(rec["departure"]),
+            float(rec.get("work", 1.0)),
+        )
+        for rec in payload["tasks"]
+    ]
+    sequence = TaskSequence.from_tasks(tasks)
+    intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
+    for tid_str, segs in payload["segments"].items():
+        intervals[TaskId(int(tid_str))] = [
+            (float(start), _decode_number(end), int(node))
+            for start, end, node in segs
+        ]
+    return machine, sequence, intervals

@@ -1,0 +1,141 @@
+"""Independent run auditor — an external referee for simulation results.
+
+The simulator already validates placements as it goes, but it shares code
+with what it checks.  :func:`audit_run` is a from-scratch referee: given
+the *sequence* and the *placement history* a run produced
+(:meth:`~repro.sim.engine.Simulator.placement_intervals`), it independently
+
+1. checks every segment's legality (right-sized aligned node, within the
+   task's lifetime, contiguous coverage of the whole residence),
+2. recomputes the leaf-load field over time with nothing but interval
+   arithmetic (no LoadTracker), and
+3. re-derives the max-load-over-time figure of merit.
+
+Tests cross-check the auditor's numbers against the engine's for every
+algorithm; experiments can call it as a final integrity gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.machines.base import PartitionableMachine
+from repro.tasks.sequence import TaskSequence
+from repro.types import NodeId, TaskId
+
+__all__ = ["AuditReport", "audit_run"]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one run."""
+
+    ok: bool
+    max_load: int
+    violations: list[str] = field(default_factory=list)
+    #: Breakpoint times at which the load field was evaluated.
+    checked_times: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("audit failed:\n" + "\n".join(self.violations))
+
+
+def audit_run(
+    machine: PartitionableMachine,
+    sequence: TaskSequence,
+    intervals: Mapping[TaskId, list[tuple[float, float, NodeId]]],
+) -> AuditReport:
+    """Referee a run from its sequence and placement history alone."""
+    h = machine.hierarchy
+    violations: list[str] = []
+    tasks = sequence.tasks
+
+    # 1. Per-task segment legality and coverage.
+    for tid, task in tasks.items():
+        segs = intervals.get(tid, [])
+        if not segs:
+            violations.append(f"task {tid}: no placement recorded")
+            continue
+        for start, end, node in segs:
+            if not h.is_valid_node(node):
+                violations.append(f"task {tid}: invalid node {node}")
+                continue
+            if h.subtree_size(node) != task.size:
+                violations.append(
+                    f"task {tid}: size {task.size} placed on "
+                    f"{h.subtree_size(node)}-PE node {node}"
+                )
+            if end <= start:
+                violations.append(f"task {tid}: empty segment [{start}, {end})")
+        starts = [s for s, _e, _n in segs]
+        ends = [e for _s, e, _n in segs]
+        if starts[0] != task.arrival:
+            violations.append(
+                f"task {tid}: first segment starts at {starts[0]}, "
+                f"arrival is {task.arrival}"
+            )
+        expected_end = task.departure
+        if not math.isinf(expected_end) and ends[-1] != expected_end:
+            violations.append(
+                f"task {tid}: last segment ends at {ends[-1]}, "
+                f"departure is {expected_end}"
+            )
+        for (s1, e1, _n1), (s2, e2, _n2) in zip(segs, segs[1:]):
+            if e1 != s2:
+                violations.append(
+                    f"task {tid}: gap/overlap between segments "
+                    f"[{s1},{e1}) and [{s2},{e2})"
+                )
+
+    # 2/3. Recompute the load field at every breakpoint.
+    horizon = sequence.horizon()
+    breakpoints: set[float] = set()
+    for segs in intervals.values():
+        for start, end, _node in segs:
+            breakpoints.add(start)
+            if not math.isinf(end):
+                breakpoints.add(end)
+    breakpoints.add(horizon)
+    times = sorted(t for t in breakpoints if t <= horizon)
+
+    max_load = 0
+    for t in times:
+        loads = np.zeros(machine.num_pes, dtype=np.int64)
+        for tid, segs in intervals.items():
+            for start, end, node in segs:
+                if start <= t < end:
+                    lo, hi = h.leaf_span(node)
+                    loads[lo:hi] += 1
+                    break
+        max_load = max(max_load, int(loads.max()) if loads.size else 0)
+        # Cross-check against the sequence's own activity accounting.
+        expected_volume = sequence.active_size_at(t)
+        if int(loads.sum()) != _placed_volume_at(tasks, intervals, t):
+            violations.append(f"t={t}: leaf-load volume inconsistent")
+        if _placed_volume_at(tasks, intervals, t) != expected_volume:
+            violations.append(
+                f"t={t}: placed volume {_placed_volume_at(tasks, intervals, t)} "
+                f"!= active volume {expected_volume}"
+            )
+
+    return AuditReport(
+        ok=not violations,
+        max_load=max_load,
+        violations=violations,
+        checked_times=len(times),
+    )
+
+
+def _placed_volume_at(tasks, intervals, t: float) -> int:
+    total = 0
+    for tid, segs in intervals.items():
+        for start, end, _node in segs:
+            if start <= t < end:
+                total += tasks[tid].size
+                break
+    return total

@@ -1,0 +1,298 @@
+"""The discrete-event simulator that drives algorithms over task sequences.
+
+The :class:`Simulator` owns the authoritative machine state.  For each
+event of a :class:`~repro.tasks.sequence.TaskSequence` (already ordered,
+with same-time departures before arrivals) it:
+
+1. calls the algorithm's hook and validates the returned placement —
+   the node must root a submachine of exactly the task's size;
+2. applies it to the machine's :class:`~repro.machines.loads.LoadTracker`;
+3. after each arrival, offers the algorithm a reallocation and *enforces
+   the d-budget*: a reallocation is accepted only when the cumulative
+   arrival volume since the last one has reached ``d * N`` (``d = 0``
+   always may; ``d = inf`` never may).  Accepted remaps are diffed against
+   current placements, migrations are priced by the cost model, and the
+   arrival counter resets;
+4. records metrics after every event, so the reported peak load is exact.
+
+The simulator deliberately re-derives loads itself rather than trusting any
+algorithm-internal tracker: an algorithm bug (e.g. overlapping copies or a
+dropped task) surfaces as a hard :class:`~repro.errors.SimulationError`
+instead of silently flattering the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm, Reallocation
+from repro.errors import PlacementError, ReallocationError, SimulationError
+from repro.machines.base import PartitionableMachine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.tasks.events import Arrival, Departure
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["Simulator", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one algorithm on one sequence on one machine."""
+
+    algorithm_name: str
+    machine_description: dict
+    metrics: MetricsCollector
+    optimal_load: int
+    #: Final task -> node placements (empty if all tasks departed).
+    final_placements: dict[TaskId, NodeId] = field(default_factory=dict)
+
+    @property
+    def max_load(self) -> int:
+        """``L_A(sigma)`` — the paper's figure of merit."""
+        return self.metrics.max_load
+
+    @property
+    def competitive_ratio(self) -> float:
+        """``L_A(sigma) / L*`` (inf if L* = 0 but load was incurred)."""
+        if self.optimal_load == 0:
+            return 0.0 if self.max_load == 0 else float("inf")
+        return self.max_load / self.optimal_load
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for result archives and reports)."""
+        realloc = self.metrics.realloc
+        times, loads = self.metrics.series.as_arrays()
+        return {
+            "algorithm": self.algorithm_name,
+            "machine": dict(self.machine_description),
+            "max_load": self.max_load,
+            "optimal_load": self.optimal_load,
+            "competitive_ratio": self.competitive_ratio,
+            "events": self.metrics.events_processed,
+            "reallocations": realloc.num_reallocations,
+            "migrations": realloc.num_migrations,
+            "traffic_pe_hops": realloc.traffic_pe_hops,
+            "checkpoint_bytes": realloc.checkpoint_bytes,
+            "fairness_at_peak": self.metrics.fairness_at_peak(),
+            "load_series": {
+                "times": [float(t) for t in times],
+                "max_loads": [int(v) for v in loads],
+            },
+        }
+
+
+class Simulator:
+    """Drives one algorithm over one sequence with validation and metering."""
+
+    def __init__(
+        self,
+        machine: PartitionableMachine,
+        algorithm: AllocationAlgorithm,
+        cost_model: Optional[MigrationCostModel] = None,
+        *,
+        collect_leaf_snapshots: bool = True,
+    ):
+        if algorithm.machine is not machine:
+            raise SimulationError(
+                "algorithm was constructed for a different machine instance"
+            )
+        self.machine = machine
+        self.algorithm = algorithm
+        self.cost_model = cost_model or MigrationCostModel()
+        # Lightweight mode: skip the O(N)-per-event leaf snapshot (max-load
+        # accounting stays exact); essential for N >= 2^14 runs.
+        self.collect_leaf_snapshots = collect_leaf_snapshots
+        self._loads = machine.new_load_tracker()
+        self._placements: dict[TaskId, NodeId] = {}
+        self._tasks: dict[TaskId, Task] = {}
+        self._arrived_since_realloc = 0
+        self.metrics = MetricsCollector()
+        # Full placement history: every (start_time, node) a task ever held,
+        # in order.  Fuels the exact slowdown integration
+        # (repro.sim.slowdown.placement_intervals / measure_slowdowns).
+        self._placement_log: dict[TaskId, list[tuple[float, NodeId]]] = {}
+        self._departure_times: dict[TaskId, float] = {}
+        self._observers: list = []
+
+    # -- Validation helpers -------------------------------------------------
+
+    def _validate_node_for(self, task: Task, node: NodeId) -> None:
+        h = self.machine.hierarchy
+        if not h.is_valid_node(node):
+            raise PlacementError(
+                f"{self.algorithm.name} placed task {task.task_id} at "
+                f"invalid node {node}"
+            )
+        if h.subtree_size(node) != task.size:
+            raise PlacementError(
+                f"{self.algorithm.name} placed a size-{task.size} task at a "
+                f"{h.subtree_size(node)}-PE submachine (node {node})"
+            )
+
+    # -- Event processing -----------------------------------------------------
+
+    def _apply_arrival(self, event: Arrival) -> None:
+        task = event.task
+        if task.task_id in self._placements:
+            raise SimulationError(f"duplicate arrival of task {task.task_id}")
+        placement = self.algorithm.on_arrival(task)
+        if placement.task_id != task.task_id:
+            raise PlacementError(
+                f"{self.algorithm.name} answered arrival of {task.task_id} "
+                f"with a placement for {placement.task_id}"
+            )
+        self._validate_node_for(task, placement.node)
+        self._loads.place(placement.node, task.size)
+        self._placements[task.task_id] = placement.node
+        self._tasks[task.task_id] = task
+        self._placement_log[task.task_id] = [(event.time, placement.node)]
+        self._arrived_since_realloc += task.size
+        self._offer_reallocation(event.time)
+
+    def _apply_departure(self, event: Departure) -> None:
+        node = self._placements.pop(event.task_id, None)
+        task = self._tasks.pop(event.task_id, None)
+        if node is None or task is None:
+            raise SimulationError(f"departure of unknown task {event.task_id}")
+        self.algorithm.on_departure(task)
+        self._loads.remove(node, task.size)
+        self._departure_times[event.task_id] = event.time
+
+    def _offer_reallocation(self, now: float) -> None:
+        realloc = self.algorithm.maybe_reallocate(self._arrived_since_realloc)
+        if realloc is None:
+            return
+        d = self.algorithm.reallocation_parameter
+        budget = d * self.machine.num_pes
+        if self._arrived_since_realloc < budget:
+            raise ReallocationError(
+                f"{self.algorithm.name} attempted a reallocation after only "
+                f"{self._arrived_since_realloc} PE-arrivals; its budget is "
+                f"d*N = {budget}"
+            )
+        self._apply_reallocation(realloc, now)
+        self._arrived_since_realloc = 0
+
+    def _apply_reallocation(self, realloc: Reallocation, now: float) -> None:
+        mapping = dict(realloc.mapping)
+        if set(mapping) != set(self._placements):
+            missing = set(self._placements) - set(mapping)
+            extra = set(mapping) - set(self._placements)
+            raise ReallocationError(
+                f"reallocation must remap exactly the active tasks; "
+                f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
+            )
+        self.metrics.realloc.record_reallocation()
+        for tid, new_node in mapping.items():
+            task = self._tasks[tid]
+            self._validate_node_for(task, new_node)
+            old_node = self._placements[tid]
+            if new_node == old_node:
+                self.metrics.realloc.record_stationary()
+                continue
+            charge = self.cost_model.charge(self.machine, task.size, old_node, new_node)
+            self.metrics.realloc.record_move(
+                task.size, charge.distance, charge.bytes_moved
+            )
+            self._loads.remove(old_node, task.size)
+            self._loads.place(new_node, task.size)
+            self._placements[tid] = new_node
+            self._placement_log[tid].append((now, new_node))
+
+    # -- Public API ------------------------------------------------------------
+
+    def add_observer(self, callback) -> None:
+        """Register ``callback(simulator, event)`` to run after every event.
+
+        Observers see the post-event state (placements, loads, metrics
+        already updated) — the hook the streaming-metrics examples use
+        instead of re-implementing the event loop.
+        """
+        self._observers.append(callback)
+
+    def step(self, event) -> None:
+        """Process one event and record metrics."""
+        if isinstance(event, Arrival):
+            self._apply_arrival(event)
+        elif isinstance(event, Departure):
+            self._apply_departure(event)
+        else:
+            raise SimulationError(f"unknown event type {type(event)!r}")
+        self.metrics.observe(
+            event.time,
+            self._loads.max_load,
+            self._loads.leaf_loads() if self.collect_leaf_snapshots else None,
+        )
+        for callback in self._observers:
+            callback(self, event)
+
+    def run(self, sequence: TaskSequence) -> RunResult:
+        """Drive the whole sequence and return the result bundle."""
+        for event in sequence:
+            self.step(event)
+        return RunResult(
+            algorithm_name=self.algorithm.name,
+            machine_description=self.machine.describe(),
+            metrics=self.metrics,
+            optimal_load=sequence.optimal_load(self.machine.num_pes),
+            final_placements=dict(self._placements),
+        )
+
+    # -- State inspection (used by the adversary and by tests) ---------------------
+
+    @property
+    def current_max_load(self) -> int:
+        return self._loads.max_load
+
+    @property
+    def active_tasks(self) -> dict[TaskId, Task]:
+        return dict(self._tasks)
+
+    @property
+    def placements(self) -> dict[TaskId, NodeId]:
+        return dict(self._placements)
+
+    def leaf_loads(self) -> np.ndarray:
+        return self._loads.leaf_loads()
+
+    def submachine_load(self, node: NodeId) -> int:
+        return self._loads.submachine_load(node)
+
+    def active_size(self) -> int:
+        return sum(t.size for t in self._tasks.values())
+
+    def placement_intervals(self) -> dict[TaskId, list[tuple[float, float, NodeId]]]:
+        """Exact (start, end, node) residence segments for every task seen.
+
+        ``end`` is the task's departure time (``inf`` if it never departed)
+        or the instant a reallocation moved it.  This is the input the
+        slowdown model integrates over — it reflects what actually ran,
+        including mid-life migrations.
+        """
+        intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
+        for tid, changes in self._placement_log.items():
+            end_of_life = self._departure_times.get(tid, float("inf"))
+            segments = []
+            for i, (start, node) in enumerate(changes):
+                end = changes[i + 1][0] if i + 1 < len(changes) else end_of_life
+                if end > start:
+                    segments.append((start, end, node))
+            intervals[tid] = segments
+        return intervals
+
+    def check_consistency(self) -> None:
+        """Cross-check tracker vs. placements (test helper)."""
+        self._loads.check_invariants()
+        expected = np.zeros(self.machine.num_pes, dtype=np.int64)
+        h = self.machine.hierarchy
+        for tid, node in self._placements.items():
+            lo, hi = h.leaf_span(node)
+            expected[lo:hi] += 1
+        if not np.array_equal(expected, self._loads.leaf_loads()):
+            raise SimulationError("leaf loads disagree with placements")

@@ -1,0 +1,85 @@
+"""High-level one-call helpers for running experiments.
+
+Most experiments are "make algorithm, run sequence, read max load"; these
+helpers remove the boilerplate and make the benches and examples read like
+the paper's prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm
+from repro.machines.base import PartitionableMachine
+from repro.sim.engine import RunResult, Simulator
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.tasks.sequence import TaskSequence
+
+__all__ = ["run", "run_many", "expected_max_load", "AlgorithmFactory", "SweepPoint"]
+
+#: A factory producing a fresh algorithm for a given machine — the unit the
+#: sweep helpers parallelise over.  (Fresh instances per run keep randomized
+#: algorithms' repetitions independent and deterministic under seeding.)
+AlgorithmFactory = Callable[[PartitionableMachine], AllocationAlgorithm]
+
+
+def run(
+    machine: PartitionableMachine,
+    algorithm: AllocationAlgorithm,
+    sequence: TaskSequence,
+    cost_model: Optional[MigrationCostModel] = None,
+) -> RunResult:
+    """Run one algorithm over one sequence and return the result."""
+    return Simulator(machine, algorithm, cost_model).run(sequence)
+
+
+def run_many(
+    machine: PartitionableMachine,
+    factory: AlgorithmFactory,
+    sequences: Iterable[TaskSequence],
+    cost_model: Optional[MigrationCostModel] = None,
+) -> list[RunResult]:
+    """Run a fresh algorithm instance over each sequence."""
+    return [
+        Simulator(machine, factory(machine), cost_model).run(seq) for seq in sequences
+    ]
+
+
+def expected_max_load(
+    machine: PartitionableMachine,
+    factory: AlgorithmFactory,
+    sequence: TaskSequence,
+    repetitions: int,
+) -> tuple[float, np.ndarray]:
+    """Estimate E[L_R(sigma)] for a randomized algorithm by repetition.
+
+    Returns the sample mean and the raw per-repetition peak loads, so
+    callers can compute confidence intervals
+    (:func:`repro.analysis.stats.bootstrap_ci`).
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    peaks = np.empty(repetitions, dtype=np.int64)
+    for i in range(repetitions):
+        result = Simulator(machine, factory(machine)).run(sequence)
+        peaks[i] = result.max_load
+    return float(peaks.mean()), peaks
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter, result) pair of a sweep, for tabulation."""
+
+    parameter: float
+    result: RunResult
+
+    @property
+    def max_load(self) -> int:
+        return self.result.max_load
+
+    @property
+    def ratio(self) -> float:
+        return self.result.competitive_ratio

@@ -1,0 +1,178 @@
+"""Fluid round-robin time-sharing model — the thread-management substrate.
+
+Section 2 of the paper notes that "when tasks allocated to a single PE are
+time-shared in a round-robin fashion, the worst slowdown ever experienced
+by a user is proportional to the maximum load of any PE in the submachine
+allocated to it".  This module makes that interpretation executable so the
+E8 bench can *measure* the load -> slowdown relationship instead of assuming
+it.
+
+Model.  Each PE round-robins among the active tasks assigned to it, so a
+task sharing a PE with ``lambda`` tasks in total advances at rate
+``1/lambda`` on that PE.  A parallel task advances at the rate of its
+slowest PE (a bulk-synchronous view): instantaneous rate
+``1 / max(load over its PEs)``.  Given fixed placements over time (from a
+:class:`~repro.sim.engine.RunResult`), each task's *completion time* is the
+solution of ``integral of rate dt = work``; its *slowdown* is completion
+time divided by its dedicated-machine runtime (``work``).
+
+We integrate the piecewise-constant rate field exactly: rates only change
+at arrival/departure instants, so the integral is a sum over inter-event
+intervals — no time-stepping error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.machines.base import PartitionableMachine
+from repro.tasks.sequence import TaskSequence
+from repro.types import NodeId, TaskId, Time
+
+__all__ = [
+    "SlowdownReport",
+    "TaskSlowdown",
+    "measure_slowdowns",
+    "measure_slowdowns_dynamic",
+]
+
+
+@dataclass(frozen=True)
+class TaskSlowdown:
+    """Slowdown outcome for one task under time-sharing."""
+
+    task_id: TaskId
+    work: float
+    completed_work: float
+    busy_time: Time          # wall time the task was resident
+    effective_rate: float    # completed_work / busy_time
+    slowdown: float          # busy_time needed per unit work = 1/effective_rate
+    max_observed_load: int   # max PE load in its submachine while resident
+
+
+@dataclass(frozen=True)
+class SlowdownReport:
+    """Per-task slowdowns plus the aggregate the paper's claim is about."""
+
+    per_task: Mapping[TaskId, TaskSlowdown]
+
+    @property
+    def worst_slowdown(self) -> float:
+        return max((s.slowdown for s in self.per_task.values()), default=0.0)
+
+    @property
+    def mean_slowdown(self) -> float:
+        if not self.per_task:
+            return 0.0
+        return sum(s.slowdown for s in self.per_task.values()) / len(self.per_task)
+
+    def worst_max_load(self) -> int:
+        return max((s.max_observed_load for s in self.per_task.values()), default=0)
+
+
+def measure_slowdowns(
+    machine: PartitionableMachine,
+    sequence: TaskSequence,
+    placements: Mapping[TaskId, NodeId],
+    horizon: Time | None = None,
+) -> SlowdownReport:
+    """Integrate round-robin progress for every task under fixed placements.
+
+    ``placements`` maps every task of the sequence to the node it occupied
+    for its whole residence — exact for the non-reallocating algorithms.
+    For reallocating algorithms, use :func:`measure_slowdowns_dynamic`
+    with the simulator's :meth:`~repro.sim.engine.Simulator.placement_intervals`,
+    which reflects mid-life migrations.  Tasks without a finite departure
+    are integrated up to ``horizon`` (default: the sequence horizon).
+    """
+    end_time = sequence.horizon() if horizon is None else horizon
+    intervals: dict[TaskId, list[tuple[Time, Time, NodeId]]] = {}
+    for tid, task in sequence.tasks.items():
+        end = min(task.departure, end_time)
+        if end > task.arrival:
+            intervals[tid] = [(task.arrival, end, placements[tid])]
+        else:
+            intervals[tid] = []
+    return measure_slowdowns_dynamic(machine, sequence, intervals, horizon=horizon)
+
+
+def measure_slowdowns_dynamic(
+    machine: PartitionableMachine,
+    sequence: TaskSequence,
+    intervals: Mapping[TaskId, list[tuple[Time, Time, NodeId]]],
+    horizon: Time | None = None,
+) -> SlowdownReport:
+    """Exact round-robin integration over per-task placement *histories*.
+
+    ``intervals[tid]`` is the list of ``(start, end, node)`` residence
+    segments of task ``tid`` (``end`` may be ``inf``), as produced by
+    :meth:`repro.sim.engine.Simulator.placement_intervals`.  The rate field
+    is piecewise constant between segment boundaries, so the integral is
+    exact; a task that migrates mid-life contributes load to different PEs
+    in different windows, exactly as the real machine would.
+    """
+    h = machine.hierarchy
+    tasks = sequence.tasks
+    end_time = sequence.horizon() if horizon is None else horizon
+
+    # Clip segments to the horizon and precompute leaf spans.
+    clipped: dict[TaskId, list[tuple[Time, Time, tuple[int, int]]]] = {}
+    breakpoints: set[Time] = set()
+    for tid in tasks:
+        segs = []
+        for start, end, node in intervals.get(tid, []):
+            end = min(end, end_time)
+            if end > start:
+                segs.append((start, end, h.leaf_span(node)))
+                breakpoints.add(start)
+                breakpoints.add(end)
+        clipped[tid] = segs
+    times = sorted(breakpoints)
+
+    completed: dict[TaskId, float] = {tid: 0.0 for tid in tasks}
+    busy: dict[TaskId, Time] = {tid: 0.0 for tid in tasks}
+    max_load_seen: dict[TaskId, int] = {tid: 0 for tid in tasks}
+
+    import numpy as np
+
+    for idx in range(len(times)):
+        t0 = times[idx]
+        t1 = times[idx + 1] if idx + 1 < len(times) else end_time
+        if t1 <= t0:
+            continue
+        # Segments covering [t0, t1): exactly one per resident task, since
+        # segment boundaries are breakpoints.
+        window: list[tuple[TaskId, tuple[int, int]]] = []
+        for tid, segs in clipped.items():
+            for start, end, span in segs:
+                if start <= t0 < end:
+                    window.append((tid, span))
+                    break
+        if not window:
+            continue
+        loads = np.zeros(machine.num_pes, dtype=np.int64)
+        for _tid, (lo, hi) in window:
+            loads[lo:hi] += 1
+        dt = t1 - t0
+        for tid, (lo, hi) in window:
+            peak = int(loads[lo:hi].max())
+            max_load_seen[tid] = max(max_load_seen[tid], peak)
+            completed[tid] += dt / peak
+            busy[tid] += dt
+
+    per_task: dict[TaskId, TaskSlowdown] = {}
+    for tid, task in tasks.items():
+        b = busy[tid]
+        c = completed[tid]
+        rate = (c / b) if b > 0 else 1.0
+        per_task[tid] = TaskSlowdown(
+            task_id=tid,
+            work=task.work,
+            completed_work=c,
+            busy_time=b,
+            effective_rate=rate,
+            slowdown=(1.0 / rate) if rate > 0 else float("inf"),
+            max_observed_load=max_load_seen[tid],
+        )
+    return SlowdownReport(per_task=per_task)

@@ -1,0 +1,44 @@
+"""Task and task-sequence model (Section 2 of the paper).
+
+Public surface:
+
+* :class:`~repro.tasks.task.Task` — one user request.
+* :class:`~repro.tasks.events.Arrival` / :class:`~repro.tasks.events.Departure`
+  — sequence events.
+* :class:`~repro.tasks.sequence.TaskSequence` — validated event sequence with
+  the paper's statistics (``s(sigma)``, ``S(sigma; tau)``, ``L*``).
+* :class:`~repro.tasks.builder.SequenceBuilder` — fluent construction;
+  :func:`~repro.tasks.builder.figure1_sequence` — the paper's Figure 1
+  example.
+"""
+
+from repro.tasks.builder import SequenceBuilder, figure1_sequence
+from repro.tasks.events import Arrival, Departure, Event, EventKind, event_sort_key
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.tasks.transforms import (
+    filter_tasks,
+    scale_sizes,
+    scale_time,
+    subsample,
+    superpose,
+    truncate_tasks,
+)
+
+__all__ = [
+    "Task",
+    "Arrival",
+    "Departure",
+    "Event",
+    "EventKind",
+    "event_sort_key",
+    "TaskSequence",
+    "SequenceBuilder",
+    "figure1_sequence",
+    "scale_time",
+    "scale_sizes",
+    "filter_tasks",
+    "subsample",
+    "superpose",
+    "truncate_tasks",
+]

@@ -1,0 +1,71 @@
+"""Arrival/departure events — the alphabet of a task sequence.
+
+The paper defines a task sequence as "a sequence of task-arrival or
+task-departure events that are ordered by time of occurrence".  We realise
+events as small frozen dataclasses so that sequences are hashable,
+comparable, and safely shareable between algorithms during an experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.tasks.task import Task
+from repro.types import TaskId, Time
+
+__all__ = ["EventKind", "Arrival", "Departure", "Event", "event_sort_key"]
+
+
+class EventKind(enum.Enum):
+    """Discriminator for the two event types."""
+
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+
+
+@dataclass(frozen=True, slots=True)
+class Arrival:
+    """A task enters the system and must be placed immediately.
+
+    Carries the full :class:`~repro.tasks.task.Task` object; algorithms may
+    read only ``task.size`` (the model reveals nothing else at arrival).
+    """
+
+    time: Time
+    task: Task
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.ARRIVAL
+
+    @property
+    def task_id(self) -> TaskId:
+        return self.task.task_id
+
+
+@dataclass(frozen=True, slots=True)
+class Departure:
+    """A previously-arrived task leaves; its submachine is deallocated."""
+
+    time: Time
+    task_id: TaskId
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.DEPARTURE
+
+
+Event = Union[Arrival, Departure]
+
+
+def event_sort_key(event: Event) -> tuple[Time, int]:
+    """Stable chronological ordering with departures before arrivals at ties.
+
+    Processing a simultaneous departure first is the convention that makes
+    the paper's worked example (Figure 1) come out right: a slot freed "at
+    the same time" a new task arrives is available to that task.  Within the
+    same kind the original order is preserved (``sorted`` is stable).
+    """
+    return (event.time, 0 if isinstance(event, Departure) else 1)

@@ -1,0 +1,246 @@
+"""Task sequences and their statistics (Section 2 of the paper).
+
+A :class:`TaskSequence` is a validated, chronologically ordered list of
+arrival/departure events.  It exposes exactly the quantities the paper's
+analysis is phrased in:
+
+* ``S(sigma; tau)`` — cumulative size of tasks active at time ``tau``
+  (:meth:`TaskSequence.active_size_at`),
+* ``s(sigma)``     — the peak of that quantity over time
+  (:attr:`TaskSequence.peak_active_size`),
+* ``L*``           — the optimal load ``ceil(s(sigma)/N)`` for a machine of
+  N PEs (:meth:`TaskSequence.optimal_load`),
+* the total arrival volume ``S`` used by Lemma 2
+  (:attr:`TaskSequence.total_arrival_size`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence as AbcSequence
+from typing import Optional
+
+from repro.errors import InvalidSequenceError
+from repro.tasks.events import Arrival, Departure, Event, event_sort_key
+from repro.tasks.task import Task
+from repro.types import TaskId, Time, ceil_div
+
+__all__ = ["TaskSequence"]
+
+
+class TaskSequence(AbcSequence):
+    """An immutable, validated sequence of arrival/departure events.
+
+    Validation enforces the paper's model:
+
+    * events are chronologically ordered (the constructor sorts, stably,
+      with same-time departures preceding arrivals);
+    * task ids are unique among arrivals;
+    * every departure refers to a task that has already arrived and has not
+      already departed;
+    * a task's event times agree with the ``arrival``/``departure`` fields
+      stored on the :class:`Task` itself.
+
+    The class behaves as an immutable ``Sequence[Event]``.
+    """
+
+    __slots__ = ("_events", "_tasks", "_prefix_peaks", "_peak", "_total_arrival")
+
+    def __init__(self, events: Iterable[Event]):
+        ordered = sorted(events, key=event_sort_key)
+        tasks: dict[TaskId, Task] = {}
+        departed: set[TaskId] = set()
+        active_size = 0
+        peak = 0
+        total_arrival = 0
+        prefix_peaks: list[int] = []
+        for ev in ordered:
+            if isinstance(ev, Arrival):
+                tid = ev.task.task_id
+                if tid in tasks:
+                    raise InvalidSequenceError(f"duplicate arrival for task {tid}")
+                if ev.time != ev.task.arrival:
+                    raise InvalidSequenceError(
+                        f"task {tid}: arrival event at t={ev.time} disagrees "
+                        f"with task.arrival={ev.task.arrival}"
+                    )
+                tasks[tid] = ev.task
+                active_size += ev.task.size
+                total_arrival += ev.task.size
+            elif isinstance(ev, Departure):
+                tid = ev.task_id
+                if tid not in tasks:
+                    raise InvalidSequenceError(
+                        f"departure for unknown task {tid} at t={ev.time}"
+                    )
+                if tid in departed:
+                    raise InvalidSequenceError(f"task {tid} departs twice")
+                task = tasks[tid]
+                if ev.time != task.departure:
+                    raise InvalidSequenceError(
+                        f"task {tid}: departure event at t={ev.time} disagrees "
+                        f"with task.departure={task.departure}"
+                    )
+                departed.add(tid)
+                active_size -= task.size
+            else:  # pragma: no cover - defensive
+                raise InvalidSequenceError(f"unknown event type {type(ev)!r}")
+            peak = max(peak, active_size)
+            prefix_peaks.append(peak)
+        self._events: tuple[Event, ...] = tuple(ordered)
+        self._tasks: dict[TaskId, Task] = tasks
+        self._prefix_peaks = prefix_peaks
+        self._peak = peak
+        self._total_arrival = total_arrival
+
+    # -- Sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return TaskSequence(self._events[index])
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSequence):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskSequence({len(self._events)} events, "
+            f"{len(self._tasks)} tasks, s(sigma)={self._peak})"
+        )
+
+    # -- Task access -------------------------------------------------------
+
+    @property
+    def tasks(self) -> dict[TaskId, Task]:
+        """All tasks that ever arrive, keyed by id (copy; safe to mutate)."""
+        return dict(self._tasks)
+
+    def task(self, task_id: TaskId) -> Task:
+        """The task with the given id; raises ``KeyError`` if it never arrives."""
+        return self._tasks[task_id]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    # -- Paper statistics ---------------------------------------------------
+
+    @property
+    def peak_active_size(self) -> int:
+        """``s(sigma)``: max over tau of the cumulative size of active tasks."""
+        return self._peak
+
+    @property
+    def total_arrival_size(self) -> int:
+        """Sum of sizes over *all* arrivals (the ``S`` of Lemma 2)."""
+        return self._total_arrival
+
+    def active_size_at(self, tau: Time) -> int:
+        """``S(sigma; tau)``: cumulative size of tasks active at time ``tau``.
+
+        Uses the task intervals directly (arrival inclusive, departure
+        exclusive), so it is meaningful at any real time, not only at event
+        times.
+        """
+        return sum(t.size for t in self._tasks.values() if t.is_active(tau))
+
+    def peak_after_prefix(self, num_events: int) -> int:
+        """Peak active size over the first ``num_events`` events.
+
+        ``peak_after_prefix(len(seq)) == peak_active_size``.  Exposed because
+        the d-reallocation analysis (Theorem 4.2) reasons about the sequence
+        split at the last reallocation point.
+        """
+        if num_events <= 0:
+            return 0
+        if num_events > len(self._prefix_peaks):
+            num_events = len(self._prefix_peaks)
+        return self._prefix_peaks[num_events - 1]
+
+    def optimal_load(self, num_pes: int) -> int:
+        """``L* = ceil(s(sigma) / N)`` — the benchmark of the whole paper.
+
+        This is the load some PE must carry even under perfectly balanced,
+        constantly reallocating assignment (Section 2, "Optimal Load").
+        An empty sequence has optimal load 0.
+        """
+        return ceil_div(self._peak, num_pes)
+
+    # -- Derived views -------------------------------------------------------
+
+    def arrivals(self) -> Iterator[Arrival]:
+        """Iterate over arrival events in order."""
+        return (ev for ev in self._events if isinstance(ev, Arrival))
+
+    def departures(self) -> Iterator[Departure]:
+        """Iterate over departure events in order."""
+        return (ev for ev in self._events if isinstance(ev, Departure))
+
+    def max_task_size(self) -> int:
+        """Largest task size in the sequence (0 if empty)."""
+        return max((t.size for t in self._tasks.values()), default=0)
+
+    def horizon(self) -> Time:
+        """Time of the last event (``|sigma|``); 0.0 for an empty sequence."""
+        return self._events[-1].time if self._events else 0.0
+
+    def restricted_to_horizon(self, tau: Time) -> "TaskSequence":
+        """The prefix of the sequence containing only events at time <= tau."""
+        return TaskSequence(ev for ev in self._events if ev.time <= tau)
+
+    @staticmethod
+    def from_tasks(tasks: Iterable[Task]) -> "TaskSequence":
+        """Build the event sequence induced by a set of task intervals.
+
+        Departures at ``math.inf`` are omitted (the task never leaves within
+        the observed horizon).
+        """
+        events: list[Event] = []
+        for t in tasks:
+            events.append(Arrival(t.arrival, t))
+            if t.departure != float("inf"):
+                events.append(Departure(t.departure, t.task_id))
+        return TaskSequence(events)
+
+    def concatenated_with(
+        self, other: "TaskSequence", time_offset: Optional[Time] = None
+    ) -> "TaskSequence":
+        """Append ``other`` after this sequence, shifting its times.
+
+        ``time_offset`` defaults to just past this sequence's horizon.  Task
+        ids in ``other`` are shifted past the maximum id used here so the
+        result is a valid sequence.
+        """
+        if time_offset is None:
+            time_offset = self.horizon() + 1.0
+        id_offset = max((int(t) for t in self._tasks), default=-1) + 1
+        shifted: list[Event] = list(self._events)
+        remap: dict[TaskId, Task] = {}
+        for t in other.tasks.values():
+            dep = t.departure if t.departure == float("inf") else t.departure + time_offset
+            remap[t.task_id] = Task(
+                TaskId(int(t.task_id) + id_offset),
+                t.size,
+                t.arrival + time_offset,
+                dep,
+                t.work,
+            )
+        for ev in other:
+            if isinstance(ev, Arrival):
+                nt = remap[ev.task.task_id]
+                shifted.append(Arrival(nt.arrival, nt))
+            else:
+                nt = remap[ev.task_id]
+                shifted.append(Departure(nt.departure, nt.task_id))
+        return TaskSequence(shifted)

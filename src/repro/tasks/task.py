@@ -1,0 +1,89 @@
+"""The task (user) model of Section 2 of the paper.
+
+A *task* models one user of the time-shared multiprocessor: it arrives at an
+unpredictable time, requests a submachine of a fixed power-of-two size, runs
+for an unpredictable duration, and departs.  The allocation algorithm learns
+the size at arrival time but never the departure time in advance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidTaskError
+from repro.types import TaskId, Time, ilog2, is_power_of_two
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One user request: a submachine of ``size`` PEs, held over [arrival, departure).
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier within a sequence.
+    size:
+        Number of PEs requested; must be a positive power of two.  Whether it
+        fits a particular machine (``size <= N``) is checked when the task is
+        placed, because a Task is machine-agnostic.
+    arrival:
+        Time of the arrival event.
+    departure:
+        Time of the departure event, or ``math.inf`` for a task that never
+        departs within the observed horizon.  Must be strictly greater than
+        ``arrival`` — the paper's sequences never contain zero-length tasks
+        (such a task would contribute nothing to any load).
+    work:
+        Optional amount of computational work carried by the task, used only
+        by the thread-management slowdown model (``repro.sim.slowdown``).
+        The allocation theory is oblivious to it.
+    """
+
+    task_id: TaskId
+    size: int
+    arrival: Time = 0.0
+    departure: Time = field(default=math.inf)
+    work: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size):
+            raise InvalidTaskError(
+                f"task {self.task_id}: size must be a positive power of two, "
+                f"got {self.size!r}"
+            )
+        if not self.departure > self.arrival:
+            raise InvalidTaskError(
+                f"task {self.task_id}: departure ({self.departure}) must be "
+                f"strictly after arrival ({self.arrival})"
+            )
+        if self.work < 0:
+            raise InvalidTaskError(
+                f"task {self.task_id}: work must be non-negative, got {self.work}"
+            )
+
+    @property
+    def log_size(self) -> int:
+        """``x`` such that ``size == 2**x`` (the paper writes sizes as 2^x)."""
+        return ilog2(self.size)
+
+    @property
+    def duration(self) -> Time:
+        """Residence time of the task (may be ``inf``)."""
+        return self.departure - self.arrival
+
+    def is_active(self, tau: Time) -> bool:
+        """True iff the task is active at time ``tau``.
+
+        A task is active from its arrival (inclusive) to its departure
+        (exclusive): at the instant of departure the submachine has already
+        been deallocated, matching the paper's convention that departures
+        only ever *decrease* load.
+        """
+        return self.arrival <= tau < self.departure
+
+    def with_departure(self, departure: Time) -> "Task":
+        """Return a copy of this task with the departure time replaced."""
+        return Task(self.task_id, self.size, self.arrival, departure, self.work)

@@ -1,0 +1,112 @@
+"""Sequence transformations: reshape workloads without regenerating them.
+
+Trace-driven studies constantly need "the same workload, but ..." —
+slower, denser, bigger tasks, only the large jobs, twice the load.  These
+functions derive new validated :class:`~repro.tasks.sequence.TaskSequence`
+objects from existing ones, preserving determinism (no RNG except where a
+sampler is explicitly passed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InvalidSequenceError
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId, is_power_of_two
+
+__all__ = [
+    "scale_time",
+    "scale_sizes",
+    "filter_tasks",
+    "subsample",
+    "superpose",
+    "truncate_tasks",
+]
+
+
+def _rebuild(tasks: list[Task]) -> TaskSequence:
+    return TaskSequence.from_tasks(tasks)
+
+
+def scale_time(sequence: TaskSequence, factor: float) -> TaskSequence:
+    """Stretch (factor > 1) or compress (factor < 1) all event times.
+
+    Loads at corresponding instants are unchanged (the allocation problem
+    is invariant under time dilation); this matters for slowdown studies,
+    where work stays fixed while residence changes.
+    """
+    if factor <= 0:
+        raise InvalidSequenceError(f"time factor must be positive, got {factor}")
+    out = []
+    for t in sequence.tasks.values():
+        dep = t.departure if math.isinf(t.departure) else t.departure * factor
+        out.append(Task(t.task_id, t.size, t.arrival * factor, dep, t.work))
+    return _rebuild(out)
+
+
+def scale_sizes(sequence: TaskSequence, factor: int, *, max_size: int) -> TaskSequence:
+    """Multiply every task size by a power-of-two ``factor``, capped.
+
+    Useful for porting a workload recorded on a small machine to a larger
+    one while keeping its temporal structure.
+    """
+    if not is_power_of_two(factor):
+        raise InvalidSequenceError(f"size factor must be a power of two, got {factor}")
+    if not is_power_of_two(max_size):
+        raise InvalidSequenceError(f"max_size must be a power of two, got {max_size}")
+    out = []
+    for t in sequence.tasks.values():
+        new_size = min(t.size * factor, max_size)
+        out.append(Task(t.task_id, new_size, t.arrival, t.departure, t.work))
+    return _rebuild(out)
+
+
+def filter_tasks(
+    sequence: TaskSequence, predicate: Callable[[Task], bool]
+) -> TaskSequence:
+    """Keep only tasks satisfying ``predicate`` (events follow the tasks)."""
+    return _rebuild([t for t in sequence.tasks.values() if predicate(t)])
+
+
+def subsample(
+    sequence: TaskSequence, fraction: float, rng: np.random.Generator
+) -> TaskSequence:
+    """Keep a uniformly random ``fraction`` of the tasks (thinning).
+
+    Thinning a Poisson workload yields a Poisson workload at reduced rate,
+    so this is the principled way to lighten a trace.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidSequenceError(f"fraction must be in [0, 1], got {fraction}")
+    return _rebuild(
+        [t for t in sequence.tasks.values() if rng.random() < fraction]
+    )
+
+
+def superpose(a: TaskSequence, b: TaskSequence) -> TaskSequence:
+    """Overlay two workloads in time (ids of ``b`` are shifted past ``a``'s).
+
+    Unlike :meth:`TaskSequence.concatenated_with`, which plays ``b`` after
+    ``a``, superposition runs them *simultaneously* — two user populations
+    sharing one machine.
+    """
+    offset = max((int(t) for t in a.tasks), default=-1) + 1
+    out = list(a.tasks.values())
+    for t in b.tasks.values():
+        out.append(
+            Task(TaskId(int(t.task_id) + offset), t.size, t.arrival, t.departure, t.work)
+        )
+    return _rebuild(out)
+
+
+def truncate_tasks(sequence: TaskSequence, max_tasks: int) -> TaskSequence:
+    """Keep only the first ``max_tasks`` arrivals (by arrival order)."""
+    if max_tasks < 0:
+        raise InvalidSequenceError(f"max_tasks must be >= 0, got {max_tasks}")
+    ordered = sorted(sequence.tasks.values(), key=lambda t: (t.arrival, t.task_id))
+    return _rebuild(ordered[:max_tasks])

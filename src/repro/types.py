@@ -1,0 +1,100 @@
+"""Shared scalar types, aliases, and small numeric helpers.
+
+The whole library works over a complete binary hierarchy on ``N = 2**n``
+leaves, so exact power-of-two arithmetic shows up everywhere.  The helpers
+here are the single source of truth for that arithmetic; modules should not
+re-derive ``log2`` locally.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+__all__ = [
+    "TaskId",
+    "NodeId",
+    "PEId",
+    "CopyId",
+    "Time",
+    "is_power_of_two",
+    "ilog2",
+    "ceil_div",
+    "ceil_log2",
+    "round_to_power_of_two",
+]
+
+#: Identifier of a task (user). Unique within one sequence.
+TaskId = NewType("TaskId", int)
+
+#: Heap index of a node in the complete binary hierarchy (root = 1).
+NodeId = int
+
+#: Index of a leaf PE, in ``range(N)``.
+PEId = int
+
+#: Index of a machine "copy" in the copy-based algorithms (A_R / A_B).
+CopyId = int
+
+#: Simulation time. Events are ordered by this value; ties are broken by
+#: event insertion order.
+Time = float
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True iff ``x`` is a positive integral power of two.
+
+    >>> [is_power_of_two(v) for v in (0, 1, 2, 3, 4, 1024)]
+    [False, True, True, False, True, True]
+    """
+    return isinstance(x, int) and x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer base-2 logarithm of a power of two.
+
+    Raises ``ValueError`` if ``x`` is not a positive power of two; the
+    library never silently truncates a log.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"ilog2 requires a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for non-negative ``a`` and positive ``b``.
+
+    Used pervasively for the optimal load ``L* = ceil(s(sigma) / N)``.
+    """
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires non-negative dividend, got {a}")
+    return -(-a // b)
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest ``k`` with ``2**k >= x`` for positive ``x``."""
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires positive input, got {x}")
+    return (x - 1).bit_length()
+
+
+def round_to_power_of_two(x: float) -> int:
+    """Round a positive real to the nearest power of two (ties go up).
+
+    Used when instantiating the paper's randomized lower-bound sequence
+    sigma_r, whose nominal task sizes ``log^i N`` need not be powers of two
+    (see DESIGN.md, substitution list).  The comparison is done in log-space
+    so that, e.g., 3 rounds to 4 only if it is closer geometrically;
+    3 -> 2 or 4 is decided by ``sqrt(2*4) = 2.83 < 3``, hence 4.
+    """
+    if x <= 0:
+        raise ValueError(f"round_to_power_of_two requires positive input, got {x}")
+    if x <= 1:
+        return 1
+    lo = 1 << (int(x).bit_length() - 1)  # largest power of two <= int(x)
+    while lo * 2 <= x:
+        lo *= 2
+    hi = lo * 2
+    # Geometric midpoint between lo and hi is lo * sqrt(2).
+    return lo if x * x < lo * hi else hi

@@ -1,0 +1,62 @@
+"""Workload synthesis: distributions, arrival-process generators, traces."""
+
+from repro.workloads.distributions import (
+    DurationDistribution,
+    ExponentialDurations,
+    FixedDuration,
+    FixedSize,
+    GeometricSizes,
+    LognormalDurations,
+    ParetoDurations,
+    SizeDistribution,
+    UniformLogSizes,
+    WeightedSizes,
+)
+from repro.workloads.generators import (
+    arrivals_only_sequence,
+    burst_sequence,
+    churn_sequence,
+    diurnal_sequence,
+    feitelson_sequence,
+    poisson_sequence,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    fragmentation_storm,
+    long_tail,
+    overload,
+    steady_state,
+    wave_and_drain,
+)
+from repro.workloads.profiles import SequenceProfile, describe_sequence
+from repro.workloads.traces import read_trace, trace_line, write_trace
+
+__all__ = [
+    "SizeDistribution",
+    "UniformLogSizes",
+    "GeometricSizes",
+    "FixedSize",
+    "WeightedSizes",
+    "DurationDistribution",
+    "ExponentialDurations",
+    "ParetoDurations",
+    "LognormalDurations",
+    "FixedDuration",
+    "poisson_sequence",
+    "burst_sequence",
+    "churn_sequence",
+    "diurnal_sequence",
+    "feitelson_sequence",
+    "arrivals_only_sequence",
+    "SCENARIOS",
+    "steady_state",
+    "overload",
+    "fragmentation_storm",
+    "wave_and_drain",
+    "long_tail",
+    "SequenceProfile",
+    "describe_sequence",
+    "read_trace",
+    "write_trace",
+    "trace_line",
+]

@@ -1,0 +1,205 @@
+"""Task-size and duration distributions for synthetic workloads.
+
+The paper's model constrains sizes to powers of two in ``[1, N]``; these
+classes sample within that constraint.  Durations stand in for the
+"unpredictable departure times": the allocation algorithms never see them,
+only the simulator does.
+
+All sampling flows through an injected :class:`numpy.random.Generator`, so
+every workload is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import ilog2, is_power_of_two
+
+__all__ = [
+    "SizeDistribution",
+    "UniformLogSizes",
+    "GeometricSizes",
+    "FixedSize",
+    "WeightedSizes",
+    "DurationDistribution",
+    "ExponentialDurations",
+    "ParetoDurations",
+    "LognormalDurations",
+    "FixedDuration",
+]
+
+
+# ---------------------------------------------------------------------------
+# Sizes
+# ---------------------------------------------------------------------------
+
+
+class SizeDistribution(abc.ABC):
+    """Samples power-of-two task sizes in ``[1, max_size]``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one task size."""
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> list[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class UniformLogSizes(SizeDistribution):
+    """Uniform over the exponents: size ``2^x`` with ``x ~ U{0..log max}``.
+
+    The "scale-free" request mix: as many machine-half requests as
+    single-PE requests.  This is the stress mix for fragmentation.
+    """
+
+    max_size: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.max_size):
+            raise ValueError(f"max_size must be a power of two, got {self.max_size}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return 1 << int(rng.integers(ilog2(self.max_size) + 1))
+
+
+@dataclass(frozen=True)
+class GeometricSizes(SizeDistribution):
+    """Exponent geometric with ratio ``ratio``: small requests dominate.
+
+    ``P(x) proportional to ratio**x`` for ``x = 0 .. log max``; ``ratio = 0.5``
+    halves the frequency with each doubling of size — the empirically common
+    "mostly small jobs" mix on shared machines.
+    """
+
+    max_size: int
+    ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.max_size):
+            raise ValueError(f"max_size must be a power of two, got {self.max_size}")
+        if not 0.0 < self.ratio:
+            raise ValueError(f"ratio must be positive, got {self.ratio}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        xmax = ilog2(self.max_size)
+        weights = np.asarray([self.ratio**x for x in range(xmax + 1)])
+        weights /= weights.sum()
+        return 1 << int(rng.choice(xmax + 1, p=weights))
+
+
+@dataclass(frozen=True)
+class FixedSize(SizeDistribution):
+    """Every task requests exactly ``size`` PEs."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size):
+            raise ValueError(f"size must be a power of two, got {self.size}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class WeightedSizes(SizeDistribution):
+    """Explicit (size, weight) table."""
+
+    sizes: Sequence[int]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be equal-length and non-empty")
+        for s in self.sizes:
+            if not is_power_of_two(s):
+                raise ValueError(f"size {s} is not a power of two")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        w = np.asarray(self.weights, dtype=float)
+        return int(rng.choice(np.asarray(self.sizes), p=w / w.sum()))
+
+
+# ---------------------------------------------------------------------------
+# Durations
+# ---------------------------------------------------------------------------
+
+
+class DurationDistribution(abc.ABC):
+    """Samples strictly positive task residence times."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one duration (> 0)."""
+
+
+@dataclass(frozen=True)
+class ExponentialDurations(DurationDistribution):
+    """Memoryless residence times with the given mean (M/M-style users)."""
+
+    mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean)) or np.finfo(float).tiny
+
+
+@dataclass(frozen=True)
+class ParetoDurations(DurationDistribution):
+    """Heavy-tailed residence times (shape ``alpha``, scale ``xm``).
+
+    Long-lived jobs are the hard case for never-reallocating algorithms:
+    fragmentation created early persists.  ``alpha <= 1`` has infinite mean;
+    the generators cap individual draws at ``cap`` to keep horizons finite.
+    """
+
+    alpha: float = 1.5
+    xm: float = 0.1
+    cap: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.xm <= 0 or self.cap <= self.xm:
+            raise ValueError("need alpha > 0, xm > 0, cap > xm")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        draw = self.xm * (1.0 + rng.pareto(self.alpha))
+        return float(min(draw, self.cap))
+
+
+@dataclass(frozen=True)
+class LognormalDurations(DurationDistribution):
+    """Lognormal residence times (``mu``, ``sigma`` of the underlying normal)."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+
+@dataclass(frozen=True)
+class FixedDuration(DurationDistribution):
+    """Every task stays exactly ``duration``."""
+
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.duration

@@ -1,0 +1,303 @@
+"""Synthetic arrival-process generators.
+
+Each generator produces a validated :class:`~repro.tasks.sequence.TaskSequence`
+from a seeded RNG.  They cover the regimes the experiments need:
+
+* :func:`poisson_sequence` — the steady-state time-shared machine: Poisson
+  arrivals, i.i.d. sizes and durations, with the offered load controlled by
+  ``utilization`` (mean active PE-volume as a fraction of N).
+* :func:`burst_sequence` — all tasks arrive before any departs; the worst
+  regime for fragmentation and the natural "job wave" pattern.
+* :func:`churn_sequence` — arrivals and departures interleave at a fixed
+  active-volume target; stresses the long-run behaviour of A_B (its
+  ``ceil(S/N)`` bound keeps growing while the optimal stays flat).
+* :func:`arrivals_only_sequence` — no departures (monotone load), the case
+  where every reasonable algorithm should be near-optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.tasks.events import Arrival, Departure, Event
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+from repro.workloads.distributions import (
+    DurationDistribution,
+    ExponentialDurations,
+    SizeDistribution,
+    UniformLogSizes,
+)
+
+__all__ = [
+    "poisson_sequence",
+    "burst_sequence",
+    "churn_sequence",
+    "arrivals_only_sequence",
+    "diurnal_sequence",
+    "feitelson_sequence",
+]
+
+
+def poisson_sequence(
+    num_pes: int,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    utilization: float = 0.7,
+    sizes: Optional[SizeDistribution] = None,
+    durations: Optional[DurationDistribution] = None,
+) -> TaskSequence:
+    """Poisson arrivals at rate chosen to hit a target mean utilization.
+
+    By Little's law the mean active PE-volume is
+    ``arrival_rate * E[size] * E[duration]``; the arrival rate is set so
+    that this equals ``utilization * num_pes``.
+    """
+    if not 0 < utilization:
+        raise ValueError(f"utilization must be positive, got {utilization}")
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    sizes = sizes or UniformLogSizes(max_size=num_pes)
+    durations = durations or ExponentialDurations(mean=1.0)
+
+    # Estimate E[size] and E[duration] empirically from the distributions
+    # themselves (cheap, avoids needing analytic means for every class).
+    probe_rng = np.random.default_rng(rng.integers(2**63))
+    probe = 512
+    mean_size = float(np.mean([sizes.sample(probe_rng) for _ in range(probe)]))
+    mean_dur = float(np.mean([durations.sample(probe_rng) for _ in range(probe)]))
+    rate = utilization * num_pes / (mean_size * mean_dur)
+
+    tasks: list[Task] = []
+    clock = 0.0
+    for i in range(num_tasks):
+        clock += float(rng.exponential(1.0 / rate))
+        size = sizes.sample(rng)
+        dur = durations.sample(rng)
+        tasks.append(Task(TaskId(i), size, clock, clock + dur))
+    return TaskSequence.from_tasks(tasks)
+
+
+def burst_sequence(
+    num_pes: int,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    sizes: Optional[SizeDistribution] = None,
+    depart_fraction: float = 0.0,
+) -> TaskSequence:
+    """All tasks arrive (one per time unit); then a fraction depart.
+
+    ``depart_fraction`` of the tasks, chosen uniformly, depart after the
+    last arrival — the "wave then drain" pattern that manufactures the
+    fragmentation the paper's Figure 1 illustrates.
+    """
+    if not 0.0 <= depart_fraction <= 1.0:
+        raise ValueError("depart_fraction must lie in [0, 1]")
+    sizes = sizes or UniformLogSizes(max_size=num_pes)
+    tasks: list[Task] = []
+    num_departing = int(round(depart_fraction * num_tasks))
+    departing = set(rng.choice(num_tasks, size=num_departing, replace=False).tolist())
+    for i in range(num_tasks):
+        arr = float(i)
+        dep = float(num_tasks + 1 + i) if i in departing else math.inf
+        tasks.append(Task(TaskId(i), sizes.sample(rng), arr, dep))
+    return TaskSequence.from_tasks(tasks)
+
+
+def churn_sequence(
+    num_pes: int,
+    num_events: int,
+    rng: np.random.Generator,
+    *,
+    target_volume: Optional[int] = None,
+    sizes: Optional[SizeDistribution] = None,
+) -> TaskSequence:
+    """Interleaved arrivals/departures holding active volume near a target.
+
+    While the active PE-volume is below ``target_volume`` (default ``N``),
+    arrivals are more likely; above it, departures are.  The departing task
+    is chosen uniformly from the active ones.  Total arrival volume grows
+    linearly with ``num_events`` while the optimal load stays ~1 — the
+    regime where Lemma 2's ``ceil(S/N)`` bound for A_B is uselessly loose
+    but A_M's periodic repacking shines.
+    """
+    target = target_volume if target_volume is not None else num_pes
+    if target < 1:
+        raise ValueError("target_volume must be >= 1")
+    sizes = sizes or UniformLogSizes(max_size=max(1, num_pes // 4))
+    events: list[Event] = []
+    active: dict[TaskId, Task] = {}
+    volume = 0
+    next_id = 0
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        p_arrival = 0.9 if volume < target else 0.1
+        if not active or rng.random() < p_arrival:
+            size = sizes.sample(rng)
+            task = Task(TaskId(next_id), size, clock, math.inf)
+            next_id += 1
+            active[task.task_id] = task
+            volume += size
+            events.append(("arrive", task))
+        else:
+            tid = list(active)[int(rng.integers(len(active)))]
+            task = active.pop(tid)
+            volume -= task.size
+            events.append(("depart", task.with_departure(clock)))
+    # Materialise: fix departure times recorded above; tasks never departed
+    # keep departure = inf.
+    final_events: list[Event] = []
+    departures: dict[TaskId, float] = {
+        t.task_id: t.departure for kind, t in events if kind == "depart"
+    }
+    for kind, task in events:
+        if kind == "arrive":
+            dep = departures.get(task.task_id, math.inf)
+            fixed = task.with_departure(dep) if dep != math.inf else task
+            final_events.append(Arrival(fixed.arrival, fixed))
+        else:
+            final_events.append(Departure(task.departure, task.task_id))
+    return TaskSequence(final_events)
+
+
+def arrivals_only_sequence(
+    num_pes: int,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    sizes: Optional[SizeDistribution] = None,
+) -> TaskSequence:
+    """Tasks arrive one per time unit and never depart."""
+    sizes = sizes or UniformLogSizes(max_size=num_pes)
+    tasks = [
+        Task(TaskId(i), sizes.sample(rng), float(i), math.inf)
+        for i in range(num_tasks)
+    ]
+    return TaskSequence.from_tasks(tasks)
+
+
+def diurnal_sequence(
+    num_pes: int,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    period: float = 100.0,
+    peak_to_trough: float = 4.0,
+    utilization: float = 0.7,
+    sizes: Optional[SizeDistribution] = None,
+    durations: Optional[DurationDistribution] = None,
+) -> TaskSequence:
+    """Non-homogeneous Poisson arrivals with a sinusoidal daily cycle.
+
+    Shared machines see day/night demand swings; reallocation policy
+    interacts with them (fragmentation created at the peak lingers into
+    the trough).  The instantaneous rate is
+
+        rate(t) = base * (1 + a * sin(2*pi*t/period)),
+
+    with ``a`` chosen so the peak-to-trough rate ratio equals
+    ``peak_to_trough``; arrivals are drawn by thinning a homogeneous
+    process at the peak rate.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if peak_to_trough < 1:
+        raise ValueError("peak_to_trough must be >= 1")
+    sizes = sizes or UniformLogSizes(max_size=num_pes)
+    durations = durations or ExponentialDurations(mean=1.0)
+    probe_rng = np.random.default_rng(rng.integers(2**63))
+    probe = 512
+    mean_size = float(np.mean([sizes.sample(probe_rng) for _ in range(probe)]))
+    mean_dur = float(np.mean([durations.sample(probe_rng) for _ in range(probe)]))
+    base_rate = utilization * num_pes / (mean_size * mean_dur)
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    peak_rate = base_rate * (1.0 + amplitude)
+
+    tasks: list[Task] = []
+    clock = 0.0
+    tid = 0
+    while tid < num_tasks:
+        clock += float(rng.exponential(1.0 / peak_rate))
+        rate = base_rate * (1.0 + amplitude * math.sin(2.0 * math.pi * clock / period))
+        if rng.random() * peak_rate > rate:
+            continue  # thinned out
+        dur = durations.sample(rng)
+        tasks.append(Task(TaskId(tid), sizes.sample(rng), clock, clock + dur))
+        tid += 1
+    return TaskSequence.from_tasks(tasks)
+
+
+def feitelson_sequence(
+    num_pes: int,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    utilization: float = 0.7,
+    runtime_size_correlation: float = 0.5,
+    runtime_spread: float = 1.5,
+) -> TaskSequence:
+    """A 1996-era parallel-workload model (after Feitelson's observations).
+
+    Contemporary analyses of production parallel logs (Feitelson 1996,
+    of machines including the paper's own CM-5 and SP2) found:
+
+    * job sizes cluster on powers of two with *small sizes most common*
+      (we draw the exponent with a truncated geometric, ratio 0.6);
+    * runtimes are roughly log-uniform over several orders of magnitude;
+    * runtime correlates positively with size — big jobs run longer.
+
+    ``runtime_size_correlation`` in [0, 1] blends an independent
+    log-uniform runtime with a size-proportional component;
+    ``runtime_spread`` is the log10 half-width of the runtime
+    distribution.  Arrival rate is set by Little's law against
+    ``utilization`` like :func:`poisson_sequence`.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    if not 0.0 <= runtime_size_correlation <= 1.0:
+        raise ValueError("runtime_size_correlation must be in [0, 1]")
+    if runtime_spread <= 0:
+        raise ValueError("runtime_spread must be positive")
+    max_exp = (num_pes).bit_length() - 1
+    ratio = 0.6
+    weights = np.asarray([ratio**x for x in range(max_exp + 1)])
+    weights /= weights.sum()
+
+    def draw_size() -> int:
+        return 1 << int(rng.choice(max_exp + 1, p=weights))
+
+    def draw_runtime(size: int) -> float:
+        base = 10.0 ** float(rng.uniform(-runtime_spread, runtime_spread))
+        size_factor = (size ** 0.5) / (2.0 ** (max_exp / 4.0))
+        c = runtime_size_correlation
+        return base * ((1.0 - c) + c * size_factor)
+
+    # Estimate means for Little's law.
+    probe_rng = np.random.default_rng(rng.integers(2**63))
+    probe_sizes = [1 << int(probe_rng.choice(max_exp + 1, p=weights)) for _ in range(512)]
+    mean_size = float(np.mean(probe_sizes))
+    probe_durs = []
+    for sz in probe_sizes:
+        base = 10.0 ** float(probe_rng.uniform(-runtime_spread, runtime_spread))
+        size_factor = (sz ** 0.5) / (2.0 ** (max_exp / 4.0))
+        c = runtime_size_correlation
+        probe_durs.append(base * ((1.0 - c) + c * size_factor))
+    mean_dur = float(np.mean(probe_durs))
+    rate = utilization * num_pes / (mean_size * mean_dur)
+
+    tasks: list[Task] = []
+    clock = 0.0
+    for i in range(num_tasks):
+        clock += float(rng.exponential(1.0 / rate))
+        size = draw_size()
+        tasks.append(Task(TaskId(i), size, clock, clock + draw_runtime(size)))
+    return TaskSequence.from_tasks(tasks)

@@ -1,0 +1,96 @@
+"""Workload profiling: summarize what a task sequence actually looks like.
+
+Experiments keep answering "what workload was that?" by pointing at
+generator parameters; :func:`describe_sequence` answers it from the
+sequence itself — arrival rate, size mix, duration statistics, offered
+volume versus a machine size — so traces from any source (generators,
+JSONL files, adversaries) are characterised uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.tasks.sequence import TaskSequence
+
+__all__ = ["SequenceProfile", "describe_sequence"]
+
+
+@dataclass(frozen=True)
+class SequenceProfile:
+    """Aggregate statistics of one task sequence."""
+
+    num_tasks: int
+    num_events: int
+    horizon: float
+    arrival_rate: float              # tasks per unit time (0 if horizon 0)
+    size_histogram: Mapping[int, int]
+    mean_size: float
+    peak_active_size: int            # s(sigma)
+    total_arrival_size: int          # S (Lemma 2's volume)
+    immortal_fraction: float         # tasks that never depart
+    mean_duration: float             # over departing tasks (nan if none)
+    p95_duration: float
+
+    def optimal_load(self, num_pes: int) -> int:
+        from repro.types import ceil_div
+
+        return ceil_div(self.peak_active_size, num_pes)
+
+    def render(self, num_pes: int | None = None) -> str:
+        from repro.analysis.tables import format_kv
+
+        pairs: dict = {
+            "tasks": self.num_tasks,
+            "events": self.num_events,
+            "horizon": self.horizon,
+            "arrival rate": round(self.arrival_rate, 3),
+            "mean size": round(self.mean_size, 2),
+            "size mix": " ".join(
+                f"{s}:{c}" for s, c in sorted(self.size_histogram.items())
+            ),
+            "peak active volume s(sigma)": self.peak_active_size,
+            "total arrival volume S": self.total_arrival_size,
+            "immortal fraction": round(self.immortal_fraction, 3),
+            "mean duration": round(self.mean_duration, 3)
+            if not math.isnan(self.mean_duration)
+            else "n/a",
+            "p95 duration": round(self.p95_duration, 3)
+            if not math.isnan(self.p95_duration)
+            else "n/a",
+        }
+        if num_pes is not None:
+            pairs["optimal load L* on N=" + str(num_pes)] = self.optimal_load(num_pes)
+        return format_kv(pairs, title="workload profile")
+
+
+def describe_sequence(sequence: TaskSequence) -> SequenceProfile:
+    """Compute the profile of a sequence (O(tasks + events))."""
+    tasks = list(sequence.tasks.values())
+    num_tasks = len(tasks)
+    horizon = sequence.horizon()
+    sizes = [t.size for t in tasks]
+    histogram: dict[int, int] = {}
+    for s in sizes:
+        histogram[s] = histogram.get(s, 0) + 1
+    durations = [t.duration for t in tasks if not math.isinf(t.departure)]
+    immortal = num_tasks - len(durations)
+    return SequenceProfile(
+        num_tasks=num_tasks,
+        num_events=len(sequence),
+        horizon=horizon,
+        arrival_rate=(num_tasks / horizon) if horizon > 0 else 0.0,
+        size_histogram=histogram,
+        mean_size=float(np.mean(sizes)) if sizes else 0.0,
+        peak_active_size=sequence.peak_active_size,
+        total_arrival_size=sequence.total_arrival_size,
+        immortal_fraction=(immortal / num_tasks) if num_tasks else 0.0,
+        mean_duration=float(np.mean(durations)) if durations else float("nan"),
+        p95_duration=float(np.percentile(durations, 95))
+        if durations
+        else float("nan"),
+    )

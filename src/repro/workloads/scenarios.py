@@ -1,0 +1,158 @@
+"""Named workload scenarios — reproducible presets used across the repo.
+
+Examples, benches and ad-hoc studies keep needing the same handful of
+workload shapes; naming them here keeps parameters in one place and makes
+"which workload was that table measured on?" answerable.  Each scenario is
+a function ``(num_pes, rng, scale=1.0) -> TaskSequence``; :data:`SCENARIOS`
+is the registry used by the CLI.
+
+Shapes:
+
+* ``steady_state``      — Poisson arrivals, exponential residence, ~70%
+  utilisation: the uneventful shared machine.
+* ``overload``          — Poisson at 150% utilisation: L* > 1, every
+  allocator is volume-bound.
+* ``fragmentation_storm`` — churn at volume ~N with scale-free sizes: the
+  regime where reallocation policy decides the load (the E4 workload).
+* ``wave_and_drain``    — a burst of arrivals, half depart, a second wave:
+  the Figure 1 pattern at machine scale.
+* ``long_tail``         — mostly short jobs with Pareto stragglers pinning
+  fragmentation: the hard case for never-reallocating policies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.tasks.sequence import TaskSequence
+from repro.workloads.distributions import (
+    ExponentialDurations,
+    GeometricSizes,
+    ParetoDurations,
+    UniformLogSizes,
+)
+from repro.workloads.generators import (
+    burst_sequence,
+    churn_sequence,
+    feitelson_sequence,
+    poisson_sequence,
+)
+
+__all__ = [
+    "steady_state",
+    "overload",
+    "fragmentation_storm",
+    "wave_and_drain",
+    "long_tail",
+    "production_1996",
+    "SCENARIOS",
+]
+
+
+def steady_state(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """Poisson / exponential at ~70% utilisation; sizes mostly small."""
+    return poisson_sequence(
+        num_pes,
+        max(1, int(400 * scale)),
+        rng,
+        utilization=0.7,
+        sizes=GeometricSizes(max_size=max(1, num_pes // 4)),
+        durations=ExponentialDurations(mean=1.0),
+    )
+
+
+def overload(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """Poisson at 150% utilisation: demand exceeds the machine (L* > 1)."""
+    return poisson_sequence(
+        num_pes,
+        max(1, int(400 * scale)),
+        rng,
+        utilization=1.5,
+        sizes=UniformLogSizes(max_size=num_pes),
+        durations=ExponentialDurations(mean=1.0),
+    )
+
+
+def fragmentation_storm(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """Churn at volume ~N with scale-free sizes (the E4 workload)."""
+    return churn_sequence(
+        num_pes,
+        max(1, int(3000 * scale)),
+        rng,
+        sizes=UniformLogSizes(max_size=max(1, num_pes // 4)),
+    )
+
+
+def wave_and_drain(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """A wave of arrivals, half depart, then a second wave arrives.
+
+    The machine-scale version of the paper's Figure 1 pattern: the drain
+    leaves scattered holes that the second wave's larger requests cannot
+    use without stacking.
+    """
+    first = burst_sequence(
+        num_pes,
+        max(2, int(num_pes * scale)),
+        rng,
+        sizes=UniformLogSizes(max_size=max(1, num_pes // 8)),
+        depart_fraction=0.5,
+    )
+    second = burst_sequence(
+        num_pes,
+        max(1, int(num_pes * scale) // 4),
+        rng,
+        sizes=UniformLogSizes(max_size=max(2, num_pes // 2)),
+    )
+    return first.concatenated_with(second)
+
+
+def long_tail(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """Mostly short jobs with heavy-tailed stragglers pinning fragments."""
+    return poisson_sequence(
+        num_pes,
+        max(1, int(600 * scale)),
+        rng,
+        utilization=0.9,
+        sizes=GeometricSizes(max_size=max(1, num_pes // 2), ratio=0.6),
+        durations=ParetoDurations(alpha=1.1, xm=0.2, cap=500.0),
+    )
+
+
+def production_1996(
+    num_pes: int, rng: np.random.Generator, scale: float = 1.0
+) -> TaskSequence:
+    """The Feitelson-style 1996 production mix (CM-5/SP2-era logs).
+
+    Small power-of-two jobs dominate, runtimes are log-uniform over orders
+    of magnitude and correlate with size — the workload shape measured on
+    the very machines the paper names.
+    """
+    return feitelson_sequence(
+        num_pes,
+        max(1, int(500 * scale)),
+        rng,
+        utilization=0.8,
+        runtime_size_correlation=0.5,
+    )
+
+
+SCENARIOS: Dict[str, Callable[..., TaskSequence]] = {
+    "steady_state": steady_state,
+    "overload": overload,
+    "fragmentation_storm": fragmentation_storm,
+    "wave_and_drain": wave_and_drain,
+    "long_tail": long_tail,
+    "production_1996": production_1996,
+}

@@ -1,0 +1,93 @@
+"""Unit tests for the Theorem 4.3 adaptive adversary (mechanics).
+
+Bound-level outcomes are covered in tests/test_theorems.py; here we test
+the construction itself: phase structure, volumes, Q computation.
+"""
+
+import math
+
+import pytest
+
+from repro.adversary.deterministic import DeterministicAdversary
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.tasks.events import Arrival
+
+
+class TestConstruction:
+    def test_phase_count_is_min_d_logn(self):
+        m = TreeMachine(64)  # log N = 6
+        assert DeterministicAdversary(m, 3).num_phases == 3
+        assert DeterministicAdversary(m, 6).num_phases == 6
+        assert DeterministicAdversary(m, 100).num_phases == 6
+        assert DeterministicAdversary(m, float("inf")).num_phases == 6
+
+    def test_minimum_one_phase(self):
+        m = TreeMachine(4)
+        assert DeterministicAdversary(m, 0).num_phases == 1
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicAdversary(TreeMachine(4), -1)
+
+    def test_phase0_has_n_unit_tasks(self):
+        m = TreeMachine(16)
+        adversary = DeterministicAdversary(m, 1)  # only phase 0
+        outcome = adversary.run(GreedyAlgorithm(m))
+        arrivals = [ev for ev in outcome.sequence if isinstance(ev, Arrival)]
+        assert len(arrivals) == 16
+        assert all(a.task.size == 1 for a in arrivals)
+
+    def test_phase_i_task_sizes_double(self):
+        m = TreeMachine(16)
+        adversary = DeterministicAdversary(m, float("inf"))
+        outcome = adversary.run(GreedyAlgorithm(m))
+        sizes = sorted({a.task.size for a in outcome.sequence if isinstance(a, Arrival)})
+        # Phases 0..3 on log N = 4: sizes 1, 2, 4, 8.
+        assert sizes == [1, 2, 4, 8]
+
+    def test_wrong_machine_rejected(self):
+        adversary = DeterministicAdversary(TreeMachine(8), 2)
+        other = TreeMachine(8)
+        with pytest.raises(ValueError):
+            adversary.run(GreedyAlgorithm(other))
+
+
+class TestOutcome:
+    def test_result_fields(self):
+        m = TreeMachine(16)
+        adversary = DeterministicAdversary(m, float("inf"))
+        outcome = adversary.run(GreedyAlgorithm(m))
+        assert outcome.algorithm_name == "A_G"
+        assert outcome.num_pes == 16
+        assert outcome.num_phases == 4
+        assert outcome.optimal_load == 1
+        assert outcome.ratio == outcome.max_load
+
+    def test_total_arrival_volume_within_pn(self):
+        m = TreeMachine(64)
+        for d in (2, 4, float("inf")):
+            adversary = DeterministicAdversary(m, d)
+            outcome = adversary.run(GreedyAlgorithm(adversary.machine))
+            p = adversary.num_phases
+            assert outcome.sequence.total_arrival_size <= p * 64
+
+    def test_deterministic_repeatability(self):
+        outcomes = []
+        for _ in range(2):
+            m = TreeMachine(32)
+            adversary = DeterministicAdversary(m, float("inf"))
+            outcomes.append(adversary.run(GreedyAlgorithm(m)))
+        assert outcomes[0].max_load == outcomes[1].max_load
+        assert outcomes[0].sequence == outcomes[1].sequence
+
+    def test_am_with_realloc_budget_not_triggered(self):
+        """Against A_M(d) the adversary keeps total arrivals <= dN, so the
+        simulator's reallocation budget is never violated (no exception)."""
+        m = TreeMachine(32)
+        d = 3
+        adversary = DeterministicAdversary(m, d)
+        algo = PeriodicReallocationAlgorithm(m, d)
+        outcome = adversary.run(algo)
+        assert outcome.max_load >= 2  # ceil((3+1)/2)

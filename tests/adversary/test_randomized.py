@@ -1,0 +1,178 @@
+"""Unit tests for the sigma_r generator (Theorem 5.2 construction)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.randomized import (
+    is_exact_sigma_r_machine,
+    sigma_r_max_phases,
+    sigma_r_phase_sizes,
+    sigma_r_sequence,
+)
+from repro.errors import InvalidMachineError
+from repro.tasks.events import Arrival
+
+
+class TestPhaseSizes:
+    def test_exact_machine_detection(self):
+        # N = 2^(2^k): 16 (log=4), 256 (log=8), 65536 (log=16).
+        assert is_exact_sigma_r_machine(16)
+        assert is_exact_sigma_r_machine(256)
+        assert is_exact_sigma_r_machine(1 << 16)
+        assert not is_exact_sigma_r_machine(64)  # log2(64) = 6, not a power of 2
+        assert not is_exact_sigma_r_machine(32)  # log2(32) = 5
+
+    def test_exact_machine_edge(self):
+        # log2(4) = 2 which is a power of two, so 4 qualifies.
+        assert is_exact_sigma_r_machine(4)
+
+    def test_sizes_are_powers_of_two(self):
+        for n in (16, 64, 256, 1024):
+            for s in sigma_r_phase_sizes(n, 4):
+                assert s & (s - 1) == 0
+                assert s <= n
+
+    def test_exact_sizes_match_log_powers(self):
+        # N = 256, log N = 8: log^i N = 8^i exactly.
+        assert sigma_r_phase_sizes(256, 3) == [1, 8, 64]
+
+    def test_rounded_sizes(self):
+        # N = 64, log N = 6: 6^1 = 6 -> rounds up to 8 (6 > sqrt(32)).
+        sizes = sigma_r_phase_sizes(64, 2)
+        assert sizes[0] == 1
+        assert sizes[1] in (4, 8)
+
+    def test_small_machine_rejected(self):
+        with pytest.raises(InvalidMachineError):
+            sigma_r_phase_sizes(2)
+
+    def test_max_phases(self):
+        # N = 256: sizes 1, 8, 64 feasible (counts 85, 10, 1); 512 is not.
+        assert sigma_r_max_phases(256) == 3
+        assert sigma_r_max_phases(16) >= 2
+
+
+class TestSequenceGeneration:
+    def test_arrival_counts_match_formula(self):
+        seq = sigma_r_sequence(256, np.random.default_rng(0), num_phases=3)
+        arrivals = [ev for ev in seq if isinstance(ev, Arrival)]
+        by_size = {}
+        for a in arrivals:
+            by_size[a.task.size] = by_size.get(a.task.size, 0) + 1
+        assert by_size == {1: 256 // 3, 8: 256 // 24, 64: 256 // 192}
+
+    def test_departure_probability_roughly_respected(self):
+        n = 256  # log N = 8 -> survival 1/8
+        survivors = 0
+        total = 0
+        for seed in range(30):
+            seq = sigma_r_sequence(n, np.random.default_rng(seed), num_phases=1)
+            for t in seq.tasks.values():
+                total += 1
+                if math.isinf(t.departure):
+                    survivors += 1
+        rate = survivors / total
+        assert 0.08 < rate < 0.17  # ~1/8 with sampling noise
+
+    def test_custom_survival_probability(self):
+        seq = sigma_r_sequence(
+            64, np.random.default_rng(0), num_phases=1, survival_probability=1.0
+        )
+        assert all(math.isinf(t.departure) for t in seq.tasks.values())
+        seq = sigma_r_sequence(
+            64, np.random.default_rng(0), num_phases=1, survival_probability=0.0
+        )
+        assert not any(math.isinf(t.departure) for t in seq.tasks.values())
+
+    def test_seeded_reproducibility(self):
+        a = sigma_r_sequence(64, np.random.default_rng(5))
+        b = sigma_r_sequence(64, np.random.default_rng(5))
+        assert a == b
+
+    def test_phases_ordered_in_time(self):
+        seq = sigma_r_sequence(256, np.random.default_rng(1), num_phases=3)
+        # All size-8 arrivals come after all size-1 events of phase 0.
+        last_phase0 = max(
+            ev.time for ev in seq if isinstance(ev, Arrival) and ev.task.size == 1
+        )
+        first_phase1 = min(
+            ev.time for ev in seq if isinstance(ev, Arrival) and ev.task.size == 8
+        )
+        assert first_phase1 > last_phase0
+
+    def test_invalid_survival_rejected(self):
+        with pytest.raises(ValueError):
+            sigma_r_sequence(64, np.random.default_rng(0), survival_probability=-0.1)
+
+    def test_small_machine_rejected(self):
+        with pytest.raises(InvalidMachineError):
+            sigma_r_sequence(2, np.random.default_rng(0))
+
+
+class TestSigmaRPotentials:
+    def test_potentials_nondecreasing_for_any_algorithm(self):
+        import numpy as np
+
+        from repro.adversary.randomized import (
+            measure_sigma_r_potentials,
+            sigma_r_max_phases,
+            sigma_r_phase_sizes,
+            sigma_r_sequence,
+        )
+        from repro.core.greedy import GreedyAlgorithm
+        from repro.core.randomized import ObliviousRandomAlgorithm
+        from repro.machines.tree import TreeMachine
+
+        n = 256
+        phases = sigma_r_max_phases(n)
+        sizes = sigma_r_phase_sizes(n, phases)
+        seq = sigma_r_sequence(n, np.random.default_rng(3), num_phases=phases)
+        for make in (
+            lambda m: GreedyAlgorithm(m),
+            lambda m: ObliviousRandomAlgorithm(m, np.random.default_rng(4)),
+        ):
+            machine = TreeMachine(n)
+            pots = measure_sigma_r_potentials(machine, make(machine), seq, sizes)
+            assert len(pots) == phases
+            assert all(a <= b for a, b in zip(pots, pots[1:]))
+            assert pots[0] > 0
+
+    def test_oblivious_accumulates_at_least_greedys_potential(self):
+        """The Lemma 6 mechanism: load-blind placement fragments faster
+        (averaged over draws)."""
+        import numpy as np
+
+        from repro.adversary.randomized import (
+            measure_sigma_r_potentials,
+            sigma_r_max_phases,
+            sigma_r_phase_sizes,
+            sigma_r_sequence,
+        )
+        from repro.core.greedy import GreedyAlgorithm
+        from repro.core.randomized import ObliviousRandomAlgorithm
+        from repro.machines.tree import TreeMachine
+
+        n = 256
+        phases = sigma_r_max_phases(n)
+        sizes = sigma_r_phase_sizes(n, phases)
+        greedy_final, rand_final = [], []
+        for seed in range(8):
+            seq = sigma_r_sequence(n, np.random.default_rng(seed), num_phases=phases)
+            m1 = TreeMachine(n)
+            greedy_final.append(
+                measure_sigma_r_potentials(m1, GreedyAlgorithm(m1), seq, sizes)[-1]
+            )
+            m2 = TreeMachine(n)
+            rand_final.append(
+                measure_sigma_r_potentials(
+                    m2,
+                    ObliviousRandomAlgorithm(m2, np.random.default_rng(seed + 100)),
+                    seq,
+                    sizes,
+                )[-1]
+            )
+        import numpy as np
+
+        assert np.mean(rand_final) >= np.mean(greedy_final)

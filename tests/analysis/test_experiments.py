@@ -1,0 +1,204 @@
+"""Integration tests for the experiment drivers (small parameterisations).
+
+Each driver is run at reduced scale and its *scientific* assertions are
+checked: bound compliance columns, expected orderings, exact reproduction
+of the Figure 1 numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    experiment_adversary,
+    experiment_copies_ablation,
+    experiment_figure1,
+    experiment_greedy_scaling,
+    experiment_optimal,
+    experiment_randomized,
+    experiment_sigma_r,
+    experiment_slowdown,
+    experiment_topology,
+    experiment_tradeoff,
+    experiment_twochoice,
+)
+
+
+class TestFigure1:
+    def test_exact_paper_numbers(self):
+        report = experiment_figure1()
+        by_algo = {row[0]: row for row in report.rows}
+        assert by_algo["A_G"][1] == 2
+        assert by_algo["A_M(d=1,lazy)"][1] == 1
+        assert by_algo["A_C"][1] == 1
+        assert all(row[2] == 1 for row in report.rows)  # L* = 1 everywhere
+
+    def test_render_contains_table(self):
+        text = experiment_figure1().render()
+        assert "A_G" in text and "max_load" in text and "[E1]" in text
+
+
+class TestOptimalDriver:
+    def test_every_row_optimal(self):
+        report = experiment_optimal(machine_sizes=(4, 16), seeds=(0, 1), num_tasks=80)
+        assert all(v == "yes" for v in report.column("optimal?"))
+
+
+class TestGreedyDriver:
+    def test_within_bound_everywhere(self):
+        report = experiment_greedy_scaling(machine_sizes=(4, 16, 64), num_tasks=150)
+        assert all(v == "yes" for v in report.column("within?"))
+
+    def test_adversarial_ratio_at_least_half_bound(self):
+        report = experiment_greedy_scaling(machine_sizes=(16, 64), num_tasks=100)
+        for adv, bound in zip(report.column("adversarial ratio"), report.column("bound")):
+            assert adv >= bound / 2  # paper: tight within factor 2
+
+
+class TestTradeoffDriver:
+    def test_shape(self):
+        report = experiment_tradeoff(num_pes=64, num_events=800, d_values=[0, 1, 2, 4, float("inf")])
+        worst = report.column("worst ratio")
+        lower = report.column("lower")
+        bound = report.column("bound")
+        # Worst-case ratio is sandwiched and monotone (non-strictly) in d.
+        for w, lo, b in zip(worst, lower, bound):
+            assert lo <= w <= b
+        assert all(a <= b for a, b in zip(worst, worst[1:]))
+        # d = 0 is optimal.
+        assert report.rows[0][1] == report.rows[0][2]
+
+    def test_traffic_decreases_with_d(self):
+        report = experiment_tradeoff(num_pes=64, num_events=800, d_values=[0, 2, 4])
+        traffic = report.column("traffic(pe-hops)")
+        assert traffic[0] > traffic[1] > traffic[2]
+
+
+class TestAdversaryDriver:
+    def test_all_sandwiched(self):
+        report = experiment_adversary(num_pes=64, d_values=[1, 2, 4, float("inf")])
+        assert all(v == "yes" for v in report.column("sandwiched?"))
+
+    def test_lstar_is_one(self):
+        report = experiment_adversary(num_pes=64, d_values=[2])
+        assert report.column("L*") == [1]
+
+
+class TestRandomizedDriver:
+    def test_within_bound(self):
+        report = experiment_randomized(machine_sizes=(16, 64), repetitions=10)
+        assert all(v == "yes" for v in report.column("within?"))
+
+    def test_load_grows_with_n(self):
+        report = experiment_randomized(machine_sizes=(16, 1024), repetitions=10)
+        loads = report.column("E[max load]")
+        assert loads[1] > loads[0]
+
+
+class TestSigmaRDriver:
+    def test_oblivious_worse_than_greedy(self):
+        report = experiment_sigma_r(machine_sizes=(64, 256), repetitions=6)
+        greedy = report.column("A_G E[ratio]")
+        rand = report.column("A_rand E[ratio]")
+        assert all(r >= g for g, r in zip(greedy, rand))
+
+
+class TestSlowdownDriver:
+    def test_slowdown_tracks_load(self):
+        report = experiment_slowdown(num_pes=16, num_tasks=60)
+        for row in report.rows:
+            _, max_load, worst_task_load, worst_slowdown, mean_slowdown = row
+            assert worst_slowdown <= worst_task_load + 1e-9
+            assert mean_slowdown <= worst_slowdown + 1e-9
+            assert worst_task_load <= max_load
+
+
+class TestAblations:
+    def test_lazy_never_more_reallocs(self):
+        report = experiment_copies_ablation(num_pes=64, num_events=600, d_values=(1, 2))
+        for row in report.rows:
+            _, _, _, re_eager, re_lazy, _, _ = row
+            assert re_lazy <= re_eager
+
+    def test_twochoice_gain(self):
+        report = experiment_twochoice(machine_sizes=(64,), repetitions=8)
+        (row,) = report.rows
+        assert row[2] <= row[1]  # 2-choice no worse than 1-choice
+
+    def test_topology_loads_identical(self):
+        report = experiment_topology(num_pes=64, num_events=400)
+        loads = report.column("max_load")
+        assert len(set(loads)) == 1
+        # But traffic differs between at least two topologies.
+        traffic = report.column("traffic(pe-hops)")
+        assert len(set(traffic)) > 1
+
+
+class TestHybridDriver:
+    def test_hybrid_beats_oblivious_at_small_d(self):
+        from repro.analysis.experiments import experiment_hybrid
+
+        report = experiment_hybrid(
+            num_pes=64, d_values=(0.5, 2), num_events=600, repetitions=4
+        )
+        hybrid = report.column("E[A_randM load]")
+        oblivious = report.column("E[A_rand load]")
+        assert hybrid[0] <= oblivious[0]
+
+
+class TestIncrementalDriver:
+    def test_frontier_monotone(self):
+        from repro.analysis.experiments import experiment_incremental
+
+        report = experiment_incremental(num_pes=64, budgets=(0, 2, 64))
+        loads = [row[1] for row in report.rows[:-1]]
+        assert all(a >= b for a, b in zip(loads, loads[1:]))
+        assert loads[0] == 4  # greedy factor at N = 64
+
+
+class TestOperatingModelsDriver:
+    def test_shared_bounded_queueing_not(self):
+        from repro.analysis.experiments import experiment_operating_models
+
+        report = experiment_operating_models(num_pes=16, num_tasks=120)
+        worst = [float(row[3]) for row in report.rows]
+        assert worst[0] <= float(report.rows[0][4]) + 1e-9  # <= max load
+        assert worst[1] > worst[0]
+
+
+class TestThreadOverheadDriver:
+    def test_load_drives_overhead(self):
+        from repro.analysis.experiments import experiment_thread_overhead
+
+        report = experiment_thread_overhead(num_pes=16, num_tasks=32)
+        by_placement = {row[0]: row for row in report.rows}
+        assert by_placement["A_rand"][1] >= by_placement["A_G greedy"][1]
+
+
+class TestWorkloadSensitivityDriver:
+    def test_d_zero_column_is_optimal(self):
+        from repro.analysis.experiments import experiment_workload_sensitivity
+
+        report = experiment_workload_sensitivity(num_pes=32, scale=0.2)
+        for row in report.rows:
+            lstar, load_d0 = row[1], row[2]
+            assert load_d0 == lstar  # d = 0 achieves L* on every scenario
+            assert row[-1] >= 0     # never-realloc can't beat optimal
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+            "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
+        }
+
+    def test_ids_match_reports(self):
+        report = EXPERIMENTS["e1"]()
+        assert report.experiment_id == "e1"
+
+    def test_column_lookup_error(self):
+        report = experiment_figure1()
+        with pytest.raises(ValueError):
+            report.column("nonexistent")

@@ -1,0 +1,139 @@
+"""Unit tests for ASCII plotting primitives."""
+
+import pytest
+
+from repro.analysis.plots import histogram, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == " ▃▅█"
+
+    def test_constant_series(self):
+        out = sparkline([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_map_to_ends(self):
+        out = sparkline([0, 10, 0])
+        assert out[1] == "█"
+        assert out[0] == " "
+
+    def test_length_preserved(self):
+        assert len(sparkline(list(range(100)))) == 100
+
+
+class TestLinePlot:
+    def test_contains_points_and_axes(self):
+        out = line_plot([0, 1, 2], [0, 1, 4], width=20, height=5)
+        assert "*" in out
+        assert "+" + "-" * 20 in out
+
+    def test_title_and_labels(self):
+        out = line_plot([0, 1], [1, 2], title="T", y_label="load", x_label="d")
+        assert out.splitlines()[0] == "T"
+        assert "load" in out
+        assert "d" in out
+
+    def test_y_range_labels(self):
+        out = line_plot([0, 1], [3, 7])
+        assert "7" in out and "3" in out
+
+    def test_empty_data(self):
+        assert line_plot([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1, 2])
+
+    def test_too_small_area(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1], width=2)
+
+    def test_flat_series_ok(self):
+        out = line_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in out
+
+    def test_peak_in_top_row(self):
+        out = line_plot([0, 1, 2], [0, 9, 0], width=12, height=4)
+        data_rows = [l for l in out.splitlines() if "|" in l]
+        assert "*" in data_rows[0]
+
+
+class TestHistogram:
+    def test_mapping_input(self):
+        out = histogram({"a": 1, "b": 4})
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_sequence_input(self):
+        out = histogram([0, 2, 1])
+        assert len(out.splitlines()) == 3
+
+    def test_zero_counts_have_no_bar(self):
+        out = histogram({"x": 0, "y": 3})
+        x_line = out.splitlines()[0]
+        assert "#" not in x_line
+
+    def test_title(self):
+        out = histogram({"x": 1}, title="Loads")
+        assert out.splitlines()[0] == "Loads"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            histogram({"x": -1})
+
+    def test_empty(self):
+        assert histogram({}) == "(no data)"
+
+    def test_bar_width_capped(self):
+        out = histogram({"big": 1000, "small": 1}, width=10)
+        assert max(l.count("#") for l in out.splitlines()) <= 10
+
+
+class TestHeatmap:
+    def test_basic_rendering(self):
+        from repro.analysis.plots import heatmap
+
+        out = heatmap([[0, 1], [2, 3]])
+        lines = out.splitlines()
+        assert lines[0].startswith("|") and lines[0].endswith("|")
+        assert "= 0" in lines[-1] and "= 3" in lines[-1]
+
+    def test_title_and_labels(self):
+        from repro.analysis.plots import heatmap
+
+        out = heatmap([[1]], title="T", y_label="PE", x_label="t")
+        assert out.splitlines()[0] == "T"
+        assert "rows: PE" in out
+
+    def test_downsampling_max_pool(self):
+        from repro.analysis.plots import heatmap
+
+        # A single hot cell must survive pooling (max, not mean).
+        matrix = [[0.0] * 200 for _ in range(40)]
+        matrix[37][163] = 9.0
+        out = heatmap(matrix, max_width=20, max_height=5)
+        assert "█" in out
+
+    def test_constant_matrix(self):
+        from repro.analysis.plots import heatmap
+
+        out = heatmap([[5, 5], [5, 5]])
+        assert "= 5" in out.splitlines()[-1]
+
+    def test_ragged_rejected(self):
+        from repro.analysis.plots import heatmap
+
+        import pytest
+        with pytest.raises(ValueError):
+            heatmap([[1, 2], [3]])
+
+    def test_empty(self):
+        from repro.analysis.plots import heatmap
+
+        assert heatmap([]) == "(no data)"

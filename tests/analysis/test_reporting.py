@@ -1,0 +1,53 @@
+"""Tests for markdown report generation and the `repro report` command."""
+
+import pytest
+
+from repro.analysis.experiments import experiment_figure1
+from repro.analysis.reporting import generate_report, render_markdown
+from repro.cli import main
+
+
+class TestRenderMarkdown:
+    def test_contains_table_and_metadata(self):
+        text = render_markdown([experiment_figure1()])
+        assert "# Reproduction report" in text
+        assert "## E1 —" in text
+        assert "| algorithm |" in text
+        assert "| A_G | 2 |" in text
+        assert "*Parameters:*" in text
+
+    def test_notes_are_blockquotes(self):
+        text = render_markdown([experiment_figure1()])
+        assert "\n> " in text
+
+
+class TestGenerateReport:
+    def test_subset_by_id(self):
+        text = generate_report(experiment_ids=["e1"])
+        assert "## E1" in text
+        assert "## E2" not in text
+
+    def test_unknown_id_rejected_before_running(self):
+        with pytest.raises(KeyError):
+            generate_report(experiment_ids=["zz"])
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        generate_report(out, experiment_ids=["e1"])
+        assert out.exists()
+        assert "## E1" in out.read_text()
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["report", "--ids", "e1"]) == 0
+        assert "## E1" in capsys.readouterr().out
+
+    def test_to_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--ids", "e1", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_id(self, capsys):
+        assert main(["report", "--ids", "nope"]) == 2

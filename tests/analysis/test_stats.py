@@ -1,0 +1,60 @@
+"""Unit tests for the statistics toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, summarize
+
+
+class TestBootstrapCI:
+    def test_constant_samples_tight_interval(self):
+        rng = np.random.default_rng(0)
+        lo, hi = bootstrap_ci(np.full(20, 3.0), rng)
+        assert lo == hi == 3.0
+
+    def test_single_sample(self):
+        rng = np.random.default_rng(0)
+        lo, hi = bootstrap_ci(np.array([5.0]), rng)
+        assert lo == hi == 5.0
+
+    def test_interval_contains_mean_usually(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10.0, 2.0, size=100)
+        lo, hi = bootstrap_ci(samples, np.random.default_rng(2))
+        assert lo <= samples.mean() <= hi
+
+    def test_wider_confidence_wider_interval(self):
+        samples = np.random.default_rng(3).normal(0, 1, 50)
+        lo99, hi99 = bootstrap_ci(samples, np.random.default_rng(4), confidence=0.99)
+        lo80, hi80 = bootstrap_ci(samples, np.random.default_rng(4), confidence=0.80)
+        assert (hi99 - lo99) >= (hi80 - lo80)
+
+    def test_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0, 2.0]), rng, confidence=1.5)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize(np.array([1.0, 2.0, 3.0]))
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.ci_low <= s.mean <= s.ci_high
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_sample_std_zero(self):
+        s = summarize(np.array([4.0]))
+        assert s.std == 0.0
+
+    def test_str_format(self):
+        s = summarize(np.array([1.0, 1.0]))
+        assert "[" in str(s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))

@@ -1,0 +1,92 @@
+"""Unit tests for the parameter-sweep framework."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import Sweep, SweepResults
+
+
+class TestGrid:
+    def test_num_cells(self):
+        sweep = Sweep({"a": [1, 2], "b": [10, 20, 30]})
+        assert sweep.num_cells == 6
+        assert len(sweep.cells()) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sweep({})
+        with pytest.raises(ValueError):
+            Sweep({"a": []})
+
+    def test_cell_order_deterministic(self):
+        sweep = Sweep({"a": [1, 2], "b": ["x", "y"]})
+        assert sweep.cells() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+
+class TestRun:
+    def test_fn_receives_params_and_rng(self):
+        sweep = Sweep({"n": [4, 8]}, seed=1)
+        results = sweep.run(lambda n, rng: (n, isinstance(rng, np.random.Generator)))
+        assert results.values() == [(4, True), (8, True)]
+
+    def test_per_cell_rng_reproducible(self):
+        def draw(n, rng):
+            return float(rng.random())
+
+        a = Sweep({"n": [1, 2, 3]}, seed=5).run(draw)
+        b = Sweep({"n": [1, 2, 3]}, seed=5).run(draw)
+        assert a.values() == b.values()
+        c = Sweep({"n": [1, 2, 3]}, seed=6).run(draw)
+        assert a.values() != c.values()
+
+    def test_per_cell_rng_independent(self):
+        results = Sweep({"n": [1, 2]}, seed=0).run(lambda n, rng: float(rng.random()))
+        v = results.values()
+        assert v[0] != v[1]
+
+
+class TestResults:
+    @pytest.fixture
+    def results(self):
+        sweep = Sweep({"n": [4, 8], "d": [0, 1]}, seed=0)
+        return sweep.run(lambda n, d, rng: n * 10 + d)
+
+    def test_where(self, results):
+        sub = results.where(n=4)
+        assert len(sub) == 2
+        assert all(c["n"] == 4 for c in sub)
+
+    def test_series_ordered(self, results):
+        xs, ys = results.where(n=8).series("d")
+        assert xs == [0, 1]
+        assert ys == [80, 81]
+
+    def test_table_rendering(self, results):
+        out = results.table(["n", "d"], value_header="score")
+        assert "score" in out
+        assert "80" in out
+
+    def test_values_with_extractor(self, results):
+        assert results.where(n=4).values(lambda v: v % 10) == [0, 1]
+
+    def test_integration_with_run_results(self):
+        """End to end: sweep an allocator over (n, d) cells."""
+        from repro.core.periodic import PeriodicReallocationAlgorithm
+        from repro.machines.tree import TreeMachine
+        from repro.sim.runner import run
+        from repro.workloads.generators import churn_sequence
+
+        def cell(n, d, rng):
+            machine = TreeMachine(n)
+            sigma = churn_sequence(n, 120, rng)
+            return run(machine, PeriodicReallocationAlgorithm(machine, d), sigma)
+
+        results = Sweep({"n": [8, 16], "d": [0, 2]}, seed=3).run(cell)
+        assert len(results) == 4
+        for c in results.where(d=0):
+            assert c.value.max_load == c.value.optimal_load  # d=0 optimal

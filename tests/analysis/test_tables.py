@@ -1,0 +1,55 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["n", "ratio"], [[4, 1.0], [1024, 1.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert "ratio" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["4", "1.0"]
+        assert lines[3].split() == ["1024", "1.500"]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456], [2.0], [float("nan")]])
+        assert "1.235" in out
+        assert "2.0" in out
+        assert "nan" in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_wide_cell_expands_column(self):
+        out = format_table(["x"], [["a-very-long-cell"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) == len("a-very-long-cell")
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        out = format_kv({"alpha": 1, "b": 2.5})
+        lines = out.splitlines()
+        assert lines[0] == "alpha : 1"
+        assert lines[1] == "b     : 2.500"
+
+    def test_title(self):
+        out = format_kv({"a": 1}, title="Params")
+        assert out.splitlines()[0] == "Params"
+
+    def test_empty(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,141 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.machines.tree import TreeMachine
+from repro.tasks.events import Arrival, Departure
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[4, 16, 64])
+def machine(request) -> TreeMachine:
+    return TreeMachine(request.param)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+def power_of_two_sizes(max_size: int) -> st.SearchStrategy[int]:
+    """Task sizes: 2**x with x uniform over the admissible exponents."""
+    max_exp = max_size.bit_length() - 1
+    return st.integers(0, max_exp).map(lambda x: 1 << x)
+
+
+@st.composite
+def task_sequences(
+    draw,
+    *,
+    num_pes: int = 16,
+    max_events: int = 60,
+    max_size: int | None = None,
+) -> TaskSequence:
+    """Random interleaved arrival/departure sequences, always valid.
+
+    Each step either (a) arrives a new task of a random power-of-two size,
+    or (b) departs a uniformly chosen active task (if any).  Tasks that
+    remain active at the end never depart (departure = inf), matching the
+    paper's open-ended sequences.
+    """
+    max_size = max_size or num_pes
+    num_events = draw(st.integers(1, max_events))
+    sizes = power_of_two_sizes(max_size)
+    active: list[tuple[int, int, float]] = []  # (task_id, size, arrival)
+    records: list[tuple[str, int, int, float]] = []
+    next_id = 0
+    clock = 0.0
+    for _ in range(num_events):
+        clock += 1.0
+        arrive = not active or draw(st.booleans())
+        if arrive:
+            size = draw(sizes)
+            records.append(("arrive", next_id, size, clock))
+            active.append((next_id, size, clock))
+            next_id += 1
+        else:
+            idx = draw(st.integers(0, len(active) - 1))
+            tid, size, _arr = active.pop(idx)
+            records.append(("depart", tid, size, clock))
+    departures = {tid: t for kind, tid, _s, t in records if kind == "depart"}
+    tasks: dict[int, Task] = {}
+    for kind, tid, size, t in records:
+        if kind == "arrive":
+            dep = departures.get(tid, math.inf)
+            tasks[tid] = Task(TaskId(tid), size, t, dep)
+    events = []
+    for kind, tid, _size, t in records:
+        if kind == "arrive":
+            events.append(Arrival(t, tasks[tid]))
+        else:
+            events.append(Departure(t, tid))
+    return TaskSequence(events)
+
+
+@st.composite
+def wave_drain_sequences(
+    draw,
+    *,
+    num_pes: int = 16,
+    max_waves: int = 3,
+) -> TaskSequence:
+    """Structured wave/drain/wave sequences — the fragmentation-prone shape.
+
+    Each wave is a burst of same-or-mixed-size arrivals; each drain departs
+    a hypothesis-chosen subset of the survivors.  This complements the
+    uniform strategy in :func:`task_sequences`: the Theorem 4.1/4.2 bounds
+    are hardest exactly on this pattern (Figure 1 at scale), so property
+    tests get adversarial-ish coverage without hand-written cases.
+    """
+    num_waves = draw(st.integers(1, max_waves))
+    sizes = power_of_two_sizes(num_pes // 2 if num_pes > 1 else 1)
+    clock = 0.0
+    next_id = 0
+    alive: list[tuple[int, int, float]] = []  # (id, size, arrival)
+    records: list[tuple[str, int, int, float]] = []
+    for _wave in range(num_waves):
+        burst = draw(st.integers(1, max(2, num_pes // 2)))
+        for _ in range(burst):
+            clock += 1.0
+            size = draw(sizes)
+            records.append(("arrive", next_id, size, clock))
+            alive.append((next_id, size, clock))
+            next_id += 1
+        if alive:
+            departing_mask = draw(
+                st.lists(st.booleans(), min_size=len(alive), max_size=len(alive))
+            )
+            survivors = []
+            for (tid, size, arr), leave in zip(alive, departing_mask):
+                if leave:
+                    clock += 1.0
+                    records.append(("depart", tid, size, clock))
+                else:
+                    survivors.append((tid, size, arr))
+            alive = survivors
+    departures = {tid: t for kind, tid, _s, t in records if kind == "depart"}
+    tasks: dict[int, Task] = {}
+    for kind, tid, size, t in records:
+        if kind == "arrive":
+            dep = departures.get(tid, math.inf)
+            tasks[tid] = Task(TaskId(tid), size, t, dep)
+    events = []
+    for kind, tid, _size, t in records:
+        if kind == "arrive":
+            events.append(Arrival(t, tasks[tid]))
+        else:
+            events.append(Departure(t, tid))
+    return TaskSequence(events)

@@ -1,0 +1,73 @@
+"""Tests for the algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    ALGORITHM_SPECS,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.tasks.builder import figure1_sequence
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+        assert {"optimal", "greedy", "basic", "periodic", "random"} <= set(names)
+
+    def test_every_spec_constructs_and_runs(self):
+        seq = figure1_sequence()
+        for name in algorithm_names():
+            machine = TreeMachine(4)
+            algo = make_algorithm(name, machine, d=1, seed=5)
+            result = run(machine, algo, seq)
+            assert result.max_load >= 1, name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("nope", TreeMachine(4))
+
+    def test_options_routed(self):
+        m = TreeMachine(16)
+        lazy = make_algorithm("periodic", m, d=3, lazy=True)
+        assert lazy.reallocation_parameter == 3
+        assert "lazy" in lazy.name
+        inc = make_algorithm("incremental", TreeMachine(16), d=2, moves=7)
+        assert "k=7" in inc.name
+        ff = make_algorithm("firstfit", TreeMachine(16), threshold=3)
+        assert "<3" in ff.name
+
+    def test_irrelevant_options_ignored(self):
+        m = TreeMachine(4)
+        algo = make_algorithm("greedy", m, d=99, lazy=True, moves=3, seed=1)
+        assert algo.name == "A_G"
+
+    def test_rng_override(self):
+        m = TreeMachine(8)
+        a = make_algorithm("random", m, rng=np.random.default_rng(7))
+        b = make_algorithm("random", TreeMachine(8), rng=np.random.default_rng(7))
+        from repro.tasks.task import Task
+        from repro.types import TaskId
+
+        t = Task(TaskId(0), 2, 0.0)
+        assert a.on_arrival(t).node == b.on_arrival(t).node
+
+    def test_metadata_consistency(self):
+        for name, spec in ALGORITHM_SPECS.items():
+            assert spec.name == name
+            machine = TreeMachine(8)
+            algo = spec.build(machine)
+            assert algo.is_randomized == spec.randomized, name
+
+    def test_reallocates_flag_matches_behaviour(self):
+        """Specs marked non-reallocating must have d = inf."""
+        import math
+
+        for name, spec in ALGORITHM_SPECS.items():
+            algo = spec.build(TreeMachine(8), d=1)
+            if not spec.reallocates:
+                assert math.isinf(algo.reallocation_parameter), name

@@ -1,0 +1,98 @@
+"""Unit and property tests for the reallocation procedure A_R (Lemma 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.repack import repack
+from repro.machines.hierarchy import Hierarchy
+from repro.tasks.task import Task
+from repro.types import TaskId, ceil_div
+
+
+def _tasks(sizes):
+    return [Task(TaskId(i), s, float(i)) for i, s in enumerate(sizes)]
+
+
+class TestRepackBasics:
+    def test_empty_set(self):
+        result = repack(Hierarchy(8), [])
+        assert result.num_copies == 0
+        assert result.mapping == {}
+
+    def test_single_task(self):
+        result = repack(Hierarchy(8), _tasks([4]))
+        assert result.num_copies == 1
+        assert result.mapping[TaskId(0)] == 2  # leftmost 4-PE submachine
+
+    def test_perfect_packing_one_copy(self):
+        # 4 + 2 + 1 + 1 = 8 fits one copy of an 8-PE machine exactly.
+        result = repack(Hierarchy(8), _tasks([1, 2, 4, 1]))
+        assert result.num_copies == 1
+
+    def test_decreasing_size_order_determines_layout(self):
+        result = repack(Hierarchy(8), _tasks([1, 4, 2]))
+        h = Hierarchy(8)
+        # Largest first: size 4 at node 2 (PEs 0-3), size 2 at node 6
+        # (PEs 4-5), size 1 at leaf PE 6.
+        assert result.mapping[TaskId(1)] == 2
+        assert result.mapping[TaskId(2)] == 6
+        assert h.leaf_span(result.mapping[TaskId(0)]) == (6, 7)
+
+    def test_overflow_creates_second_copy(self):
+        result = repack(Hierarchy(4), _tasks([4, 1]))
+        assert result.num_copies == 2
+        assert result.copy_of[TaskId(0)] == 0
+        assert result.copy_of[TaskId(1)] == 1
+
+    def test_deterministic_tie_break_by_id(self):
+        a = repack(Hierarchy(8), _tasks([2, 2, 2]))
+        b = repack(Hierarchy(8), list(reversed(_tasks([2, 2, 2]))))
+        assert a.mapping == b.mapping
+
+
+class TestLemma1:
+    @given(st.lists(st.integers(0, 3).map(lambda x: 1 << x), min_size=0, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_copy_count_is_exactly_ceil_s_over_n(self, sizes):
+        """Lemma 1: A_R uses exactly ceil(S/N) copies."""
+        n = 8
+        result = repack(Hierarchy(n), _tasks(sizes))
+        assert result.num_copies == ceil_div(sum(sizes), n)
+
+    @given(st.lists(st.integers(0, 4).map(lambda x: 1 << x), min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_no_overlap_within_copy(self, sizes):
+        n = 16
+        h = Hierarchy(n)
+        result = repack(h, _tasks(sizes))
+        per_copy: dict[int, list[tuple[int, int]]] = {}
+        for tid, node in result.mapping.items():
+            assert h.subtree_size(node) == dict(
+                (t.task_id, t.size) for t in _tasks(sizes)
+            )[tid]
+            per_copy.setdefault(result.copy_of[tid], []).append(h.leaf_span(node))
+        for spans in per_copy.values():
+            spans.sort()
+            for (a, b), (c, d) in zip(spans, spans[1:]):
+                assert b <= c
+
+    @given(st.lists(st.integers(0, 3).map(lambda x: 1 << x), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_all_tasks_mapped(self, sizes):
+        result = repack(Hierarchy(8), _tasks(sizes))
+        assert set(result.mapping) == {TaskId(i) for i in range(len(sizes))}
+        assert set(result.copy_of) == set(result.mapping)
+
+    @given(st.lists(st.integers(0, 3).map(lambda x: 1 << x), min_size=1, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_claim1_no_holes_except_last_copy(self, sizes):
+        """Lemma 1 Claim 1: only the last copy may contain vacant space."""
+        n = 8
+        h = Hierarchy(n)
+        result = repack(h, _tasks(sizes))
+        occupancy = [0] * result.num_copies
+        for tid, node in result.mapping.items():
+            lo, hi = h.leaf_span(node)
+            occupancy[result.copy_of[tid]] += hi - lo
+        for filled in occupancy[:-1]:
+            assert filled == n

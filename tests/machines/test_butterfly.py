@@ -1,0 +1,83 @@
+"""Unit tests for the butterfly topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMachineError
+from repro.machines.butterfly import Butterfly
+
+
+class TestStructure:
+    def test_basics(self):
+        b = Butterfly(16)
+        assert b.topology_name == "butterfly"
+        assert b.order == 4
+        assert b.num_switches == 5 * 16
+
+    def test_rejects_non_power(self):
+        with pytest.raises(InvalidMachineError):
+            Butterfly(12)
+
+
+class TestDistances:
+    def test_same_pe(self):
+        assert Butterfly(16).pe_distance(3, 3) == 0
+
+    def test_adjacent_addresses(self):
+        b = Butterfly(16)
+        # Differ in bit 0 only: climb to rank 1 and back -> 2 hops.
+        assert b.pe_distance(0, 1) == 2
+
+    def test_top_bit_differs(self):
+        b = Butterfly(16)
+        # Differ in bit 3: climb to rank 4 and back -> 8 hops.
+        assert b.pe_distance(0, 8) == 8
+        assert b.pe_distance(0, 15) == 8
+
+    def test_symmetry(self):
+        b = Butterfly(32)
+        for a, c in [(0, 7), (3, 28), (11, 11)]:
+            assert b.pe_distance(a, c) == b.pe_distance(c, a)
+
+    def test_out_of_range(self):
+        b = Butterfly(8)
+        with pytest.raises(InvalidMachineError):
+            b.pe_distance(0, 8)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=60, deadline=None)
+    def test_distance_formula(self, a, c):
+        b = Butterfly(32)
+        expected = 0 if a == c else 2 * (a ^ c).bit_length()
+        assert b.pe_distance(a, c) == expected
+
+    def test_distance_bounded_by_diameter(self):
+        b = Butterfly(64)
+        for a in range(0, 64, 7):
+            for c in range(0, 64, 5):
+                assert b.pe_distance(a, c) <= 2 * b.order
+
+
+class TestPartitions:
+    def test_submachine_diameter(self):
+        b = Butterfly(16)
+        h = b.hierarchy
+        assert b.submachine_diameter(1) == 8        # order-4 sub-butterfly
+        assert b.submachine_diameter(2) == 6
+        assert b.submachine_diameter(h.leaf_node(0)) == 0
+
+    def test_partition_is_local(self):
+        """PEs within an aligned block never route above its sub-butterfly."""
+        b = Butterfly(32)
+        h = b.hierarchy
+        for v in h.nodes_at_level(2):  # 8-PE partitions
+            lo, hi = h.leaf_span(v)
+            for a in range(lo, hi):
+                for c in range(lo, hi):
+                    assert b.pe_distance(a, c) <= b.submachine_diameter(v)
+
+    def test_ranks_used(self):
+        b = Butterfly(16)
+        assert b.ranks_used(1) == 5
+        assert b.ranks_used(b.hierarchy.leaf_node(0)) == 1

@@ -1,0 +1,224 @@
+"""Unit and property tests for BuddyCopy and CopySet (the copies-of-T device)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, PlacementError
+from repro.machines.copies import BuddyCopy, CopySet
+from repro.machines.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def copy8():
+    return BuddyCopy(Hierarchy(8))
+
+
+class TestBuddyCopyBasics:
+    def test_fresh_copy_fully_vacant(self, copy8):
+        assert copy8.largest_vacant() == 8
+        assert copy8.is_empty
+        assert copy8.can_host(8)
+
+    def test_allocate_leftmost(self, copy8):
+        assert copy8.allocate(2) == 4      # PEs 0-1
+        assert copy8.allocate(2) == 5      # next leftmost
+        assert copy8.allocate(1) == 12     # leftmost free leaf = PE 4
+        assert copy8.num_tasks == 3
+
+    def test_allocate_whole_machine(self, copy8):
+        assert copy8.allocate(8) == 1
+        assert copy8.largest_vacant() == 0
+        assert not copy8.can_host(1)
+
+    def test_allocation_never_overlaps(self, copy8):
+        copy8.allocate(4)                  # node 2, PEs 0-3
+        node = copy8.allocate(4)
+        assert node == 3                   # PEs 4-7
+        with pytest.raises(AllocationError):
+            copy8.allocate(1)
+
+    def test_free_and_reuse(self, copy8):
+        node = copy8.allocate(4)
+        copy8.free(node)
+        assert copy8.largest_vacant() == 8
+        assert copy8.allocate(8) == 1
+
+    def test_buddy_merge_on_free(self, copy8):
+        a = copy8.allocate(2)  # node 4
+        b = copy8.allocate(2)  # node 5
+        copy8.allocate(4)      # node 3
+        copy8.free(a)
+        assert copy8.largest_vacant() == 2
+        copy8.free(b)
+        assert copy8.largest_vacant() == 4   # 4 and 5 merged into node 2
+
+    def test_free_unassigned_rejected(self, copy8):
+        with pytest.raises(AllocationError):
+            copy8.free(4)
+
+    def test_allocate_oversized_rejected(self, copy8):
+        with pytest.raises(PlacementError):
+            copy8.allocate(16)
+        with pytest.raises(PlacementError):
+            copy8.allocate(3)
+
+    def test_assign_at_specific_node(self, copy8):
+        copy8.assign_at(5)
+        assert copy8.is_assigned(5)
+        with pytest.raises(AllocationError):
+            copy8.assign_at(5)       # already occupied
+        with pytest.raises(AllocationError):
+            copy8.assign_at(10)      # 10 is a child of 5 -> blocked ancestor
+        with pytest.raises(AllocationError):
+            copy8.assign_at(2)       # 2 contains 5 -> not entirely vacant
+
+    def test_assigned_nodes_iteration(self, copy8):
+        copy8.allocate(2)
+        copy8.allocate(1)
+        assert sorted(copy8.assigned_nodes()) == sorted(
+            v for v in range(1, 16) if copy8.is_assigned(v)
+        )
+
+
+class TestCopySet:
+    def test_first_fit_creates_copies_on_demand(self):
+        cs = CopySet(Hierarchy(4))
+        assert len(cs) == 0
+        cid, node = cs.first_fit(4)
+        assert (cid, node) == (0, 1)
+        cid, node = cs.first_fit(4)
+        assert (cid, node) == (1, 1)
+        assert cs.num_copies == 2
+
+    def test_first_fit_prefers_earliest_copy(self):
+        cs = CopySet(Hierarchy(4))
+        cs.first_fit(4)             # fills copy 0
+        cid1, node1 = cs.first_fit(2)  # forces copy 1
+        assert cid1 == 1
+        cs.free(0, 1)               # copy 0 now empty again
+        cid2, node2 = cs.first_fit(2)
+        assert cid2 == 0            # reuses the earliest copy
+
+    def test_nonempty_count(self):
+        cs = CopySet(Hierarchy(4))
+        cid, node = cs.first_fit(4)
+        assert cs.num_nonempty_copies == 1
+        cs.free(cid, node)
+        assert cs.num_nonempty_copies == 0
+        assert cs.num_copies == 1   # copies persist
+
+    def test_free_unknown_copy_rejected(self):
+        cs = CopySet(Hierarchy(4))
+        with pytest.raises(AllocationError):
+            cs.free(3, 1)
+
+    def test_reset(self):
+        cs = CopySet(Hierarchy(4))
+        cs.first_fit(2)
+        cs.reset()
+        assert cs.num_copies == 0
+        assert cs.total_tasks() == 0
+
+
+@st.composite
+def alloc_scripts(draw, max_ops=50):
+    """Random interleavings of first_fit / free with power-of-two sizes."""
+    ops = []
+    live: list[int] = []  # indices into alloc results
+    n_alloc = 0
+    for _ in range(draw(st.integers(1, max_ops))):
+        if live and draw(st.booleans()):
+            idx = draw(st.integers(0, len(live) - 1))
+            ops.append(("free", live.pop(idx)))
+        else:
+            size = 1 << draw(st.integers(0, 3))
+            ops.append(("alloc", size))
+            live.append(n_alloc)
+            n_alloc += 1
+    return ops
+
+
+class TestCopySetProperties:
+    @given(alloc_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_no_overlap_and_invariants(self, ops):
+        h = Hierarchy(8)
+        cs = CopySet(h)
+        slots: dict[int, tuple[int, int]] = {}
+        n_alloc = 0
+        for op, arg in ops:
+            if op == "alloc":
+                slots[n_alloc] = cs.first_fit(arg)
+                n_alloc += 1
+            else:
+                cid, node = slots.pop(arg)
+                cs.free(cid, node)
+        cs.check_invariants()
+        # Within each copy, assigned leaf spans must be pairwise disjoint.
+        per_copy: dict[int, list[tuple[int, int]]] = {}
+        for cid, node in slots.values():
+            per_copy.setdefault(cid, []).append(h.leaf_span(node))
+        for spans in per_copy.values():
+            spans.sort()
+            for (a, b), (c, d) in zip(spans, spans[1:]):
+                assert b <= c, "overlapping assignments within one copy"
+
+    @given(alloc_scripts(max_ops=60))
+    @settings(max_examples=60, deadline=None)
+    def test_lemma2_copy_bound(self, ops):
+        """CopySet first-fit (algorithm A_B) uses at most ceil(S/N) copies."""
+        h = Hierarchy(8)
+        cs = CopySet(h)
+        slots: dict[int, tuple[int, int]] = {}
+        n_alloc = 0
+        total_arrival = 0
+        for op, arg in ops:
+            if op == "alloc":
+                total_arrival += arg
+                slots[n_alloc] = cs.first_fit(arg)
+                n_alloc += 1
+            else:
+                cid, node = slots.pop(arg)
+                cs.free(cid, node)
+        assert cs.num_copies <= -(-total_arrival // 8)
+
+    @given(alloc_scripts(max_ops=40))
+    @settings(max_examples=40, deadline=None)
+    def test_claim1_no_two_equal_maximal_vacant(self, ops):
+        """Lemma 2 Claim 1: within one copy, maximal vacant submachines have
+        pairwise distinct sizes (checked on the final state of every copy
+        that A_B-style first-fit produces)."""
+        h = Hierarchy(8)
+        cs = CopySet(h)
+        slots: dict[int, tuple[int, int]] = {}
+        n_alloc = 0
+        for op, arg in ops:
+            if op == "alloc":
+                slots[n_alloc] = cs.first_fit(arg)
+                n_alloc += 1
+            else:
+                cid, node = slots.pop(arg)
+                cs.free(cid, node)
+        # Claim 1 is about the state A_B maintains across *arrivals only*;
+        # departures can break it, so restrict to runs without frees.
+        if any(op == "free" for op, _ in ops):
+            return
+        for copy_idx in range(cs.num_copies):
+            copy = cs[copy_idx]
+            maximal_sizes = []
+            for v in range(1, 16):
+                lo, hi = h.leaf_span(v)
+                vacant = not any(
+                    h.is_ancestor_or_self(a, v) or h.is_ancestor_or_self(v, a)
+                    for a in copy.assigned_nodes()
+                )
+                if not vacant:
+                    continue
+                parent_vacant = v > 1 and not any(
+                    h.is_ancestor_or_self(a, v >> 1) or h.is_ancestor_or_self(v >> 1, a)
+                    for a in copy.assigned_nodes()
+                )
+                if not parent_vacant:
+                    maximal_sizes.append(hi - lo)
+            assert len(maximal_sizes) == len(set(maximal_sizes))

@@ -1,0 +1,139 @@
+"""Tests for the fragmentation potential (the Thm 4.3 proof's measure)."""
+
+import numpy as np
+import pytest
+
+from repro.machines.fragmentation import (
+    fragmentation_profile,
+    machine_potential,
+    submachine_potential,
+)
+from repro.machines.hierarchy import Hierarchy
+from repro.types import TaskId
+
+
+@pytest.fixture
+def h8():
+    return Hierarchy(8)
+
+
+def _state(h, assignments):
+    """assignments: list of (task_id, node). Returns (loads, placements, sizes)."""
+    loads = np.zeros(h.num_leaves, dtype=np.int64)
+    placements = {}
+    sizes = {}
+    for tid, node in assignments:
+        lo, hi = h.leaf_span(node)
+        loads[lo:hi] += 1
+        placements[TaskId(tid)] = node
+        sizes[TaskId(tid)] = hi - lo
+    return loads, placements, sizes
+
+
+class TestSubmachinePotential:
+    def test_empty_machine_zero(self, h8):
+        loads, placements, sizes = _state(h8, [])
+        assert submachine_potential(h8, loads, placements, sizes, 1) == 0
+
+    def test_perfectly_packed_block_zero(self, h8):
+        # One unit task on each leaf of the left 4-PE block: 4*1 - 4 = 0.
+        loads, placements, sizes = _state(
+            h8, [(i, h8.leaf_node(i)) for i in range(4)]
+        )
+        assert submachine_potential(h8, loads, placements, sizes, 2) == 0
+
+    def test_single_stacked_leaf(self, h8):
+        # Two unit tasks on leaf 0: maxload 2, volume 2 -> 4*2 - 2 = 6 holes.
+        loads, placements, sizes = _state(
+            h8, [(0, h8.leaf_node(0)), (1, h8.leaf_node(0))]
+        )
+        assert submachine_potential(h8, loads, placements, sizes, 2) == 6
+
+    def test_task_spanning_blocks_counts_coverage(self, h8):
+        # A root task covers both 4-PE blocks fully: each block sees
+        # maxload 1, volume 4 -> potential 0.
+        loads, placements, sizes = _state(h8, [(0, 1)])
+        assert submachine_potential(h8, loads, placements, sizes, 2) == 0
+        assert submachine_potential(h8, loads, placements, sizes, 3) == 0
+
+
+class TestMachinePotential:
+    def test_level_zero_is_n_maxload_minus_volume(self, h8):
+        loads, placements, sizes = _state(
+            h8, [(0, h8.leaf_node(0)), (1, h8.leaf_node(0)), (2, 2)]
+        )
+        # maxload = 3 on leaf 0; volume = 1 + 1 + 4 = 6.
+        assert machine_potential(h8, loads, placements, sizes, 0) == 8 * 3 - 6
+
+    def test_leaf_level_counts_per_pe_holes(self, h8):
+        loads, placements, sizes = _state(
+            h8, [(0, h8.leaf_node(0)), (1, h8.leaf_node(0))]
+        )
+        # Leaf 0: 1*2 - 2 = 0; other leaves 0 -> total 0 at leaf level.
+        assert machine_potential(h8, loads, placements, sizes, 3) == 0
+
+    def test_potential_nonnegative_everywhere(self, h8):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assignments = []
+            for tid in range(rng.integers(1, 10)):
+                node = int(rng.integers(1, 16))
+                assignments.append((tid, node))
+            loads, placements, sizes = _state(h8, assignments)
+            for level in range(4):
+                assert machine_potential(h8, loads, placements, sizes, level) >= 0
+
+
+class TestProfile:
+    def test_profile_fields(self, h8):
+        loads, placements, sizes = _state(
+            h8, [(0, h8.leaf_node(0)), (1, h8.leaf_node(0))]
+        )
+        profile = fragmentation_profile(h8, loads, placements, sizes)
+        assert profile.max_load == 2
+        assert profile.volume == 2
+        assert profile.whole_machine_potential == 8 * 2 - 2
+        assert len(profile.potential_by_level) == 4
+        assert profile.normalized(8) == pytest.approx(14 / 16)
+
+    def test_empty_profile(self, h8):
+        profile = fragmentation_profile(h8, np.zeros(8, dtype=np.int64), {}, {})
+        assert profile.max_load == 0
+        assert profile.normalized(8) == 0.0
+
+
+class TestLemma3:
+    """Numerical verification of the potential-increment lemma."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_adversary_phase_increments(self, n):
+        from repro.adversary.deterministic import DeterministicAdversary
+        from repro.core.greedy import GreedyAlgorithm
+        from repro.machines.tree import TreeMachine
+
+        machine = TreeMachine(n)
+        outcome = DeterministicAdversary(machine, float("inf")).run(
+            GreedyAlgorithm(machine)
+        )
+        pots = outcome.phase_potentials
+        assert len(pots) == outcome.num_phases
+        for i in range(1, len(pots)):
+            increment = pots[i] - pots[i - 1]
+            assert increment >= (n - (1 << (i - 1))) / 2, (
+                f"Lemma 3 violated at phase {i}: dP = {increment}"
+            )
+
+    def test_final_potential_implies_load(self):
+        """P(T, p-1) = N*maxload - volume forces the Thm 4.3 load bound."""
+        from repro.adversary.deterministic import DeterministicAdversary
+        from repro.core.basic import BasicAlgorithm
+        from repro.machines.tree import TreeMachine
+
+        n = 64
+        machine = TreeMachine(n)
+        outcome = DeterministicAdversary(machine, float("inf")).run(
+            BasicAlgorithm(machine)
+        )
+        pots = outcome.phase_potentials
+        for i in range(1, len(pots)):
+            assert pots[i] - pots[i - 1] >= (n - (1 << (i - 1))) / 2

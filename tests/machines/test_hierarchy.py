@@ -1,0 +1,240 @@
+"""Unit and property tests for the heap-indexed hierarchy arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMachineError
+from repro.machines.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def h16():
+    return Hierarchy(16)
+
+
+hier_sizes = st.sampled_from([2, 4, 8, 16, 64, 256])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bad", [0, 3, 6, 12, -4])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(InvalidMachineError):
+            Hierarchy(bad)
+
+    def test_counts(self, h16):
+        assert h16.height == 4
+        assert h16.num_nodes == 31
+        assert h16.root == 1
+
+
+class TestLevels:
+    def test_level_of(self, h16):
+        assert h16.level_of(1) == 0
+        assert h16.level_of(2) == 1
+        assert h16.level_of(3) == 1
+        assert h16.level_of(16) == 4
+        assert h16.level_of(31) == 4
+
+    def test_subtree_size(self, h16):
+        assert h16.subtree_size(1) == 16
+        assert h16.subtree_size(2) == 8
+        assert h16.subtree_size(16) == 1
+
+    def test_level_for_size(self, h16):
+        assert h16.level_for_size(16) == 0
+        assert h16.level_for_size(1) == 4
+        assert h16.level_for_size(4) == 2
+        with pytest.raises(InvalidMachineError):
+            h16.level_for_size(3)
+        with pytest.raises(InvalidMachineError):
+            h16.level_for_size(32)
+
+    def test_nodes_at_level(self, h16):
+        assert list(h16.nodes_at_level(0)) == [1]
+        assert list(h16.nodes_at_level(2)) == [4, 5, 6, 7]
+        with pytest.raises(InvalidMachineError):
+            h16.nodes_at_level(5)
+
+    def test_node_for_and_index(self, h16):
+        assert h16.node_for(4, 0) == 4
+        assert h16.node_for(4, 3) == 7
+        assert h16.index_within_level(7) == 3
+        with pytest.raises(InvalidMachineError):
+            h16.node_for(4, 4)
+
+    def test_num_submachines(self, h16):
+        assert h16.num_submachines(4) == 4
+        assert h16.num_submachines(16) == 1
+        assert h16.num_submachines(3) == 0
+
+
+class TestNavigation:
+    def test_parent_children_sibling(self, h16):
+        assert h16.parent(5) == 2
+        assert h16.left(2) == 4
+        assert h16.right(2) == 5
+        assert h16.sibling(4) == 5
+        assert h16.sibling(5) == 4
+
+    def test_root_has_no_parent_or_sibling(self, h16):
+        with pytest.raises(InvalidMachineError):
+            h16.parent(1)
+        with pytest.raises(InvalidMachineError):
+            h16.sibling(1)
+
+    def test_leaf_has_no_children(self, h16):
+        with pytest.raises(InvalidMachineError):
+            h16.left(16)
+
+    def test_is_leaf(self, h16):
+        assert not h16.is_leaf(1)
+        assert not h16.is_leaf(15)
+        assert h16.is_leaf(16)
+        assert h16.is_leaf(31)
+
+    def test_ancestors_and_path(self, h16):
+        assert list(h16.ancestors(20)) == [10, 5, 2, 1]
+        assert list(h16.path_to_root(20)) == [20, 10, 5, 2, 1]
+        assert list(h16.ancestors(1)) == []
+
+    def test_lca(self, h16):
+        assert h16.lca(16, 17) == 8
+        assert h16.lca(16, 31) == 1
+        assert h16.lca(4, 9) == 4  # ancestor relationship
+        assert h16.lca(7, 7) == 7
+
+    def test_ancestor_and_contains(self, h16):
+        assert h16.is_ancestor_or_self(2, 9)
+        assert h16.is_ancestor_or_self(9, 9)
+        assert not h16.is_ancestor_or_self(9, 2)
+        assert h16.contains(2, 16)
+        assert not h16.contains(3, 16)
+
+
+class TestLeafSpans:
+    def test_root_span(self, h16):
+        assert h16.leaf_span(1) == (0, 16)
+
+    def test_leaf_spans_partition_each_level(self, h16):
+        for level in range(h16.height + 1):
+            spans = [h16.leaf_span(v) for v in h16.nodes_at_level(level)]
+            assert spans[0][0] == 0
+            assert spans[-1][1] == 16
+            for (a, b), (c, d) in zip(spans, spans[1:]):
+                assert b == c
+
+    def test_leaf_node_roundtrip(self, h16):
+        for pe in range(16):
+            node = h16.leaf_node(pe)
+            assert h16.leaf_span(node) == (pe, pe + 1)
+        with pytest.raises(InvalidMachineError):
+            h16.leaf_node(16)
+
+    def test_enclosing_node(self, h16):
+        assert h16.enclosing_node(5, 4) == 5  # PEs 4..7 -> node index 1 at level 2
+        assert h16.enclosing_node(0, 16) == 1
+        assert h16.enclosing_node(15, 1) == 31
+
+    def test_leaves_range(self, h16):
+        assert list(h16.leaves(5)) == [4, 5, 6, 7]
+
+
+class TestDistances:
+    def test_tree_distance(self, h16):
+        assert h16.tree_distance(16, 16) == 0
+        assert h16.tree_distance(16, 17) == 2
+        assert h16.tree_distance(16, 31) == 8
+        assert h16.tree_distance(2, 3) == 2
+        assert h16.tree_distance(1, 16) == 4
+
+    def test_leaf_distance_symmetry(self, h16):
+        for a, b in [(0, 1), (0, 15), (3, 12), (7, 8)]:
+            assert h16.leaf_distance(a, b) == h16.leaf_distance(b, a)
+
+    @given(hier_sizes, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, n, data):
+        h = Hierarchy(n)
+        pes = st.integers(0, n - 1)
+        a, b, c = data.draw(pes), data.draw(pes), data.draw(pes)
+        assert h.leaf_distance(a, c) <= h.leaf_distance(a, b) + h.leaf_distance(b, c)
+
+
+class TestAncestorSums:
+    def test_manual_example(self, h16):
+        values = np.zeros(32, dtype=np.int64)
+        values[1] = 5   # root
+        values[2] = 3   # left half
+        # Level-2 nodes: anc sums should be 8, 8, 5, 5.
+        sums = h16.ancestor_sums(values, 2)
+        assert sums.tolist() == [8, 8, 5, 5]
+
+    def test_level_zero_is_zero(self, h16):
+        values = np.ones(32, dtype=np.int64)
+        assert h16.ancestor_sums(values, 0).tolist() == [0]
+
+    def test_wrong_length_rejected(self, h16):
+        with pytest.raises(InvalidMachineError):
+            h16.ancestor_sums(np.zeros(10, dtype=np.int64), 2)
+
+    @given(hier_sizes, st.integers(0, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive(self, n, level_raw, data):
+        h = Hierarchy(n)
+        level = min(level_raw, h.height)
+        values = np.array(
+            [0] + [data.draw(st.integers(0, 5)) for _ in range(2 * n - 1)],
+            dtype=np.int64,
+        )
+        fast = h.ancestor_sums(values, level)
+        naive = [
+            sum(int(values[a]) for a in h.ancestors(v))
+            for v in h.nodes_at_level(level)
+        ]
+        assert fast.tolist() == naive
+
+
+class TestStructuralProperties:
+    @given(hier_sizes, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_children_partition_parent_span(self, n, data):
+        h = Hierarchy(n)
+        if h.height == 0:
+            return
+        v = data.draw(st.integers(1, n - 1))  # internal nodes only
+        lo, hi = h.leaf_span(v)
+        llo, lhi = h.leaf_span(h.left(v))
+        rlo, rhi = h.leaf_span(h.right(v))
+        assert (llo, rhi) == (lo, hi)
+        assert lhi == rlo
+
+    @given(hier_sizes, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_lca_is_deepest_common_ancestor(self, n, data):
+        h = Hierarchy(n)
+        a = data.draw(st.integers(1, 2 * n - 1))
+        b = data.draw(st.integers(1, 2 * n - 1))
+        anc = h.lca(a, b)
+        assert h.is_ancestor_or_self(anc, a)
+        assert h.is_ancestor_or_self(anc, b)
+        if not h.is_leaf(anc):
+            # No child of the LCA dominates both.
+            for child in (h.left(anc), h.right(anc)):
+                assert not (
+                    h.is_ancestor_or_self(child, a)
+                    and h.is_ancestor_or_self(child, b)
+                )
+
+    @given(hier_sizes, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_enclosing_node_contains_leaf(self, n, data):
+        h = Hierarchy(n)
+        pe = data.draw(st.integers(0, n - 1))
+        exp = data.draw(st.integers(0, h.height))
+        size = 1 << exp
+        node = h.enclosing_node(pe, size)
+        lo, hi = h.leaf_span(node)
+        assert lo <= pe < hi
+        assert hi - lo == size

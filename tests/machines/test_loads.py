@@ -1,0 +1,161 @@
+"""Unit and property tests for the LoadTracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.loads import LoadTracker
+
+
+@pytest.fixture
+def tracker():
+    return LoadTracker(Hierarchy(8))
+
+
+class TestPlacement:
+    def test_place_updates_leaf_loads(self, tracker):
+        tracker.place(1, 8)       # whole machine
+        tracker.place(4, 2)       # PEs 0-1
+        assert tracker.leaf_loads().tolist() == [2, 2, 1, 1, 1, 1, 1, 1]
+        assert tracker.max_load == 2
+        assert tracker.num_active == 2
+
+    def test_remove_restores(self, tracker):
+        tracker.place(4, 2)
+        tracker.remove(4, 2)
+        assert tracker.max_load == 0
+        assert tracker.num_active == 0
+
+    def test_place_rejects_wrong_size(self, tracker):
+        with pytest.raises(PlacementError):
+            tracker.place(8, 4)   # node 8 is a leaf (1 PE)
+        with pytest.raises(PlacementError):
+            tracker.place(1, 3)   # non power of two
+
+    def test_place_rejects_invalid_node(self, tracker):
+        with pytest.raises(PlacementError):
+            tracker.place(0, 8)
+        with pytest.raises(PlacementError):
+            tracker.place(99, 1)
+
+    def test_remove_requires_prior_place(self, tracker):
+        with pytest.raises(PlacementError):
+            tracker.remove(4, 2)
+
+    def test_clear(self, tracker):
+        tracker.place(1, 8)
+        tracker.place(15, 1)
+        tracker.clear()
+        assert tracker.max_load == 0
+        assert tracker.leaf_loads().sum() == 0
+
+
+class TestQueries:
+    def test_submachine_load_includes_ancestors(self, tracker):
+        tracker.place(1, 8)   # root task loads every PE
+        tracker.place(4, 2)   # PEs 0-1
+        assert tracker.submachine_load(4) == 2
+        assert tracker.submachine_load(5) == 1
+        assert tracker.submachine_load(1) == 2
+        assert tracker.ancestor_load(4) == 1
+        assert tracker.node_count(4) == 1
+
+    def test_leaf_load(self, tracker):
+        tracker.place(1, 8)
+        tracker.place(4, 2)
+        assert tracker.leaf_load(0) == 2
+        assert tracker.leaf_load(7) == 1
+
+    def test_level_loads(self, tracker):
+        tracker.place(4, 2)
+        tracker.place(4, 2)
+        tracker.place(7, 2)
+        assert tracker.level_loads(2).tolist() == [2, 0, 0, 1]
+        assert tracker.level_loads(4).tolist() == [2, 1]
+        assert tracker.level_loads(8).tolist() == [2]
+
+    def test_leftmost_min_is_first_argmin(self, tracker):
+        tracker.place(4, 2)
+        node, load = tracker.leftmost_min_submachine(2)
+        assert (node, load) == (5, 0)  # first zero-load 2-PE submachine
+        tracker.place(5, 2)
+        tracker.place(6, 2)
+        tracker.place(7, 2)
+        node, load = tracker.leftmost_min_submachine(2)
+        assert (node, load) == (4, 1)  # all tied at 1 -> leftmost
+
+    def test_snapshot_is_copy(self, tracker):
+        tracker.place(1, 8)
+        snap = tracker.snapshot()
+        snap[1] = 99
+        assert tracker.node_count(1) == 1
+
+
+@st.composite
+def placement_scripts(draw, num_leaves=8, max_ops=40):
+    """Random interleavings of place/remove on an N-leaf tracker."""
+    h = Hierarchy(num_leaves)
+    ops = []
+    live: list[int] = []
+    for _ in range(draw(st.integers(1, max_ops))):
+        if live and draw(st.booleans()):
+            idx = draw(st.integers(0, len(live) - 1))
+            ops.append(("remove", live.pop(idx)))
+        else:
+            node = draw(st.integers(1, 2 * num_leaves - 1))
+            ops.append(("place", node))
+            live.append(node)
+    return ops
+
+
+class TestPropertyConsistency:
+    @given(placement_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_tracker_matches_naive_accounting(self, ops):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        naive = np.zeros(8, dtype=np.int64)
+        for op, node in ops:
+            size = h.subtree_size(node)
+            lo, hi = h.leaf_span(node)
+            if op == "place":
+                tracker.place(node, size)
+                naive[lo:hi] += 1
+            else:
+                tracker.remove(node, size)
+                naive[lo:hi] -= 1
+        assert tracker.leaf_loads().tolist() == naive.tolist()
+        assert tracker.max_load == int(naive.max()) if len(ops) else True
+        tracker.check_invariants()
+
+    @given(placement_scripts(num_leaves=16))
+    @settings(max_examples=40, deadline=None)
+    def test_level_loads_match_leaf_maxima(self, ops):
+        h = Hierarchy(16)
+        tracker = LoadTracker(h)
+        for op, node in ops:
+            size = h.subtree_size(node)
+            if op == "place":
+                tracker.place(node, size)
+            else:
+                tracker.remove(node, size)
+        leaves = tracker.leaf_loads()
+        for size in (1, 2, 4, 8, 16):
+            expected = leaves.reshape(16 // size, size).max(axis=1)
+            assert tracker.level_loads(size).tolist() == expected.tolist()
+
+    @given(placement_scripts(num_leaves=8, max_ops=25))
+    @settings(max_examples=40, deadline=None)
+    def test_submachine_load_definition(self, ops):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        for op, node in ops:
+            size = h.subtree_size(node)
+            getattr(tracker, "place" if op == "place" else "remove")(node, size)
+        leaves = tracker.leaf_loads()
+        for v in range(1, 16):
+            lo, hi = h.leaf_span(v)
+            assert tracker.submachine_load(v) == int(leaves[lo:hi].max())

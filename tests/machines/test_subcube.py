@@ -1,0 +1,170 @@
+"""Tests for subcube recognition strategies (Chen & Shin related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InvalidMachineError
+from repro.machines.subcube import (
+    SubcubeAllocator,
+    is_subcube,
+    recognized_subcubes,
+)
+
+
+class TestIsSubcube:
+    def test_singleton(self):
+        assert is_subcube(frozenset([5]))
+
+    def test_pair_differing_in_one_bit(self):
+        assert is_subcube(frozenset([0b010, 0b011]))
+        assert not is_subcube(frozenset([0b001, 0b010]))  # differ in 2 bits
+
+    def test_pair_differing_in_two_bits_not_subcube(self):
+        assert not is_subcube(frozenset([0b00, 0b11]))
+
+    def test_square(self):
+        assert is_subcube(frozenset([0b00, 0b01, 0b10, 0b11]))
+        assert is_subcube(frozenset([0b100, 0b101, 0b110, 0b111]))
+
+    def test_not_closed(self):
+        # 3 bits span but only 4 elements.
+        assert not is_subcube(frozenset([0b000, 0b001, 0b010, 0b100]))
+
+    def test_wrong_cardinality(self):
+        assert not is_subcube(frozenset([1, 2, 3]))
+        assert not is_subcube(frozenset())
+
+
+class TestRecognition:
+    @pytest.mark.parametrize("n_exp", [3, 4, 5])
+    def test_gray_recognizes_twice_buddy(self, n_exp):
+        """Chen & Shin: the GC strategy recognizes 2x the buddy subcubes."""
+        n = 1 << n_exp
+        for k in range(1, n_exp + 1):
+            buddy = recognized_subcubes(n, 1 << k, "buddy")
+            gray = recognized_subcubes(n, 1 << k, "gray")
+            assert len(gray) == 2 * len(buddy)
+
+    @pytest.mark.parametrize("n_exp", [3, 4, 5])
+    def test_every_gray_region_is_a_subcube(self, n_exp):
+        n = 1 << n_exp
+        for k in range(1, n_exp + 1):
+            for region in recognized_subcubes(n, 1 << k, "gray"):
+                assert is_subcube(region.addresses())
+
+    def test_size_one_identical(self):
+        assert len(recognized_subcubes(8, 1, "gray")) == len(
+            recognized_subcubes(8, 1, "buddy")
+        ) == 8
+
+    def test_validation(self):
+        with pytest.raises(InvalidMachineError):
+            recognized_subcubes(8, 3, "buddy")
+        with pytest.raises(InvalidMachineError):
+            recognized_subcubes(8, 16, "buddy")
+        with pytest.raises(InvalidMachineError):
+            recognized_subcubes(8, 2, "magic")
+
+
+class TestAllocator:
+    def test_allocate_free_roundtrip(self):
+        alloc = SubcubeAllocator(8, "buddy")
+        h1 = alloc.allocate(4)
+        assert alloc.num_busy == 4
+        h2 = alloc.allocate(4)
+        assert alloc.num_busy == 8
+        assert not alloc.can_host(1)
+        alloc.free(h1)
+        assert alloc.can_host(4)
+        alloc.free(h2)
+        assert alloc.num_busy == 0
+
+    def test_double_free_rejected(self):
+        alloc = SubcubeAllocator(8, "gray")
+        h = alloc.allocate(2)
+        alloc.free(h)
+        with pytest.raises(AllocationError):
+            alloc.free(h)
+
+    def test_exhaustion(self):
+        alloc = SubcubeAllocator(4, "buddy")
+        alloc.allocate(4)
+        with pytest.raises(AllocationError):
+            alloc.allocate(1)
+
+    def test_gray_recognizes_straddling_block(self):
+        """GC can place a 2-cube across a buddy boundary; buddy cannot."""
+        buddy = SubcubeAllocator(8, "buddy")
+        gray = SubcubeAllocator(8, "gray")
+        # Occupy ranks 0-1 and 6-7 in both (ranks = addresses for buddy,
+        # gray ranks map through the code but the *pattern* is what counts).
+        for alloc in (buddy, gray):
+            a = alloc.allocate(2)   # first 2-region
+            assert alloc.num_busy == 2
+        # Buddy's remaining aligned 4-blocks: [0-3] (partly busy), [4-7]
+        # (free) -> it CAN host 4. Fill [4,8) then compare mid-straddle.
+        hb = buddy.allocate(4)
+        hg = gray.allocate(4)
+        # Now both have 6 busy; only gray may still find a straddling pair
+        # if its occupancy pattern allows. Recognition counts differ:
+        assert len(recognized_subcubes(8, 4, "gray")) == 4
+        assert len(recognized_subcubes(8, 4, "buddy")) == 2
+
+    def test_largest_hostable(self):
+        alloc = SubcubeAllocator(8, "buddy")
+        assert alloc.largest_hostable == 8
+        alloc.allocate(1)
+        assert alloc.largest_hostable == 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidMachineError):
+            SubcubeAllocator(6)
+        with pytest.raises(InvalidMachineError):
+            SubcubeAllocator(8, "magic")
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_random_alloc_free_never_overlaps(self, seed):
+        rng = np.random.default_rng(seed)
+        alloc = SubcubeAllocator(16, "gray")
+        live = []
+        occupied = 0
+        for _ in range(40):
+            if live and rng.random() < 0.4:
+                idx = int(rng.integers(len(live)))
+                handle, size = live.pop(idx)
+                alloc.free(handle)
+                occupied -= size
+            else:
+                size = int(1 << rng.integers(0, 4))
+                if alloc.can_host(size):
+                    live.append((alloc.allocate(size), size))
+                    occupied += size
+            assert alloc.num_busy == occupied  # no overlap, no leak
+
+
+class TestQueueingIntegration:
+    def test_both_strategies_complete_same_workload(self):
+        from repro.machines.hypercube import Hypercube
+        from repro.sim.queueing import simulate_exclusive_queueing
+        from repro.tasks.task import Task
+        from repro.types import TaskId
+
+        rng = np.random.default_rng(1)
+        tasks = []
+        t = 0.0
+        for i in range(60):
+            t += float(rng.exponential(0.3))
+            tasks.append(
+                Task(TaskId(i), int(1 << rng.integers(0, 3)), t,
+                     work=float(rng.exponential(1.0)))
+            )
+        for strategy in ("buddy", "gray"):
+            cube = Hypercube(8)
+            result = simulate_exclusive_queueing(
+                cube, tasks, allocator=SubcubeAllocator(8, strategy)
+            )
+            assert len(result.outcomes) == 60
+            assert result.max_load == 1

@@ -1,0 +1,256 @@
+"""Unit and property tests for the four physical topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMachineError
+from repro.machines.fattree import FatTree
+from repro.machines.hypercube import Hypercube, gray_code, inverse_gray_code
+from repro.machines.mesh import Mesh2D, morton_decode, morton_encode
+from repro.machines.tree import TreeMachine
+
+
+class TestTreeMachine:
+    def test_basics(self):
+        m = TreeMachine(16)
+        assert m.topology_name == "tree"
+        assert m.num_pes == 16
+        assert m.log_num_pes == 4
+
+    def test_rejects_non_power(self):
+        with pytest.raises(InvalidMachineError):
+            TreeMachine(12)
+
+    def test_pe_distance(self):
+        m = TreeMachine(8)
+        assert m.pe_distance(0, 0) == 0
+        assert m.pe_distance(0, 1) == 2   # via their shared switch
+        assert m.pe_distance(0, 7) == 6   # leaf-root-leaf
+        assert m.pe_distance(3, 4) == 6   # crosses the root
+
+    def test_submachine_diameter(self):
+        m = TreeMachine(16)
+        assert m.submachine_diameter(m.hierarchy.leaf_node(0)) == 0
+        assert m.submachine_diameter(1) == 8        # 2 * log 16
+        assert m.submachine_diameter(2) == 6
+
+    def test_switch_levels(self):
+        m = TreeMachine(16)
+        assert m.switch_levels_used(1) == 4
+        assert m.switch_levels_used(m.hierarchy.leaf_node(3)) == 0
+
+    def test_migration_distance_zero_for_same_node(self):
+        m = TreeMachine(8)
+        assert m.migration_distance(2, 2) == 0
+        assert m.migration_distance(2, 3) == m.pe_distance(0, 4)
+
+    def test_describe(self):
+        d = TreeMachine(8).describe()
+        assert d["topology"] == "tree"
+        assert d["num_pes"] == 8
+
+    def test_validate_task_size(self):
+        m = TreeMachine(8)
+        m.validate_task_size(8)
+        with pytest.raises(InvalidMachineError):
+            m.validate_task_size(16)
+        with pytest.raises(InvalidMachineError):
+            m.validate_task_size(3)
+
+
+class TestGrayCode:
+    @given(st.integers(0, 1 << 20))
+    def test_roundtrip(self, x):
+        assert inverse_gray_code(gray_code(x)) == x
+
+    @given(st.integers(0, 1 << 20))
+    def test_adjacent_codes_differ_in_one_bit(self, x):
+        assert bin(gray_code(x) ^ gray_code(x + 1)).count("1") == 1
+
+    def test_first_codewords(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            inverse_gray_code(-1)
+
+
+class TestHypercube:
+    def test_binary_layout_identity(self):
+        c = Hypercube(16)
+        assert c.topology_name == "hypercube-binary"
+        assert c.dimension == 4
+        for pe in range(16):
+            assert c.address_of(pe) == pe
+            assert c.pe_at(pe) == pe
+
+    def test_gray_layout_roundtrip(self):
+        c = Hypercube(16, layout="gray")
+        for pe in range(16):
+            assert c.pe_at(c.address_of(pe)) == pe
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(InvalidMachineError):
+            Hypercube(8, layout="fancy")
+
+    def test_hamming_distance(self):
+        c = Hypercube(16)
+        assert c.pe_distance(0, 15) == 4
+        assert c.pe_distance(5, 5) == 0
+        assert c.pe_distance(0b0101, 0b0110) == 2
+
+    def test_gray_neighbours_adjacent(self):
+        c = Hypercube(16, layout="gray")
+        for pe in range(15):
+            assert c.pe_distance(pe, pe + 1) == 1
+
+    def test_subcube_mask(self):
+        c = Hypercube(16)
+        level, value = c.subcube_mask(5)   # level 2, index 1
+        assert (level, value) == (2, 1)
+
+    def test_submachine_diameter_binary(self):
+        c = Hypercube(16)
+        assert c.submachine_diameter(1) == 4
+        assert c.submachine_diameter(2) == 3
+        assert c.submachine_diameter(c.hierarchy.leaf_node(0)) == 0
+
+    @pytest.mark.parametrize("layout", ["binary", "gray"])
+    def test_aligned_blocks_are_subcubes(self, layout):
+        # Diameter of a 2^x block must be exactly x in both layouts.
+        c = Hypercube(16, layout=layout)
+        h = c.hierarchy
+        for level in range(h.height + 1):
+            for v in h.nodes_at_level(level):
+                assert c.submachine_diameter(v) == h.height - level
+
+    def test_out_of_range(self):
+        c = Hypercube(8)
+        with pytest.raises(InvalidMachineError):
+            c.address_of(8)
+        with pytest.raises(InvalidMachineError):
+            c.pe_at(-1)
+
+
+class TestMorton:
+    @given(st.integers(0, 1 << 20))
+    def test_roundtrip(self, rank):
+        x, y = morton_decode(rank)
+        assert morton_encode(x, y) == rank
+
+    def test_first_ranks(self):
+        assert [morton_decode(i) for i in range(4)] == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_decode(-1)
+        with pytest.raises(ValueError):
+            morton_encode(-1, 0)
+
+
+class TestMesh2D:
+    def test_requires_square_count(self):
+        with pytest.raises(InvalidMachineError):
+            Mesh2D(8)  # 2^3: not 4^k
+        m = Mesh2D(16)
+        assert m.side == 4
+        assert m.topology_name == "mesh2d"
+
+    def test_coordinates_within_grid(self):
+        m = Mesh2D(16)
+        for pe in range(16):
+            x, y = m.coordinates_of(pe)
+            assert 0 <= x < 4 and 0 <= y < 4
+            assert m.pe_at(x, y) == pe
+
+    def test_manhattan_distance(self):
+        m = Mesh2D(16)
+        # Morton rank 0 = (0,0); rank 15 = (3,3).
+        assert m.pe_distance(0, 15) == 6
+        assert m.pe_distance(0, 0) == 0
+
+    def test_partition_shapes(self):
+        m = Mesh2D(16)
+        h = m.hierarchy
+        assert m.partition_shape(1) == (4, 4)
+        assert m.partition_shape(2) == (2, 4) or m.partition_shape(2) == (4, 2)
+        assert m.partition_shape(h.leaf_node(0)) == (1, 1)
+
+    def test_partition_is_contiguous_rectangle(self):
+        m = Mesh2D(64)
+        h = m.hierarchy
+        for level in range(h.height + 1):
+            for v in h.nodes_at_level(level):
+                lo, hi = h.leaf_span(v)
+                coords = [m.coordinates_of(pe) for pe in range(lo, hi)]
+                xs = {c[0] for c in coords}
+                ys = {c[1] for c in coords}
+                w, hgt = m.partition_shape(v)
+                assert len(xs) * len(ys) == len(coords)  # full rectangle
+                assert {len(xs), len(ys)} == {w, hgt}
+
+    def test_diameter_matches_shape(self):
+        m = Mesh2D(16)
+        assert m.submachine_diameter(1) == 6
+        assert m.submachine_diameter(m.hierarchy.leaf_node(5)) == 0
+
+    def test_out_of_range(self):
+        m = Mesh2D(16)
+        with pytest.raises(InvalidMachineError):
+            m.coordinates_of(16)
+        with pytest.raises(InvalidMachineError):
+            m.pe_at(4, 0)
+
+
+class TestFatTree:
+    def test_parameters_validated(self):
+        with pytest.raises(InvalidMachineError):
+            FatTree(8, fatness=0.5)
+        with pytest.raises(InvalidMachineError):
+            FatTree(8, base_capacity=0.0)
+
+    def test_capacity_grows_toward_root(self):
+        ft = FatTree(16, fatness=2.0)
+        caps = [ft.link_capacity(level) for level in range(4)]
+        assert caps == sorted(caps, reverse=True)
+        assert caps[-1] == 1.0            # leaf links at base capacity
+        assert caps[0] == 8.0             # root links 2^(height-1)
+
+    def test_fatness_one_is_plain_tree(self):
+        ft = FatTree(16, fatness=1.0)
+        assert all(ft.link_capacity(l) == 1.0 for l in range(4))
+
+    def test_link_capacity_range(self):
+        ft = FatTree(8)
+        with pytest.raises(InvalidMachineError):
+            ft.link_capacity(3)
+        with pytest.raises(InvalidMachineError):
+            ft.link_capacity(-1)
+
+    def test_distance_same_as_tree(self):
+        ft = FatTree(16)
+        tree = TreeMachine(16)
+        for a, b in [(0, 1), (0, 15), (6, 9)]:
+            assert ft.pe_distance(a, b) == tree.pe_distance(a, b)
+
+    def test_weighted_transfer_cost(self):
+        ft = FatTree(4, fatness=2.0)
+        # PEs 0 and 1 meet at a leaf-level switch: 2 links of capacity 1.
+        assert ft.weighted_transfer_cost(0, 1) == pytest.approx(2.0)
+        # PEs 0 and 3 cross the root: fat links make it cheaper per level.
+        assert ft.weighted_transfer_cost(0, 3) == pytest.approx(2.0 / 2.0 + 2.0 / 1.0)
+        assert ft.weighted_transfer_cost(2, 2) == 0.0
+
+    def test_fat_cost_below_plain_cost(self):
+        fat = FatTree(64, fatness=2.0)
+        plain = FatTree(64, fatness=1.0)
+        assert fat.weighted_transfer_cost(0, 63) < plain.weighted_transfer_cost(0, 63)
+
+    def test_bisection_capacity(self):
+        ft = FatTree(16, fatness=2.0)
+        assert ft.bisection_capacity(1) == 2.0 * ft.link_capacity(0)
+        with pytest.raises(InvalidMachineError):
+            ft.bisection_capacity(ft.hierarchy.leaf_node(0))

@@ -1,0 +1,77 @@
+"""Tests for the ASCII allocation renderer."""
+
+from repro.machines.hierarchy import Hierarchy
+from repro.machines.loads import LoadTracker
+from repro.machines.visualize import render_allocation, render_tree
+from repro.types import TaskId
+
+
+class TestRenderAllocation:
+    def test_figure1_final_state(self):
+        """Draw the paper's Figure 1 end state under greedy."""
+        from repro.core.greedy import GreedyAlgorithm
+        from repro.machines.tree import TreeMachine
+        from repro.sim.engine import Simulator
+        from repro.tasks.builder import figure1_sequence
+
+        m = TreeMachine(4)
+        sim = Simulator(m, GreedyAlgorithm(m))
+        for ev in figure1_sequence():
+            sim.step(ev)
+        text = render_allocation(
+            m.hierarchy,
+            sim.placements,
+            labels={TaskId(0): "t1", TaskId(2): "t3", TaskId(4): "t5"},
+        )
+        assert "t1" in text and "t3" in text and "t5" in text
+        assert "2" in text.splitlines()[-1]  # load row shows the stack of 2
+
+    def test_empty_state(self):
+        h = Hierarchy(4)
+        text = render_allocation(h, {})
+        assert "no active tasks" in text
+        assert text.splitlines()[-1].split()[:4] == ["0", "0", "0", "0"]
+
+    def test_span_filling(self):
+        h = Hierarchy(4)
+        text = render_allocation(h, {TaskId(0): 1})  # whole machine
+        task_row = text.splitlines()[2]
+        assert task_row.count("t0") == 4
+
+    def test_load_footer_counts_stacks(self):
+        h = Hierarchy(4)
+        text = render_allocation(h, {TaskId(0): 1, TaskId(1): h.leaf_node(0)})
+        footer = text.splitlines()[-1]
+        assert footer.split()[0] == "2"
+
+    def test_custom_labels_and_width(self):
+        h = Hierarchy(2)
+        text = render_allocation(
+            h, {TaskId(0): 1}, labels={TaskId(0): "job"}, cell_width=6
+        )
+        assert "job" in text
+
+
+class TestRenderTree:
+    def test_annotations(self):
+        h = Hierarchy(4)
+        tracker = LoadTracker(h)
+        tracker.place(2, 2)
+        text = render_tree(h, tracker)
+        assert "node 1 [0,4) count=0 load=1" in text
+        assert "node 2 [0,2) count=1 load=1" in text
+
+    def test_empty_subtrees_elided(self):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        tracker.place(h.leaf_node(0), 1)
+        text = render_tree(h, tracker)
+        assert "(empty)" in text
+
+    def test_depth_limit(self):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        tracker.place(h.leaf_node(0), 1)
+        shallow = render_tree(h, tracker, max_depth=1)
+        deep = render_tree(h, tracker)
+        assert len(shallow.splitlines()) < len(deep.splitlines())

@@ -1,0 +1,123 @@
+"""Tests for gang scheduling over machine copies."""
+
+import numpy as np
+import pytest
+
+from repro.core.repack import repack
+from repro.errors import SimulationError
+from repro.machines.tree import TreeMachine
+from repro.sched.gang import simulate_gang_rotation
+from repro.tasks.task import Task
+from repro.types import CopyId, TaskId, ceil_div
+
+
+def _task(tid, size, work=4.0):
+    return Task(TaskId(tid), size, 0.0, work=work)
+
+
+def _repacked(machine, tasks):
+    result = repack(machine.hierarchy, tasks)
+    return dict(result.mapping), dict(result.copy_of), result.num_copies
+
+
+class TestRotationMechanics:
+    def test_single_copy_runs_at_full_speed(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 2, 3.0), _task(1, 2, 3.0)]
+        placements, copy_of, n_copies = _repacked(m, tasks)
+        assert n_copies == 1
+        report = simulate_gang_rotation(m, tasks, placements, copy_of)
+        assert report.rotation_length == 1
+        for t in tasks:
+            assert report.per_task[t.task_id].slowdown == pytest.approx(1.0)
+
+    def test_two_copies_slow_by_two(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 4.0), _task(1, 4, 4.0)]  # each fills a copy
+        placements, copy_of, n_copies = _repacked(m, tasks)
+        assert n_copies == 2
+        report = simulate_gang_rotation(m, tasks, placements, copy_of)
+        # Each task gets every other quantum: slowdown ~2 (within a slot).
+        assert report.worst_slowdown == pytest.approx(2.0, abs=0.3)
+
+    def test_slot_reclaimed_when_copy_drains(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 2.0), _task(1, 4, 8.0)]
+        placements, copy_of, _ = _repacked(m, tasks)
+        report = simulate_gang_rotation(m, tasks, placements, copy_of)
+        long = report.per_task[TaskId(1)]
+        # Shared rotation for ~4 units (2 quanta each), then task 1 alone
+        # for its remaining 6 -> completion ~10, not ~16.
+        assert long.completion_time == pytest.approx(10.0, abs=1.0)
+
+    def test_slot_overhead_accrues(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 4.0), _task(1, 4, 4.0)]
+        placements, copy_of, _ = _repacked(m, tasks)
+        base = simulate_gang_rotation(m, tasks, placements, copy_of)
+        taxed = simulate_gang_rotation(
+            m, tasks, placements, copy_of, slot_overhead=0.25
+        )
+        assert taxed.overhead_time > 0
+        assert taxed.makespan > base.makespan
+
+
+class TestLoadBoundCorrespondence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rotation_equals_lemma1_copy_count(self, seed):
+        """copies == ceil(S/N) (Lemma 1) == rotation length == max slowdown
+        bound under gang execution."""
+        rng = np.random.default_rng(seed)
+        m = TreeMachine(16)
+        # Integer works at quantum 1.0 make the slowdown <= rotation bound
+        # exact (no quantization waste on a task's final slice).
+        tasks = [
+            _task(i, int(1 << rng.integers(0, 4)), float(rng.integers(2, 6)))
+            for i in range(20)
+        ]
+        placements, copy_of, n_copies = _repacked(m, tasks)
+        total = sum(t.size for t in tasks)
+        assert n_copies == ceil_div(total, 16)
+        report = simulate_gang_rotation(m, tasks, placements, copy_of)
+        assert report.rotation_length == n_copies
+        # Gang slowdown never exceeds the rotation length (copies drain).
+        assert report.worst_slowdown <= n_copies + 1e-9
+
+    def test_empty_batch(self):
+        m = TreeMachine(4)
+        report = simulate_gang_rotation(m, [], {}, {})
+        assert report.makespan == 0.0
+        assert report.rotation_length == 0
+
+
+class TestValidation:
+    def test_overlap_within_copy_rejected(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4), _task(1, 2)]
+        placements = {TaskId(0): 1, TaskId(1): 2}
+        copy_of = {TaskId(0): CopyId(0), TaskId(1): CopyId(0)}  # both copy 0!
+        with pytest.raises(SimulationError, match="overlap"):
+            simulate_gang_rotation(m, tasks, placements, copy_of)
+
+    def test_wrong_size_placement_rejected(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 2)]
+        with pytest.raises(SimulationError):
+            simulate_gang_rotation(
+                m, tasks, {TaskId(0): 1}, {TaskId(0): CopyId(0)}
+            )
+
+    def test_bad_parameters(self):
+        m = TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_gang_rotation(m, [], {}, {}, quantum=0)
+        with pytest.raises(SimulationError):
+            simulate_gang_rotation(m, [], {}, {}, slot_overhead=-1)
+
+    def test_zero_work_rejected(self):
+        m = TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_gang_rotation(
+                m, [Task(TaskId(0), 4, 0.0, work=0.0)],
+                {TaskId(0): 1}, {TaskId(0): CopyId(0)},
+            )

@@ -1,0 +1,161 @@
+"""Unit and property tests for the discrete round-robin scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.machines.tree import TreeMachine
+from repro.sched.roundrobin import SchedulerConfig, simulate_round_robin
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+def _task(tid, size, work=4.0):
+    return Task(TaskId(tid), size, 0.0, work=work)
+
+
+def _leaf(machine, pe):
+    return machine.hierarchy.leaf_node(pe)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(quantum=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(context_switch=-1)
+        with pytest.raises(ValueError):
+            SchedulerConfig(min_efficiency=0)
+
+    def test_efficiency_curve(self):
+        cfg = SchedulerConfig(management_tax=0.1)
+        assert cfg.efficiency(1) == 1.0
+        assert cfg.efficiency(2) == pytest.approx(0.9)
+        assert cfg.efficiency(6) == pytest.approx(0.5)
+        assert cfg.efficiency(100) == cfg.min_efficiency
+
+
+class TestIdealConditions:
+    """With zero overhead knobs the scheduler matches the fluid model."""
+
+    def test_lone_task_no_slowdown(self):
+        m = TreeMachine(4)
+        report = simulate_round_robin(
+            m, [_task(0, 2, work=5.0)], {TaskId(0): 2}
+        )
+        s = report.per_task[TaskId(0)]
+        assert s.slowdown == pytest.approx(1.0)
+        assert report.overhead_fraction == 0.0
+
+    def test_two_tasks_sharing_slow_by_two(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, work=4.0), _task(1, 4, work=4.0)]
+        report = simulate_round_robin(m, tasks, {TaskId(0): 1, TaskId(1): 1})
+        # Perfect interleaving: each finishes after ~8 time units.
+        for tid in (TaskId(0), TaskId(1)):
+            assert report.per_task[tid].slowdown == pytest.approx(2.0, abs=0.3)
+
+    def test_bsp_min_semantics(self):
+        """A wide task sharing one PE with a narrow one is held back by it."""
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, work=4.0), _task(1, 1, work=4.0)]
+        placements = {TaskId(0): 1, TaskId(1): _leaf(m, 0)}
+        report = simulate_round_robin(m, tasks, placements)
+        wide = report.per_task[TaskId(0)]
+        # PE 0 serves two threads; the wide task completes only when PE 0
+        # has given it 4 units -> ~8 time units, slowdown ~2.
+        assert wide.slowdown == pytest.approx(2.0, abs=0.3)
+
+    def test_departure_frees_capacity(self):
+        """After the short task finishes, the long one speeds up."""
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, work=2.0), _task(1, 4, work=8.0)]
+        report = simulate_round_robin(m, tasks, {TaskId(0): 1, TaskId(1): 1})
+        long = report.per_task[TaskId(1)]
+        # Shared for ~4 units (2 each), alone for remaining 6 -> ~10 total.
+        assert long.completion_time == pytest.approx(10.0, abs=1.5)
+
+
+class TestOverheads:
+    def test_context_switch_cost_accrues(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 1, work=4.0), _task(1, 1, work=4.0)]
+        placements = {TaskId(0): _leaf(m, 0), TaskId(1): _leaf(m, 0)}
+        cfg = SchedulerConfig(context_switch=0.5)
+        report = simulate_round_robin(m, tasks, placements, cfg)
+        assert report.switch_overhead > 0
+        # Alternating every quantum: a switch nearly every quantum.
+        base = simulate_round_robin(m, tasks, placements)
+        assert report.makespan > base.makespan
+
+    def test_no_switch_cost_for_lone_task(self):
+        m = TreeMachine(4)
+        cfg = SchedulerConfig(context_switch=0.5)
+        report = simulate_round_robin(
+            m, [_task(0, 1, work=5.0)], {TaskId(0): _leaf(m, 0)}, cfg
+        )
+        assert report.switch_overhead == 0.0
+
+    def test_management_tax_proportional_to_load(self):
+        """The paper's motivation: overhead grows with thread count."""
+        m = TreeMachine(4)
+        cfg = SchedulerConfig(management_tax=0.05)
+        fractions = []
+        for nthreads in (1, 2, 4, 8):
+            tasks = [_task(i, 1, work=2.0) for i in range(nthreads)]
+            placements = {TaskId(i): _leaf(m, 0) for i in range(nthreads)}
+            report = simulate_round_robin(m, tasks, placements, cfg)
+            fractions.append(report.overhead_fraction)
+        assert fractions[0] == 0.0
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] > 0.2
+
+    def test_tax_slows_completion_superlinearly(self):
+        m = TreeMachine(4)
+        cfg = SchedulerConfig(management_tax=0.1)
+        def worst(nthreads):
+            tasks = [_task(i, 1, work=2.0) for i in range(nthreads)]
+            placements = {TaskId(i): _leaf(m, 0) for i in range(nthreads)}
+            return simulate_round_robin(m, tasks, placements, cfg).worst_slowdown
+        s2, s8 = worst(2), worst(8)
+        # With tax, 8 threads cost more than 4x the 2-thread slowdown.
+        assert s8 > 4 * s2
+
+
+class TestValidation:
+    def test_wrong_size_placement(self):
+        m = TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_round_robin(m, [_task(0, 2)], {TaskId(0): 1})
+
+    def test_zero_work_rejected(self):
+        m = TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_round_robin(m, [_task(0, 4, work=0.0)], {TaskId(0): 1})
+
+    def test_tick_guard(self):
+        m = TreeMachine(4)
+        cfg = SchedulerConfig(max_ticks=2)
+        with pytest.raises(SimulationError):
+            simulate_round_robin(m, [_task(0, 4, work=100.0)], {TaskId(0): 1}, cfg)
+
+    def test_empty_batch(self):
+        m = TreeMachine(4)
+        report = simulate_round_robin(m, [], {})
+        assert report.makespan == 0.0
+        assert report.worst_slowdown == 0.0
+
+
+class TestAgainstFluidModel:
+    @given(st.integers(1, 6), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_slowdown_bounded_by_load(self, nthreads, work_units):
+        """Discrete slowdown <= resident load when overheads are zero
+        (fluid bound), up to one-quantum granularity."""
+        m = TreeMachine(4)
+        tasks = [_task(i, 1, work=float(work_units)) for i in range(nthreads)]
+        placements = {TaskId(i): _leaf(m, 0) for i in range(nthreads)}
+        report = simulate_round_robin(m, tasks, placements)
+        assert report.worst_slowdown <= nthreads + 1e-9

@@ -1,0 +1,105 @@
+"""Tests for the independent run auditor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import BasicAlgorithm
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.audit import audit_run
+from repro.sim.engine import Simulator
+from repro.tasks.builder import SequenceBuilder, figure1_sequence
+from repro.types import TaskId
+from tests.conftest import task_sequences
+
+
+def _run(machine, algorithm, sequence):
+    sim = Simulator(machine, algorithm)
+    for ev in sequence:
+        sim.step(ev)
+    return sim
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            GreedyAlgorithm,
+            BasicAlgorithm,
+            OptimalReallocatingAlgorithm,
+            lambda m: PeriodicReallocationAlgorithm(m, 1),
+            lambda m: PeriodicReallocationAlgorithm(m, 1, lazy=True),
+        ],
+    )
+    def test_figure1_audits_clean(self, make):
+        m = TreeMachine(4)
+        seq = figure1_sequence()
+        sim = _run(m, make(m), seq)
+        report = audit_run(m, seq, sim.placement_intervals())
+        report.raise_if_failed()
+        assert report.max_load == sim.metrics.max_load
+
+    @given(task_sequences(num_pes=16, max_events=40), st.sampled_from([0, 1, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_auditor_agrees_with_engine(self, seq, d):
+        m = TreeMachine(16)
+        sim = _run(m, PeriodicReallocationAlgorithm(m, d), seq)
+        report = audit_run(m, seq, sim.placement_intervals())
+        report.raise_if_failed()
+        assert report.max_load == sim.metrics.max_load
+
+
+class TestViolationsDetected:
+    def _base(self):
+        m = TreeMachine(4)
+        seq = SequenceBuilder().arrive("a", size=2).depart("a").build()
+        sim = _run(m, GreedyAlgorithm(m), seq)
+        return m, seq, sim.placement_intervals()
+
+    def test_missing_task(self):
+        m, seq, intervals = self._base()
+        intervals.pop(TaskId(0))
+        report = audit_run(m, seq, intervals)
+        assert not report.ok
+        assert any("no placement" in v for v in report.violations)
+
+    def test_wrong_size_node(self):
+        m, seq, intervals = self._base()
+        seg = intervals[TaskId(0)][0]
+        intervals[TaskId(0)] = [(seg[0], seg[1], 1)]  # 4-PE node for size 2
+        report = audit_run(m, seq, intervals)
+        assert not report.ok
+
+    def test_coverage_gap(self):
+        m, seq, intervals = self._base()
+        start, end, node = intervals[TaskId(0)][0]
+        mid = (start + end) / 2
+        intervals[TaskId(0)] = [(start, mid - 0.1, node), (mid, end, node)]
+        report = audit_run(m, seq, intervals)
+        assert not report.ok
+        assert any("gap" in v for v in report.violations)
+
+    def test_late_start(self):
+        m, seq, intervals = self._base()
+        start, end, node = intervals[TaskId(0)][0]
+        intervals[TaskId(0)] = [(start + 0.5, end, node)]
+        report = audit_run(m, seq, intervals)
+        assert not report.ok
+
+    def test_raise_if_failed(self):
+        m, seq, intervals = self._base()
+        intervals.pop(TaskId(0))
+        with pytest.raises(AssertionError):
+            audit_run(m, seq, intervals).raise_if_failed()
+
+    def test_empty_run(self):
+        from repro.tasks.sequence import TaskSequence
+
+        m = TreeMachine(4)
+        report = audit_run(m, TaskSequence([]), {})
+        assert report.ok
+        assert report.max_load == 0

@@ -1,0 +1,204 @@
+"""Tests for the work-driven (closed-loop) shared-model simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.errors import SimulationError
+from repro.machines.tree import TreeMachine
+from repro.sim.closedloop import simulate_shared_closed_loop
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+def _task(tid, size, arrival=0.0, work=1.0):
+    return Task(TaskId(tid), size, arrival, work=work)
+
+
+class TestBasics:
+    def test_lone_task_full_speed(self):
+        m = TreeMachine(4)
+        result = simulate_shared_closed_loop(
+            m, GreedyAlgorithm(m), [_task(0, 2, 0.0, 5.0)]
+        )
+        out = result.outcomes[TaskId(0)]
+        assert out.response_time == pytest.approx(5.0)
+        assert out.slowdown == pytest.approx(1.0)
+        assert result.max_load == 1
+        assert result.makespan == pytest.approx(5.0)
+
+    def test_empty_input(self):
+        m = TreeMachine(4)
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), [])
+        assert result.makespan == 0.0
+        assert result.mean_response == 0.0
+
+    def test_two_full_machine_tasks_processor_share(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 0.0, 4.0), _task(1, 4, 0.0, 4.0)]
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Both run at rate 1/2 until one "finishes" (ties) at t = 8.
+        for tid in (TaskId(0), TaskId(1)):
+            assert result.outcomes[tid].completion == pytest.approx(8.0)
+            assert result.outcomes[tid].slowdown == pytest.approx(2.0)
+
+    def test_short_task_then_speedup(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 0.0, 2.0), _task(1, 4, 0.0, 4.0)]
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Shared until t=4 (each did 2 work); task 0 leaves; task 1 alone
+        # finishes its remaining 2 work by t=6.
+        assert result.outcomes[TaskId(0)].completion == pytest.approx(4.0)
+        assert result.outcomes[TaskId(1)].completion == pytest.approx(6.0)
+
+    def test_disjoint_tasks_full_speed(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 2, 0.0, 3.0), _task(1, 2, 0.0, 3.0)]
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Greedy puts them on disjoint halves: no interference.
+        for tid in (TaskId(0), TaskId(1)):
+            assert result.outcomes[tid].slowdown == pytest.approx(1.0)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_staggered_arrivals(self):
+        m = TreeMachine(4)
+        tasks = [_task(0, 4, 0.0, 4.0), _task(1, 4, 2.0, 1.0)]
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Task 0 alone on [0,2) does 2 work; shares [2,4) doing 1 more;
+        # task 1 does 1 work by t=4 and leaves; task 0 finishes its last
+        # unit alone by t=5.
+        assert result.outcomes[TaskId(1)].completion == pytest.approx(4.0)
+        assert result.outcomes[TaskId(0)].completion == pytest.approx(5.0)
+
+
+class TestWithReallocation:
+    def test_periodic_reallocator_runs_clean(self):
+        m = TreeMachine(8)
+        rng = np.random.default_rng(3)
+        tasks = []
+        t = 0.0
+        for i in range(60):
+            t += float(rng.exponential(0.4))
+            tasks.append(_task(i, int(1 << rng.integers(0, 3)), t, float(rng.exponential(1.5))))
+        algo = PeriodicReallocationAlgorithm(m, 1)
+        result = simulate_shared_closed_loop(m, algo, tasks)
+        assert len(result.outcomes) == 60
+        assert all(o.slowdown >= 1.0 - 1e-9 for o in result.outcomes.values())
+
+    def test_slowdown_bounded_by_max_load(self):
+        m = TreeMachine(8)
+        rng = np.random.default_rng(5)
+        tasks = []
+        t = 0.0
+        for i in range(40):
+            t += float(rng.exponential(0.5))
+            tasks.append(_task(i, int(1 << rng.integers(0, 4)), t, float(rng.exponential(1.0))))
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        assert result.worst_slowdown <= result.max_load + 1e-9
+
+
+class TestValidation:
+    def test_wrong_machine(self):
+        m1, m2 = TreeMachine(4), TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_shared_closed_loop(m1, GreedyAlgorithm(m2), [])
+
+    def test_nonpositive_work(self):
+        m = TreeMachine(4)
+        with pytest.raises(SimulationError):
+            simulate_shared_closed_loop(
+                m, GreedyAlgorithm(m), [Task(TaskId(0), 1, 0.0, work=0.0)]
+            )
+
+    def test_percentiles_and_aggregates(self):
+        m = TreeMachine(4)
+        tasks = [_task(i, 1, 0.0, 1.0) for i in range(4)]
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        assert result.mean_response == pytest.approx(1.0)
+        assert result.percentile_response(95) == pytest.approx(1.0)
+        assert result.max_response == pytest.approx(1.0)
+
+
+class TestConservation:
+    """Physical conservation laws of the work-driven model."""
+
+    def test_work_conservation(self):
+        """Every task completes exactly its work — no more, no less."""
+        import numpy as np
+
+        m = TreeMachine(16)
+        rng = np.random.default_rng(13)
+        tasks = []
+        t = 0.0
+        for i in range(50):
+            t += float(rng.exponential(0.4))
+            tasks.append(_task(i, int(1 << rng.integers(0, 4)), t,
+                                float(rng.uniform(0.5, 3.0))))
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Completion implies the integral of rate over residence == work:
+        # response_time >= work always (rate <= 1) and equality iff alone.
+        for task in tasks:
+            out = result.outcomes[task.task_id]
+            assert out.response_time >= task.work - 1e-9
+            assert out.completion > task.arrival
+
+    def test_busy_time_identity(self):
+        """Utilization * N * makespan equals the busy PE-time integral,
+        which is at least the total PE-work performed."""
+        import numpy as np
+
+        m = TreeMachine(8)
+        rng = np.random.default_rng(17)
+        tasks = []
+        t = 0.0
+        for i in range(30):
+            t += float(rng.exponential(0.5))
+            tasks.append(_task(i, int(1 << rng.integers(0, 3)), t,
+                                float(rng.uniform(0.5, 2.0))))
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        busy_time = result.utilization * 8 * result.makespan
+        total_pe_work = sum(t.size * t.work for t in tasks)
+        # Sharing wastes no PE-time in this model, but PEs can idle between
+        # tasks, and a loaded PE serves exactly one task per instant:
+        assert busy_time >= 0
+        assert busy_time <= 8 * result.makespan + 1e-9
+        # PE-work delivered cannot exceed busy PE-time (rate <= 1 per PE).
+        assert total_pe_work <= busy_time + 1e-6
+
+
+class TestClosedLoopProperties:
+    """Hypothesis fuzzing of the work-driven simulator's invariants."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 10**6), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_on_random_batches(self, seed, count):
+        rng = np.random.default_rng(seed)
+        m = TreeMachine(8)
+        tasks = []
+        t = 0.0
+        for i in range(count):
+            t += float(rng.exponential(0.5))
+            tasks.append(
+                _task(
+                    i,
+                    int(1 << rng.integers(0, 4)),
+                    t,
+                    float(rng.uniform(0.25, 3.0)),
+                )
+            )
+        result = simulate_shared_closed_loop(m, GreedyAlgorithm(m), tasks)
+        # Everyone completes, after their arrival, no faster than their work.
+        assert len(result.outcomes) == count
+        for task in tasks:
+            out = result.outcomes[task.task_id]
+            assert out.completion > task.arrival
+            assert out.slowdown >= 1.0 - 1e-9
+        # Slowdown bounded by the worst concurrency ever seen.
+        assert result.worst_slowdown <= result.max_load + 1e-9
+        # Makespan covers the last arrival and the longest job.
+        assert result.makespan >= max(t.arrival for t in tasks)
+        assert 0.0 <= result.utilization <= 1.0 + 1e-9

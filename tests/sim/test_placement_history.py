@@ -1,0 +1,133 @@
+"""Tests for exact placement-interval logging and dynamic slowdown."""
+
+import math
+
+import pytest
+
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.engine import Simulator
+from repro.sim.slowdown import measure_slowdowns, measure_slowdowns_dynamic
+from repro.tasks.builder import SequenceBuilder, figure1_sequence
+from repro.types import TaskId
+
+
+class TestPlacementIntervals:
+    def test_static_algorithm_single_segment(self):
+        m = TreeMachine(4)
+        sim = Simulator(m, GreedyAlgorithm(m))
+        seq = SequenceBuilder().arrive("a", size=2).depart("a").build()
+        for ev in seq:
+            sim.step(ev)
+        intervals = sim.placement_intervals()
+        (seg,) = intervals[TaskId(0)]
+        start, end, node = seg
+        assert (start, end) == (1.0, 2.0)
+        assert m.hierarchy.subtree_size(node) == 2
+
+    def test_immortal_task_open_segment(self):
+        m = TreeMachine(4)
+        sim = Simulator(m, GreedyAlgorithm(m))
+        seq = SequenceBuilder().arrive("a", size=1).build()
+        for ev in seq:
+            sim.step(ev)
+        (seg,) = sim.placement_intervals()[TaskId(0)]
+        assert math.isinf(seg[1])
+
+    def test_reallocation_splits_segments(self):
+        m = TreeMachine(4)
+        sim = Simulator(m, OptimalReallocatingAlgorithm(m))
+        for ev in figure1_sequence():
+            sim.step(ev)
+        intervals = sim.placement_intervals()
+        # t3 (id 2) gets moved by the repack after t5 arrives in the paper's
+        # example; at minimum, every task has contiguous non-overlapping
+        # segments covering [arrival, departure/inf).
+        for tid, segs in intervals.items():
+            assert segs, f"task {tid} has no segments"
+            for (s1, e1, _), (s2, e2, _) in zip(segs, segs[1:]):
+                assert e1 == s2  # contiguous
+            assert all(e > s for s, e, _ in segs)
+
+    def test_segments_cover_lifetime(self):
+        m = TreeMachine(4)
+        sim = Simulator(m, OptimalReallocatingAlgorithm(m))
+        seq = figure1_sequence()
+        for ev in seq:
+            sim.step(ev)
+        intervals = sim.placement_intervals()
+        for tid, task in seq.tasks.items():
+            segs = intervals[tid]
+            assert segs[0][0] == task.arrival
+            assert segs[-1][1] == task.departure
+
+
+class TestDynamicSlowdown:
+    def test_matches_static_for_fixed_placements(self):
+        m = TreeMachine(8)
+        seq = (
+            SequenceBuilder()
+            .arrive("a", size=4)
+            .arrive("b", size=2)
+            .depart("a")
+            .depart("b")
+            .build()
+        )
+        sim = Simulator(m, GreedyAlgorithm(m))
+        for ev in seq:
+            sim.step(ev)
+        dynamic = measure_slowdowns_dynamic(m, seq, sim.placement_intervals())
+        static = measure_slowdowns(
+            m, seq, {tid: segs[0][2] for tid, segs in sim.placement_intervals().items()}
+        )
+        for tid in seq.tasks:
+            assert dynamic.per_task[tid].slowdown == pytest.approx(
+                static.per_task[tid].slowdown
+            )
+
+    def test_migration_to_idle_pe_restores_speed(self):
+        """A task moved off a contended PE speeds up from that instant."""
+        m = TreeMachine(4)
+        # Two unit tasks share leaf 0 on [0, 2); then one 'migrates' to leaf 3.
+        seq = (
+            SequenceBuilder()
+            .arrive("x", size=1, at=0.0)
+            .arrive("y", size=1, at=0.0)
+            .depart("x", at=4.0)
+            .depart("y", at=4.0)
+            .build()
+        )
+        leaf = m.hierarchy.leaf_node
+        intervals = {
+            TaskId(0): [(0.0, 4.0, leaf(0))],
+            TaskId(1): [(0.0, 2.0, leaf(0)), (2.0, 4.0, leaf(3))],
+        }
+        report = measure_slowdowns_dynamic(m, seq, intervals)
+        # y: shared for 2 units (rate 1/2), alone for 2 (rate 1): work 3 in 4.
+        assert report.per_task[TaskId(1)].completed_work == pytest.approx(3.0)
+        assert report.per_task[TaskId(1)].slowdown == pytest.approx(4.0 / 3.0)
+        # x: shared 2, alone 2 as well once y left.
+        assert report.per_task[TaskId(0)].completed_work == pytest.approx(3.0)
+
+    def test_worst_slowdown_never_exceeds_peak_load(self):
+        """Physical sanity: slowdown is bounded by the max load anywhere."""
+        import numpy as np
+
+        from repro.core.periodic import PeriodicReallocationAlgorithm
+        from repro.workloads.generators import poisson_sequence
+
+        m = TreeMachine(16)
+        seq = poisson_sequence(16, 120, np.random.default_rng(8), utilization=1.5)
+        sim = Simulator(m, PeriodicReallocationAlgorithm(m, 1))
+        for ev in seq:
+            sim.step(ev)
+        report = measure_slowdowns_dynamic(m, seq, sim.placement_intervals())
+        assert report.worst_slowdown <= sim.metrics.max_load + 1e-9
+
+    def test_empty_intervals(self):
+        from repro.tasks.sequence import TaskSequence
+
+        m = TreeMachine(4)
+        report = measure_slowdowns_dynamic(m, TaskSequence([]), {})
+        assert report.worst_slowdown == 0.0

@@ -1,0 +1,85 @@
+"""Unit tests for the migration cost model."""
+
+import pytest
+
+from repro.machines.mesh import Mesh2D
+from repro.machines.tree import TreeMachine
+from repro.sim.realloc_cost import MigrationCostModel
+
+
+class TestCharge:
+    def test_no_move_is_free(self):
+        model = MigrationCostModel()
+        charge = model.charge(TreeMachine(8), 2, 4, 4)
+        assert charge.distance == 0
+        assert charge.bytes_moved == 0.0
+        assert charge.byte_hops == 0.0
+        assert charge.seconds == 0.0
+
+    def test_bytes_scale_with_task_size(self):
+        model = MigrationCostModel(bytes_per_pe=10.0)
+        m = TreeMachine(8)
+        c2 = model.charge(m, 2, 4, 5)
+        c4 = model.charge(m, 4, 2, 3)
+        assert c2.bytes_moved == 20.0
+        assert c4.bytes_moved == 40.0
+
+    def test_distance_from_topology(self):
+        model = MigrationCostModel()
+        m = TreeMachine(8)
+        # Nodes 4 and 5 are sibling 2-PE subtrees: first PEs 0 and 2.
+        assert model.charge(m, 2, 4, 5).distance == m.pe_distance(0, 2)
+
+    def test_seconds_follow_bandwidth(self):
+        fast = MigrationCostModel(bytes_per_pe=1e6, link_bandwidth=100e6)
+        slow = MigrationCostModel(bytes_per_pe=1e6, link_bandwidth=10e6)
+        m = TreeMachine(8)
+        assert slow.charge(m, 4, 2, 3).seconds == pytest.approx(
+            10 * fast.charge(m, 4, 2, 3).seconds
+        )
+
+    def test_topology_changes_cost(self):
+        model = MigrationCostModel()
+        tree = TreeMachine(16)
+        mesh = Mesh2D(16)
+        # Same logical move, different physical distances.
+        t = model.charge(tree, 4, 4, 7).byte_hops
+        me = model.charge(mesh, 4, 4, 7).byte_hops
+        assert t != me
+
+    def test_barrier_overhead(self):
+        model = MigrationCostModel(barrier_cost_seconds=0.5)
+        assert model.reallocation_overhead_seconds(4) == 2.0
+
+
+class TestCapacityAwarePricing:
+    def test_fat_tree_moves_cost_less_time_than_plain(self):
+        from repro.machines.fattree import FatTree
+
+        model = MigrationCostModel()
+        fat = FatTree(16, fatness=2.0)
+        plain = FatTree(16, fatness=1.0)
+        # Migration across the root: nodes 2 and 3 (8-PE halves).
+        fast = model.charge(fat, 8, 2, 3)
+        slow = model.charge(plain, 8, 2, 3)
+        assert fast.byte_hops == slow.byte_hops      # same traffic volume
+        assert fast.seconds < slow.seconds           # cheaper in time
+
+    def test_fatness_one_matches_flat_estimate(self):
+        from repro.machines.fattree import FatTree
+        from repro.machines.tree import TreeMachine
+
+        model = MigrationCostModel()
+        ft = FatTree(16, fatness=1.0)
+        tree = TreeMachine(16)
+        assert model.charge(ft, 4, 4, 7).seconds == pytest.approx(
+            model.charge(tree, 4, 4, 7).seconds
+        )
+
+    def test_opt_out_flag(self):
+        from repro.machines.fattree import FatTree
+
+        fat = FatTree(16, fatness=2.0)
+        aware = MigrationCostModel()
+        flat = MigrationCostModel(use_link_capacities=False)
+        assert aware.charge(fat, 8, 2, 3).seconds < flat.charge(fat, 8, 2, 3).seconds

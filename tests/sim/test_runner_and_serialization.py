@@ -1,0 +1,144 @@
+"""Tests for runner helpers, observers, serialization, and the diurnal
+generator — the recently added surface."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.randomized import ObliviousRandomAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.engine import Simulator
+from repro.sim.runner import SweepPoint, expected_max_load, run, run_many
+from repro.tasks.builder import figure1_sequence
+from repro.tasks.events import Arrival
+from repro.workloads.generators import diurnal_sequence, poisson_sequence
+
+
+class TestRunnerHelpers:
+    def test_run_many_fresh_instances(self):
+        sequences = [figure1_sequence(), figure1_sequence()]
+        machine = TreeMachine(4)
+        results = run_many(machine, GreedyAlgorithm, sequences)
+        assert [r.max_load for r in results] == [2, 2]
+
+    def test_expected_max_load_validates_reps(self):
+        machine = TreeMachine(4)
+        with pytest.raises(ValueError):
+            expected_max_load(
+                machine,
+                lambda m: ObliviousRandomAlgorithm(m, np.random.default_rng(0)),
+                figure1_sequence(),
+                0,
+            )
+
+    def test_expected_max_load_returns_all_peaks(self):
+        machine = TreeMachine(4)
+        seeds = iter(range(100, 110))
+        mean, peaks = expected_max_load(
+            machine,
+            lambda m: ObliviousRandomAlgorithm(m, np.random.default_rng(next(seeds))),
+            figure1_sequence(),
+            10,
+        )
+        assert len(peaks) == 10
+        assert mean == pytest.approx(float(peaks.mean()))
+
+    def test_sweep_point_accessors(self):
+        machine = TreeMachine(4)
+        result = run(machine, GreedyAlgorithm(machine), figure1_sequence())
+        point = SweepPoint(parameter=2.0, result=result)
+        assert point.max_load == 2
+        assert point.ratio == 2.0
+
+
+class TestObservers:
+    def test_observer_sees_every_event(self):
+        machine = TreeMachine(4)
+        sim = Simulator(machine, GreedyAlgorithm(machine))
+        seen = []
+        sim.add_observer(lambda s, ev: seen.append((type(ev).__name__, s.current_max_load)))
+        for ev in figure1_sequence():
+            sim.step(ev)
+        assert len(seen) == 7
+        assert seen[-1] == ("Arrival", 2)
+
+    def test_observer_sees_post_event_state(self):
+        machine = TreeMachine(4)
+        sim = Simulator(machine, GreedyAlgorithm(machine))
+        volumes = []
+        sim.add_observer(lambda s, ev: volumes.append(s.active_size()))
+        for ev in figure1_sequence():
+            sim.step(ev)
+        assert volumes == [1, 2, 3, 4, 3, 2, 4]
+
+
+class TestSerialization:
+    def test_to_dict_roundtrips_through_json(self):
+        machine = TreeMachine(4)
+        result = run(machine, GreedyAlgorithm(machine), figure1_sequence())
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["algorithm"] == "A_G"
+        assert payload["max_load"] == 2
+        assert payload["optimal_load"] == 1
+        assert payload["competitive_ratio"] == 2.0
+        assert payload["events"] == 7
+        assert len(payload["load_series"]["max_loads"]) == 7
+
+    def test_to_dict_includes_realloc_ledger(self):
+        from repro.core.optimal import OptimalReallocatingAlgorithm
+
+        machine = TreeMachine(4)
+        result = run(machine, OptimalReallocatingAlgorithm(machine), figure1_sequence())
+        payload = result.to_dict()
+        assert payload["reallocations"] == 5
+        assert payload["migrations"] >= 0
+
+
+class TestDiurnal:
+    def test_basic_generation(self):
+        seq = diurnal_sequence(32, 300, np.random.default_rng(0))
+        assert seq.num_tasks == 300
+        assert all(t.size <= 32 for t in seq.tasks.values())
+
+    def test_rate_actually_oscillates(self):
+        """More arrivals land in peak half-periods than trough half-periods."""
+        period = 50.0
+        seq = diurnal_sequence(
+            32, 2000, np.random.default_rng(1), period=period, peak_to_trough=6.0
+        )
+        peak_count = trough_count = 0
+        for ev in seq:
+            if not isinstance(ev, Arrival):
+                continue
+            phase = (ev.time % period) / period
+            if phase < 0.5:
+                peak_count += 1   # sin > 0: above-base rate
+            else:
+                trough_count += 1
+        assert peak_count > 1.5 * trough_count
+
+    def test_flat_cycle_matches_poisson_intensity(self):
+        """peak_to_trough = 1 degenerates to a homogeneous process."""
+        seq = diurnal_sequence(
+            32, 500, np.random.default_rng(2), peak_to_trough=1.0, utilization=0.7
+        )
+        flat = poisson_sequence(32, 500, np.random.default_rng(2), utilization=0.7)
+        # Horizons within a factor ~2 (same intensity scale).
+        assert 0.4 < seq.horizon() / flat.horizon() < 2.5
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            diurnal_sequence(32, 0, rng)
+        with pytest.raises(ValueError):
+            diurnal_sequence(32, 10, rng, period=0)
+        with pytest.raises(ValueError):
+            diurnal_sequence(32, 10, rng, peak_to_trough=0.5)
+
+    def test_reproducible(self):
+        a = diurnal_sequence(16, 100, np.random.default_rng(5))
+        b = diurnal_sequence(16, 100, np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,85 @@
+"""Unit tests for the round-robin slowdown model."""
+
+import pytest
+
+from repro.machines.tree import TreeMachine
+from repro.sim.slowdown import measure_slowdowns
+from repro.tasks.builder import SequenceBuilder
+from repro.types import TaskId
+
+
+class TestSlowdownModel:
+    def test_lone_task_runs_at_full_speed(self):
+        m = TreeMachine(4)
+        seq = SequenceBuilder().arrive("a", size=2).depart("a", at=5.0).build()
+        report = measure_slowdowns(m, seq, {TaskId(0): 2})
+        s = report.per_task[TaskId(0)]
+        assert s.slowdown == pytest.approx(1.0)
+        assert s.max_observed_load == 1
+        assert s.busy_time == pytest.approx(4.0)
+        assert s.completed_work == pytest.approx(4.0)
+
+    def test_two_tasks_sharing_halve_throughput(self):
+        m = TreeMachine(4)
+        seq = (
+            SequenceBuilder()
+            .arrive("a", size=4, at=0.0)
+            .arrive("b", size=4, at=0.0)
+            .depart("a", at=10.0)
+            .depart("b", at=10.0)
+            .build()
+        )
+        report = measure_slowdowns(m, seq, {TaskId(0): 1, TaskId(1): 1})
+        for tid in (TaskId(0), TaskId(1)):
+            assert report.per_task[tid].slowdown == pytest.approx(2.0)
+        assert report.worst_slowdown == pytest.approx(2.0)
+        assert report.mean_slowdown == pytest.approx(2.0)
+
+    def test_slowdown_is_max_over_pes(self):
+        """A parallel task is slowed by its most-loaded PE (bulk-synchronous)."""
+        m = TreeMachine(4)
+        seq = (
+            SequenceBuilder()
+            .arrive("wide", size=4, at=0.0)
+            .arrive("narrow", size=1, at=0.0)
+            .depart("wide", at=8.0)
+            .depart("narrow", at=8.0)
+            .build()
+        )
+        placements = {TaskId(0): 1, TaskId(1): m.hierarchy.leaf_node(0)}
+        report = measure_slowdowns(m, seq, placements)
+        # The wide task shares PE 0 (load 2) even though PEs 1-3 are its own.
+        assert report.per_task[TaskId(0)].slowdown == pytest.approx(2.0)
+        assert report.per_task[TaskId(1)].slowdown == pytest.approx(2.0)
+
+    def test_phased_load_integrates_piecewise(self):
+        m = TreeMachine(4)
+        seq = (
+            SequenceBuilder()
+            .arrive("a", size=4, at=0.0)
+            .arrive("b", size=4, at=2.0)
+            .depart("b", at=4.0)
+            .depart("a", at=6.0)
+            .build()
+        )
+        report = measure_slowdowns(m, seq, {TaskId(0): 1, TaskId(1): 1})
+        a = report.per_task[TaskId(0)]
+        # a: alone on [0,2) and [4,6), shared on [2,4): work = 2 + 1 + 2 = 5 over 6.
+        assert a.completed_work == pytest.approx(5.0)
+        assert a.busy_time == pytest.approx(6.0)
+        assert a.slowdown == pytest.approx(6.0 / 5.0)
+
+    def test_immortal_tasks_use_horizon(self):
+        m = TreeMachine(4)
+        seq = SequenceBuilder().arrive("a", size=4, at=0.0).build()
+        report = measure_slowdowns(m, seq, {TaskId(0): 1}, horizon=10.0)
+        assert report.per_task[TaskId(0)].busy_time == pytest.approx(10.0)
+
+    def test_empty_sequence(self):
+        from repro.tasks.sequence import TaskSequence
+
+        m = TreeMachine(4)
+        report = measure_slowdowns(m, TaskSequence([]), {})
+        assert report.worst_slowdown == 0.0
+        assert report.mean_slowdown == 0.0
+        assert report.worst_max_load() == 0

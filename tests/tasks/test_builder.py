@@ -1,0 +1,79 @@
+"""Unit tests for the fluent SequenceBuilder and the Figure 1 sequence."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidSequenceError
+from repro.tasks.builder import SequenceBuilder, figure1_sequence
+from repro.tasks.events import Arrival, Departure
+
+
+class TestBuilder:
+    def test_times_advance_automatically(self):
+        seq = SequenceBuilder().arrive("a", size=1).arrive("b", size=2).build()
+        assert [ev.time for ev in seq] == [1.0, 2.0]
+
+    def test_explicit_times(self):
+        seq = (
+            SequenceBuilder()
+            .arrive("a", size=1, at=0.5)
+            .depart("a", at=9.0)
+            .build()
+        )
+        assert [ev.time for ev in seq] == [0.5, 9.0]
+
+    def test_unfinished_tasks_never_depart(self):
+        seq = SequenceBuilder().arrive("a", size=4).build()
+        (task,) = seq.tasks.values()
+        assert math.isinf(task.departure)
+
+    def test_work_passthrough(self):
+        seq = SequenceBuilder().arrive("a", size=1, work=7.5).build()
+        assert next(iter(seq.tasks.values())).work == 7.5
+
+    def test_task_id_lookup(self):
+        b = SequenceBuilder().arrive("x", size=1).arrive("y", size=1)
+        assert b.task_id("x") != b.task_id("y")
+
+    def test_duplicate_name_rejected(self):
+        b = SequenceBuilder().arrive("a", size=1)
+        with pytest.raises(InvalidSequenceError):
+            b.arrive("a", size=1)
+
+    def test_departure_of_unknown_name_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            SequenceBuilder().depart("ghost")
+
+    def test_double_departure_rejected(self):
+        b = SequenceBuilder().arrive("a", size=1).depart("a")
+        with pytest.raises(InvalidSequenceError):
+            b.depart("a")
+
+    def test_time_travel_rejected(self):
+        b = SequenceBuilder().arrive("a", size=1, at=5.0)
+        with pytest.raises(InvalidSequenceError):
+            b.arrive("b", size=1, at=1.0)
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            SequenceBuilder(time_step=0.0)
+
+
+class TestFigure1:
+    def test_shape(self):
+        seq = figure1_sequence()
+        assert seq.num_tasks == 5
+        kinds = ["A" if isinstance(e, Arrival) else "D" for e in seq]
+        assert kinds == ["A", "A", "A", "A", "D", "D", "A"]
+
+    def test_sizes(self):
+        seq = figure1_sequence()
+        sizes = sorted(t.size for t in seq.tasks.values())
+        assert sizes == [1, 1, 1, 1, 2]
+
+    def test_paper_statistics(self):
+        seq = figure1_sequence()
+        # Four unit tasks active simultaneously -> s(sigma) = 4 on N = 4.
+        assert seq.peak_active_size == 4
+        assert seq.optimal_load(4) == 1

@@ -1,0 +1,42 @@
+"""Unit tests for sequence events and their ordering convention."""
+
+from repro.tasks.events import Arrival, Departure, EventKind, event_sort_key
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+def _task(tid=0, size=1, arrival=0.0, departure=10.0):
+    return Task(TaskId(tid), size, arrival, departure)
+
+
+class TestEventBasics:
+    def test_arrival_kind_and_id(self):
+        ev = Arrival(0.0, _task(3))
+        assert ev.kind is EventKind.ARRIVAL
+        assert ev.task_id == 3
+
+    def test_departure_kind(self):
+        ev = Departure(1.0, TaskId(3))
+        assert ev.kind is EventKind.DEPARTURE
+        assert ev.task_id == 3
+
+    def test_events_hashable(self):
+        assert len({Arrival(0.0, _task()), Arrival(0.0, _task())}) == 1
+
+
+class TestOrdering:
+    def test_departure_before_arrival_at_same_time(self):
+        dep = Departure(5.0, TaskId(0))
+        arr = Arrival(5.0, _task(1, arrival=5.0))
+        assert sorted([arr, dep], key=event_sort_key) == [dep, arr]
+
+    def test_chronological_first(self):
+        early = Arrival(1.0, _task(0, arrival=1.0))
+        late = Departure(2.0, TaskId(0))
+        assert sorted([late, early], key=event_sort_key) == [early, late]
+
+    def test_stability_among_same_kind(self):
+        a1 = Arrival(1.0, _task(0, arrival=1.0))
+        a2 = Arrival(1.0, _task(1, arrival=1.0))
+        assert sorted([a1, a2], key=event_sort_key) == [a1, a2]
+        assert sorted([a2, a1], key=event_sort_key) == [a2, a1]

@@ -1,0 +1,168 @@
+"""Unit and property tests for TaskSequence and its paper statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidSequenceError
+from repro.tasks.events import Arrival, Departure
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+from tests.conftest import task_sequences
+
+
+def _task(tid, size=1, arrival=0.0, departure=math.inf):
+    return Task(TaskId(tid), size, arrival, departure)
+
+
+def _simple_sequence():
+    t0 = _task(0, size=2, arrival=1.0, departure=3.0)
+    t1 = _task(1, size=4, arrival=2.0)
+    return TaskSequence(
+        [Arrival(1.0, t0), Arrival(2.0, t1), Departure(3.0, TaskId(0))]
+    )
+
+
+class TestValidation:
+    def test_duplicate_arrival_rejected(self):
+        t = _task(0)
+        with pytest.raises(InvalidSequenceError):
+            TaskSequence([Arrival(0.0, t), Arrival(0.0, t)])
+
+    def test_departure_of_unknown_task_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            TaskSequence([Departure(1.0, TaskId(9))])
+
+    def test_double_departure_rejected(self):
+        t = _task(0, departure=2.0)
+        with pytest.raises(InvalidSequenceError):
+            TaskSequence([Arrival(0.0, t), Departure(2.0, TaskId(0)),
+                          Departure(2.0, TaskId(0))])
+
+    def test_event_time_must_match_task_fields(self):
+        t = _task(0, arrival=1.0)
+        with pytest.raises(InvalidSequenceError):
+            TaskSequence([Arrival(2.0, t)])
+        t2 = _task(1, arrival=0.0, departure=5.0)
+        with pytest.raises(InvalidSequenceError):
+            TaskSequence([Arrival(0.0, t2), Departure(4.0, TaskId(1))])
+
+    def test_constructor_sorts_events(self):
+        t0 = _task(0, arrival=1.0, departure=3.0)
+        t1 = _task(1, arrival=2.0)
+        seq = TaskSequence(
+            [Departure(3.0, TaskId(0)), Arrival(2.0, t1), Arrival(1.0, t0)]
+        )
+        assert [ev.time for ev in seq] == [1.0, 2.0, 3.0]
+
+    def test_empty_sequence_ok(self):
+        seq = TaskSequence([])
+        assert len(seq) == 0
+        assert seq.peak_active_size == 0
+        assert seq.optimal_load(8) == 0
+
+
+class TestStatistics:
+    def test_peak_active_size(self):
+        # t0 (2) and t1 (4) overlap during [2, 3) -> peak 6.
+        assert _simple_sequence().peak_active_size == 6
+
+    def test_total_arrival_size(self):
+        assert _simple_sequence().total_arrival_size == 6
+
+    def test_active_size_at(self):
+        seq = _simple_sequence()
+        assert seq.active_size_at(0.5) == 0
+        assert seq.active_size_at(1.0) == 2
+        assert seq.active_size_at(2.5) == 6
+        assert seq.active_size_at(3.0) == 4  # t0 departed (exclusive)
+
+    def test_optimal_load_is_ceiling(self):
+        seq = _simple_sequence()  # peak 6
+        assert seq.optimal_load(4) == 2
+        assert seq.optimal_load(8) == 1
+        assert seq.optimal_load(2) == 3
+
+    def test_peak_after_prefix(self):
+        seq = _simple_sequence()
+        assert seq.peak_after_prefix(0) == 0
+        assert seq.peak_after_prefix(1) == 2
+        assert seq.peak_after_prefix(2) == 6
+        assert seq.peak_after_prefix(3) == 6
+        assert seq.peak_after_prefix(99) == seq.peak_active_size
+
+    def test_max_task_size_and_horizon(self):
+        seq = _simple_sequence()
+        assert seq.max_task_size() == 4
+        assert seq.horizon() == 3.0
+
+    def test_num_tasks_and_task_lookup(self):
+        seq = _simple_sequence()
+        assert seq.num_tasks == 2
+        assert seq.task(TaskId(1)).size == 4
+        with pytest.raises(KeyError):
+            seq.task(TaskId(42))
+
+
+class TestViews:
+    def test_arrivals_and_departures_iterators(self):
+        seq = _simple_sequence()
+        assert [a.task_id for a in seq.arrivals()] == [0, 1]
+        assert [d.task_id for d in seq.departures()] == [0]
+
+    def test_from_tasks_roundtrip(self):
+        tasks = [_task(0, 2, 0.0, 4.0), _task(1, 1, 1.0)]
+        seq = TaskSequence.from_tasks(tasks)
+        assert seq.num_tasks == 2
+        assert len(list(seq.departures())) == 1  # inf departure omitted
+
+    def test_restricted_to_horizon(self):
+        seq = _simple_sequence()
+        prefix = seq.restricted_to_horizon(2.0)
+        assert len(prefix) == 2
+        assert prefix.peak_active_size == 6
+
+    def test_slicing_returns_sequence(self):
+        seq = _simple_sequence()
+        assert isinstance(seq[:2], TaskSequence)
+        assert len(seq[:2]) == 2
+
+    def test_equality_and_hash(self):
+        assert _simple_sequence() == _simple_sequence()
+        assert hash(_simple_sequence()) == hash(_simple_sequence())
+
+    def test_concatenated_with_shifts_ids_and_times(self):
+        a = _simple_sequence()
+        b = _simple_sequence()
+        both = a.concatenated_with(b)
+        assert both.num_tasks == 4
+        assert both.peak_active_size >= a.peak_active_size
+        # Original ids 0,1 plus shifted 2,3.
+        assert sorted(int(t) for t in both.tasks) == [0, 1, 2, 3]
+
+
+class TestProperties:
+    @given(task_sequences(num_pes=16))
+    @settings(max_examples=60, deadline=None)
+    def test_peak_is_max_of_active_sizes(self, seq):
+        times = sorted({ev.time for ev in seq})
+        measured = max((seq.active_size_at(t) for t in times), default=0)
+        assert measured == seq.peak_active_size
+
+    @given(task_sequences(num_pes=16))
+    @settings(max_examples=60, deadline=None)
+    def test_peak_bounded_by_total_arrivals(self, seq):
+        assert seq.peak_active_size <= seq.total_arrival_size
+
+    @given(task_sequences(num_pes=8, max_events=40))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_peaks_monotone(self, seq):
+        peaks = [seq.peak_after_prefix(k) for k in range(len(seq) + 1)]
+        assert all(a <= b for a, b in zip(peaks, peaks[1:]))
+
+    @given(task_sequences(num_pes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_load_monotone_in_machine_size(self, seq):
+        assert seq.optimal_load(4) >= seq.optimal_load(8) >= seq.optimal_load(16)

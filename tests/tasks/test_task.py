@@ -1,0 +1,79 @@
+"""Unit tests for the Task model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTaskError
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = Task(TaskId(0), 4, 1.0, 5.0)
+        assert t.size == 4
+        assert t.arrival == 1.0
+        assert t.departure == 5.0
+        assert t.work == 1.0
+
+    def test_default_departure_is_inf(self):
+        t = Task(TaskId(0), 1, 0.0)
+        assert math.isinf(t.departure)
+        assert math.isinf(t.duration)
+
+    @pytest.mark.parametrize("bad", [0, 3, 5, 6, 7, -1, -4])
+    def test_rejects_non_power_of_two_sizes(self, bad):
+        with pytest.raises(InvalidTaskError):
+            Task(TaskId(0), bad, 0.0, 1.0)
+
+    def test_rejects_departure_not_after_arrival(self):
+        with pytest.raises(InvalidTaskError):
+            Task(TaskId(0), 1, 2.0, 2.0)
+        with pytest.raises(InvalidTaskError):
+            Task(TaskId(0), 1, 2.0, 1.0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(InvalidTaskError):
+            Task(TaskId(0), 1, 0.0, 1.0, work=-0.5)
+
+    def test_frozen(self):
+        t = Task(TaskId(0), 2, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            t.size = 4  # type: ignore[misc]
+
+
+class TestProperties:
+    @given(st.integers(0, 20))
+    def test_log_size(self, x):
+        assert Task(TaskId(0), 1 << x, 0.0, 1.0).log_size == x
+
+    def test_duration(self):
+        assert Task(TaskId(0), 1, 1.5, 4.0).duration == 2.5
+
+    def test_is_active_boundaries(self):
+        t = Task(TaskId(0), 1, 1.0, 3.0)
+        assert not t.is_active(0.99)
+        assert t.is_active(1.0)       # arrival inclusive
+        assert t.is_active(2.5)
+        assert not t.is_active(3.0)   # departure exclusive
+        assert not t.is_active(10.0)
+
+    def test_immortal_task_active_forever(self):
+        t = Task(TaskId(0), 1, 0.0)
+        assert t.is_active(1e18)
+
+    def test_with_departure(self):
+        t = Task(TaskId(7), 8, 1.0, work=3.0)
+        t2 = t.with_departure(9.0)
+        assert t2.departure == 9.0
+        assert (t2.task_id, t2.size, t2.arrival, t2.work) == (7, 8, 1.0, 3.0)
+        assert math.isinf(t.departure)  # original untouched
+
+    def test_equality_and_hash(self):
+        a = Task(TaskId(1), 2, 0.0, 5.0)
+        b = Task(TaskId(1), 2, 0.0, 5.0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,124 @@
+"""Tests for sequence transformations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidSequenceError
+from repro.tasks.builder import figure1_sequence
+from repro.tasks.transforms import (
+    filter_tasks,
+    scale_sizes,
+    scale_time,
+    subsample,
+    superpose,
+    truncate_tasks,
+)
+from tests.conftest import task_sequences
+
+
+class TestScaleTime:
+    def test_dilation(self):
+        seq = figure1_sequence()
+        slow = scale_time(seq, 2.0)
+        assert slow.horizon() == 2 * seq.horizon()
+        assert slow.peak_active_size == seq.peak_active_size
+
+    def test_compression(self):
+        seq = figure1_sequence()
+        fast = scale_time(seq, 0.5)
+        assert fast.horizon() == pytest.approx(seq.horizon() / 2)
+
+    def test_immortals_stay_immortal(self):
+        seq = figure1_sequence()
+        assert sum(
+            math.isinf(t.departure) for t in scale_time(seq, 3.0).tasks.values()
+        ) == 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidSequenceError):
+            scale_time(figure1_sequence(), 0)
+
+    @given(task_sequences(num_pes=8, max_events=30))
+    @settings(max_examples=30, deadline=None)
+    def test_load_structure_invariant(self, seq):
+        """Peak active size is invariant under time dilation."""
+        assert scale_time(seq, 3.5).peak_active_size == seq.peak_active_size
+
+
+class TestScaleSizes:
+    def test_doubling(self):
+        seq = figure1_sequence()
+        big = scale_sizes(seq, 2, max_size=8)
+        sizes = sorted(t.size for t in big.tasks.values())
+        assert sizes == [2, 2, 2, 2, 4]
+        assert big.peak_active_size == 2 * seq.peak_active_size
+
+    def test_cap(self):
+        seq = figure1_sequence()
+        capped = scale_sizes(seq, 8, max_size=4)
+        assert all(t.size <= 4 for t in capped.tasks.values())
+
+    def test_validation(self):
+        with pytest.raises(InvalidSequenceError):
+            scale_sizes(figure1_sequence(), 3, max_size=8)
+        with pytest.raises(InvalidSequenceError):
+            scale_sizes(figure1_sequence(), 2, max_size=6)
+
+
+class TestFilterAndSubsample:
+    def test_filter_by_size(self):
+        seq = figure1_sequence()
+        only_small = filter_tasks(seq, lambda t: t.size == 1)
+        assert only_small.num_tasks == 4
+
+    def test_subsample_fraction_extremes(self):
+        seq = figure1_sequence()
+        rng = np.random.default_rng(0)
+        assert subsample(seq, 1.0, rng).num_tasks == 5
+        assert subsample(seq, 0.0, rng).num_tasks == 0
+
+    def test_subsample_reproducible(self):
+        seq = figure1_sequence()
+        a = subsample(seq, 0.5, np.random.default_rng(3))
+        b = subsample(seq, 0.5, np.random.default_rng(3))
+        assert a == b
+
+    def test_subsample_validation(self):
+        with pytest.raises(InvalidSequenceError):
+            subsample(figure1_sequence(), 1.5, np.random.default_rng(0))
+
+
+class TestSuperposeAndTruncate:
+    def test_superpose_overlays_in_time(self):
+        seq = figure1_sequence()
+        doubled = superpose(seq, seq)
+        assert doubled.num_tasks == 10
+        assert doubled.peak_active_size == 2 * seq.peak_active_size
+        assert doubled.horizon() == seq.horizon()  # simultaneous, not appended
+
+    def test_superpose_remaps_ids(self):
+        seq = figure1_sequence()
+        doubled = superpose(seq, seq)
+        assert len({int(t) for t in doubled.tasks}) == 10
+
+    def test_truncate(self):
+        seq = figure1_sequence()
+        first3 = truncate_tasks(seq, 3)
+        assert first3.num_tasks == 3
+        assert truncate_tasks(seq, 0).num_tasks == 0
+        assert truncate_tasks(seq, 99).num_tasks == 5
+
+    def test_truncate_validation(self):
+        with pytest.raises(InvalidSequenceError):
+            truncate_tasks(figure1_sequence(), -1)
+
+    @given(task_sequences(num_pes=8, max_events=25))
+    @settings(max_examples=30, deadline=None)
+    def test_superpose_peak_subadditive(self, seq):
+        """Peak of the overlay is between max and sum of the peaks."""
+        combo = superpose(seq, seq)
+        assert seq.peak_active_size <= combo.peak_active_size
+        assert combo.peak_active_size <= 2 * seq.peak_active_size

@@ -1,0 +1,122 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 64
+        assert args.algorithm == "greedy"
+        assert args.workload == "poisson"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("e1:", "e4:", "a3:"):
+            assert exp_id in out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "A_G" in out and "[E1]" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "zz"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate_greedy(self, capsys):
+        assert main(["simulate", "--n", "16", "--tasks", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "max load" in out
+        assert "competitive ratio" in out
+
+    def test_simulate_periodic_with_d(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n", "16",
+                    "--algorithm", "periodic",
+                    "--d", "1",
+                    "--workload", "churn",
+                    "--tasks", "200",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reallocations" in out
+
+    def test_simulate_random_algorithm(self, capsys):
+        assert main(["simulate", "--algorithm", "random", "--n", "16", "--tasks", "50"]) == 0
+
+    def test_simulate_optimal_ratio_one(self, capsys):
+        assert main(["simulate", "--algorithm", "optimal", "--n", "16", "--tasks", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "competitive ratio  : 1.000" in out
+
+
+class TestArchiveWorkflow:
+    def test_save_and_audit_roundtrip(self, tmp_path, capsys):
+        archive = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "simulate", "--n", "16", "--workload", "churn",
+                    "--tasks", "150", "--algorithm", "periodic", "--d", "1",
+                    "--save-run", str(archive),
+                ]
+            )
+            == 0
+        )
+        assert archive.exists()
+        capsys.readouterr()
+        assert main(["audit", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict            : OK" in out
+
+    def test_audit_detects_tampering(self, tmp_path, capsys):
+        import json
+
+        archive = tmp_path / "run.json"
+        main(
+            [
+                "simulate", "--n", "16", "--workload", "burst",
+                "--tasks", "20", "--save-run", str(archive),
+            ]
+        )
+        payload = json.loads(archive.read_text())
+        tid = next(iter(payload["segments"]))
+        payload["segments"][tid][0][0] += 0.5  # shift a start time
+        archive.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["audit", str(archive)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestGracefulErrors:
+    def test_library_errors_become_clean_messages(self, capsys):
+        # 32 PEs is not a square count: Mesh2D must reject it, and the CLI
+        # must surface that as a message + exit code, not a traceback.
+        assert main(["simulate", "--n", "32", "--topology", "mesh", "--tasks", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "square PE count" in err
+
+    def test_topology_option_runs(self, capsys):
+        assert (
+            main(
+                ["simulate", "--n", "16", "--topology", "hypercube",
+                 "--workload", "burst", "--tasks", "20"]
+            )
+            == 0
+        )
+        assert "hypercube" in capsys.readouterr().out

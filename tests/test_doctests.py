@@ -1,0 +1,29 @@
+"""Run the doctests embedded in library docstrings.
+
+A handful of modules carry executable examples (``>>>``); this keeps them
+honest without enabling --doctest-modules globally (which would execute
+every module's import-time examples in unrelated CI configurations).
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.plots
+import repro.analysis.tables
+import repro.types
+
+MODULES = [
+    repro.types,
+    repro.analysis.tables,
+    repro.analysis.plots,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,402 @@
+"""Property-based verification of every theorem in the paper.
+
+Each test runs an algorithm over randomly generated (or adversarially
+constructed) task sequences and asserts the corresponding bound *exactly* —
+these are theorems, not tendencies, so any violation is a bug in either the
+implementation or the understanding of the paper.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.deterministic import DeterministicAdversary
+from repro.adversary.randomized import sigma_r_sequence
+from repro.core.basic import BasicAlgorithm
+from repro.core.bounds import (
+    basic_copy_bound,
+    deterministic_lower_factor,
+    deterministic_upper_factor,
+    greedy_upper_bound_factor,
+    randomized_upper_factor,
+)
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.core.randomized import ObliviousRandomAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from tests.conftest import task_sequences
+
+MACHINE_SIZES = [4, 8, 16, 32]
+
+
+class TestTheorem31_OptimalAlgorithm:
+    """A_C achieves exactly L* on every task sequence."""
+
+    @given(st.sampled_from(MACHINE_SIZES), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_load_equals_lstar(self, n, data):
+        seq = data.draw(task_sequences(num_pes=n, max_events=50))
+        machine = TreeMachine(n)
+        result = run(machine, OptimalReallocatingAlgorithm(machine), seq)
+        assert result.max_load == seq.optimal_load(n)
+
+    def test_exactness_not_just_upper_bound(self):
+        """L* is a lower bound for *any* algorithm, so equality is exact."""
+        n = 8
+        machine = TreeMachine(n)
+        rng = np.random.default_rng(0)
+        from repro.workloads.generators import poisson_sequence
+
+        seq = poisson_sequence(n, 200, rng, utilization=2.0)
+        result = run(machine, OptimalReallocatingAlgorithm(machine), seq)
+        assert result.max_load == result.optimal_load > 1
+
+
+class TestTheorem41_Greedy:
+    """A_G <= ceil((log N + 1)/2) * L* on every task sequence."""
+
+    @given(st.sampled_from(MACHINE_SIZES), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_upper_bound(self, n, data):
+        seq = data.draw(task_sequences(num_pes=n, max_events=60))
+        machine = TreeMachine(n)
+        result = run(machine, GreedyAlgorithm(machine), seq)
+        bound = greedy_upper_bound_factor(n)
+        assert result.max_load <= bound * result.optimal_load
+
+    def test_bound_is_reached_by_the_adversary(self):
+        """The factor is tight: the Thm 4.3 construction attains it."""
+        for n in (4, 16, 64, 256):
+            adversary = DeterministicAdversary(TreeMachine(n), float("inf"))
+            outcome = adversary.run(GreedyAlgorithm(adversary.machine))
+            assert outcome.optimal_load == 1
+            assert outcome.max_load >= deterministic_lower_factor(
+                n, float(adversary.machine.log_num_pes)
+            )
+
+
+class TestLemma2_Basic:
+    """A_B uses at most ceil(S/N) copies, S = total arrival volume."""
+
+    @given(st.sampled_from(MACHINE_SIZES), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_load_bound(self, n, data):
+        seq = data.draw(task_sequences(num_pes=n, max_events=60))
+        machine = TreeMachine(n)
+        algo = BasicAlgorithm(machine)
+        result = run(machine, algo, seq)
+        bound = basic_copy_bound(seq.total_arrival_size, n)
+        assert algo.num_copies <= bound
+        assert result.max_load <= bound
+
+
+class TestTheorem42_Periodic:
+    """A_M <= min{d+1, ceil((log N + 1)/2)} * L* for every d."""
+
+    @given(
+        st.sampled_from(MACHINE_SIZES),
+        st.sampled_from([0, 1, 2, 3, 5, float("inf")]),
+        st.booleans(),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_upper_bound(self, n, d, lazy, data):
+        seq = data.draw(task_sequences(num_pes=n, max_events=50))
+        machine = TreeMachine(n)
+        algo = PeriodicReallocationAlgorithm(machine, d, lazy=lazy)
+        result = run(machine, algo, seq)
+        factor = deterministic_upper_factor(n, d)
+        assert result.max_load <= factor * max(result.optimal_load, 1)
+
+    @given(st.sampled_from(MACHINE_SIZES), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_d_zero_is_optimal(self, n, data):
+        seq = data.draw(task_sequences(num_pes=n, max_events=40))
+        machine = TreeMachine(n)
+        result = run(machine, PeriodicReallocationAlgorithm(machine, 0), seq)
+        assert result.max_load == seq.optimal_load(n)
+
+    @given(st.sampled_from(MACHINE_SIZES), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_large_d_matches_greedy(self, n, data):
+        """d >= g makes A_M literally A_G."""
+        seq = data.draw(task_sequences(num_pes=n, max_events=40))
+        m1, m2 = TreeMachine(n), TreeMachine(n)
+        load_am = run(m1, PeriodicReallocationAlgorithm(m1, 99), seq).max_load
+        load_ag = run(m2, GreedyAlgorithm(m2), seq).max_load
+        assert load_am == load_ag
+
+
+class TestTheorem43_Adversary:
+    """The adversary forces >= ceil((min{d, log N} + 1)/2) with L* = 1."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 8, float("inf")])
+    def test_forces_lower_bound_on_am(self, n, d):
+        adversary = DeterministicAdversary(TreeMachine(n), d)
+        algo = PeriodicReallocationAlgorithm(adversary.machine, d)
+        outcome = adversary.run(algo)
+        effective_d = d if not math.isinf(d) else float(adversary.machine.log_num_pes)
+        assert outcome.optimal_load == 1
+        assert outcome.max_load >= deterministic_lower_factor(n, effective_d)
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_forces_lower_bound_on_greedy(self, n):
+        adversary = DeterministicAdversary(TreeMachine(n), float("inf"))
+        outcome = adversary.run(GreedyAlgorithm(adversary.machine))
+        assert outcome.max_load >= deterministic_lower_factor(
+            n, float(adversary.machine.log_num_pes)
+        )
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_forces_lower_bound_on_basic(self, n):
+        adversary = DeterministicAdversary(TreeMachine(n), float("inf"))
+        outcome = adversary.run(BasicAlgorithm(adversary.machine))
+        assert outcome.max_load >= deterministic_lower_factor(
+            n, float(adversary.machine.log_num_pes)
+        )
+
+    def test_volume_never_exceeds_n(self):
+        n = 64
+        adversary = DeterministicAdversary(TreeMachine(n), float("inf"))
+        outcome = adversary.run(GreedyAlgorithm(adversary.machine))
+        assert outcome.peak_active_size <= n
+
+    def test_recorded_sequence_is_replayable(self):
+        """The emitted static sequence forces the same load on a replay."""
+        n = 16
+        adversary = DeterministicAdversary(TreeMachine(n), float("inf"))
+        outcome = adversary.run(GreedyAlgorithm(adversary.machine))
+        machine = TreeMachine(n)
+        replay = run(machine, GreedyAlgorithm(machine), outcome.sequence)
+        assert replay.max_load == outcome.max_load
+
+    def test_respects_reallocation_budget(self):
+        """Against A_M(d) the sequence volume stays within the no-realloc regime."""
+        n = 64
+        for d in (2, 3, 4):
+            adversary = DeterministicAdversary(TreeMachine(n), d)
+            algo = PeriodicReallocationAlgorithm(adversary.machine, d)
+            outcome = adversary.run(algo)
+            # Lemma: total arrivals <= p*N <= d*N.
+            assert outcome.sequence.total_arrival_size <= d * n
+
+
+class TestTheorem51_Randomized:
+    """E[max load] of oblivious random placement <= (3logN/loglogN + 1) L*."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_expected_load_within_bound(self, n):
+        from repro.tasks.builder import SequenceBuilder
+
+        b = SequenceBuilder()
+        for i in range(n):
+            b.arrive(f"t{i}", size=1)
+        seq = b.build()  # L* = 1
+        peaks = []
+        for seed in range(25):
+            machine = TreeMachine(n)
+            algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(seed))
+            peaks.append(run(machine, algo, seq).max_load)
+        assert float(np.mean(peaks)) <= randomized_upper_factor(n)
+
+    @given(st.sampled_from([8, 16, 32]), st.integers(0, 100), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_every_single_run_is_legal(self, n, seed, data):
+        """Even the worst random draw yields valid placements (no bound on a
+        single run, but the run must complete and be consistent)."""
+        seq = data.draw(task_sequences(num_pes=n, max_events=40))
+        machine = TreeMachine(n)
+        algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(seed))
+        result = run(machine, algo, seq)
+        assert result.max_load >= seq.optimal_load(n) * 0  # completed
+
+
+class TestTheorem52_SigmaR:
+    """sigma_r keeps L* small while randomized placement suffers."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_lstar_stays_small(self, n):
+        """Lemma 5: s(sigma_r) <= N (whp); at these sizes it always holds."""
+        for seed in range(10):
+            seq = sigma_r_sequence(n, np.random.default_rng(seed))
+            assert seq.peak_active_size <= n
+
+    def test_oblivious_suffers_more_than_lstar(self):
+        n = 256
+        ratios = []
+        for seed in range(15):
+            seq = sigma_r_sequence(n, np.random.default_rng(seed), num_phases=3)
+            machine = TreeMachine(n)
+            algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(seed + 1000))
+            result = run(machine, algo, seq)
+            ratios.append(result.max_load / max(1, result.optimal_load))
+        assert float(np.mean(ratios)) > 1.5
+
+    def test_phases_and_sizes(self):
+        from repro.adversary.randomized import sigma_r_phase_sizes
+
+        # N = 256, log N = 8: sizes 1, 8, 64 for 3 phases.
+        assert sigma_r_phase_sizes(256, 3) == [1, 8, 64]
+
+    def test_survival_probability_validated(self):
+        with pytest.raises(ValueError):
+            sigma_r_sequence(16, np.random.default_rng(0), survival_probability=1.5)
+
+
+class TestTheoremsOnWaveDrainPatterns:
+    """The same invariants on structured (fragmentation-prone) inputs."""
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_bound_on_waves(self, data):
+        from tests.conftest import wave_drain_sequences
+
+        seq = data.draw(wave_drain_sequences(num_pes=16))
+        machine = TreeMachine(16)
+        result = run(machine, GreedyAlgorithm(machine), seq)
+        assert result.max_load <= greedy_upper_bound_factor(16) * max(
+            1, result.optimal_load
+        )
+
+    @given(st.sampled_from([0, 1, 2]), st.booleans(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_periodic_bound_on_waves(self, d, lazy, data):
+        from tests.conftest import wave_drain_sequences
+
+        seq = data.draw(wave_drain_sequences(num_pes=16))
+        machine = TreeMachine(16)
+        algo = PeriodicReallocationAlgorithm(machine, d, lazy=lazy)
+        result = run(machine, algo, seq)
+        factor = deterministic_upper_factor(16, d)
+        assert result.max_load <= factor * max(1, result.optimal_load)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_exact_on_waves(self, data):
+        from tests.conftest import wave_drain_sequences
+
+        seq = data.draw(wave_drain_sequences(num_pes=16))
+        machine = TreeMachine(16)
+        result = run(machine, OptimalReallocatingAlgorithm(machine), seq)
+        assert result.max_load == seq.optimal_load(16)
+
+
+class TestTheorem51_HoeffdingTail:
+    """Distributional validation: the Hoeffding tail the proof actually uses.
+
+    The Theorem 5.1 proof bounds, for a fixed PE, Pr[load >= k*L*] by
+    (e/k)^(k*L*).  We check the *empirical* tail of the max-load (which is
+    what a union bound over PEs turns the per-PE tail into: N times the
+    per-PE bound) against N * (e/k)^k on the L* = 1 unit-task workload.
+    """
+
+    def test_empirical_tail_under_union_bound(self):
+        import math as _math
+
+        from repro.tasks.builder import SequenceBuilder
+
+        n = 64
+        b = SequenceBuilder()
+        for i in range(n):
+            b.arrive(f"t{i}", size=1)
+        seq = b.build()
+        reps = 300
+        peaks = []
+        for seed in range(reps):
+            machine = TreeMachine(n)
+            algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(seed))
+            peaks.append(run(machine, algo, seq).max_load)
+        peaks = np.asarray(peaks)
+        for k in (6, 8, 10):
+            empirical = float((peaks >= k).mean())
+            union_bound = min(1.0, n * (_math.e / k) ** k)
+            # Generous slack for 300-sample noise on small probabilities.
+            assert empirical <= union_bound + 0.02, (
+                f"k={k}: empirical {empirical} vs bound {union_bound}"
+            )
+
+    def test_tail_decays_with_k(self):
+        from repro.tasks.builder import SequenceBuilder
+
+        n = 64
+        b = SequenceBuilder()
+        for i in range(n):
+            b.arrive(f"t{i}", size=1)
+        seq = b.build()
+        peaks = []
+        for seed in range(200):
+            machine = TreeMachine(n)
+            algo = ObliviousRandomAlgorithm(machine, np.random.default_rng(seed + 10_000))
+            peaks.append(run(machine, algo, seq).max_load)
+        peaks = np.asarray(peaks)
+        tails = [float((peaks >= k).mean()) for k in (3, 5, 7, 9)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+        assert tails[-1] < 0.1  # far tail is rare, as Hoeffding demands
+
+
+class TestHierarchicallyDecomposableClaim:
+    """The paper's §1 claim: every result holds on any hierarchically
+    decomposable machine, not just the tree — verified by running the
+    theorem invariants on all five topologies."""
+
+    @staticmethod
+    def _machines(n):
+        from repro.machines.butterfly import Butterfly
+        from repro.machines.fattree import FatTree
+        from repro.machines.hypercube import Hypercube
+        from repro.machines.mesh import Mesh2D
+
+        return [
+            TreeMachine(n),
+            FatTree(n),
+            Hypercube(n),
+            Hypercube(n, layout="gray"),
+            Butterfly(n),
+            Mesh2D(n),
+        ]
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem31_on_every_topology(self, data):
+        seq = data.draw(task_sequences(num_pes=16, max_events=35))
+        for machine in self._machines(16):
+            result = run(machine, OptimalReallocatingAlgorithm(machine), seq)
+            assert result.max_load == seq.optimal_load(16), machine.topology_name
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem41_on_every_topology(self, data):
+        seq = data.draw(task_sequences(num_pes=16, max_events=35))
+        bound = greedy_upper_bound_factor(16)
+        for machine in self._machines(16):
+            result = run(machine, GreedyAlgorithm(machine), seq)
+            assert result.max_load <= bound * max(1, result.optimal_load), (
+                machine.topology_name
+            )
+
+    @given(st.sampled_from([1, 2]), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem42_on_every_topology(self, d, data):
+        seq = data.draw(task_sequences(num_pes=16, max_events=35))
+        factor = deterministic_upper_factor(16, d)
+        for machine in self._machines(16):
+            algo = PeriodicReallocationAlgorithm(machine, d)
+            result = run(machine, algo, seq)
+            assert result.max_load <= factor * max(1, result.optimal_load), (
+                machine.topology_name
+            )
+
+    def test_adversary_forces_bound_on_every_topology(self):
+        for machine in self._machines(64):
+            adversary = DeterministicAdversary(machine, float("inf"))
+            outcome = adversary.run(GreedyAlgorithm(machine))
+            assert outcome.optimal_load == 1, machine.topology_name
+            assert outcome.max_load >= deterministic_lower_factor(
+                64, float(machine.log_num_pes)
+            ), machine.topology_name

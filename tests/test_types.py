@@ -1,0 +1,120 @@
+"""Unit tests for the numeric helpers in repro.types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import (
+    ceil_div,
+    ceil_log2,
+    ilog2,
+    is_power_of_two,
+    round_to_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_small_values(self):
+        assert [is_power_of_two(v) for v in range(9)] == [
+            False, True, True, False, True, False, False, False, True,
+        ]
+
+    def test_large_power(self):
+        assert is_power_of_two(1 << 60)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+    def test_non_integer_rejected(self):
+        assert not is_power_of_two(2.0)  # type: ignore[arg-type]
+
+    @given(st.integers(0, 62))
+    def test_all_powers_accepted(self, x):
+        assert is_power_of_two(1 << x)
+
+    @given(st.integers(3, 1 << 40))
+    def test_characterisation(self, v):
+        assert is_power_of_two(v) == (bin(v).count("1") == 1)
+
+
+class TestIlog2:
+    @given(st.integers(0, 62))
+    def test_roundtrip(self, x):
+        assert ilog2(1 << x) == x
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -2, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (10, 3, 4), (12, 4, 3)],
+    )
+    def test_examples(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b) or a / b != a // b  # guard fp
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize(
+        "x,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+    )
+    def test_examples(self, x, expected):
+        assert ceil_log2(x) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(1, 1 << 50))
+    def test_defining_property(self, x):
+        k = ceil_log2(x)
+        assert (1 << k) >= x
+        assert k == 0 or (1 << (k - 1)) < x
+
+
+class TestRoundToPowerOfTwo:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 1), (2, 2), (3, 4), (2.8, 2), (2.9, 4), (6, 8), (5.6, 4), (1.4, 1), (1.5, 2)],
+    )
+    def test_examples(self, x, expected):
+        # geometric midpoint between 2^k and 2^{k+1} is 2^k * sqrt(2)
+        assert round_to_power_of_two(x) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_to_power_of_two(0)
+        with pytest.raises(ValueError):
+            round_to_power_of_two(-1.0)
+
+    def test_sub_unit_inputs_clamp_to_one(self):
+        # Task sizes are >= 1, so anything below 1 rounds up to 1.
+        assert round_to_power_of_two(0.5) == 1
+        assert round_to_power_of_two(1e-9) == 1
+
+    @given(st.floats(min_value=1.0, max_value=1e12, allow_nan=False))
+    def test_result_is_power_and_within_factor_sqrt2(self, x):
+        result = round_to_power_of_two(x)
+        assert is_power_of_two(result)
+        ratio = max(result / x, x / result)
+        assert ratio <= 2 ** 0.5 + 1e-9
+
+    @given(st.integers(0, 40))
+    def test_exact_powers_unchanged(self, k):
+        assert round_to_power_of_two(float(1 << k)) == 1 << k

@@ -1,0 +1,120 @@
+"""Unit tests for size and duration distributions."""
+
+import numpy as np
+import pytest
+
+from repro.types import is_power_of_two
+from repro.workloads.distributions import (
+    ExponentialDurations,
+    FixedDuration,
+    FixedSize,
+    GeometricSizes,
+    LognormalDurations,
+    ParetoDurations,
+    UniformLogSizes,
+    WeightedSizes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSizeDistributions:
+    def test_uniform_log_all_powers(self, rng):
+        dist = UniformLogSizes(max_size=16)
+        samples = set(dist.sample_many(rng, 500))
+        assert samples == {1, 2, 4, 8, 16}
+
+    def test_uniform_log_validates(self):
+        with pytest.raises(ValueError):
+            UniformLogSizes(max_size=12)
+
+    def test_geometric_favours_small(self, rng):
+        dist = GeometricSizes(max_size=16, ratio=0.5)
+        samples = dist.sample_many(rng, 2000)
+        counts = {s: samples.count(s) for s in (1, 16)}
+        assert counts[1] > 5 * counts[16]
+
+    def test_geometric_validates(self):
+        with pytest.raises(ValueError):
+            GeometricSizes(max_size=10)
+        with pytest.raises(ValueError):
+            GeometricSizes(max_size=8, ratio=0.0)
+
+    def test_fixed_size(self, rng):
+        dist = FixedSize(4)
+        assert set(dist.sample_many(rng, 10)) == {4}
+        with pytest.raises(ValueError):
+            FixedSize(3)
+
+    def test_weighted_sizes(self, rng):
+        dist = WeightedSizes(sizes=[1, 8], weights=[1.0, 0.0])
+        assert set(dist.sample_many(rng, 20)) == {1}
+
+    def test_weighted_validates(self):
+        with pytest.raises(ValueError):
+            WeightedSizes(sizes=[], weights=[])
+        with pytest.raises(ValueError):
+            WeightedSizes(sizes=[3], weights=[1.0])
+        with pytest.raises(ValueError):
+            WeightedSizes(sizes=[2], weights=[-1.0])
+        with pytest.raises(ValueError):
+            WeightedSizes(sizes=[2, 4], weights=[1.0])
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            UniformLogSizes(64),
+            GeometricSizes(64),
+            FixedSize(8),
+            WeightedSizes([2, 16], [1, 2]),
+        ],
+    )
+    def test_all_samples_are_powers_of_two(self, dist, rng):
+        for s in dist.sample_many(rng, 200):
+            assert is_power_of_two(s)
+
+
+class TestDurationDistributions:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialDurations(2.0),
+            ParetoDurations(),
+            LognormalDurations(),
+            FixedDuration(1.5),
+        ],
+    )
+    def test_strictly_positive(self, dist, rng):
+        for _ in range(500):
+            assert dist.sample(rng) > 0
+
+    def test_exponential_mean(self, rng):
+        dist = ExponentialDurations(mean=3.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.1)
+
+    def test_exponential_validates(self):
+        with pytest.raises(ValueError):
+            ExponentialDurations(mean=0.0)
+
+    def test_pareto_cap(self, rng):
+        dist = ParetoDurations(alpha=0.5, xm=1.0, cap=10.0)
+        assert max(dist.sample(rng) for _ in range(2000)) <= 10.0
+
+    def test_pareto_validates(self):
+        with pytest.raises(ValueError):
+            ParetoDurations(alpha=0.0)
+        with pytest.raises(ValueError):
+            ParetoDurations(xm=1.0, cap=0.5)
+
+    def test_lognormal_validates(self):
+        with pytest.raises(ValueError):
+            LognormalDurations(sigma=0.0)
+
+    def test_fixed_duration(self, rng):
+        assert FixedDuration(2.5).sample(rng) == 2.5
+        with pytest.raises(ValueError):
+            FixedDuration(0.0)

@@ -1,0 +1,171 @@
+"""Unit tests for the arrival-process generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tasks.events import Arrival
+from repro.workloads.distributions import FixedSize, FixedDuration
+from repro.workloads.generators import (
+    arrivals_only_sequence,
+    burst_sequence,
+    churn_sequence,
+    poisson_sequence,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPoisson:
+    def test_task_count(self, rng):
+        seq = poisson_sequence(16, 100, rng)
+        assert seq.num_tasks == 100
+
+    def test_all_sizes_admissible(self, rng):
+        seq = poisson_sequence(16, 200, rng)
+        assert all(1 <= t.size <= 16 for t in seq.tasks.values())
+
+    def test_utilization_controls_volume(self):
+        lows, highs = [], []
+        for seed in range(5):
+            low = poisson_sequence(
+                64, 400, np.random.default_rng(seed), utilization=0.3,
+                sizes=FixedSize(1), durations=FixedDuration(1.0),
+            )
+            high = poisson_sequence(
+                64, 400, np.random.default_rng(seed), utilization=3.0,
+                sizes=FixedSize(1), durations=FixedDuration(1.0),
+            )
+            lows.append(low.peak_active_size)
+            highs.append(high.peak_active_size)
+        assert np.mean(highs) > 2 * np.mean(lows)
+
+    def test_validates(self, rng):
+        with pytest.raises(ValueError):
+            poisson_sequence(16, 0, rng)
+        with pytest.raises(ValueError):
+            poisson_sequence(16, 10, rng, utilization=0.0)
+
+    def test_reproducible(self):
+        a = poisson_sequence(16, 50, np.random.default_rng(9))
+        b = poisson_sequence(16, 50, np.random.default_rng(9))
+        assert a == b
+
+
+class TestBurst:
+    def test_all_arrive_before_departures(self, rng):
+        seq = burst_sequence(16, 50, rng, depart_fraction=0.5)
+        arrival_times = [ev.time for ev in seq if isinstance(ev, Arrival)]
+        departure_times = [ev.time for ev in seq if not isinstance(ev, Arrival)]
+        assert max(arrival_times) < min(departure_times)
+
+    def test_depart_fraction(self, rng):
+        seq = burst_sequence(16, 100, rng, depart_fraction=0.25)
+        immortal = sum(1 for t in seq.tasks.values() if math.isinf(t.departure))
+        assert immortal == 75
+
+    def test_zero_fraction_no_departures(self, rng):
+        seq = burst_sequence(16, 30, rng)
+        assert all(math.isinf(t.departure) for t in seq.tasks.values())
+
+    def test_validates_fraction(self, rng):
+        with pytest.raises(ValueError):
+            burst_sequence(16, 10, rng, depart_fraction=1.5)
+
+
+class TestChurn:
+    def test_event_count(self, rng):
+        seq = churn_sequence(16, 200, rng)
+        assert len(seq) == 200
+
+    def test_volume_hovers_near_target(self, rng):
+        seq = churn_sequence(64, 2000, rng, target_volume=64)
+        # Peak should overshoot the target only modestly.
+        assert 32 <= seq.peak_active_size <= 160
+
+    def test_arrival_volume_grows_with_events(self, rng):
+        short = churn_sequence(16, 200, np.random.default_rng(0))
+        long = churn_sequence(16, 2000, np.random.default_rng(0))
+        assert long.total_arrival_size > 3 * short.total_arrival_size
+
+    def test_validates_target(self, rng):
+        with pytest.raises(ValueError):
+            churn_sequence(16, 10, rng, target_volume=0)
+
+
+class TestArrivalsOnly:
+    def test_no_departures(self, rng):
+        seq = arrivals_only_sequence(16, 40, rng)
+        assert seq.num_tasks == 40
+        assert len(seq) == 40
+        assert all(math.isinf(t.departure) for t in seq.tasks.values())
+
+    def test_peak_equals_total(self, rng):
+        seq = arrivals_only_sequence(16, 40, rng)
+        assert seq.peak_active_size == seq.total_arrival_size
+
+
+class TestFeitelson:
+    def test_basic(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        seq = feitelson_sequence(64, 300, np.random.default_rng(0))
+        assert seq.num_tasks == 300
+        assert all(1 <= t.size <= 64 for t in seq.tasks.values())
+
+    def test_small_sizes_dominate(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        seq = feitelson_sequence(64, 2000, np.random.default_rng(1))
+        sizes = [t.size for t in seq.tasks.values()]
+        assert sizes.count(1) > 3 * sizes.count(64)
+
+    def test_runtime_size_correlation(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        seq = feitelson_sequence(
+            64, 3000, np.random.default_rng(2), runtime_size_correlation=1.0
+        )
+        small = [t.duration for t in seq.tasks.values() if t.size == 1]
+        large = [t.duration for t in seq.tasks.values() if t.size >= 32]
+        assert np.median(large) > np.median(small)
+
+    def test_zero_correlation_flattens(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        seq = feitelson_sequence(
+            64, 3000, np.random.default_rng(3), runtime_size_correlation=0.0
+        )
+        small = [t.duration for t in seq.tasks.values() if t.size == 1]
+        large = [t.duration for t in seq.tasks.values() if t.size >= 16]
+        # Without correlation, medians agree within noise (log-uniform).
+        assert 0.3 < np.median(large) / np.median(small) < 3.0
+
+    def test_runtimes_span_orders_of_magnitude(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        seq = feitelson_sequence(64, 2000, np.random.default_rng(4))
+        durations = [t.duration for t in seq.tasks.values()]
+        assert max(durations) / min(durations) > 100
+
+    def test_validation(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            feitelson_sequence(64, 0, rng)
+        with pytest.raises(ValueError):
+            feitelson_sequence(64, 10, rng, runtime_size_correlation=2.0)
+        with pytest.raises(ValueError):
+            feitelson_sequence(64, 10, rng, runtime_spread=0)
+
+    def test_reproducible(self):
+        from repro.workloads.generators import feitelson_sequence
+
+        a = feitelson_sequence(32, 100, np.random.default_rng(9))
+        b = feitelson_sequence(32, 100, np.random.default_rng(9))
+        assert a == b

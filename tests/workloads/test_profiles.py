@@ -1,0 +1,125 @@
+"""Tests for the workload profiler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tasks.builder import SequenceBuilder, figure1_sequence
+from repro.tasks.sequence import TaskSequence
+from repro.workloads.generators import poisson_sequence
+from repro.workloads.profiles import describe_sequence
+
+
+class TestDescribeSequence:
+    def test_figure1_profile(self):
+        profile = describe_sequence(figure1_sequence())
+        assert profile.num_tasks == 5
+        assert profile.num_events == 7
+        assert profile.size_histogram == {1: 4, 2: 1}
+        assert profile.peak_active_size == 4
+        assert profile.total_arrival_size == 6
+        assert profile.optimal_load(4) == 1
+        # t2 and t4 depart; three tasks are immortal.
+        assert profile.immortal_fraction == pytest.approx(3 / 5)
+
+    def test_durations(self):
+        seq = (
+            SequenceBuilder()
+            .arrive("a", size=1, at=0.0)
+            .arrive("b", size=1, at=0.0)
+            .depart("a", at=2.0)
+            .depart("b", at=4.0)
+            .build()
+        )
+        profile = describe_sequence(seq)
+        assert profile.mean_duration == pytest.approx(3.0)
+        assert profile.immortal_fraction == 0.0
+        assert profile.horizon == 4.0
+        assert profile.arrival_rate == pytest.approx(2 / 4.0)
+
+    def test_empty_sequence(self):
+        profile = describe_sequence(TaskSequence([]))
+        assert profile.num_tasks == 0
+        assert profile.arrival_rate == 0.0
+        assert math.isnan(profile.mean_duration)
+        assert profile.mean_size == 0.0
+
+    def test_render_contains_key_fields(self):
+        profile = describe_sequence(figure1_sequence())
+        text = profile.render(num_pes=4)
+        assert "peak active volume" in text
+        assert "L* on N=4" in text
+        assert "1:4 2:1" in text
+
+    def test_generator_profile_sane(self):
+        seq = poisson_sequence(32, 200, np.random.default_rng(0), utilization=0.8)
+        profile = describe_sequence(seq)
+        assert profile.num_tasks == 200
+        assert profile.arrival_rate > 0
+        assert sum(profile.size_histogram.values()) == 200
+
+
+class TestCompareHelper:
+    def test_compare_runs_and_ranks(self):
+        from repro.analysis.compare import compare_algorithms
+        from repro.machines.tree import TreeMachine
+
+        seq = figure1_sequence()
+        comparison = compare_algorithms(
+            lambda: TreeMachine(4), seq, ("optimal", "greedy"), d=1
+        )
+        assert comparison.optimal_load == 1
+        by_name = {r.result.algorithm_name: r for r in comparison.rows}
+        assert by_name["A_C"].result.max_load == 1
+        assert by_name["A_G"].result.max_load == 2
+        assert by_name["A_C"].within_bound is True
+        assert comparison.best().result.algorithm_name == "A_C"
+        text = comparison.render(title="x")
+        assert "A_C" in text and "within?" in text
+
+    def test_randomized_has_no_bound(self):
+        from repro.analysis.compare import compare_algorithms
+        from repro.machines.tree import TreeMachine
+
+        comparison = compare_algorithms(
+            lambda: TreeMachine(4), figure1_sequence(), ("random",), seed=1
+        )
+        (row,) = comparison.rows
+        assert row.bound_factor is None
+        assert row.within_bound is None
+
+
+class TestCLICommands:
+    def test_describe(self, capsys):
+        from repro.cli import main
+
+        assert main(["describe", "--workload", "churn", "--n", "16", "--tasks", "80"]) == 0
+        assert "workload profile" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "compare", "--workload", "burst", "--n", "16",
+                    "--tasks", "30", "--algorithms", "greedy,optimal",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_sweep(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["sweep", "--n", "16", "--workload", "churn", "--tasks", "200",
+                 "--d-values", "0,2"]
+            )
+            == 0
+        )
+        assert "load-vs-d sweep" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Unit tests for the named workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    fragmentation_storm,
+    long_tail,
+    overload,
+    steady_state,
+    wave_and_drain,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(SCENARIOS) == {
+            "steady_state",
+            "overload",
+            "fragmentation_storm",
+            "wave_and_drain",
+            "long_tail",
+            "production_1996",
+        }
+
+    @pytest.mark.parametrize("name", sorted(["steady_state", "overload",
+                                             "fragmentation_storm",
+                                             "wave_and_drain", "long_tail",
+                                             "production_1996"]))
+    def test_every_scenario_valid_on_small_machine(self, name, rng):
+        seq = SCENARIOS[name](32, rng, scale=0.2)
+        assert seq.num_tasks > 0
+        assert all(t.size <= 32 for t in seq.tasks.values())
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_reproducible(self, name):
+        a = SCENARIOS[name](16, np.random.default_rng(7), scale=0.2)
+        b = SCENARIOS[name](16, np.random.default_rng(7), scale=0.2)
+        assert a == b
+
+
+class TestShapes:
+    def test_overload_exceeds_machine(self, rng):
+        seq = overload(64, rng)
+        assert seq.optimal_load(64) > 1
+
+    def test_steady_state_moderate(self, rng):
+        seq = steady_state(64, rng)
+        assert seq.optimal_load(64) <= 3
+
+    def test_fragmentation_storm_volume_bounded(self, rng):
+        seq = fragmentation_storm(64, rng, scale=0.5)
+        # Churn holds the active volume near N.
+        assert seq.peak_active_size <= 3 * 64
+        assert seq.total_arrival_size > 2 * seq.peak_active_size
+
+    def test_wave_and_drain_two_phases(self, rng):
+        seq = wave_and_drain(64, rng)
+        sizes = {t.size for t in seq.tasks.values()}
+        assert max(sizes) >= 16  # second wave requests large blocks
+
+    def test_long_tail_has_stragglers(self, rng):
+        seq = long_tail(64, rng)
+        durations = [
+            t.departure - t.arrival
+            for t in seq.tasks.values()
+            if t.departure != float("inf")
+        ]
+        assert max(durations) > 20 * float(np.median(durations))
+
+    def test_scale_controls_size(self, rng):
+        small = steady_state(16, np.random.default_rng(1), scale=0.1)
+        large = steady_state(16, np.random.default_rng(1), scale=1.0)
+        assert large.num_tasks > 3 * small.num_tasks
