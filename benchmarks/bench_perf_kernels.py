@@ -5,11 +5,18 @@ guides ("no optimization without measuring").  The kernels are the ones
 every experiment leans on:
 
 * LoadTracker place/remove (O(log N) path re-aggregation),
-* the vectorized all-submachine min-load scan (greedy's inner loop),
+* the O(log N) min-load tree descent (greedy's inner loop) and the
+  legacy O(N/size) level scan it replaced, side by side,
+* the journal-backed leaf-load snapshot,
 * procedure A_R packing throughput,
 * BuddyCopy allocate/free cycles,
-* a full greedy run at N = 4096 (end-to-end event rate).
+* a full greedy run (end-to-end event rate).
+
+``REPRO_BENCH_N`` overrides the machine size (default 4096) so CI can run
+a fast smoke pass at small N while snapshots use the full size.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -25,7 +32,7 @@ from repro.tasks.task import Task
 from repro.types import TaskId
 from repro.workloads.generators import churn_sequence
 
-N_LARGE = 4096
+N_LARGE = int(os.environ.get("REPRO_BENCH_N", "4096"))
 
 
 @pytest.fixture(scope="module")
@@ -47,16 +54,47 @@ def test_perf_loadtracker_place_remove(benchmark, hierarchy):
     assert tracker.max_load == 0
 
 
-def test_perf_level_min_scan(benchmark, hierarchy):
+def _churned_tracker(hierarchy):
     tracker = LoadTracker(hierarchy)
     rng = np.random.default_rng(0)
     for _ in range(200):
         level = int(rng.integers(0, hierarchy.height + 1))
         size = N_LARGE >> level
         tracker.place(hierarchy.node_for(size, int(rng.integers(N_LARGE // size))), size)
+    return tracker
+
+
+def test_perf_min_descent(benchmark, hierarchy):
+    tracker = _churned_tracker(hierarchy)
 
     result = benchmark(lambda: tracker.leftmost_min_submachine(16))
     assert hierarchy.subtree_size(result[0]) == 16
+
+
+def test_perf_min_scan_legacy(benchmark, hierarchy):
+    # The O(N/size) level scan the descent replaced — kept benchmarked so
+    # one snapshot shows the speedup ratio at the current N.
+    tracker = _churned_tracker(hierarchy)
+
+    result = benchmark(lambda: tracker.leftmost_min_submachine_scan(16))
+    assert hierarchy.subtree_size(result[0]) == 16
+    assert result == tracker.leftmost_min_submachine(16)
+
+
+def test_perf_leaf_loads(benchmark, hierarchy):
+    tracker = _churned_tracker(hierarchy)
+    tracker.leaf_loads()  # warm the journal-backed cache
+
+    leaf = hierarchy.node_for(1, 0)
+
+    def kernel():
+        tracker.place(leaf, 1)
+        loads = tracker.leaf_loads()
+        tracker.remove(leaf, 1)
+        return loads
+
+    loads = benchmark(kernel)
+    assert loads.shape == (N_LARGE,)
 
 
 def test_perf_repack_throughput(benchmark, hierarchy):
@@ -72,8 +110,10 @@ def test_perf_repack_throughput(benchmark, hierarchy):
 def test_perf_buddy_cycle(benchmark, hierarchy):
     copy = BuddyCopy(hierarchy)
 
+    cycles = min(64, N_LARGE // 8)
+
     def kernel():
-        nodes = [copy.allocate(8) for _ in range(64)]
+        nodes = [copy.allocate(8) for _ in range(cycles)]
         for node in nodes:
             copy.free(node)
 
@@ -90,3 +130,18 @@ def test_perf_greedy_full_run(benchmark):
 
     result = benchmark.pedantic(kernel, rounds=3, iterations=1)
     assert result.metrics.events_processed == 1000
+
+
+def test_perf_parallel_map_overhead(benchmark):
+    # Fan-out fixed cost: serial fallback vs. a 2-worker pool is measured
+    # by the snapshot harness over time; here we pin the serial path so
+    # the dispatch bookkeeping itself stays cheap.
+    from repro.sim.parallel import parallel_map
+
+    items = [(i,) for i in range(64)]
+    result = benchmark(lambda: parallel_map(_identity, items, jobs=None))
+    assert result == list(range(64))
+
+
+def _identity(x):
+    return x

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Performance-regression harness around ``bench_perf_kernels.py``.
+
+Runs the kernel micro-benchmarks via pytest-benchmark, distills the JSON
+into a compact per-kernel snapshot (``benchmarks/snapshots/BENCH_<date>.json``),
+and compares it against the most recent previous snapshot.  A kernel whose
+mean time grew by more than ``--tolerance`` (fractional, default 0.25)
+fails the gate and the script exits 1 — wire it into CI or run it by hand
+before merging perf-sensitive changes.
+
+Usage:
+    python scripts/bench_snapshot.py                 # full N (4096)
+    python scripts/bench_snapshot.py --bench-n 256   # fast smoke
+    python scripts/bench_snapshot.py --check-only    # compare, don't save
+    python scripts/bench_snapshot.py --tolerance 0.5
+
+Snapshots are plain JSON and meant to be committed: the history of
+``benchmarks/snapshots/`` is the project's performance record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_DIR = REPO_ROOT / "benchmarks" / "snapshots"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_perf_kernels.py"
+
+
+def run_benchmarks(bench_n: int | None) -> dict:
+    """Run the kernel benchmarks, returning pytest-benchmark's raw JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if bench_n is not None:
+        env["REPRO_BENCH_N"] = str(bench_n)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_FILE),
+            "--benchmark-only",
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (pytest exit {proc.returncode})")
+        return json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+
+def distill(raw: dict, bench_n: int) -> dict:
+    """Reduce pytest-benchmark output to a stable, diff-friendly snapshot."""
+    kernels = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        kernels[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "schema": 1,
+        "date": datetime.date.today().isoformat(),
+        "bench_n": bench_n,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": dict(sorted(kernels.items())),
+    }
+
+
+def latest_snapshot(exclude: Path | None = None) -> Path | None:
+    if not SNAPSHOT_DIR.is_dir():
+        return None
+    candidates = sorted(
+        p for p in SNAPSHOT_DIR.glob("BENCH_*.json") if p != exclude
+    )
+    return candidates[-1] if candidates else None
+
+
+def compare(previous: dict, current: dict, tolerance: float) -> list[str]:
+    """Return regression messages for kernels slower than ``tolerance``."""
+    problems = []
+    if previous.get("bench_n") != current.get("bench_n"):
+        print(
+            f"note: previous snapshot used N={previous.get('bench_n')}, "
+            f"current uses N={current.get('bench_n')}; skipping the gate."
+        )
+        return problems
+    prev_kernels = previous.get("kernels", {})
+    for name, cur in current["kernels"].items():
+        prev = prev_kernels.get(name)
+        if prev is None:
+            print(f"  new kernel (no baseline): {name}")
+            continue
+        ratio = cur["mean_s"] / prev["mean_s"] if prev["mean_s"] else float("inf")
+        marker = "REGRESSION" if ratio > 1 + tolerance else "ok"
+        print(
+            f"  {name}: {prev['mean_s'] * 1e6:.2f}us -> "
+            f"{cur['mean_s'] * 1e6:.2f}us  ({ratio:.2f}x)  {marker}"
+        )
+        if ratio > 1 + tolerance:
+            problems.append(
+                f"{name} slowed {ratio:.2f}x "
+                f"(tolerance {1 + tolerance:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-n",
+        type=int,
+        default=None,
+        help="machine size for the kernels (sets REPRO_BENCH_N; default 4096)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean-time growth per kernel (default 0.25)",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="compare against the latest snapshot without writing a new one",
+    )
+    args = parser.parse_args(argv)
+
+    raw = run_benchmarks(args.bench_n)
+    effective_n = args.bench_n if args.bench_n is not None else int(
+        os.environ.get("REPRO_BENCH_N", "4096")
+    )
+    snapshot = distill(raw, effective_n)
+
+    baseline_path = latest_snapshot()
+    problems: list[str] = []
+    if baseline_path is not None:
+        print(f"comparing against {baseline_path.relative_to(REPO_ROOT)}:")
+        baseline = json.loads(baseline_path.read_text())
+        problems = compare(baseline, snapshot, args.tolerance)
+    else:
+        print("no previous snapshot found; this run becomes the baseline.")
+
+    if not args.check_only:
+        SNAPSHOT_DIR.mkdir(parents=True, exist_ok=True)
+        out = SNAPSHOT_DIR / f"BENCH_{snapshot['date']}.json"
+        out.write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {out.relative_to(REPO_ROOT)}")
+
+    if problems:
+        print("performance gate FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("performance gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ from repro.workloads.distributions import GeometricSizes, UniformLogSizes
 
 __all__ = [
     "ExperimentReport",
+    "run_experiments",
     "experiment_figure1",
     "experiment_optimal",
     "experiment_greedy_scaling",
@@ -1217,6 +1218,33 @@ def experiment_workload_sensitivity(
             "the other extreme, ceil((log N+1)/2) - 1."
         ],
     )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str] | None = None,
+    *,
+    jobs: int | None = None,
+) -> list[ExperimentReport]:
+    """Run experiment drivers by id, optionally across worker processes.
+
+    Every driver is a self-seeded module-level function, so the registry
+    is an embarrassingly parallel bag: ``jobs=4`` runs four experiments
+    concurrently (``-1`` = all cores) and still returns reports in the
+    requested order with exactly the values a serial run produces.
+    Unknown ids raise ``KeyError`` before anything runs.
+    """
+    from repro.sim.parallel import parallel_map
+
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    missing = [i for i in ids if i not in EXPERIMENTS]
+    if missing:
+        raise KeyError(f"unknown experiment ids: {missing}")
+    return parallel_map(_run_experiment_by_id, [(i,) for i in ids], jobs=jobs)
+
+
+def _run_experiment_by_id(experiment_id: str) -> ExperimentReport:
+    """Picklable worker: look the driver up in the registry and run it."""
+    return EXPERIMENTS[experiment_id]()
 
 
 #: CLI registry: experiment id -> zero-argument driver with defaults.

@@ -13,7 +13,7 @@ import platform
 from pathlib import Path
 from typing import Iterable, Union
 
-from repro.analysis.experiments import EXPERIMENTS, ExperimentReport
+from repro.analysis.experiments import ExperimentReport
 
 __all__ = ["generate_report", "render_markdown"]
 
@@ -70,17 +70,19 @@ def generate_report(
     path: Union[str, Path, None] = None,
     *,
     experiment_ids: Iterable[str] | None = None,
+    jobs: int | None = None,
 ) -> str:
     """Run experiments (all by default) and return/write the markdown.
 
     ``experiment_ids`` restricts the run (e.g. ``["e1", "e4"]``); unknown
-    ids raise ``KeyError`` before anything runs.
+    ids raise ``KeyError`` before anything runs.  ``jobs`` runs the
+    drivers across worker processes (``-1`` = all cores); the rendered
+    report is identical to a serial run.
     """
-    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
-    missing = [i for i in ids if i not in EXPERIMENTS]
-    if missing:
-        raise KeyError(f"unknown experiment ids: {missing}")
-    reports = [EXPERIMENTS[i]() for i in ids]
+    from repro.analysis.experiments import run_experiments
+
+    ids = list(experiment_ids) if experiment_ids is not None else None
+    reports = run_experiments(ids, jobs=jobs)
     text = render_markdown(reports)
     if path is not None:
         Path(path).write_text(text, encoding="utf-8")

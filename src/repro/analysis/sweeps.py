@@ -10,6 +10,12 @@ re-implement the bookkeeping.
     sweep = Sweep(grid={"n": [64, 256], "d": [0, 1, 2]}, seed=7)
     results = sweep.run(lambda n, d, rng: my_cell(n, d, rng))
     print(results.table(["n", "d"], value=lambda r: r.max_load))
+
+Cells are independent, so a sweep can fan out over worker processes with
+``sweep.run(my_cell, parallel=4)`` — results are bit-identical to the
+serial run because every cell's RNG stream is spawned up front (see
+:mod:`repro.sim.parallel`; the cell function must then be picklable, i.e.
+a module-level function rather than a lambda).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.tables import format_table
+from repro.sim.parallel import run_seeded_cells
 
 __all__ = ["Sweep", "SweepResults", "SweepCell"]
 
@@ -83,6 +90,12 @@ class Sweep:
         if not grid:
             raise ValueError("sweep grid must have at least one axis")
         for name, values in grid.items():
+            if name == "rng":
+                raise ValueError(
+                    "grid axis 'rng' is reserved: Sweep.run injects the "
+                    "per-cell generator as the keyword 'rng', so an axis of "
+                    "that name would silently shadow it — rename the axis"
+                )
             if not list(values):
                 raise ValueError(f"axis {name!r} has no values")
         self.grid = {k: list(v) for k, v in grid.items()}
@@ -103,17 +116,26 @@ class Sweep:
             for combo in itertools.product(*(self.grid[n] for n in names))
         ]
 
-    def run(self, fn: Callable[..., Any]) -> SweepResults:
+    def run(
+        self, fn: Callable[..., Any], *, parallel: int | None = None
+    ) -> SweepResults:
         """Call ``fn(**params, rng=...)`` on every cell.
 
         Each cell gets an independent, reproducible generator derived from
         the sweep seed and the cell index, so re-running the sweep (or a
         single cell) yields identical results.
+
+        ``parallel`` fans the cells out over that many worker processes
+        (``-1`` = all cores; ``None``/``0``/``1`` = serial).  Because the
+        per-cell seed streams are spawned before dispatch and results are
+        collected in cell order, a parallel run returns **bit-identical**
+        cell values to the serial run — ``fn`` must then be picklable
+        (module-level, not a lambda).
         """
+        cells = self.cells()
         root = np.random.SeedSequence(self.seed)
         streams = root.spawn(self.num_cells)
-        out: list[SweepCell] = []
-        for params, stream in zip(self.cells(), streams):
-            rng = np.random.default_rng(stream)
-            out.append(SweepCell(params=params, value=fn(**params, rng=rng)))
-        return SweepResults(out)
+        values = run_seeded_cells(fn, cells, streams, jobs=parallel)
+        return SweepResults(
+            [SweepCell(params=p, value=v) for p, v in zip(cells, values)]
+        )

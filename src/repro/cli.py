@@ -12,6 +12,10 @@ Subcommands:
 * ``repro simulate --save-run F`` + ``repro audit F`` — archive a run and
   independently re-verify it (placement legality, recomputed load series).
 * ``repro compare ...``          — several algorithms side by side.
+
+``all``, ``report``, and ``sweep`` take ``--jobs K`` (``-1`` = all cores)
+to fan independent runs across worker processes; results are identical to
+a serial run.
 """
 
 from __future__ import annotations
@@ -70,9 +74,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     ids = args.ids.split(",") if args.ids else None
     try:
-        text = generate_report(args.out, experiment_ids=ids)
+        text = generate_report(args.out, experiment_ids=ids, jobs=args.jobs)
     except KeyError as exc:
-        print(str(exc), file=sys.stderr)
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     if args.out:
         print(f"wrote {args.out}")
@@ -81,9 +85,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_all(_args: argparse.Namespace) -> int:
-    for exp_id, fn in EXPERIMENTS.items():
-        print(fn().render())
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_experiments
+
+    for report in run_experiments(jobs=args.jobs):
+        print(report.render())
         print()
     return 0
 
@@ -135,7 +141,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             lambda s, ev: load_frames.append(s.leaf_loads().tolist())
         )
     result = sim.run(sigma)
-    _cmd_simulate_archive_option(sim, args, machine, sigma)
+    _cmd_simulate_archive_option(sim, args, machine, sigma, result)
     realloc = result.metrics.realloc
     print(f"algorithm          : {result.algorithm_name}")
     print(f"machine            : {result.machine_description}")
@@ -208,12 +214,13 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_simulate_archive_option(sim, args, machine, sigma):
+def _cmd_simulate_archive_option(sim, args, machine, sigma, result=None):
     if args.save_run:
         from repro.sim.archive import save_run
 
         save_run(args.save_run, machine, sigma, sim,
-                 metadata={"workload": args.workload, "seed": args.seed})
+                 metadata={"workload": args.workload, "seed": args.seed},
+                 result=result)
         print(f"archived run to    : {args.save_run}")
 
 
@@ -243,26 +250,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_cell(n: int, d: float, lazy: bool, sigma) -> list:
+    """One d-sweep row (module-level so --jobs can fan rows out)."""
+    machine = TreeMachine(n)
+    algo = PeriodicReallocationAlgorithm(machine, d, lazy=lazy)
+    result = run(machine, algo, sigma)
+    return [
+        d,
+        result.max_load,
+        result.optimal_load,
+        f"{result.competitive_ratio:.2f}",
+        deterministic_upper_factor(n, d),
+        result.metrics.realloc.num_reallocations,
+        f"{result.metrics.realloc.traffic_pe_hops:.0f}",
+    ]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.parallel import parallel_map
+
     n = args.n
     sigma = _make_workload(args.workload, n, args)
-    rows = []
     d_values = [float(x) for x in args.d_values.split(",")]
-    for d in d_values:
-        machine = TreeMachine(n)
-        algo = PeriodicReallocationAlgorithm(machine, d, lazy=args.lazy)
-        result = run(machine, algo, sigma)
-        rows.append(
-            [
-                d,
-                result.max_load,
-                result.optimal_load,
-                f"{result.competitive_ratio:.2f}",
-                deterministic_upper_factor(n, d),
-                result.metrics.realloc.num_reallocations,
-                f"{result.metrics.realloc.traffic_pe_hops:.0f}",
-            ]
-        )
+    rows = parallel_map(
+        _sweep_cell, [(n, d, args.lazy, sigma) for d in d_values], jobs=args.jobs
+    )
     print(
         format_table(
             ["d", "max load", "L*", "ratio", "bound", "reallocs", "traffic"],
@@ -286,6 +298,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(p):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for independent runs (-1 = all cores; "
+            "results are identical to a serial run)",
+        )
+
     sub.add_parser("list", help="list experiments and scenarios").set_defaults(
         func=_cmd_list
     )
@@ -294,11 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id", help="experiment id, e.g. e4")
     p_exp.set_defaults(func=_cmd_experiment)
 
-    sub.add_parser("all", help="run every experiment").set_defaults(func=_cmd_all)
+    p_all = sub.add_parser("all", help="run every experiment")
+    add_jobs(p_all)
+    p_all.set_defaults(func=_cmd_all)
 
     p_rep = sub.add_parser("report", help="write a markdown reproduction report")
     p_rep.add_argument("--out", default=None, help="output file (stdout if omitted)")
     p_rep.add_argument("--ids", default=None, help="comma-separated experiment ids")
+    add_jobs(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     workload_choices = sorted(["poisson", "burst", "churn", *SCENARIOS])
@@ -356,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--d-values", default="0,1,2,3,4,8", help="comma-separated d list"
     )
+    add_jobs(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
@@ -366,7 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -17,9 +17,43 @@ Then the load of submachine ``v`` (max PE load within it) is
 max load is simply ``M[root]``.
 
 Arrivals and departures update ``count`` and re-aggregate ``M`` along one
-root-to-leaf path: **O(log N)** per event.  The per-level bulk query needed
-by the greedy algorithm ("loads of all 2^x-PE submachines") is vectorized
-via :meth:`Hierarchy.ancestor_sums`: O(number of submachines) NumPy work.
+root-to-leaf path: **O(log N)** per event.
+
+Three query paths exist for the greedy algorithm's per-arrival question
+("which 2^x-PE submachine has minimum load?"):
+
+* :meth:`level_loads` — the bulk scan, O(number of submachines) NumPy
+  work via :meth:`Hierarchy.ancestor_sums`; still useful when *all* loads
+  of a level are needed (baselines, plots, brute-force checks).
+* :meth:`leftmost_min_submachine_scan` — the scan plus ``argmin``: the
+  seed implementation, kept as the reference oracle.
+* :meth:`leftmost_min_submachine` — **O(log N)** tree descent over a
+  min-of-max aggregation (see below), the production path.
+
+The descent structure answers "leftmost minimum-load submachine of size
+2^x" exactly.  For a node ``v`` at level ``l`` and a target level
+``L >= l`` define::
+
+    D_L(v) = min over level-L descendants w of v of
+             ( M[w] + sum(count[u] for u on the path v..parent(w)) )
+
+so ``D_L(root)`` is the minimum load over all level-``L`` submachines
+(the root has no proper ancestors), and ``D`` satisfies the local
+recurrences ``D_l(v) = M[v]`` and
+``D_L(v) = count[v] + min(D_L(left), D_L(right))`` for ``L > l``.
+A node at level ``l`` therefore stores a vector of ``n - l + 1`` values —
+``sum_l 2^l (n - l + 1) < 4N`` integers in total — and one count change
+re-aggregates the vectors of the ``O(log N)`` path nodes, each in O(path
+remainder), i.e. O(log^2 N) integer work per event.  The query itself
+descends from the root comparing the two children's ``D_L`` entries
+(going left on ties gives the paper's leftmost tie-break): **O(log N)**.
+
+The structure is built lazily on the first min-load query, so trackers
+that never ask it (e.g. the simulator's authoritative tracker, which only
+validates and meters) pay nothing.  Likewise :meth:`leaf_loads` is served
+from an incrementally maintained per-PE cache fed by a bounded journal of
+``(lo, hi, delta)`` span updates, falling back to one vectorized
+recomputation when the journal overflows between queries.
 """
 
 from __future__ import annotations
@@ -32,11 +66,30 @@ from repro.types import NodeId, ilog2, is_power_of_two
 
 __all__ = ["LoadTracker"]
 
+#: Journal entries kept between ``leaf_loads`` queries before the cache is
+#: declared stale and rebuilt vectorized on the next query.  Each entry
+#: replays as one slice addition, so the cap bounds replay work to roughly
+#: one rebuild's worth.
+_LEAF_JOURNAL_CAP = 64
+
 
 class LoadTracker:
     """Mutable load state of one machine under aligned-subtree placements."""
 
-    __slots__ = ("hierarchy", "_count", "_max_below", "_active")
+    __slots__ = (
+        "hierarchy",
+        "_count",
+        "_max_below",
+        "_active",
+        "_count_list",
+        "_mb_list",
+        "_minagg",
+        "_minagg_base",
+        "_leaf_cache",
+        "_leaf_journal",
+        "_leaf_stale",
+        "_path_shifts",
+    )
 
     def __init__(self, hierarchy: Hierarchy):
         self.hierarchy = hierarchy
@@ -46,6 +99,29 @@ class LoadTracker:
         self._count = np.zeros(size, dtype=np.int64)
         self._max_below = np.zeros(size, dtype=np.int64)
         self._active = 0
+        # Plain-int mirrors of count / max_below: the per-event path walk is
+        # pure Python, and list indexing avoids the ~100ns-per-element cost
+        # of reading NumPy scalars in that loop.
+        self._count_list = [0] * size
+        self._mb_list = [0] * size
+        # Min-of-max descent structure (lazy; see module docstring).
+        # _minagg is one flat list; node v at level l with index i within
+        # its level owns the slot range
+        # [_minagg_base[l] + i*(n-l+1), ... + (n-l+1)), entry j holding
+        # D_{l+j}(v).
+        self._minagg: list[int] | None = None
+        n = hierarchy.height
+        base = [0] * (n + 2)
+        for level in range(n + 1):
+            base[level + 1] = base[level] + (1 << level) * (n - level + 1)
+        self._minagg_base = base
+        # Incremental per-PE load cache fed by a bounded span journal.
+        self._leaf_cache = np.zeros(hierarchy.num_leaves, dtype=np.int64)
+        self._leaf_journal: list[tuple[int, int, int]] = []
+        self._leaf_stale = False
+        # Shift vector for the vectorized root-path gather (satellite:
+        # ancestor_load / leaf_load without a Python generator).
+        self._path_shifts = np.arange(hierarchy.height + 1, dtype=np.int64)
 
     # -- Mutation ----------------------------------------------------------
 
@@ -62,39 +138,88 @@ class LoadTracker:
             )
 
     def _reaggregate_up(self, node: NodeId) -> None:
-        h = self.hierarchy
-        count = self._count
-        m = self._max_below
+        """Recompute ``max_below`` (and the min-of-max vectors, if built)
+        along the path from ``node`` to the root — O(log N) path nodes."""
+        count = self._count_list
+        mb = self._mb_list
+        m_np = self._max_below
+        minagg = self._minagg
+        base = self._minagg_base
+        n = self.hierarchy.height
+        n_leaves = self.hierarchy.num_leaves
         v = node
-        n_leaves = h.num_leaves
+        level = v.bit_length() - 1
         while v >= 1:
+            c = count[v]
             if v >= n_leaves:  # leaf
-                m[v] = count[v]
+                new = c
             else:
-                m[v] = count[v] + max(m[2 * v], m[2 * v + 1])
+                a = mb[2 * v]
+                b = mb[2 * v + 1]
+                new = c + (a if a >= b else b)
+            mb[v] = new
+            m_np[v] = new
+            if minagg is not None:
+                i = v - (1 << level)
+                width = n - level + 1  # own vector length
+                a0 = base[level] + i * width
+                minagg[a0] = new
+                if width > 1:
+                    c0 = base[level + 1] + 2 * i * (width - 1)
+                    r0 = c0 + width - 1
+                    minagg[a0 + 1 : a0 + width] = [
+                        c + (x if x <= y else y)
+                        for x, y in zip(
+                            minagg[c0:r0], minagg[r0 : r0 + width - 1]
+                        )
+                    ]
             v >>= 1
+            level -= 1
+
+    def _journal_span(self, node: NodeId, delta: int) -> None:
+        """Record a span update for the leaf-load cache (bounded journal)."""
+        if self._leaf_stale:
+            return
+        journal = self._leaf_journal
+        if len(journal) >= _LEAF_JOURNAL_CAP:
+            self._leaf_stale = True
+            journal.clear()
+            return
+        lo, hi = self.hierarchy.leaf_span(node)
+        journal.append((lo, hi, delta))
 
     def place(self, node: NodeId, size: int) -> None:
         """Record one task of ``size`` PEs placed at hierarchy node ``node``."""
         self._validate_placement(node, size)
         self._count[node] += 1
+        self._count_list[node] += 1
         self._active += 1
         self._reaggregate_up(node)
+        self._journal_span(node, 1)
 
     def remove(self, node: NodeId, size: int) -> None:
         """Remove one previously placed task from ``node``."""
         self._validate_placement(node, size)
-        if self._count[node] <= 0:
+        if self._count_list[node] <= 0:
             raise PlacementError(f"no task placed at node {node} to remove")
         self._count[node] -= 1
+        self._count_list[node] -= 1
         self._active -= 1
         self._reaggregate_up(node)
+        self._journal_span(node, -1)
 
     def clear(self) -> None:
         """Drop all placements (used by reallocation: repack from scratch)."""
         self._count[:] = 0
         self._max_below[:] = 0
         self._active = 0
+        size = 2 * self.hierarchy.num_leaves
+        self._count_list = [0] * size
+        self._mb_list = [0] * size
+        self._minagg = None  # rebuilt lazily on the next min-load query
+        self._leaf_cache[:] = 0
+        self._leaf_journal.clear()
+        self._leaf_stale = False
 
     # -- Queries -------------------------------------------------------------
 
@@ -106,61 +231,132 @@ class LoadTracker:
     @property
     def max_load(self) -> int:
         """Machine-wide maximum PE load, ``max_u lambda(u)`` — O(1)."""
-        return int(self._max_below[1])
+        return self._mb_list[1]
 
     def node_count(self, node: NodeId) -> int:
         """Tasks placed exactly at ``node``."""
         self.hierarchy._check(node)
-        return int(self._count[node])
+        return self._count_list[node]
+
+    def _path_gather(self, node: NodeId) -> np.ndarray:
+        """``count`` over ``node`` and its ancestors, via one NumPy gather."""
+        shifts = self._path_shifts[: node.bit_length()]
+        return self._count[node >> shifts]
 
     def ancestor_load(self, node: NodeId) -> int:
-        """Sum of ``count`` over proper ancestors of ``node``."""
-        return int(sum(self._count[a] for a in self.hierarchy.ancestors(node)))
+        """Sum of ``count`` over proper ancestors of ``node`` — O(log N),
+        vectorized as a shifted path-index gather."""
+        self.hierarchy._check(node)
+        if node == 1:
+            return 0
+        return int(self._path_gather(node)[1:].sum())
 
     def submachine_load(self, node: NodeId) -> int:
         """Max PE load within the submachine rooted at ``node`` — O(log N)."""
         self.hierarchy._check(node)
-        return int(self._max_below[node]) + self.ancestor_load(node)
+        return self._mb_list[node] + self.ancestor_load(node)
 
     def leaf_load(self, pe: int) -> int:
-        """Load of one PE — O(log N)."""
+        """Load of one PE — O(log N), vectorized path gather."""
         leaf = self.hierarchy.leaf_node(pe)
-        return int(sum(self._count[v] for v in self.hierarchy.path_to_root(leaf)))
+        return int(self._path_gather(leaf).sum())
 
     def leaf_loads(self) -> np.ndarray:
-        """Loads of all PEs, vectorized — O(N)."""
-        h = self.hierarchy
-        anc = h.ancestor_sums(self._count, h.height)
-        return anc + self._count[h.level_slice(h.height)]
+        """Loads of all PEs — incrementally cached; O(journal) typical,
+        one O(N) vectorized rebuild after journal overflow."""
+        cache = self._leaf_cache
+        if self._leaf_stale:
+            h = self.hierarchy
+            anc = h.ancestor_sums(self._count, h.height)
+            np.add(anc, self._count[h.level_slice(h.height)], out=cache)
+            self._leaf_stale = False
+        elif self._leaf_journal:
+            for lo, hi, delta in self._leaf_journal:
+                cache[lo:hi] += delta
+            self._leaf_journal.clear()
+        return cache.copy()
 
     def level_loads(self, size: int) -> np.ndarray:
         """Loads of every ``size``-PE submachine, left to right — vectorized.
 
         ``result[j]`` is the max PE load within the ``j``-th aligned
-        submachine of ``size`` PEs.  This is exactly the bulk query the
-        greedy algorithm A_G performs on each arrival.
+        submachine of ``size`` PEs: O(number of submachines) NumPy work.
+        Use :meth:`leftmost_min_submachine` when only the minimum is needed.
         """
         h = self.hierarchy
         level = h.level_for_size(size)
         anc = h.ancestor_sums(self._count, level)
         return anc + self._max_below[h.level_slice(level)]
 
-    def leftmost_min_submachine(self, size: int) -> tuple[NodeId, int]:
-        """Leftmost ``size``-PE submachine of minimum load, and that load.
+    def leftmost_min_submachine_scan(self, size: int) -> tuple[NodeId, int]:
+        """Reference implementation: full level scan plus ``argmin``.
 
         ``np.argmin`` returns the first minimum, which is precisely the
-        paper's leftmost tie-break.
+        paper's leftmost tie-break.  O(number of submachines); kept as the
+        oracle the O(log N) descent is property-tested against, and as the
+        baseline kernel in the perf benches.
         """
         loads = self.level_loads(size)
         j = int(np.argmin(loads))
         return self.hierarchy.node_for(size, j), int(loads[j])
+
+    def _build_minagg(self) -> None:
+        """Materialize the min-of-max vectors bottom-up, vectorized per
+        (level, target-level) pair: O(N) total work, done once."""
+        h = self.hierarchy
+        n = h.height
+        count = self._count
+        # rows[l] is the (2^l, n-l+1) matrix of D vectors for level l.
+        rows: list[np.ndarray] = [None] * (n + 1)  # type: ignore[list-item]
+        leaves = count[h.level_slice(n)]
+        rows[n] = leaves.reshape(-1, 1).copy()
+        mb = self._max_below
+        for level in range(n - 1, -1, -1):
+            below = rows[level + 1]
+            mat = np.empty((1 << level, n - level + 1), dtype=np.int64)
+            mat[:, 0] = mb[h.level_slice(level)]
+            np.minimum(below[0::2, :], below[1::2, :], out=mat[:, 1:])
+            mat[:, 1:] += count[h.level_slice(level)][:, None]
+            rows[level] = mat
+        flat: list[int] = []
+        for level in range(n + 1):
+            flat.extend(rows[level].ravel().tolist())
+        self._minagg = flat
+
+    def leftmost_min_submachine(self, size: int) -> tuple[NodeId, int]:
+        """Leftmost ``size``-PE submachine of minimum load, and that load.
+
+        O(log N) descent over the lazily built min-of-max structure; ties
+        resolve to the left child at every step, which is the paper's
+        leftmost tie-break (verified against
+        :meth:`leftmost_min_submachine_scan` by property tests).
+        """
+        target = self.hierarchy.level_for_size(size)
+        if self._minagg is None:
+            self._build_minagg()
+        minagg = self._minagg
+        base = self._minagg_base
+        n = self.hierarchy.height
+        best = minagg[target]  # root vector starts at offset 0
+        v = 1
+        level = 0
+        while level < target:
+            j = target - level - 1  # entry index within the child vectors
+            width = n - level  # child vector length
+            c0 = base[level + 1] + 2 * (v - (1 << level)) * width
+            if minagg[c0 + j] <= minagg[c0 + width + j]:
+                v = 2 * v
+            else:
+                v = 2 * v + 1
+            level += 1
+        return v, best
 
     def snapshot(self) -> np.ndarray:
         """Copy of the per-node placement counts (heap-indexed)."""
         return self._count.copy()
 
     def check_invariants(self) -> None:
-        """Verify internal aggregation consistency (test helper, O(N))."""
+        """Verify internal aggregation consistency (test helper, O(N log N))."""
         h = self.hierarchy
         m = np.zeros_like(self._max_below)
         leaves = h.level_slice(h.height)
@@ -170,5 +366,40 @@ class LoadTracker:
                 m[v] = self._count[v] + max(m[2 * v], m[2 * v + 1])
         if not np.array_equal(m, self._max_below):
             raise AssertionError("LoadTracker max aggregation out of sync")
+        if self._count[1:].tolist() != self._count_list[1:]:
+            raise AssertionError("LoadTracker count mirror out of sync")
+        if self._max_below[1:].tolist() != self._mb_list[1:]:
+            raise AssertionError("LoadTracker max-below mirror out of sync")
         if int(self._count[1:].sum()) != self._active:
             raise AssertionError("LoadTracker active-count out of sync")
+        # Leaf cache: replaying the journal must reproduce the true loads.
+        anc = h.ancestor_sums(self._count, h.height)
+        true_leaves = anc + self._count[leaves]
+        if not self._leaf_stale:
+            replayed = self._leaf_cache.copy()
+            for lo, hi, delta in self._leaf_journal:
+                replayed[lo:hi] += delta
+            if not np.array_equal(replayed, true_leaves):
+                raise AssertionError("LoadTracker leaf cache out of sync")
+        # Min-of-max structure (only when built): every D_L(v) must equal
+        # the brute-force minimum over level-L descendant loads.
+        if self._minagg is not None:
+            base = self._minagg_base
+            n = h.height
+            for level in range(n + 1):
+                width = n - level + 1
+                for i, v in enumerate(h.nodes_at_level(level)):
+                    vec = self._minagg[
+                        base[level] + i * width : base[level] + (i + 1) * width
+                    ]
+                    anc_v = sum(self._count_list[a] for a in h.ancestors(v))
+                    for j, target in enumerate(range(level, n + 1)):
+                        lo, hi = h.leaf_span(v)
+                        size = h.num_leaves >> target
+                        block = true_leaves[lo:hi].reshape(-1, size)
+                        expect = int(block.max(axis=1).min()) - anc_v
+                        if vec[j] != expect:
+                            raise AssertionError(
+                                "LoadTracker min-of-max aggregation out of "
+                                f"sync at node {v}, target level {target}"
+                            )

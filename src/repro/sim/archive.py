@@ -32,7 +32,7 @@ from repro.machines.fattree import FatTree
 from repro.machines.hypercube import Hypercube
 from repro.machines.mesh import Mesh2D
 from repro.machines.tree import TreeMachine
-from repro.sim.engine import Simulator
+from repro.sim.engine import RunResult, Simulator
 from repro.tasks.sequence import TaskSequence
 from repro.tasks.task import Task
 from repro.types import NodeId, TaskId
@@ -88,8 +88,14 @@ def save_run(
     simulator: Simulator,
     *,
     metadata: Mapping | None = None,
+    result: RunResult | None = None,
 ) -> None:
-    """Archive one completed run (machine + sequence + placement history)."""
+    """Archive one completed run (machine + sequence + placement history).
+
+    Pass the :class:`RunResult` to embed its compact summary (no load
+    series — ``to_dict()`` default) under ``"result_summary"``; the full
+    series can always be recomputed from the archived segments.
+    """
     intervals = simulator.placement_intervals()
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -114,6 +120,8 @@ def save_run(
         },
         "max_load": simulator.metrics.max_load,
     }
+    if result is not None:
+        payload["result_summary"] = result.to_dict()
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 

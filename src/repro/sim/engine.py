@@ -64,11 +64,14 @@ class RunResult:
             return 0.0 if self.max_load == 0 else float("inf")
         return self.max_load / self.optimal_load
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable summary (for result archives and reports)."""
+    def to_dict(self, include_series: bool = False) -> dict:
+        """JSON-serialisable summary (for result archives and reports).
+
+        The per-event load series is O(events) and dominates the payload
+        for long runs, so it is omitted unless ``include_series=True``.
+        """
         realloc = self.metrics.realloc
-        times, loads = self.metrics.series.as_arrays()
-        return {
+        payload = {
             "algorithm": self.algorithm_name,
             "machine": dict(self.machine_description),
             "max_load": self.max_load,
@@ -80,11 +83,14 @@ class RunResult:
             "traffic_pe_hops": realloc.traffic_pe_hops,
             "checkpoint_bytes": realloc.checkpoint_bytes,
             "fairness_at_peak": self.metrics.fairness_at_peak(),
-            "load_series": {
+        }
+        if include_series:
+            times, loads = self.metrics.series.as_arrays()
+            payload["load_series"] = {
                 "times": [float(t) for t in times],
                 "max_loads": [int(v) for v in loads],
-            },
-        }
+            }
+        return payload
 
 
 class Simulator:

@@ -1,0 +1,108 @@
+"""Process-parallel execution of independent experiment cells.
+
+Every harness in this library ultimately runs a bag of *independent*
+cells — sweep grid points, experiment drivers, (machine, sequence) run
+pairs — each of which is CPU-bound pure Python/NumPy.  This module is the
+one place that fans such bags out over worker processes, with two hard
+guarantees:
+
+1. **Bit-identical results.**  Randomness is never drawn in the
+   coordinating process after the fan-out decision: each cell receives its
+   own ``numpy.random.SeedSequence`` spawned *before* dispatch (exactly the
+   streams the serial path would use), and results are collected in
+   submission order.  A 4-worker run therefore produces byte-for-byte the
+   same values as ``jobs=1`` — verified by
+   ``tests/sim/test_parallel.py::test_parallel_sweep_is_bit_identical``.
+2. **Graceful degradation.**  ``jobs in (None, 0, 1)`` runs serially in
+   the calling process with no executor, no pickling, and no behavioural
+   difference; ``jobs=-1`` uses every core.
+
+Workers are plain ``ProcessPoolExecutor`` processes, so the callable and
+its arguments must be picklable: module-level functions, machines, task
+sequences and :class:`~repro.sim.engine.RunResult` bundles all are —
+lambdas and closures are not (use a top-level function or
+``functools.partial`` over one).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["resolve_jobs", "parallel_map", "run_seeded_cells"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a user-facing ``jobs`` value to a worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``-1`` means one worker per
+    available core; any other positive integer is taken literally.
+    """
+    if jobs is None or jobs == 0 or jobs == 1:
+        return 1
+    if jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if jobs < -1:
+        raise ValueError(f"jobs must be >= -1, got {jobs}")
+    return jobs
+
+
+def _call(payload: tuple[Callable[..., Any], tuple, dict]) -> Any:
+    fn, args, kwargs = payload
+    return fn(*args, **kwargs)
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    argument_sets: Sequence[tuple],
+    *,
+    jobs: int | None = None,
+) -> list[Any]:
+    """``[fn(*args) for args in argument_sets]``, optionally in processes.
+
+    Results come back in input order regardless of completion order, so
+    parallel and serial runs are interchangeable.
+    """
+    workers = resolve_jobs(jobs)
+    payloads = [(fn, tuple(args), {}) for args in argument_sets]
+    if workers <= 1 or len(payloads) <= 1:
+        return [_call(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        return list(pool.map(_call, payloads))
+
+
+def _run_seeded_cell(
+    payload: tuple[Callable[..., Any], Mapping[str, Any], np.random.SeedSequence],
+) -> Any:
+    fn, params, stream = payload
+    return fn(**params, rng=np.random.default_rng(stream))
+
+
+def run_seeded_cells(
+    fn: Callable[..., Any],
+    cells: Sequence[Mapping[str, Any]],
+    streams: Sequence[np.random.SeedSequence],
+    *,
+    jobs: int | None = None,
+) -> list[Any]:
+    """Run ``fn(**params, rng=...)`` for each cell with its own RNG stream.
+
+    ``streams`` must be the per-cell :class:`numpy.random.SeedSequence`
+    objects (typically ``root.spawn(len(cells))``) — spawning happens in
+    the caller so serial and parallel executions consume identical
+    entropy.  This is the engine behind
+    :meth:`repro.analysis.sweeps.Sweep.run`.
+    """
+    if len(cells) != len(streams):
+        raise ValueError(
+            f"got {len(cells)} cells but {len(streams)} RNG streams"
+        )
+    workers = resolve_jobs(jobs)
+    payloads = [(fn, dict(params), stream) for params, stream in zip(cells, streams)]
+    if workers <= 1 or len(payloads) <= 1:
+        return [_run_seeded_cell(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        return list(pool.map(_run_seeded_cell, payloads))

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.base import AllocationAlgorithm
 from repro.machines.base import PartitionableMachine
 from repro.sim.engine import RunResult, Simulator
+from repro.sim.parallel import parallel_map
 from repro.sim.realloc_cost import MigrationCostModel
 from repro.tasks.sequence import TaskSequence
 
@@ -36,16 +37,40 @@ def run(
     return Simulator(machine, algorithm, cost_model).run(sequence)
 
 
+def _run_fresh(
+    machine: PartitionableMachine,
+    factory: AlgorithmFactory,
+    sequence: TaskSequence,
+    cost_model: Optional[MigrationCostModel],
+) -> RunResult:
+    """Worker for :func:`run_many`: build a fresh algorithm and run.
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor` workers.
+    """
+    return Simulator(machine, factory(machine), cost_model).run(sequence)
+
+
 def run_many(
     machine: PartitionableMachine,
     factory: AlgorithmFactory,
     sequences: Iterable[TaskSequence],
     cost_model: Optional[MigrationCostModel] = None,
+    *,
+    jobs: int | None = None,
 ) -> list[RunResult]:
-    """Run a fresh algorithm instance over each sequence."""
-    return [
-        Simulator(machine, factory(machine), cost_model).run(seq) for seq in sequences
-    ]
+    """Run a fresh algorithm instance over each sequence.
+
+    ``jobs`` fans the sequences out over worker processes (``-1`` = all
+    cores; ``None``/``0``/``1`` = serial).  Runs are independent and each
+    worker builds its own simulator, so results are identical to the
+    serial path — ``machine``, ``factory`` and ``cost_model`` must then
+    be picklable (a lambda factory is not; algorithm classes are).
+    """
+    return parallel_map(
+        _run_fresh,
+        [(machine, factory, seq, cost_model) for seq in sequences],
+        jobs=jobs,
+    )
 
 
 def expected_max_load(

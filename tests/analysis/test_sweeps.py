@@ -18,6 +18,13 @@ class TestGrid:
         with pytest.raises(ValueError):
             Sweep({"a": []})
 
+    def test_rng_axis_rejected(self):
+        """An axis named 'rng' would shadow the injected generator; the
+        collision must be a loud construction-time error, not a silent
+        override."""
+        with pytest.raises(ValueError, match="rng"):
+            Sweep({"n": [4, 8], "rng": [0, 1]})
+
     def test_cell_order_deterministic(self):
         sweep = Sweep({"a": [1, 2], "b": ["x", "y"]})
         assert sweep.cells() == [

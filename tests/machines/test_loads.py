@@ -159,3 +159,83 @@ class TestPropertyConsistency:
         for v in range(1, 16):
             lo, hi = h.leaf_span(v)
             assert tracker.submachine_load(v) == int(leaves[lo:hi].max())
+
+
+class TestLeftmostMinDescent:
+    """The O(log N) descent must be indistinguishable from the brute-force
+    level scan + argmin — value *and* leftmost tie-break — at every point
+    of a random placement churn, including queries interleaved with
+    mutations (the descent structure is built lazily on the first query
+    and maintained incrementally afterwards)."""
+
+    @given(placement_scripts(num_leaves=16, max_ops=60))
+    @settings(max_examples=60, deadline=None)
+    def test_descent_matches_scan_under_churn(self, ops):
+        h = Hierarchy(16)
+        tracker = LoadTracker(h)
+        sizes = (1, 2, 4, 8, 16)
+        for step, (op, node) in enumerate(ops):
+            size = h.subtree_size(node)
+            getattr(tracker, "place" if op == "place" else "remove")(node, size)
+            # Query mid-churn every few steps so the lazily built structure
+            # sees further mutations after construction.
+            if step % 3 == 0:
+                for qsize in sizes:
+                    assert (
+                        tracker.leftmost_min_submachine(qsize)
+                        == tracker.leftmost_min_submachine_scan(qsize)
+                    )
+        for qsize in sizes:
+            assert (
+                tracker.leftmost_min_submachine(qsize)
+                == tracker.leftmost_min_submachine_scan(qsize)
+            )
+        tracker.check_invariants()
+
+    @given(placement_scripts(num_leaves=8, max_ops=40))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_queries_keep_all_caches_consistent(self, ops):
+        """leaf_loads journal + min-of-max structure stay in sync when
+        queries and mutations interleave arbitrarily."""
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        naive = np.zeros(8, dtype=np.int64)
+        for step, (op, node) in enumerate(ops):
+            size = h.subtree_size(node)
+            lo, hi = h.leaf_span(node)
+            if op == "place":
+                tracker.place(node, size)
+                naive[lo:hi] += 1
+            else:
+                tracker.remove(node, size)
+                naive[lo:hi] -= 1
+            if step % 2 == 0:
+                assert tracker.leaf_loads().tolist() == naive.tolist()
+                node_min, load = tracker.leftmost_min_submachine(2)
+                assert tracker.leftmost_min_submachine_scan(2) == (node_min, load)
+        tracker.check_invariants()
+
+    def test_clear_resets_descent_structure(self):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        tracker.place(2, 4)
+        assert tracker.leftmost_min_submachine(4) == (3, 0)
+        tracker.clear()
+        assert tracker.leftmost_min_submachine(4) == (2, 0)
+        assert tracker.leaf_loads().tolist() == [0] * 8
+        tracker.check_invariants()
+
+    def test_journal_overflow_falls_back_to_rebuild(self):
+        """More mutations between queries than the journal cap: the cache
+        is rebuilt vectorized and stays exact."""
+        h = Hierarchy(16)
+        tracker = LoadTracker(h)
+        naive = np.zeros(16, dtype=np.int64)
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            node = int(rng.integers(1, 32))
+            tracker.place(node, h.subtree_size(node))
+            lo, hi = h.leaf_span(node)
+            naive[lo:hi] += 1
+        assert tracker.leaf_loads().tolist() == naive.tolist()
+        tracker.check_invariants()

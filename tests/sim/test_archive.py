@@ -62,6 +62,22 @@ class TestRoundtrip:
         assert payload["metadata"]["seed"] == 7
         assert payload["max_load"] == 2
 
+    def test_result_summary_embedded_without_series(self, tmp_path):
+        machine = TreeMachine(4)
+        seq = figure1_sequence()
+        sim = Simulator(machine, GreedyAlgorithm(machine))
+        result = sim.run(seq)
+        path = tmp_path / "run.json"
+        save_run(path, machine, seq, sim, result=result)
+        payload = json.loads(path.read_text())
+        summary = payload["result_summary"]
+        assert summary["max_load"] == 2
+        assert summary["competitive_ratio"] == 2.0
+        assert "load_series" not in summary  # archives stay compact
+        # The archive stays loadable/auditble with the extra key.
+        machine2, seq2, intervals = load_run(path)
+        audit_run(machine2, seq2, intervals).raise_if_failed()
+
     def test_infinite_departures_encoded(self, tmp_path):
         machine = TreeMachine(4)
         seq = figure1_sequence()  # three tasks never depart

@@ -1,0 +1,115 @@
+"""Tests for the process-parallel experiment engine.
+
+The engine's contract is *bit-identical results*: a parallel run must be
+indistinguishable from the serial run because the per-cell RNG streams are
+spawned before dispatch and results are collected in submission order.
+Worker callables live at module level so they pickle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import Sweep
+from repro.core.greedy import GreedyAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.parallel import parallel_map, resolve_jobs, run_seeded_cells
+from repro.sim.runner import run_many
+from repro.workloads.generators import churn_sequence, poisson_sequence
+
+
+def _sim_cell(n: int, d: int, rng: np.random.Generator) -> tuple:
+    """A realistic sweep cell: a full greedy run plus raw RNG draws, so any
+    divergence in stream handling or ordering shows up in the value."""
+    sigma = churn_sequence(n, 60, rng)
+    machine = TreeMachine(n)
+    from repro.sim.runner import run
+
+    result = run(machine, GreedyAlgorithm(machine), sigma)
+    return (n, d, result.max_load, float(rng.random()))
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveJobs:
+    def test_serial_values(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_explicit_and_all_cores(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-1) >= 1
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        items = [(i,) for i in range(20)]
+        assert parallel_map(_square, items, jobs=4) == [i * i for i in range(20)]
+
+    def test_serial_path_identical(self):
+        items = [(i,) for i in range(5)]
+        assert parallel_map(_square, items, jobs=None) == parallel_map(
+            _square, items, jobs=2
+        )
+
+
+class TestSeededCells:
+    def test_stream_count_mismatch_rejected(self):
+        root = np.random.SeedSequence(0)
+        with pytest.raises(ValueError):
+            run_seeded_cells(_sim_cell, [{"n": 4, "d": 0}], root.spawn(2))
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_is_bit_identical(self):
+        """Acceptance criterion: a 4-worker sweep returns bit-identical
+        cell values to the serial run on the same grid and seed."""
+        grid = {"n": [8, 16], "d": [0, 1, 2]}
+        serial = Sweep(grid, seed=42).run(_sim_cell)
+        parallel = Sweep(grid, seed=42).run(_sim_cell, parallel=4)
+        assert len(serial) == len(parallel) == 6
+        for a, b in zip(serial, parallel):
+            assert a.params == b.params
+            assert a.value == b.value  # tuple equality: exact ints + floats
+
+    def test_parallel_rejects_unpicklable_cell(self):
+        with pytest.raises(Exception):  # pickling error type varies by OS
+            Sweep({"n": [8, 16]}, seed=0).run(
+                lambda n, rng: float(rng.random()), parallel=2
+            )
+
+
+class TestRunManyJobs:
+    def test_jobs_matches_serial(self):
+        machine = TreeMachine(16)
+        sequences = [
+            poisson_sequence(16, 40, np.random.default_rng(s)) for s in range(4)
+        ]
+        serial = run_many(machine, GreedyAlgorithm, sequences)
+        fanned = run_many(machine, GreedyAlgorithm, sequences, jobs=2)
+        assert [r.max_load for r in serial] == [r.max_load for r in fanned]
+        assert [r.optimal_load for r in serial] == [
+            r.optimal_load for r in fanned
+        ]
+
+
+class TestRunExperimentsParallel:
+    def test_reports_match_serial(self):
+        from repro.analysis.experiments import run_experiments
+
+        serial = run_experiments(["e1"])
+        fanned = run_experiments(["e1", "e1"], jobs=2)
+        assert [r.experiment_id for r in fanned] == ["e1", "e1"]
+        assert fanned[0].rows == serial[0].rows == fanned[1].rows
+
+    def test_unknown_id_rejected_before_running(self):
+        from repro.analysis.experiments import run_experiments
+
+        with pytest.raises(KeyError):
+            run_experiments(["e1", "nope"], jobs=2)

@@ -79,13 +79,20 @@ class TestSerialization:
     def test_to_dict_roundtrips_through_json(self):
         machine = TreeMachine(4)
         result = run(machine, GreedyAlgorithm(machine), figure1_sequence())
-        payload = json.loads(json.dumps(result.to_dict()))
+        payload = json.loads(json.dumps(result.to_dict(include_series=True)))
         assert payload["algorithm"] == "A_G"
         assert payload["max_load"] == 2
         assert payload["optimal_load"] == 1
         assert payload["competitive_ratio"] == 2.0
         assert payload["events"] == 7
         assert len(payload["load_series"]["max_loads"]) == 7
+
+    def test_to_dict_omits_series_by_default(self):
+        machine = TreeMachine(4)
+        result = run(machine, GreedyAlgorithm(machine), figure1_sequence())
+        payload = result.to_dict()
+        assert "load_series" not in payload
+        assert payload["events"] == 7
 
     def test_to_dict_includes_realloc_ledger(self):
         from repro.core.optimal import OptimalReallocatingAlgorithm

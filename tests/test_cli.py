@@ -103,6 +103,16 @@ class TestArchiveWorkflow:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestJobsOption:
+    def test_sweep_jobs_matches_serial(self, capsys):
+        argv = ["sweep", "--n", "8", "--tasks", "40", "--seed", "2",
+                "--d-values", "0,1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
 class TestGracefulErrors:
     def test_library_errors_become_clean_messages(self, capsys):
         # 32 PEs is not a square count: Mesh2D must reject it, and the CLI
