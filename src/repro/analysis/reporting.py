@@ -15,7 +15,7 @@ from typing import Iterable, Union
 
 from repro.analysis.experiments import ExperimentReport
 
-__all__ = ["generate_report", "render_markdown"]
+__all__ = ["generate_report", "render_markdown", "render_verify_markdown"]
 
 
 def _table_to_markdown(report: ExperimentReport) -> str:
@@ -64,6 +64,81 @@ def render_markdown(reports: Iterable[ExperimentReport]) -> str:
             parts.append(f"> {note}")
             parts.append("")
     return "\n".join(parts)
+
+
+def render_verify_markdown(report) -> str:
+    """Render a :class:`repro.verify.report.VerifyReport` as markdown.
+
+    The document a ``repro verify`` campaign leaves behind (and the CI
+    ``verify-smoke`` job publishes as its artifact): campaign totals,
+    feature-bucket coverage, tightest bound instances per theorem, and any
+    violations with their shrunk counterexamples.
+    """
+    import math
+
+    def fmt_d(d: float) -> str:
+        return "inf" if math.isinf(d) else f"{d:g}"
+
+    lines = [
+        "# Differential verification report",
+        "",
+        f"Machine N = {report.num_pes}, seed {report.seed}, "
+        f"algorithms: {', '.join(report.algorithms)}.",
+        "",
+        f"- sequences fuzzed: **{report.sequences_tried}**",
+        f"- checks run: **{report.checks_run}**",
+        f"- wall clock: {report.elapsed:.1f}s",
+        f"- structural feature buckets covered: **{report.features_covered}**",
+        f"- verdict: **{'OK' if report.ok else 'FAILED'}**",
+        "",
+    ]
+    if report.tightest:
+        lines += [
+            "## Tightest bound instances",
+            "",
+            "Least slack between a measured load and its theorem bound "
+            "(slack 0 for `optimal` is Theorem 3.1's equality).",
+            "",
+            "| algorithm | d | max load | L* | bound | slack | utilisation |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for name, m in sorted(report.tightest.items()):
+            lines.append(
+                f"| {name} | {fmt_d(m.d)} | {m.max_load} | {m.optimal_load} "
+                f"| {m.bound:g} | {m.slack:g} | {m.utilisation:.2f} |"
+            )
+        lines.append("")
+    if report.features:
+        lines += [
+            "## Feature coverage",
+            "",
+            "| size classes | full-machine | depth | volume | burst |",
+            "|---|---|---|---|---|",
+        ]
+        for f in report.features:
+            lines.append(
+                f"| {f.size_classes} | {'yes' if f.has_full_machine else 'no'} "
+                f"| {f.depth} | {f.volume} | {f.burst} |"
+            )
+        lines.append("")
+    if report.violations:
+        lines += ["## Violations", ""]
+        for outcome in report.violations:
+            lines.append(
+                f"- **{outcome.algorithm}** (d={fmt_d(outcome.d)}, "
+                f"seed={outcome.seed}, {outcome.num_events} events): "
+                + "; ".join(outcome.violations)
+            )
+        lines.append("")
+    if report.counterexamples:
+        lines += ["## Shrunk counterexamples", ""]
+        for entry in report.counterexamples:
+            lines.append(
+                f"- `{entry.filename()}` — {entry.algorithm}, "
+                f"{len(entry.tasks)} task(s): {entry.check}"
+            )
+        lines.append("")
+    return "\n".join(lines)
 
 
 def generate_report(

@@ -27,7 +27,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.sim.parallel import run_seeded_cells
+from repro.sim.parallel import reject_reserved_params, run_seeded_cells
 
 __all__ = ["Sweep", "SweepResults", "SweepCell"]
 
@@ -89,13 +89,8 @@ class Sweep:
     def __init__(self, grid: Mapping[str, Sequence[Any]], *, seed: int = 0):
         if not grid:
             raise ValueError("sweep grid must have at least one axis")
+        reject_reserved_params(grid, where="Sweep.run")
         for name, values in grid.items():
-            if name == "rng":
-                raise ValueError(
-                    "grid axis 'rng' is reserved: Sweep.run injects the "
-                    "per-cell generator as the keyword 'rng', so an axis of "
-                    "that name would silently shadow it — rename the axis"
-                )
             if not list(values):
                 raise ValueError(f"axis {name!r} has no values")
         self.grid = {k: list(v) for k, v in grid.items()}

@@ -12,6 +12,9 @@ Subcommands:
 * ``repro simulate --save-run F`` + ``repro audit F`` — archive a run and
   independently re-verify it (placement legality, recomputed load series).
 * ``repro compare ...``          — several algorithms side by side.
+* ``repro verify ...``           — differential verification: fuzz task
+  sequences and cross-check every algorithm against the independent
+  auditor, the brute-force oracle, and the paper's theorem bounds.
 
 ``all``, ``report``, and ``sweep`` take ``--jobs K`` (``-1`` = all cores)
 to fan independent runs across worker processes; results are identical to
@@ -266,6 +269,63 @@ def _sweep_cell(n: int, d: float, lazy: bool, sigma) -> list:
     ]
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_verify_markdown
+    from repro.verify import DifferentialHarness, replay_corpus
+
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+
+    if args.replay:
+        results = replay_corpus(args.replay, jobs=args.jobs)
+        failed = [(e, o) for e, o in results if not o.ok]
+        print(f"corpus             : {args.replay}")
+        print(f"entries replayed   : {len(results)}")
+        if failed:
+            print("verdict            : FAILED")
+            for entry, outcome in failed:
+                print(f"  - {entry.filename()}: " + "; ".join(outcome.violations))
+            return 1
+        print("verdict            : OK — all corpus entries pass")
+        if not args.budget and not args.sequences:
+            return 0
+
+    harness = DifferentialHarness(
+        args.n,
+        algorithms=algorithms,
+        seed=args.seed,
+        jobs=args.jobs,
+        corpus_dir=args.corpus_dir,
+    )
+    report = harness.fuzz(
+        budget=args.budget or None,
+        max_sequences=args.sequences or (None if args.budget else 50),
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_verify_markdown(report))
+        print(f"wrote {args.out}")
+    print(f"machine            : TreeMachine(N={args.n})")
+    print(f"sequences fuzzed   : {report.sequences_tried}")
+    print(f"checks run         : {report.checks_run}")
+    print(f"features covered   : {report.features_covered}")
+    print(f"wall clock         : {report.elapsed:.1f}s")
+    for name, margin in sorted(report.tightest.items()):
+        print(
+            f"  {name:<10} tightest: load {margin.max_load} vs bound "
+            f"{margin.bound:g} (slack {margin.slack:g})"
+        )
+    if report.ok:
+        print("verdict            : OK — engine, audit, oracle and bounds agree")
+        return 0
+    print("verdict            : FAILED")
+    for outcome in report.violations[:20]:
+        print(f"  - {outcome.algorithm} (d={outcome.d:g}): " + "; ".join(outcome.violations))
+    if report.counterexamples:
+        where = args.corpus_dir or "(not persisted; pass --corpus-dir)"
+        print(f"shrunk counterexamples: {len(report.counterexamples)} -> {where}")
+    return 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.parallel import parallel_map
 
@@ -374,6 +434,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cmp.add_argument("--moves", type=int, default=4)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz sequences, cross-check every "
+        "algorithm against audit, brute-force oracle and theorem bounds",
+    )
+    p_ver.add_argument("--n", type=int, default=64, help="number of PEs (power of 2)")
+    p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.add_argument(
+        "--budget", type=float, default=None, help="wall-clock budget in seconds"
+    )
+    p_ver.add_argument(
+        "--sequences", type=int, default=None,
+        help="max fuzzed sequences (default 50 when no --budget)",
+    )
+    p_ver.add_argument(
+        "--algorithms", default=None,
+        help="comma-separated registry names (default: all)",
+    )
+    p_ver.add_argument(
+        "--corpus-dir", default=None,
+        help="write shrunk counterexamples here (e.g. tests/corpus)",
+    )
+    p_ver.add_argument(
+        "--replay", default=None, metavar="DIR",
+        help="replay a counterexample corpus before (or instead of) fuzzing",
+    )
+    p_ver.add_argument(
+        "--out", default=None, help="write the markdown verification report here"
+    )
+    add_jobs(p_ver)
+    p_ver.set_defaults(func=_cmd_verify)
 
     p_sweep = sub.add_parser("sweep", help="load-vs-d sweep with A_M")
     add_common(p_sweep)

@@ -14,6 +14,12 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.core.base import AllocationAlgorithm
+from repro.core.bounds import (
+    basic_copy_bound,
+    deterministic_upper_factor,
+    greedy_upper_bound_factor,
+)
+from repro.errors import UnknownAlgorithmError
 from repro.core.basic import BasicAlgorithm
 from repro.core.baselines import (
     FirstFitLevelAlgorithm,
@@ -29,7 +35,35 @@ from repro.core.randomized import ObliviousRandomAlgorithm
 from repro.core.twochoice import TwoChoiceAlgorithm
 from repro.machines.base import PartitionableMachine
 
-__all__ = ["AlgorithmSpec", "ALGORITHM_SPECS", "make_algorithm", "algorithm_names"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHM_SPECS",
+    "make_algorithm",
+    "algorithm_names",
+    "bounded_algorithm_names",
+]
+
+
+def _bound_optimal(num_pes: int, d: float, lstar: int, total_arrival: int) -> float:
+    """Theorem 3.1: A_C achieves exactly L* (checked as an upper bound; the
+    harness separately asserts ``max_load >= L*`` for every algorithm, so
+    together the check is equality)."""
+    return float(lstar)
+
+
+def _bound_greedy(num_pes: int, d: float, lstar: int, total_arrival: int) -> float:
+    """Theorem 4.1: ``L <= ceil((log N + 1)/2) * L*``."""
+    return greedy_upper_bound_factor(num_pes) * float(max(lstar, 1))
+
+
+def _bound_basic(num_pes: int, d: float, lstar: int, total_arrival: int) -> float:
+    """Lemma 2: A_B's load never exceeds ``ceil(S/N)`` copies."""
+    return float(basic_copy_bound(total_arrival, num_pes))
+
+
+def _bound_periodic(num_pes: int, d: float, lstar: int, total_arrival: int) -> float:
+    """Theorem 4.2: ``L <= min{d + 1, ceil((log N + 1)/2)} * L*``."""
+    return deterministic_upper_factor(num_pes, d) * float(max(lstar, 1))
 
 
 @dataclass(frozen=True)
@@ -45,6 +79,16 @@ class AlgorithmSpec:
     factory: Callable[..., AllocationAlgorithm]
     #: Keyword arguments the factory understands beyond (machine,).
     options: tuple[str, ...] = ()
+    #: Machine-checkable per-sequence load bound, or ``None`` when the
+    #: paper's guarantee is expectation-only (randomized algorithms) or
+    #: absent (baselines).  Called as ``load_bound(num_pes, d, optimal_load,
+    #: total_arrival_size)`` and returns the largest ``max_load`` a single
+    #: run may legally report — the differential harness asserts
+    #: ``result.max_load <= load_bound(...)`` on every fuzzed sequence.
+    load_bound: Optional[Callable[[int, float, int, int], float]] = None
+    #: True when the guarantee is an equality (Theorem 3.1): the harness
+    #: then additionally asserts ``max_load == load_bound(...)``.
+    bound_exact: bool = False
 
     def build(
         self,
@@ -87,6 +131,8 @@ ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
             randomized=False,
             reallocates=True,
             factory=OptimalReallocatingAlgorithm,
+            load_bound=_bound_optimal,
+            bound_exact=True,
         ),
         AlgorithmSpec(
             name="greedy",
@@ -96,6 +142,7 @@ ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
             randomized=False,
             reallocates=False,
             factory=GreedyAlgorithm,
+            load_bound=_bound_greedy,
         ),
         AlgorithmSpec(
             name="basic",
@@ -105,6 +152,7 @@ ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
             randomized=False,
             reallocates=False,
             factory=BasicAlgorithm,
+            load_bound=_bound_basic,
         ),
         AlgorithmSpec(
             name="periodic",
@@ -115,6 +163,7 @@ ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
             reallocates=True,
             factory=PeriodicReallocationAlgorithm,
             options=("d", "lazy"),
+            load_bound=_bound_periodic,
         ),
         AlgorithmSpec(
             name="random",
@@ -193,6 +242,11 @@ def algorithm_names() -> list[str]:
     return sorted(ALGORITHM_SPECS)
 
 
+def bounded_algorithm_names() -> list[str]:
+    """Names of algorithms carrying a machine-checkable per-run load bound."""
+    return sorted(n for n, s in ALGORITHM_SPECS.items() if s.load_bound is not None)
+
+
 def make_algorithm(
     name: str, machine: PartitionableMachine, **options: Any
 ) -> AllocationAlgorithm:
@@ -204,7 +258,7 @@ def make_algorithm(
     as the CLI does).
     """
     if name not in ALGORITHM_SPECS:
-        raise KeyError(
+        raise UnknownAlgorithmError(
             f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
         )
     return ALGORITHM_SPECS[name].build(machine, **options)

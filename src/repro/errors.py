@@ -18,6 +18,8 @@ __all__ = [
     "ReallocationError",
     "SimulationError",
     "TraceFormatError",
+    "UnknownAlgorithmError",
+    "VerificationError",
 ]
 
 
@@ -77,3 +79,19 @@ class SimulationError(ReproError, RuntimeError):
 
 class TraceFormatError(ReproError, ValueError):
     """A workload trace file could not be parsed."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """A registry lookup used an algorithm name that is not registered.
+
+    Derives from ``KeyError`` (the lookup really is a failed mapping access,
+    and callers historically caught it as one) and from :class:`ReproError`
+    so the CLI's clean-error path handles it without a traceback.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message; undo that.
+        return self.args[0] if self.args else ""
+
+
+class VerificationError(ReproError, AssertionError):
+    """The differential-verification harness found a confirmed violation."""

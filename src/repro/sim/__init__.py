@@ -28,7 +28,14 @@ from repro.sim.metrics import (
     jain_fairness,
 )
 from repro.sim.realloc_cost import MigrationCharge, MigrationCostModel
-from repro.sim.runner import AlgorithmFactory, SweepPoint, expected_max_load, run, run_many
+from repro.sim.runner import (
+    AlgorithmFactory,
+    SweepPoint,
+    expected_max_load,
+    run,
+    run_many,
+    run_traced,
+)
 from repro.sim.slowdown import (
     SlowdownReport,
     TaskSlowdown,
@@ -56,6 +63,7 @@ __all__ = [
     "MigrationCharge",
     "run",
     "run_many",
+    "run_traced",
     "expected_max_load",
     "AlgorithmFactory",
     "SweepPoint",

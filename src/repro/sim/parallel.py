@@ -32,7 +32,32 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["resolve_jobs", "parallel_map", "run_seeded_cells"]
+__all__ = [
+    "resolve_jobs",
+    "parallel_map",
+    "run_seeded_cells",
+    "reject_reserved_params",
+    "RESERVED_CELL_PARAMS",
+]
+
+#: Keyword names the seeded-cell engine injects into every cell call.  A
+#: caller-supplied parameter of the same name would silently shadow the
+#: injected value (or blow up with an opaque ``TypeError`` deep inside a
+#: worker process), so they are rejected up front with a clear message —
+#: the same contract :class:`repro.analysis.sweeps.Sweep` enforces on its
+#: grid axes.
+RESERVED_CELL_PARAMS: tuple[str, ...] = ("rng",)
+
+
+def reject_reserved_params(params: Mapping[str, Any], *, where: str) -> None:
+    """Raise a clean ``ValueError`` if ``params`` shadows an injected kwarg."""
+    for key in RESERVED_CELL_PARAMS:
+        if key in params:
+            raise ValueError(
+                f"parameter {key!r} is reserved: {where} injects the per-cell "
+                f"generator as the keyword {key!r}, so a caller-supplied value "
+                "of that name would silently shadow it — rename the parameter"
+            )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -100,6 +125,8 @@ def run_seeded_cells(
         raise ValueError(
             f"got {len(cells)} cells but {len(streams)} RNG streams"
         )
+    for params in cells:
+        reject_reserved_params(params, where="run_seeded_cells")
     workers = resolve_jobs(jobs)
     payloads = [(fn, dict(params), stream) for params, stream in zip(cells, streams)]
     if workers <= 1 or len(payloads) <= 1:

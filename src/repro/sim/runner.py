@@ -19,7 +19,14 @@ from repro.sim.parallel import parallel_map
 from repro.sim.realloc_cost import MigrationCostModel
 from repro.tasks.sequence import TaskSequence
 
-__all__ = ["run", "run_many", "expected_max_load", "AlgorithmFactory", "SweepPoint"]
+__all__ = [
+    "run",
+    "run_traced",
+    "run_many",
+    "expected_max_load",
+    "AlgorithmFactory",
+    "SweepPoint",
+]
 
 #: A factory producing a fresh algorithm for a given machine — the unit the
 #: sweep helpers parallelise over.  (Fresh instances per run keep randomized
@@ -35,6 +42,26 @@ def run(
 ) -> RunResult:
     """Run one algorithm over one sequence and return the result."""
     return Simulator(machine, algorithm, cost_model).run(sequence)
+
+
+def run_traced(
+    machine: PartitionableMachine,
+    algorithm: AllocationAlgorithm,
+    sequence: TaskSequence,
+    cost_model: Optional[MigrationCostModel] = None,
+) -> tuple[RunResult, dict]:
+    """Run one algorithm and return ``(result, placement_intervals)``.
+
+    The hook the differential-verification harness drives: the placement
+    history is what the independent referees (:func:`repro.sim.audit.audit_run`
+    and :func:`repro.verify.oracle.oracle_audit`) re-derive loads from, and
+    the engine's own invariants are cross-checked before returning.  Module
+    level and picklable, so harness checks fan out over worker processes.
+    """
+    sim = Simulator(machine, algorithm, cost_model)
+    result = sim.run(sequence)
+    sim.check_consistency()
+    return result, sim.placement_intervals()
 
 
 def _run_fresh(

@@ -1,0 +1,174 @@
+"""Replayable counterexample corpus under ``tests/corpus/``.
+
+Every violation the differential harness finds is shrunk and serialised
+here as a small JSON file: the task intervals plus the exact check
+configuration (algorithm, machine size, ``d``, seed) that exposed it.
+Committed entries form a *regression corpus*: each one once failed, so CI
+replays the whole directory through :func:`check_algorithm` on every run
+and fails if any entry regresses.
+
+The format is deliberately dumb — a flat task table, ``"inf"`` for open
+departures, schema-versioned — so an entry written while debugging one bug
+stays replayable after any amount of refactoring around it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+__all__ = ["CorpusEntry", "load_corpus", "replay_corpus", "write_counterexample"]
+
+#: Bump when the JSON layout changes incompatibly.
+CORPUS_VERSION = 1
+
+
+def _encode_time(t: float):
+    return "inf" if math.isinf(t) else t
+
+
+def _decode_time(t) -> float:
+    return math.inf if t == "inf" else float(t)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable counterexample (or regression witness)."""
+
+    algorithm: str
+    num_pes: int
+    d: float
+    seed: int
+    #: The first violation message observed when the entry was recorded —
+    #: documentation for triage, not part of the replay contract.
+    check: str
+    #: ``(task_id, size, arrival, departure)`` rows.
+    tasks: tuple[tuple[int, int, float, float], ...]
+
+    @staticmethod
+    def from_sequence(
+        sequence: TaskSequence,
+        *,
+        algorithm: str,
+        num_pes: int,
+        d: float,
+        seed: int,
+        check: str,
+    ) -> "CorpusEntry":
+        rows = tuple(
+            (int(tid), task.size, float(task.arrival), float(task.departure))
+            for tid, task in sorted(sequence.tasks.items(), key=lambda kv: int(kv[0]))
+        )
+        return CorpusEntry(
+            algorithm=algorithm,
+            num_pes=num_pes,
+            d=d,
+            seed=seed,
+            check=check,
+            tasks=rows,
+        )
+
+    def sequence(self) -> TaskSequence:
+        """Rebuild the task sequence this entry witnesses."""
+        return TaskSequence.from_tasks(
+            Task(TaskId(tid), size, arrival, departure)
+            for tid, size, arrival, departure in self.tasks
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "version": CORPUS_VERSION,
+            "algorithm": self.algorithm,
+            "num_pes": self.num_pes,
+            "d": _encode_time(self.d),
+            "seed": self.seed,
+            "check": self.check,
+            "tasks": [
+                {
+                    "id": tid,
+                    "size": size,
+                    "arrival": _encode_time(arrival),
+                    "departure": _encode_time(departure),
+                }
+                for tid, size, arrival, departure in self.tasks
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_json(text: str) -> "CorpusEntry":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != CORPUS_VERSION:
+            raise ValueError(
+                f"corpus entry version {version!r} not supported "
+                f"(expected {CORPUS_VERSION})"
+            )
+        return CorpusEntry(
+            algorithm=payload["algorithm"],
+            num_pes=int(payload["num_pes"]),
+            d=_decode_time(payload["d"]),
+            seed=int(payload["seed"]),
+            check=payload.get("check", ""),
+            tasks=tuple(
+                (
+                    int(row["id"]),
+                    int(row["size"]),
+                    _decode_time(row["arrival"]),
+                    _decode_time(row["departure"]),
+                )
+                for row in payload["tasks"]
+            ),
+        )
+
+    def filename(self) -> str:
+        """Content-addressed name: stable across rewrites, no collisions."""
+        digest = hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+        return f"{self.algorithm}-n{self.num_pes}-{digest}.json"
+
+
+def write_counterexample(entry: CorpusEntry, directory) -> Path:
+    """Persist one entry (idempotent: same content, same file)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry.filename()
+    path.write_text(entry.to_json())
+    return path
+
+
+def load_corpus(directory) -> list[CorpusEntry]:
+    """Read every ``*.json`` entry in ``directory`` (sorted by filename)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        CorpusEntry.from_json(path.read_text())
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def replay_corpus(directory, *, jobs: Optional[int] = None):
+    """Re-check every corpus entry; return ``[(entry, CheckOutcome), ...]``.
+
+    The committed corpus is a regression corpus — each entry once exposed a
+    bug that has since been fixed — so callers (the test suite, the CI
+    ``verify-smoke`` job) assert every outcome is ``ok``.
+    """
+    from repro.sim.parallel import parallel_map
+    from repro.verify.harness import check_algorithm
+
+    entries = load_corpus(directory)
+    outcomes = parallel_map(
+        check_algorithm,
+        [(e.algorithm, e.num_pes, e.d, e.seed, e.sequence()) for e in entries],
+        jobs=jobs,
+    )
+    return list(zip(entries, outcomes))

@@ -1,0 +1,206 @@
+"""Coverage-guided task-sequence fuzzing.
+
+Uniform random sequences cluster in a narrow structural regime (mid-size
+tasks, moderate overlap, no departure bursts), so the interesting corners
+of the theorems — full-machine tasks forcing exact packing, deep overlap
+stacks that trigger repacks, mass departures that strand fragmentation —
+are rarely exercised.  :class:`SequenceFuzzer` borrows the AFL loop to fix
+that: generator parameters live in a pool, each generated sequence is
+mapped to a coarse structural :class:`FeatureVector`, and parameter sets
+that discover a feature combination never seen before are retained and
+mutated further.  Coverage is over *sequence structure*, which is what the
+paper's bounds quantify over.
+
+Everything is driven by one seeded :class:`numpy.random.Generator`, so a
+fuzzing campaign is reproducible from ``(num_pes, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.tasks.events import Departure
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId, ceil_div
+
+__all__ = ["FeatureVector", "SequenceFuzzer", "sequence_features"]
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Coarse structural fingerprint of one task sequence.
+
+    Each axis is bucketed so the feature space is small enough to saturate
+    (a few hundred combinations) yet distinguishes the regimes the theorems
+    treat differently.
+    """
+
+    #: Number of distinct task sizes (log-size classes) present.
+    size_classes: int
+    #: True when some task requests the whole machine (forces root placement).
+    has_full_machine: bool
+    #: Overlap depth: ``min(ceil(s(sigma)/N), 4)`` — how many optimal "layers"
+    #: the sequence stacks (the multiplier the bounds scale with).
+    depth: int
+    #: Repack-trigger cadence: ``min(S // N, 8)`` — total arrival volume in
+    #: machine-sized units, a proxy for how many load-doubling/periodic
+    #: repack triggers the run can fire.
+    volume: int
+    #: Departure burstiness: longest run of consecutive departure events,
+    #: capped at 5.  Mass departures create the fragmentation that repacking
+    #: exists to undo.
+    burst: int
+
+
+def sequence_features(sequence: TaskSequence, num_pes: int) -> FeatureVector:
+    """Map a sequence onto its :class:`FeatureVector` bucket."""
+    tasks = sequence.tasks
+    logs = {t.log_size for t in tasks.values()}
+    run = 0
+    max_run = 0
+    for ev in sequence:
+        if isinstance(ev, Departure):
+            run += 1
+            if run > max_run:
+                max_run = run
+        else:
+            run = 0
+    return FeatureVector(
+        size_classes=len(logs),
+        has_full_machine=any(t.size == num_pes for t in tasks.values()),
+        depth=min(ceil_div(sequence.peak_active_size, num_pes), 4),
+        volume=min(sequence.total_arrival_size // num_pes, 8),
+        burst=min(max_run, 5),
+    )
+
+
+#: Generator-parameter bounds: (low, high) per knob, used by seeding and
+#: mutation.  Kept coarse on purpose — coverage feedback, not the priors,
+#: is what steers the campaign.
+_PARAM_BOUNDS: dict[str, tuple[float, float]] = {
+    "num_tasks": (2, 64),
+    "size_bias": (0.0, 1.0),  # P(each bit set) in binomial log-size draw
+    "depart_prob": (0.0, 1.0),
+    "hold": (1, 40),  # residence-time scale
+    "max_gap": (0, 6),  # inter-arrival gap scale
+    "burst": (1, 8),  # departure-burst group size
+}
+
+_INT_PARAMS = frozenset({"num_tasks", "hold", "max_gap", "burst"})
+
+
+def _seed_pool() -> list[dict[str, float]]:
+    """Hand-picked starting corners of the parameter space."""
+    return [
+        # calm: few small long-lived tasks
+        dict(num_tasks=8, size_bias=0.15, depart_prob=0.2, hold=30, max_gap=4, burst=1),
+        # dense: many tasks, heavy churn, bursty departures
+        dict(num_tasks=48, size_bias=0.5, depart_prob=0.9, hold=6, max_gap=1, burst=6),
+        # huge tasks: full-machine pressure
+        dict(num_tasks=12, size_bias=0.95, depart_prob=0.6, hold=10, max_gap=2, burst=2),
+        # wave/drain: everything arrives, then everything leaves at once
+        dict(num_tasks=24, size_bias=0.4, depart_prob=1.0, hold=40, max_gap=0, burst=8),
+    ]
+
+
+def _clamp(key: str, value: float) -> float:
+    lo, hi = _PARAM_BOUNDS[key]
+    value = min(max(value, lo), hi)
+    if key in _INT_PARAMS:
+        value = int(round(value))
+    return value
+
+
+def _mutate(params: dict[str, float], rng: np.random.Generator) -> dict[str, float]:
+    """Perturb 1–2 knobs of a pool member."""
+    child = dict(params)
+    for key in rng.choice(sorted(_PARAM_BOUNDS), size=int(rng.integers(1, 3)), replace=False):
+        lo, hi = _PARAM_BOUNDS[key]
+        span = hi - lo
+        child[key] = _clamp(key, child[key] + rng.normal(0.0, 0.25 * span))
+    return child
+
+
+def _generate_tasks(
+    params: dict[str, float], num_pes: int, rng: np.random.Generator
+) -> list[Task]:
+    """Sample one task set from a parameter vector."""
+    max_log = num_pes.bit_length() - 1
+    num_tasks = int(params["num_tasks"])
+    tasks: list[Task] = []
+    t = 0.0
+    for i in range(num_tasks):
+        if i:
+            t += float(rng.integers(0, int(params["max_gap"]) + 1))
+        log_size = int(rng.binomial(max_log, params["size_bias"])) if max_log else 0
+        if rng.random() < params["depart_prob"]:
+            departure = t + 1.0 + float(rng.integers(0, int(params["hold"]) + 1))
+        else:
+            departure = float("inf")
+        tasks.append(Task(TaskId(i), 1 << log_size, t, departure))
+
+    # Departure bursts: groups of `burst` departing tasks share one departure
+    # time, producing the consecutive-departure runs the `burst` feature
+    # measures (and the fragmentation cliffs repacking has to survive).
+    burst = int(params["burst"])
+    if burst > 1:
+        departing = [i for i, task in enumerate(tasks) if task.departure != float("inf")]
+        for lo in range(0, len(departing), burst):
+            group = departing[lo : lo + burst]
+            if len(group) < 2:
+                continue
+            common = max(tasks[i].arrival for i in group) + 1.0 + float(rng.integers(0, 3))
+            for i in group:
+                tasks[i] = tasks[i].with_departure(common)
+    return tasks
+
+
+class SequenceFuzzer:
+    """Coverage-guided generator of :class:`TaskSequence` instances.
+
+    Iterating yields an endless stream of sequences; the caller bounds the
+    campaign (by count or wall-clock budget).  ``coverage`` exposes the set
+    of feature buckets reached so far, and ``pool_size`` how many parameter
+    vectors earned retention by discovering one.
+    """
+
+    def __init__(self, num_pes: int, *, seed: int = 0):
+        if num_pes < 1 or num_pes & (num_pes - 1):
+            raise ValueError(f"num_pes must be a positive power of two, got {num_pes}")
+        self.num_pes = num_pes
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._pool: list[dict[str, float]] = _seed_pool()
+        self._covered: set[FeatureVector] = set()
+        self.generated = 0
+
+    @property
+    def coverage(self) -> frozenset[FeatureVector]:
+        return frozenset(self._covered)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def generate(self) -> TaskSequence:
+        """Produce the next sequence, updating coverage and the pool."""
+        rng = self._rng
+        parent = self._pool[int(rng.integers(len(self._pool)))]
+        # Always mutate: the parent stays in the pool, so its exact regime
+        # keeps getting replayed through its children anyway.
+        params = _mutate(parent, rng)
+        sequence = TaskSequence.from_tasks(_generate_tasks(params, self.num_pes, rng))
+        self.generated += 1
+        features = sequence_features(sequence, self.num_pes)
+        if features not in self._covered:
+            self._covered.add(features)
+            self._pool.append(params)
+        return sequence
+
+    def __iter__(self) -> Iterator[TaskSequence]:
+        while True:
+            yield self.generate()

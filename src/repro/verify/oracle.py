@@ -1,0 +1,232 @@
+"""Brute-force load oracle — the third, fully independent referee.
+
+The verification hierarchy has three layers that share progressively less
+code with what they check:
+
+1. the **engine** (:class:`~repro.sim.engine.Simulator`) meters loads with
+   the production :class:`~repro.machines.loads.LoadTracker`;
+2. the **auditor** (:func:`~repro.sim.audit.audit_run`) re-derives loads
+   from the placement history with NumPy interval arithmetic, but still
+   trusts :class:`~repro.machines.hierarchy.Hierarchy` for node geometry;
+3. this **oracle** re-derives everything — node validity, leaf spans, the
+   load field, ``s(sigma)`` and ``L*`` — from first principles in plain
+   Python.  It imports nothing from ``repro.machines`` or ``repro.sim``,
+   so a bug in the shared geometry or tracker code cannot silently cancel
+   out of both sides of a comparison.
+
+Model recap (paper, Section 2): an ``N``-PE machine is decomposed by a
+complete binary hierarchy, heap-indexed with root 1; the node ``v`` at
+level ``l`` (``l = floor(log2 v)``) roots an aligned run of ``N >> l``
+PEs starting at PE ``(v - 2**l) * (N >> l)``.  A task placed at ``v``
+adds one to the load of every PE in that run for the duration of its
+residence.  The oracle evaluates the per-PE load field at every interval
+breakpoint with a difference array — interval arithmetic only, no trees,
+no aggregation structures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Tuple
+
+__all__ = ["OracleReport", "oracle_audit", "oracle_leaf_span", "oracle_optimal_load"]
+
+#: One placement segment: the task resided at ``node`` over [start, end).
+Segment = Tuple[float, float, int]
+
+
+@dataclass
+class OracleReport:
+    """Outcome of the oracle's from-scratch recomputation."""
+
+    ok: bool
+    #: Max PE load over time, recomputed by brute force.
+    max_load: int
+    #: ``L* = ceil(s(sigma)/N)``, recomputed from the task intervals alone.
+    optimal_load: int
+    #: Peak cumulative active size ``s(sigma)``.
+    peak_active_size: int
+    violations: list[str] = field(default_factory=list)
+    #: Number of breakpoint times the load field was evaluated at.
+    checked_times: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("oracle audit failed:\n" + "\n".join(self.violations))
+
+
+def oracle_leaf_span(node: int, num_pes: int) -> tuple[int, int]:
+    """PE range [lo, hi) covered by heap node ``node`` — own arithmetic.
+
+    Independent re-derivation of the hierarchy convention: level
+    ``l = bit_length(node) - 1``, span size ``num_pes >> l``, offset
+    ``(node - 2**l) * span``.
+    """
+    level = node.bit_length() - 1
+    size = num_pes >> level
+    lo = (node - (1 << level)) * size
+    return lo, lo + size
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def oracle_optimal_load(
+    tasks: Mapping[int, tuple[int, float, float]], num_pes: int
+) -> tuple[int, int]:
+    """``(s(sigma), L*)`` from task (size, arrival, departure) triples only.
+
+    Sweeps the arrival/departure breakpoints with a running sum — the
+    paper's definition executed literally, independent of
+    :class:`~repro.tasks.sequence.TaskSequence`'s cached statistics.
+    Departures at a time tie with arrivals are applied first, matching the
+    model's departures-before-arrivals event order.
+    """
+    deltas: dict[float, list[int]] = {}
+    for size, arrival, departure in tasks.values():
+        deltas.setdefault(arrival, [0, 0])[1] += size
+        if not math.isinf(departure):
+            deltas.setdefault(departure, [0, 0])[0] -= size
+    peak = 0
+    active = 0
+    for t in sorted(deltas):
+        down, up = deltas[t]
+        active += down  # departures first: they free volume before arrivals
+        active += up
+        peak = max(peak, active)
+    lstar = -(-peak // num_pes)  # ceil division, no helper imports
+    return peak, lstar
+
+
+def oracle_audit(
+    num_pes: int,
+    tasks: Mapping[int, tuple[int, float, float]],
+    intervals: Mapping[int, Sequence[Segment]],
+) -> OracleReport:
+    """Referee a run from raw data alone.
+
+    Parameters
+    ----------
+    num_pes:
+        Machine size ``N`` (power of two).
+    tasks:
+        ``task_id -> (size, arrival, departure)`` for every task in the
+        sequence (departure may be ``inf``).
+    intervals:
+        ``task_id -> [(start, end, node), ...]`` placement history, e.g.
+        :meth:`repro.sim.engine.Simulator.placement_intervals`.
+
+    The oracle checks placement geometry, lifetime coverage, and recomputes
+    the max-load figure of merit and ``L*`` by brute force.
+    """
+    violations: list[str] = []
+    if not _is_power_of_two(num_pes):
+        return OracleReport(
+            ok=False,
+            max_load=0,
+            optimal_load=0,
+            peak_active_size=0,
+            violations=[f"num_pes {num_pes} is not a power of two"],
+        )
+
+    # 1. Geometry and lifetime coverage per task.
+    for tid, (size, arrival, departure) in tasks.items():
+        segs = list(intervals.get(tid, ()))
+        if not segs:
+            violations.append(f"task {tid}: never placed")
+            continue
+        for start, end, node in segs:
+            if not 1 <= node < 2 * num_pes:
+                violations.append(f"task {tid}: node {node} outside machine")
+                continue
+            lo, hi = oracle_leaf_span(node, num_pes)
+            if hi - lo != size:
+                violations.append(
+                    f"task {tid}: size {size} placed on node {node} "
+                    f"spanning {hi - lo} PEs"
+                )
+            if end <= start:
+                violations.append(f"task {tid}: empty segment [{start}, {end})")
+        if segs[0][0] != arrival:
+            violations.append(
+                f"task {tid}: residence starts at {segs[0][0]}, arrival {arrival}"
+            )
+        last_end = segs[-1][1]
+        if math.isinf(departure):
+            if not math.isinf(last_end):
+                violations.append(
+                    f"task {tid}: open-ended task ends residence at {last_end}"
+                )
+        elif last_end != departure:
+            violations.append(
+                f"task {tid}: residence ends at {last_end}, departure {departure}"
+            )
+        for (s1, e1, _n1), (s2, _e2, _n2) in zip(segs, segs[1:]):
+            if e1 != s2:
+                violations.append(
+                    f"task {tid}: residence gap/overlap at [{e1}, {s2})"
+                )
+
+    # 2. Brute-force load field at every breakpoint via difference arrays.
+    breakpoints: set[float] = set()
+    for segs in intervals.values():
+        for start, end, _node in segs:
+            breakpoints.add(start)
+            if not math.isinf(end):
+                breakpoints.add(end)
+    times = sorted(breakpoints)
+    max_load = 0
+    for t in times:
+        diff = [0] * (num_pes + 1)
+        placed_volume = 0
+        for tid, segs in intervals.items():
+            for start, end, node in segs:
+                if start <= t < end:
+                    lo, hi = oracle_leaf_span(node, num_pes)
+                    diff[lo] += 1
+                    diff[hi] -= 1
+                    placed_volume += hi - lo
+                    break
+        level = 0
+        peak_here = 0
+        for delta in diff[:num_pes]:
+            level += delta
+            if level > peak_here:
+                peak_here = level
+        max_load = max(max_load, peak_here)
+        active_volume = sum(
+            size
+            for size, arrival, departure in tasks.values()
+            if arrival <= t < departure
+        )
+        if placed_volume != active_volume:
+            violations.append(
+                f"t={t}: placed volume {placed_volume} != active volume "
+                f"{active_volume}"
+            )
+
+    peak, lstar = oracle_optimal_load(tasks, num_pes)
+    return OracleReport(
+        ok=not violations,
+        max_load=max_load,
+        optimal_load=lstar,
+        peak_active_size=peak,
+        violations=violations,
+        checked_times=len(times),
+    )
+
+
+def tasks_table(sequence) -> dict[int, tuple[int, float, float]]:
+    """Flatten a :class:`~repro.tasks.sequence.TaskSequence` into the raw
+    ``task_id -> (size, arrival, departure)`` mapping the oracle consumes.
+
+    Lives here (rather than on the sequence) so the oracle's input is an
+    explicit plain-data boundary: everything past this call is
+    reimplemented from scratch.
+    """
+    return {
+        int(tid): (task.size, float(task.arrival), float(task.departure))
+        for tid, task in sequence.tasks.items()
+    }

@@ -1,0 +1,159 @@
+"""Campaign summary: what was tried, what was covered, how tight the bounds ran.
+
+:class:`VerifyReport` is the single artifact a ``repro verify`` run leaves
+behind.  Beyond pass/fail it answers the questions that make a fuzzing
+campaign auditable:
+
+* how many sequences and checks ran, over what wall-clock;
+* which structural feature buckets the fuzzer reached
+  (:class:`~repro.verify.fuzzer.FeatureVector` coverage);
+* per bounded algorithm, the *tightest* instance observed — the run with
+  the least slack between measured load and its theorem bound.  Theorems
+  are inequalities; the tightest instances show how close to equality the
+  implementation actually sails (Theorem 3.1 should show slack 0 always).
+
+Markdown rendering lives in :func:`repro.analysis.reporting.render_verify_markdown`
+so report formatting stays in one package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import VerificationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.verify.corpus import CorpusEntry
+    from repro.verify.fuzzer import FeatureVector
+    from repro.verify.harness import CheckOutcome
+
+__all__ = ["BoundMargin", "VerifyReport"]
+
+
+@dataclass(frozen=True)
+class BoundMargin:
+    """Tightest observed instance of one algorithm's theorem bound."""
+
+    algorithm: str
+    d: float
+    max_load: int
+    optimal_load: int
+    bound: float
+    num_events: int
+
+    @property
+    def slack(self) -> float:
+        """``bound - max_load``; 0 means the bound was attained exactly."""
+        return self.bound - self.max_load
+
+    @property
+    def utilisation(self) -> float:
+        """``max_load / bound`` — 1.0 is a tight theorem, small is loose."""
+        return self.max_load / self.bound if self.bound else 0.0
+
+
+@dataclass
+class VerifyReport:
+    """Everything one differential-verification campaign learned."""
+
+    num_pes: int
+    seed: int
+    algorithms: tuple[str, ...] = ()
+    sequences_tried: int = 0
+    checks_run: int = 0
+    elapsed: float = 0.0
+    violations: list["CheckOutcome"] = field(default_factory=list)
+    counterexamples: list["CorpusEntry"] = field(default_factory=list)
+    #: Feature buckets the fuzzer covered, for the coverage summary.
+    features: list["FeatureVector"] = field(default_factory=list)
+    #: Per-algorithm tightest bound instance (least slack seen).
+    tightest: dict[str, BoundMargin] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def features_covered(self) -> int:
+        return len(self.features)
+
+    def record(self, outcome: "CheckOutcome") -> None:
+        """Fold one check outcome into the tallies."""
+        self.checks_run += 1
+        if not outcome.ok:
+            self.violations.append(outcome)
+        if outcome.bound is not None and not math.isinf(outcome.bound):
+            margin = BoundMargin(
+                algorithm=outcome.algorithm,
+                d=outcome.d,
+                max_load=outcome.max_load,
+                optimal_load=outcome.optimal_load,
+                bound=outcome.bound,
+                num_events=outcome.num_events,
+            )
+            best = self.tightest.get(outcome.algorithm)
+            if best is None or margin.slack < best.slack:
+                self.tightest[outcome.algorithm] = margin
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        lines = [
+            f"{len(self.violations)} violation(s) over "
+            f"{self.sequences_tried} sequences:"
+        ]
+        for outcome in self.violations[:10]:
+            lines.append(
+                f"  {outcome.algorithm} (d={outcome.d:g}, seed={outcome.seed}): "
+                + "; ".join(outcome.violations)
+            )
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        raise VerificationError("\n".join(lines))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (CI artifact payload)."""
+        return {
+            "num_pes": self.num_pes,
+            "seed": self.seed,
+            "algorithms": list(self.algorithms),
+            "ok": self.ok,
+            "sequences_tried": self.sequences_tried,
+            "checks_run": self.checks_run,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "features_covered": self.features_covered,
+            "features": [
+                {
+                    "size_classes": f.size_classes,
+                    "has_full_machine": f.has_full_machine,
+                    "depth": f.depth,
+                    "volume": f.volume,
+                    "burst": f.burst,
+                }
+                for f in self.features
+            ],
+            "violations": [
+                {
+                    "algorithm": o.algorithm,
+                    "d": "inf" if math.isinf(o.d) else o.d,
+                    "seed": o.seed,
+                    "messages": list(o.violations),
+                }
+                for o in self.violations
+            ],
+            "counterexamples": [e.filename() for e in self.counterexamples],
+            "tightest_bounds": {
+                name: {
+                    "d": "inf" if math.isinf(m.d) else m.d,
+                    "max_load": m.max_load,
+                    "optimal_load": m.optimal_load,
+                    "bound": m.bound,
+                    "slack": m.slack,
+                    "utilisation": round(m.utilisation, 4),
+                    "num_events": m.num_events,
+                }
+                for name, m in sorted(self.tightest.items())
+            },
+        }

@@ -1,0 +1,82 @@
+"""Greedy delta debugging of violating task sequences.
+
+A fuzzed counterexample with 60 tasks is evidence; the same violation on 3
+tasks is an explanation.  :func:`shrink` applies the classic ddmin loop at
+the granularity of whole tasks (removing a task removes its arrival *and*
+departure, so every candidate is a valid sequence by construction), then
+finishes with a single-task elimination sweep.
+
+The predicate is "does the violation still reproduce?" — the harness binds
+it to a deterministic re-run of :func:`repro.verify.harness.check_algorithm`
+with the same algorithm, machine size, ``d`` and seed, so shrinking never
+chases a moving target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+
+__all__ = ["shrink"]
+
+
+def _rebuild(tasks: list[Task]) -> TaskSequence:
+    return TaskSequence.from_tasks(tasks)
+
+
+def shrink(
+    sequence: TaskSequence,
+    predicate: Callable[[TaskSequence], bool],
+    *,
+    max_checks: int = 500,
+) -> TaskSequence:
+    """Return a locally minimal sub-sequence on which ``predicate`` holds.
+
+    ``predicate(sequence)`` must be true on entry (the full counterexample
+    reproduces); the result is a sequence of a subset of the original tasks
+    on which the predicate still holds and from which no single task can be
+    removed without losing it (unless ``max_checks`` predicate evaluations
+    were exhausted first — the budget bounds shrink time on pathological
+    inputs, at the cost of minimality only).
+    """
+    tasks = sorted(
+        sequence.tasks.values(), key=lambda t: (t.arrival, int(t.task_id))
+    )
+    checks = 0
+
+    def holds(candidate: list[Task]) -> bool:
+        nonlocal checks
+        checks += 1
+        return predicate(_rebuild(candidate))
+
+    # ddmin: try dropping complements of ever-finer chunks.
+    granularity = 2
+    while len(tasks) >= 2 and checks < max_checks:
+        chunk = max(1, -(-len(tasks) // granularity))
+        reduced = None
+        for lo in range(0, len(tasks), chunk):
+            candidate = tasks[:lo] + tasks[lo + chunk :]
+            if candidate and holds(candidate):
+                reduced = candidate
+                break
+            if checks >= max_checks:
+                break
+        if reduced is not None:
+            tasks = reduced
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, len(tasks))
+
+    # Final sweep: no single remaining task should be removable.
+    i = 0
+    while i < len(tasks) and len(tasks) > 1 and checks < max_checks:
+        candidate = tasks[:i] + tasks[i + 1 :]
+        if holds(candidate):
+            tasks = candidate  # keep i: the next task shifted into place
+        else:
+            i += 1
+    return _rebuild(tasks)

@@ -71,3 +71,44 @@ class TestRegistry:
             algo = spec.build(TreeMachine(8), d=1)
             if not spec.reallocates:
                 assert math.isinf(algo.reallocation_parameter), name
+
+
+class TestLoadBounds:
+    """The registry's machine-checkable bound table (used by repro.verify)."""
+
+    def test_bounded_names_are_the_deterministic_guaranteed_ones(self):
+        from repro.core.registry import bounded_algorithm_names
+
+        assert bounded_algorithm_names() == ["basic", "greedy", "optimal", "periodic"]
+
+    def test_randomized_and_baselines_carry_no_bound(self):
+        for name in ("random", "twochoice", "hybrid", "roundrobin", "worstfit"):
+            assert ALGORITHM_SPECS[name].load_bound is None, name
+
+    def test_bound_values_match_the_closed_forms(self):
+        import math
+
+        from repro.core.bounds import (
+            basic_copy_bound,
+            deterministic_upper_factor,
+            greedy_upper_bound_factor,
+        )
+
+        n, d, lstar, total = 64, 2.0, 3, 200
+        assert ALGORITHM_SPECS["optimal"].load_bound(n, d, lstar, total) == lstar
+        assert ALGORITHM_SPECS["greedy"].load_bound(n, d, lstar, total) == (
+            greedy_upper_bound_factor(n) * lstar
+        )
+        assert ALGORITHM_SPECS["basic"].load_bound(n, d, lstar, total) == (
+            basic_copy_bound(total, n)
+        )
+        assert ALGORITHM_SPECS["periodic"].load_bound(n, d, lstar, total) == (
+            deterministic_upper_factor(n, d) * lstar
+        )
+        assert ALGORITHM_SPECS["periodic"].load_bound(n, math.inf, lstar, total) == (
+            greedy_upper_bound_factor(n) * lstar
+        )
+
+    def test_only_optimal_is_exact(self):
+        exact = [n for n, s in ALGORITHM_SPECS.items() if s.bound_exact]
+        assert exact == ["optimal"]

@@ -1,0 +1,117 @@
+"""Stateful (rule-based) Hypothesis test for :class:`LoadTracker`.
+
+The unit suite checks place/remove/repack in hand-picked orders; this
+machine lets Hypothesis interleave them arbitrarily and asserts after
+*every* step that all of the tracker's redundant representations agree:
+
+* the journal-backed ``leaf_loads`` cache against a naive difference-array
+  recomputation from the shadow placement list (via the verify package's
+  independent ``oracle_leaf_span``, which shares no code with the tracker);
+* the O(log N) ``leftmost_min_submachine`` descent against the
+  ``leftmost_min_submachine_scan`` oracle, for every submachine size;
+* ``max_load`` and the tracker's own ``check_invariants``.
+
+A dedicated churn rule overflows the 64-entry leaf journal so the
+stale-flag → vectorised-rebuild path runs inside arbitrary histories, and
+the repack rule exercises ``clear()`` + bulk re-placement (the A_M repack
+idiom) rather than only incremental updates.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.machines.tree import TreeMachine
+from repro.verify.oracle import oracle_leaf_span
+
+N = 16
+SIZES = [1, 2, 4, 8, 16]
+
+
+def _nodes_for_size(size: int) -> range:
+    count = N // size
+    return range(count, 2 * count)
+
+
+class LoadTrackerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.machine = TreeMachine(N)
+        self.tracker = self.machine.new_load_tracker()
+        #: Shadow model: flat list of (node, size) placements.
+        self.placed: list[tuple[int, int]] = []
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(size=st.sampled_from(SIZES))
+    def place_at_descent_choice(self, size):
+        node, load = self.tracker.leftmost_min_submachine(size)
+        scan_node, scan_load = self.tracker.leftmost_min_submachine_scan(size)
+        assert (node, load) == (scan_node, scan_load)
+        self.tracker.place(node, size)
+        self.placed.append((node, size))
+
+    @rule(size=st.sampled_from(SIZES), data=st.data())
+    def place_anywhere(self, size, data):
+        # Adversarial placements too — the tracker serves all algorithms,
+        # not only load-seeking ones.
+        node = data.draw(st.sampled_from(list(_nodes_for_size(size))))
+        self.tracker.place(node, size)
+        self.placed.append((node, size))
+
+    @precondition(lambda self: self.placed)
+    @rule(data=st.data())
+    def remove_one(self, data):
+        idx = data.draw(st.integers(0, len(self.placed) - 1))
+        node, size = self.placed.pop(idx)
+        self.tracker.remove(node, size)
+
+    @precondition(lambda self: self.placed)
+    @rule()
+    def repack(self):
+        # The A_M idiom: wipe everything, re-place the survivors largest
+        # first at the descent's choice.
+        self.tracker.clear()
+        survivors = sorted(self.placed, key=lambda ns: -ns[1])
+        self.placed = []
+        for _old_node, size in survivors:
+            node, _ = self.tracker.leftmost_min_submachine(size)
+            self.tracker.place(node, size)
+            self.placed.append((node, size))
+
+    @rule(pe=st.integers(0, N - 1))
+    def churn_overflows_journal(self, pe):
+        # 70 place/remove pairs on one leaf: net zero, but 140 journal
+        # entries — past the 64-entry cap, forcing the stale-rebuild path
+        # the next time leaf_loads() is consulted.
+        leaf = N + pe
+        for _ in range(70):
+            self.tracker.place(leaf, 1)
+            self.tracker.remove(leaf, 1)
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def all_representations_agree(self):
+        self.tracker.check_invariants()
+        expected = np.zeros(N, dtype=np.int64)
+        for node, _size in self.placed:
+            lo, hi = oracle_leaf_span(node, N)
+            expected[lo:hi] += 1
+        assert np.array_equal(self.tracker.leaf_loads(), expected)
+        assert self.tracker.max_load == int(expected.max())
+        assert self.tracker.num_active == len(self.placed)
+
+    @invariant()
+    def descent_matches_scan_for_every_size(self):
+        for size in SIZES:
+            assert self.tracker.leftmost_min_submachine(
+                size
+            ) == self.tracker.leftmost_min_submachine_scan(size)
+
+
+TestLoadTrackerStateful = LoadTrackerMachine.TestCase
+TestLoadTrackerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -12,7 +12,13 @@ import pytest
 from repro.analysis.sweeps import Sweep
 from repro.core.greedy import GreedyAlgorithm
 from repro.machines.tree import TreeMachine
-from repro.sim.parallel import parallel_map, resolve_jobs, run_seeded_cells
+from repro.sim.parallel import (
+    RESERVED_CELL_PARAMS,
+    parallel_map,
+    reject_reserved_params,
+    resolve_jobs,
+    run_seeded_cells,
+)
 from repro.sim.runner import run_many
 from repro.workloads.generators import churn_sequence, poisson_sequence
 
@@ -113,3 +119,36 @@ class TestRunExperimentsParallel:
 
         with pytest.raises(KeyError):
             run_experiments(["e1", "nope"], jobs=2)
+
+
+class TestReservedParams:
+    """A cell parameter named like an injected kwarg must fail fast and
+    clearly, not shadow the injection or die as a pickling-era TypeError
+    deep inside a worker (the same contract Sweep enforces on grid axes)."""
+
+    def test_reject_reserved_params_flags_rng(self):
+        with pytest.raises(ValueError, match="reserved"):
+            reject_reserved_params({"rng": 1}, where="somewhere")
+
+    def test_reject_reserved_params_passes_clean_mappings(self):
+        reject_reserved_params({"n": 4, "d": 0}, where="somewhere")
+
+    def test_run_seeded_cells_rejects_rng_cell_serial(self):
+        root = np.random.SeedSequence(0)
+        cells = [{"n": 4, "d": 0, "rng": None}]
+        with pytest.raises(ValueError, match="'rng' is reserved"):
+            run_seeded_cells(_sim_cell, cells, root.spawn(1))
+
+    def test_run_seeded_cells_rejects_rng_cell_before_dispatch(self):
+        # With jobs=2 the error must still be the same clean ValueError,
+        # raised in the caller before any worker starts.
+        root = np.random.SeedSequence(0)
+        cells = [{"n": 4, "d": 0}, {"n": 4, "d": 1, "rng": None}]
+        with pytest.raises(ValueError, match="'rng' is reserved"):
+            run_seeded_cells(_sim_cell, cells, root.spawn(2), jobs=2)
+
+    def test_sweep_and_engine_agree_on_the_reserved_set(self):
+        # Sweep rejects the same axis name at construction time.
+        for name in RESERVED_CELL_PARAMS:
+            with pytest.raises(ValueError):
+                Sweep({name: [1, 2]}, seed=0)

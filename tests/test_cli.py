@@ -130,3 +130,62 @@ class TestGracefulErrors:
             == 0
         )
         assert "hypercube" in capsys.readouterr().out
+
+
+class TestUnknownAlgorithmErrors:
+    def test_compare_unknown_algorithm_is_clean(self, capsys):
+        # A typo'd registry name must surface as the standard clean error
+        # (message + exit 2), not a KeyError traceback.
+        argv = ["compare", "--n", "16", "--tasks", "20", "--algorithms", "greedly"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown algorithm 'greedly'" in err
+        assert "Traceback" not in err
+
+    def test_unknown_algorithm_error_lists_known_names(self, capsys):
+        main(["compare", "--n", "16", "--tasks", "20", "--algorithms", "nope"])
+        err = capsys.readouterr().err
+        assert "known:" in err and "greedy" in err
+
+    def test_registry_error_is_still_a_keyerror(self):
+        # Backward compatibility: callers catching KeyError keep working.
+        from repro.core.registry import make_algorithm
+        from repro.errors import ReproError, UnknownAlgorithmError
+        from repro.machines.tree import TreeMachine
+
+        with pytest.raises(KeyError):
+            make_algorithm("nope", TreeMachine(4))
+        assert issubclass(UnknownAlgorithmError, ReproError)
+
+
+class TestVerifyCommand:
+    def test_small_campaign_is_green(self, capsys):
+        assert main(["verify", "--n", "16", "--sequences", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sequences fuzzed   : 6" in out
+        assert "verdict            : OK" in out
+        assert "features covered" in out
+
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        report = tmp_path / "verify.md"
+        argv = ["verify", "--n", "16", "--sequences", "4", "--out", str(report)]
+        assert main(argv) == 0
+        text = report.read_text()
+        assert "# Differential verification report" in text
+        assert "Tightest bound instances" in text
+
+    def test_algorithm_subset_and_unknown_name(self, capsys):
+        assert main(["verify", "--n", "16", "--sequences", "3",
+                     "--algorithms", "greedy,optimal"]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--n", "16", "--sequences", "3",
+                     "--algorithms", "nope"]) == 2
+        assert "error: unknown algorithm" in capsys.readouterr().err
+
+    def test_replays_committed_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).resolve().parent / "corpus"
+        assert main(["verify", "--replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "all corpus entries pass" in out

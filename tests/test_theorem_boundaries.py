@@ -1,0 +1,152 @@
+"""Boundary cases of the theorem expressions — asserted as equalities.
+
+The main theorem suite checks the bounds as inequalities on random
+workloads; here the degenerate corners are pinned to the *exact* values
+the formulas take, so a silent off-by-one in a ceiling or a min() cannot
+hide behind slack:
+
+* ``d = 0``      — Theorem 4.2's factor is exactly 1 (A_M degenerates to
+  the always-repacking A_C, Theorem 3.1's regime);
+* ``d = inf``    — the factor is exactly the greedy ``g = ceil((log N+1)/2)``
+  and A_M *is* A_G, run for run;
+* ``N = 1``      — ``log N = 0``, so ``g = 1`` and every bound collapses
+  to ``L*`` itself;
+* a single task of size ``N`` — ``s(sigma) = N``, ``L* = 1``, and every
+  bounded algorithm must land exactly on load 1.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    basic_copy_bound,
+    deterministic_lower_factor,
+    deterministic_upper_factor,
+    greedy_upper_bound_factor,
+    optimal_load,
+)
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.periodic import PeriodicReallocationAlgorithm
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.runner import run
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+from repro.workloads.generators import churn_sequence
+
+import numpy as np
+
+
+class TestDZero:
+    """d = 0: Theorem 4.2 reads min{0 + 1, g} * L* = L* exactly."""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 256, 1024])
+    def test_factor_is_exactly_one(self, n):
+        assert deterministic_upper_factor(n, 0.0) == 1.0
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_am_with_d_zero_achieves_lstar_exactly(self, n):
+        sigma = churn_sequence(n, 120, np.random.default_rng(3))
+        machine = TreeMachine(n)
+        result = run(machine, PeriodicReallocationAlgorithm(machine, d=0.0), sigma)
+        # <= is Theorem 4.2 at d=0; >= holds for every valid placement —
+        # together the factor-1 bound forces equality, not mere compliance.
+        assert result.max_load == result.optimal_load == sigma.optimal_load(n)
+
+    def test_lower_bound_agrees_at_d_zero(self):
+        # Theorem 4.3: ceil((min{0, log N} + 1)/2) = 1 — upper and lower
+        # factors coincide, so the d=0 trade-off point is completely tight.
+        for n in (2, 16, 256):
+            assert deterministic_lower_factor(n, 0.0) == 1
+            assert deterministic_upper_factor(n, 0.0) == deterministic_lower_factor(
+                n, 0.0
+            )
+
+
+class TestDInfinity:
+    """d = inf: reallocation is free-budget-never-used; A_M == A_G exactly."""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 256, 1024])
+    def test_factor_is_exactly_greedy_g(self, n):
+        assert deterministic_upper_factor(n, math.inf) == float(
+            greedy_upper_bound_factor(n)
+        )
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_am_with_d_inf_is_greedy_run_for_run(self, n):
+        sigma = churn_sequence(n, 150, np.random.default_rng(7))
+        m1, m2 = TreeMachine(n), TreeMachine(n)
+        am = PeriodicReallocationAlgorithm(m1, d=math.inf)
+        assert am.uses_greedy_branch
+        r_am = run(m1, am, sigma)
+        r_greedy = run(m2, GreedyAlgorithm(m2), sigma)
+        assert r_am.max_load == r_greedy.max_load
+        assert r_am.metrics.realloc.num_reallocations == 0
+
+
+class TestSinglePEMachine:
+    """N = 1: log N = 0, so g = ceil(1/2) = 1 and all bounds equal L*."""
+
+    def test_greedy_factor_is_one(self):
+        assert greedy_upper_bound_factor(1) == 1
+
+    def test_all_factors_collapse_to_lstar(self):
+        for d in (0.0, 1.0, 7.5, math.inf):
+            assert deterministic_upper_factor(1, d) == 1.0
+            assert deterministic_lower_factor(1, d) == 1
+
+    def test_loads_on_one_pe_are_exactly_the_active_count(self):
+        # k unit tasks on N=1: L* = k and every deterministic bounded
+        # algorithm must report exactly k (factor 1 forces equality).
+        k = 5
+        sigma = TaskSequence.from_tasks(
+            [Task(TaskId(i), 1, float(i), math.inf) for i in range(k)]
+        )
+        assert sigma.optimal_load(1) == k
+        for name in ("optimal", "greedy", "basic", "periodic"):
+            machine = TreeMachine(1)
+            result = run(machine, make_algorithm(name, machine, d=0.0), sigma)
+            assert result.max_load == k, name
+
+    def test_lemma2_on_one_pe_counts_total_volume(self):
+        assert basic_copy_bound(7, 1) == 7
+
+
+class TestSingleFullMachineTask:
+    """One task of size N: s(sigma) = N, L* = 1, load exactly 1 everywhere."""
+
+    @pytest.mark.parametrize("n", [1, 2, 16, 64])
+    def test_lstar_is_one(self, n):
+        assert optimal_load(n, n) == 1
+
+    @pytest.mark.parametrize("n", [2, 16, 64])
+    @pytest.mark.parametrize("name", ["optimal", "greedy", "basic", "periodic"])
+    def test_every_bounded_algorithm_lands_exactly_on_one(self, n, name):
+        sigma = TaskSequence.from_tasks([Task(TaskId(0), n, 0.0, math.inf)])
+        machine = TreeMachine(n)
+        result = run(machine, make_algorithm(name, machine, d=1.0), sigma)
+        assert result.max_load == 1
+        assert result.optimal_load == 1
+        # Exact theorem expressions at this corner, not just <=:
+        assert result.max_load == optimal_load(sigma.peak_active_size, n)  # Thm 3.1
+        assert (
+            result.max_load
+            <= deterministic_upper_factor(n, 1.0) * result.optimal_load
+        )  # Thm 4.2 with zero slack possible only at equality of L* terms
+
+    @pytest.mark.parametrize("n", [2, 16])
+    def test_back_to_back_full_machine_tasks_stack_to_two(self, n):
+        # Two overlapping size-N tasks: s = 2N, L* = 2 — the exact ceiling
+        # arithmetic at the boundary s(sigma) % N == 0.
+        sigma = TaskSequence.from_tasks(
+            [
+                Task(TaskId(0), n, 0.0, math.inf),
+                Task(TaskId(1), n, 1.0, math.inf),
+            ]
+        )
+        assert sigma.optimal_load(n) == 2
+        machine = TreeMachine(n)
+        result = run(machine, make_algorithm("optimal", machine), sigma)
+        assert result.max_load == 2

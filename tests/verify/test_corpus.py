@@ -1,0 +1,83 @@
+"""Corpus round-tripping plus the committed regression corpus staying green."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.verify.corpus import (
+    CorpusEntry,
+    load_corpus,
+    replay_corpus,
+    write_counterexample,
+)
+from repro.verify.fuzzer import SequenceFuzzer
+
+COMMITTED_CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+
+
+class TestCorpusEntry:
+    def _entry(self):
+        sigma = SequenceFuzzer(16, seed=9).generate()
+        return CorpusEntry.from_sequence(
+            sigma, algorithm="greedy", num_pes=16, d=2.0, seed=3, check="demo"
+        )
+
+    def test_json_round_trip(self):
+        entry = self._entry()
+        assert CorpusEntry.from_json(entry.to_json()) == entry
+
+    def test_sequence_round_trip(self):
+        sigma = SequenceFuzzer(16, seed=9).generate()
+        entry = CorpusEntry.from_sequence(
+            sigma, algorithm="greedy", num_pes=16, d=2.0, seed=3, check="demo"
+        )
+        assert entry.sequence() == sigma
+
+    def test_inf_departure_and_d_encode_as_strings(self):
+        entry = CorpusEntry(
+            algorithm="greedy",
+            num_pes=4,
+            d=math.inf,
+            seed=0,
+            check="",
+            tasks=((0, 1, 0.0, math.inf),),
+        )
+        payload = json.loads(entry.to_json())
+        assert payload["d"] == "inf"
+        assert payload["tasks"][0]["departure"] == "inf"
+        assert CorpusEntry.from_json(entry.to_json()) == entry
+
+    def test_unknown_version_rejected(self):
+        entry = self._entry()
+        payload = json.loads(entry.to_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            CorpusEntry.from_json(json.dumps(payload))
+
+    def test_write_is_idempotent_and_content_addressed(self, tmp_path):
+        entry = self._entry()
+        p1 = write_counterexample(entry, tmp_path)
+        p2 = write_counterexample(entry, tmp_path)
+        assert p1 == p2
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert load_corpus(tmp_path) == [entry]
+
+    def test_load_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+
+class TestCommittedCorpus:
+    def test_corpus_exists_and_is_nonempty(self):
+        assert COMMITTED_CORPUS.is_dir()
+        assert list(COMMITTED_CORPUS.glob("*.json"))
+
+    def test_every_committed_entry_replays_green(self):
+        # The committed corpus is a regression corpus: each entry once
+        # exposed a (seeded or real) bug.  On fixed code every entry must
+        # pass all referees.
+        results = replay_corpus(COMMITTED_CORPUS)
+        assert results
+        for entry, outcome in results:
+            assert outcome.ok, (entry.filename(), outcome.violations)

@@ -1,0 +1,66 @@
+"""Coverage-guided fuzzer: determinism, validity, and actual coverage growth."""
+
+import pytest
+
+from repro.verify.fuzzer import FeatureVector, SequenceFuzzer, sequence_features
+
+
+class TestSequenceFeatures:
+    def test_reflects_structure(self):
+        fuzzer = SequenceFuzzer(16, seed=0)
+        sigma = fuzzer.generate()
+        f = sequence_features(sigma, 16)
+        assert 1 <= f.size_classes <= 5
+        assert 0 <= f.depth <= 4
+        assert 0 <= f.volume <= 8
+        assert 0 <= f.burst <= 5
+
+    def test_feature_vector_hashable(self):
+        f = FeatureVector(1, False, 1, 1, 0)
+        assert f in {f}
+
+
+class TestSequenceFuzzer:
+    def test_rejects_bad_machine_size(self):
+        with pytest.raises(ValueError):
+            SequenceFuzzer(12)
+
+    def test_sequences_are_valid_and_nonempty(self):
+        fuzzer = SequenceFuzzer(16, seed=1)
+        for _ in range(25):
+            sigma = fuzzer.generate()
+            assert len(sigma) >= 1
+            assert all(t.size <= 16 for t in sigma.tasks.values())
+
+    def test_deterministic_from_seed(self):
+        a = SequenceFuzzer(32, seed=7)
+        b = SequenceFuzzer(32, seed=7)
+        for _ in range(15):
+            assert a.generate() == b.generate()
+
+    def test_different_seeds_diverge(self):
+        a = [SequenceFuzzer(32, seed=1).generate() for _ in range(3)]
+        b = [SequenceFuzzer(32, seed=2).generate() for _ in range(3)]
+        assert a != b
+
+    def test_coverage_grows_and_pool_retains_discoverers(self):
+        fuzzer = SequenceFuzzer(32, seed=0)
+        initial_pool = fuzzer.pool_size
+        for _ in range(60):
+            fuzzer.generate()
+        # A healthy campaign reaches well beyond one structural bucket and
+        # keeps the parameter vectors that found new ones.
+        assert len(fuzzer.coverage) >= 10
+        assert fuzzer.pool_size > initial_pool
+        assert fuzzer.generated == 60
+
+    def test_reaches_the_interesting_regimes(self):
+        # Within a modest budget the fuzzer must hit at least one deep
+        # (depth >= 2) bucket and one bursty (burst >= 2) bucket — the
+        # regimes uniform sampling tends to miss.
+        fuzzer = SequenceFuzzer(16, seed=3)
+        for _ in range(80):
+            fuzzer.generate()
+        assert any(f.depth >= 2 for f in fuzzer.coverage)
+        assert any(f.burst >= 2 for f in fuzzer.coverage)
+        assert any(f.has_full_machine for f in fuzzer.coverage)

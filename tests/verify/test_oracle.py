@@ -1,0 +1,133 @@
+"""The brute-force oracle: correct on known answers, merciless on bad data."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.greedy import GreedyAlgorithm
+from repro.core.optimal import OptimalReallocatingAlgorithm
+from repro.machines.tree import TreeMachine
+from repro.sim.audit import audit_run
+from repro.sim.runner import run_traced
+from repro.verify.oracle import (
+    oracle_audit,
+    oracle_leaf_span,
+    oracle_optimal_load,
+    tasks_table,
+)
+
+from tests.conftest import task_sequences
+
+
+class TestLeafSpan:
+    def test_root_spans_everything(self):
+        assert oracle_leaf_span(1, 16) == (0, 16)
+
+    def test_leaves_are_unit_spans(self):
+        for i in range(16):
+            assert oracle_leaf_span(16 + i, 16) == (i, i + 1)
+
+    def test_matches_hierarchy_on_every_node(self):
+        h = TreeMachine(64).hierarchy
+        for node in range(1, 128):
+            assert oracle_leaf_span(node, 64) == tuple(h.leaf_span(node))
+
+
+class TestOptimalLoad:
+    def test_single_task(self):
+        peak, lstar = oracle_optimal_load({0: (4, 0.0, math.inf)}, 16)
+        assert (peak, lstar) == (4, 1)
+
+    def test_departure_frees_before_same_time_arrival(self):
+        # One size-16 task leaves at t=1 exactly when another arrives: the
+        # peak is 16, not 32 (departures are applied first).
+        tasks = {0: (16, 0.0, 1.0), 1: (16, 1.0, math.inf)}
+        peak, lstar = oracle_optimal_load(tasks, 16)
+        assert (peak, lstar) == (16, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma=task_sequences(num_pes=16))
+    def test_matches_sequence_statistics(self, sigma):
+        peak, lstar = oracle_optimal_load(tasks_table(sigma), 16)
+        assert peak == sigma.peak_active_size
+        assert lstar == sigma.optimal_load(16)
+
+
+class TestOracleAudit:
+    def _trace(self, n, algo_cls, sigma):
+        machine = TreeMachine(n)
+        return run_traced(machine, algo_cls(machine), sigma)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sigma=task_sequences(num_pes=16))
+    def test_agrees_with_audit_on_greedy_runs(self, sigma):
+        machine = TreeMachine(16)
+        result, intervals = self._trace(16, GreedyAlgorithm, sigma)
+        report = oracle_audit(16, tasks_table(sigma), intervals)
+        assert report.ok, report.violations
+        audit = audit_run(machine, sigma, intervals)
+        assert report.max_load == audit.max_load == result.max_load
+        assert report.optimal_load == result.optimal_load
+
+    @settings(max_examples=20, deadline=None)
+    @given(sigma=task_sequences(num_pes=16))
+    def test_agrees_on_reallocating_runs(self, sigma):
+        result, intervals = self._trace(16, OptimalReallocatingAlgorithm, sigma)
+        report = oracle_audit(16, tasks_table(sigma), intervals)
+        assert report.ok, report.violations
+        assert report.max_load == result.max_load == result.optimal_load
+
+    def test_rejects_non_power_of_two_machine(self):
+        report = oracle_audit(12, {}, {})
+        assert not report.ok
+
+    def test_flags_unplaced_task(self):
+        tasks = {0: (1, 0.0, math.inf)}
+        report = oracle_audit(4, tasks, {})
+        assert not report.ok
+        assert any("never placed" in v for v in report.violations)
+
+    def test_flags_wrong_size_node(self):
+        # Size-2 task on a leaf (span 1).
+        tasks = {0: (2, 0.0, math.inf)}
+        intervals = {0: [(0.0, math.inf, 4)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert any("spanning" in v for v in report.violations)
+
+    def test_flags_node_outside_machine(self):
+        tasks = {0: (1, 0.0, math.inf)}
+        intervals = {0: [(0.0, math.inf, 8)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert any("outside machine" in v for v in report.violations)
+
+    def test_flags_lifetime_gap(self):
+        tasks = {0: (1, 0.0, 4.0)}
+        intervals = {0: [(0.0, 1.0, 4), (2.0, 4.0, 5)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert any("gap" in v for v in report.violations)
+
+    def test_flags_late_start_and_early_end(self):
+        tasks = {0: (1, 0.0, 4.0)}
+        intervals = {0: [(1.0, 3.0, 4)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert any("starts at" in v for v in report.violations)
+        assert any("ends at" in v for v in report.violations)
+
+    def test_flags_phantom_volume(self):
+        # The placement claims residence the task list doesn't back: the
+        # task departs at 2 but its interval runs to 5.
+        tasks = {0: (1, 0.0, 2.0), 1: (1, 0.0, math.inf)}
+        intervals = {0: [(0.0, 5.0, 4)], 1: [(0.0, math.inf, 5)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert not report.ok
+
+    def test_recomputes_max_load_from_overlap(self):
+        # Two unit tasks stacked on the same leaf: load 2 even though
+        # the machine has 4 idle-capable PEs.
+        tasks = {0: (1, 0.0, math.inf), 1: (1, 1.0, math.inf)}
+        intervals = {0: [(0.0, math.inf, 4)], 1: [(1.0, math.inf, 4)]}
+        report = oracle_audit(4, tasks, intervals)
+        assert report.ok, report.violations
+        assert report.max_load == 2
+        assert report.optimal_load == 1

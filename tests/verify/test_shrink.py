@@ -1,0 +1,84 @@
+"""Delta debugging: minimal results, predicate discipline, bounded effort."""
+
+import math
+
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+from repro.verify.shrink import shrink
+
+
+def _tasks(n, size=1, arrival_step=1.0):
+    return [Task(TaskId(i), size, i * arrival_step, math.inf) for i in range(n)]
+
+
+class TestShrink:
+    def test_reduces_to_single_culprit(self):
+        # Violation: "some task has size 4".
+        tasks = _tasks(20) + [Task(TaskId(99), 4, 5.0, math.inf)]
+        sigma = TaskSequence.from_tasks(tasks)
+
+        def has_big(seq):
+            return any(t.size == 4 for t in seq.tasks.values())
+
+        reduced = shrink(sigma, has_big)
+        assert reduced.num_tasks == 1
+        assert next(iter(reduced.tasks.values())).size == 4
+
+    def test_reduces_conjunction_to_minimal_pair(self):
+        # Violation needs one size-2 AND one size-4 task simultaneously.
+        tasks = _tasks(15) + [
+            Task(TaskId(50), 2, 3.0, math.inf),
+            Task(TaskId(51), 4, 4.0, math.inf),
+        ]
+        sigma = TaskSequence.from_tasks(tasks)
+
+        def needs_both(seq):
+            sizes = {t.size for t in seq.tasks.values()}
+            return {2, 4} <= sizes
+
+        reduced = shrink(sigma, needs_both)
+        assert reduced.num_tasks == 2
+        assert {t.size for t in reduced.tasks.values()} == {2, 4}
+
+    def test_threshold_predicate_keeps_exactly_enough(self):
+        # "At least 5 active unit tasks" — minimal witness is any 5.
+        sigma = TaskSequence.from_tasks(_tasks(30))
+
+        def at_least_five(seq):
+            return seq.num_tasks >= 5
+
+        reduced = shrink(sigma, at_least_five)
+        assert reduced.num_tasks == 5
+
+    def test_result_still_satisfies_predicate(self):
+        sigma = TaskSequence.from_tasks(_tasks(12, size=2))
+
+        def pred(seq):
+            return seq.peak_active_size >= 8
+
+        reduced = shrink(sigma, pred)
+        assert pred(reduced)
+        assert reduced.num_tasks <= sigma.num_tasks
+
+    def test_check_budget_bounds_work(self):
+        calls = 0
+        sigma = TaskSequence.from_tasks(_tasks(40))
+
+        def counting(seq):
+            nonlocal calls
+            calls += 1
+            return seq.num_tasks >= 1
+
+        reduced = shrink(sigma, counting, max_checks=10)
+        assert calls <= 11  # budget plus at most the in-flight call
+        assert reduced.num_tasks >= 1
+
+    def test_departures_travel_with_their_task(self):
+        # Removing a task must drop both its events; the reduced sequence
+        # stays valid (constructor would raise otherwise).
+        tasks = [Task(TaskId(i), 1, float(i), float(i) + 5.0) for i in range(10)]
+        sigma = TaskSequence.from_tasks(tasks)
+        reduced = shrink(sigma, lambda s: s.num_tasks >= 2)
+        assert reduced.num_tasks == 2
+        assert len(reduced) == 4  # two arrivals + two departures
