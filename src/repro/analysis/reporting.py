@@ -92,6 +92,31 @@ def render_verify_markdown(report) -> str:
         f"- verdict: **{'OK' if report.ok else 'FAILED'}**",
         "",
     ]
+    if report.faulted_checks:
+        s = report.fault_summary
+        lines += [
+            "## Degradation under injected faults",
+            "",
+            f"{report.faulted_checks} check(s) ran under generated fault "
+            "plans (PE failures, repairs, task kills). Salvage repacks are "
+            "charged to the fault, not to the algorithm's d-budget; the "
+            "enforced bound is `(d+1) * ceil(s_peak / N_surviving)` on the "
+            "degraded machine.",
+            "",
+            "| metric | value |",
+            "|---|---|",
+            f"| PE failures injected | {s.get('failures', 0)} |",
+            f"| repairs | {s.get('repairs', 0)} |",
+            f"| task kills | {s.get('kills', 0)} |",
+            f"| orphaned tasks | {s.get('orphaned_tasks', 0)} |",
+            f"| salvage repacks | {s.get('salvage_repacks', 0)} |",
+            f"| salvage migrations | {s.get('salvage_migrations', 0)} |",
+            f"| salvage PE-volume moved | {s.get('salvage_pe_volume', 0)} |",
+            f"| min surviving PEs | {s.get('min_surviving_pes', report.num_pes)} |",
+            "| max load overshoot vs degraded L* | "
+            f"{s.get('max_load_overshoot_vs_degraded', 0)} |",
+            "",
+        ]
     if report.tightest:
         lines += [
             "## Tightest bound instances",

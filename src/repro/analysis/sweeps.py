@@ -112,7 +112,14 @@ class Sweep:
         ]
 
     def run(
-        self, fn: Callable[..., Any], *, parallel: int | None = None
+        self,
+        fn: Callable[..., Any],
+        *,
+        parallel: int | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+        checkpoint=None,
     ) -> SweepResults:
         """Call ``fn(**params, rng=...)`` on every cell.
 
@@ -126,11 +133,27 @@ class Sweep:
         collected in cell order, a parallel run returns **bit-identical**
         cell values to the serial run — ``fn`` must then be picklable
         (module-level, not a lambda).
+
+        Resilience knobs pass straight to
+        :func:`repro.sim.parallel.run_seeded_cells`: ``timeout`` bounds
+        each cell's wall clock, ``retries``/``backoff`` govern the
+        transient-failure retry rounds, and ``checkpoint`` names a journal
+        file so an interrupted sweep resumes from its completed cells —
+        still bit-identically, since the journal only replays results.
         """
         cells = self.cells()
         root = np.random.SeedSequence(self.seed)
         streams = root.spawn(self.num_cells)
-        values = run_seeded_cells(fn, cells, streams, jobs=parallel)
+        values = run_seeded_cells(
+            fn,
+            cells,
+            streams,
+            jobs=parallel,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            checkpoint=checkpoint,
+        )
         return SweepResults(
             [SweepCell(params=p, value=v) for p, v in zip(cells, values)]
         )

@@ -137,7 +137,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         moves=args.moves,
         seed=args.seed,
     )
-    sim = Simulator(machine, algo)
+    if args.faults:
+        from repro.faults import FaultAwareSimulator, generate_fault_plan
+
+        fault_rng = np.random.default_rng(
+            args.fault_seed if args.fault_seed is not None else args.seed
+        )
+        plan = generate_fault_plan(args.n, sigma, fault_rng)
+        sim = FaultAwareSimulator(machine, algo, plan)
+    else:
+        plan = None
+        sim = Simulator(machine, algo)
     load_frames: list[list[int]] = []
     if args.plot:
         sim.add_observer(
@@ -156,6 +166,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"migrations         : {realloc.num_migrations}")
     print(f"traffic (pe-hops)  : {realloc.traffic_pe_hops:.0f}")
     print(f"fairness at peak   : {result.metrics.fairness_at_peak():.3f}")
+    if plan is not None:
+        fstats = result.metrics.faults
+        print(f"fault plan         : {plan.num_failures} failure(s), "
+              f"{plan.num_repairs} repair(s), {plan.num_kills} kill(s)")
+        print(f"orphaned tasks     : {fstats.orphaned_tasks}")
+        print(f"salvage repacks    : {fstats.num_salvage_repacks} "
+              f"({fstats.salvage_migrations} migrations, "
+              f"{fstats.salvage_pe_volume} PE-volume)")
+        print(f"min surviving PEs  : {fstats.min_surviving_pes}")
+        print(f"peak degraded L*   : {fstats.peak_degraded_lstar}")
+        print(f"overshoot vs L*deg : {fstats.load_overshoot_vs_degraded}")
     if args.plot:
         times, loads = result.metrics.series.as_arrays()
         print("\nmax load over events:")
@@ -295,10 +316,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         corpus_dir=args.corpus_dir,
+        timeout=args.timeout,
+        retries=args.retries,
     )
     report = harness.fuzz(
         budget=args.budget or None,
         max_sequences=args.sequences or (None if args.budget else 50),
+        faults=args.faults,
+        checkpoint=args.resume,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -309,6 +334,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"checks run         : {report.checks_run}")
     print(f"features covered   : {report.features_covered}")
     print(f"wall clock         : {report.elapsed:.1f}s")
+    if report.faulted_checks:
+        s = report.fault_summary
+        print(f"fault-mode checks  : {report.faulted_checks} "
+              f"({s.get('failures', 0)} failures, {s.get('kills', 0)} kills, "
+              f"{s.get('salvage_repacks', 0)} salvage repacks, "
+              f"min surviving {s.get('min_surviving_pes', args.n)} PEs)")
     for name, margin in sorted(report.tightest.items()):
         print(
             f"  {name:<10} tightest: load {margin.max_load} vs bound "
@@ -333,7 +364,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sigma = _make_workload(args.workload, n, args)
     d_values = [float(x) for x in args.d_values.split(",")]
     rows = parallel_map(
-        _sweep_cell, [(n, d, args.lazy, sigma) for d in d_values], jobs=args.jobs
+        _sweep_cell,
+        [(n, d, args.lazy, sigma) for d in d_values],
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint=args.resume,
     )
     print(
         format_table(
@@ -403,6 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="physical machine model",
         )
 
+    def add_resilience(p):
+        p.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-cell wall-clock limit in seconds (timed-out cells "
+            "are retried, then reported)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=1,
+            help="extra retry rounds for timed-out / crashed cells "
+            "(default 1; 0 disables retry)",
+        )
+        p.add_argument(
+            "--resume", default=None, metavar="JOURNAL",
+            help="checkpoint journal file: completed cells are made "
+            "durable and a rerun pointed at the same file resumes from "
+            "them (bit-identical results)",
+        )
+
     p_sim = sub.add_parser("simulate", help="ad-hoc single run")
     add_common(p_sim)
     p_sim.add_argument(
@@ -414,6 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--plot", action="store_true", help="ASCII plots of the run")
     p_sim.add_argument(
         "--save-run", default=None, help="archive the run (JSON) for `repro audit`"
+    )
+    p_sim.add_argument(
+        "--faults", action="store_true",
+        help="inject a generated fault plan (PE failures, repairs, task "
+        "kills) and report degradation metrics",
+    )
+    p_sim.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault plan generator (default: --seed)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -464,7 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--out", default=None, help="write the markdown verification report here"
     )
+    p_ver.add_argument(
+        "--faults", action="store_true",
+        help="fault mode: every fuzzed sequence also gets a generated "
+        "fault plan; checks run on the degraded machine",
+    )
     add_jobs(p_ver)
+    add_resilience(p_ver)
     p_ver.set_defaults(func=_cmd_verify)
 
     p_sweep = sub.add_parser("sweep", help="load-vs-d sweep with A_M")
@@ -473,11 +542,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--d-values", default="0,1,2,3,4,8", help="comma-separated d list"
     )
     add_jobs(p_sweep)
+    add_resilience(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import os
+
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
@@ -486,6 +558,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT.  Checkpointed commands (--resume) have
+        # already journaled their completed cells, so the note is actionable.
+        print(
+            "\ninterrupted — partial results may have been written; "
+            "commands run with --resume continue from their checkpoint",
+            file=sys.stderr,
+        )
+        return 130
+    except BrokenPipeError:
+        # Our reader (e.g. `repro ... | head`) went away: exit silently.
+        # Re-point stdout at devnull so interpreter shutdown doesn't print
+        # a second BrokenPipeError from the buffered-writer flush.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            # ValueError covers io.UnsupportedOperation: stdout may not be
+            # backed by a real descriptor (tests, embedded interpreters).
+            pass
+        return 128 + 13  # SIGPIPE convention
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,11 @@ __all__ = [
     "TraceFormatError",
     "UnknownAlgorithmError",
     "VerificationError",
+    "FaultPlanError",
+    "SalvageError",
+    "CellExecutionError",
+    "CellTimeoutError",
+    "CheckpointError",
 ]
 
 
@@ -95,3 +100,52 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class VerificationError(ReproError, AssertionError):
     """The differential-verification harness found a confirmed violation."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault plan is inadmissible on the target machine.
+
+    Examples: failing a node that is already inside a failed subtree,
+    repairing a node that is not failed, events out of chronological order,
+    or a failure that would leave no surviving capacity.
+    """
+
+
+class SalvageError(ReproError, RuntimeError):
+    """Orphaned tasks could not be reallocated on the degraded machine.
+
+    Raised when the surviving submachines are too fragmented to host a task
+    (e.g. every alive subtree is smaller than the task), which the fault-plan
+    generator's granularity constraint rules out by construction.
+    """
+
+
+class CellExecutionError(ReproError, RuntimeError):
+    """One or more experiment cells could not be completed.
+
+    Raised by the parallel execution engine after the retry budget is
+    exhausted; carries the indices of the failed cells and their last
+    observed errors so a caller can resume or investigate.
+    """
+
+    def __init__(self, message: str, failures: dict | None = None):
+        super().__init__(message)
+        #: ``cell index -> last error message`` for every unfinished cell.
+        self.failures: dict[int, str] = dict(failures or {})
+
+
+class CellTimeoutError(ReproError, RuntimeError):
+    """One experiment cell exceeded its per-cell wall-clock budget.
+
+    Raised *inside* the worker process by the SIGALRM guard in
+    :mod:`repro.sim.parallel`; treated as transient by the retry loop
+    (the cell is retried in the next round, up to the retry budget).
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint journal cannot be used to resume the requested work.
+
+    Typically a fingerprint mismatch: the journal on disk was written by a
+    different function, cell grid, or seed than the resuming caller's.
+    """

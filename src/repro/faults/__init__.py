@@ -1,0 +1,43 @@
+"""Fault injection for partitionable machines (PR 3's Layer 1).
+
+The paper studies *planned* disruption only — arrival volume crossing the
+``dN`` budget.  This package adds the unplanned kind: PE/subtree failures,
+repairs, and task kills scheduled by a :class:`~repro.faults.plan.FaultPlan`
+and merged into the event stream by the
+:class:`~repro.faults.injector.FaultAwareSimulator`.  Orphaned tasks are
+reallocated by :func:`~repro.faults.salvage.salvage_repack` — procedure
+A_R run on the *degraded* machine — and every algorithm in the registry
+runs under faults via the
+:class:`~repro.faults.salvage.FaultTolerantAlgorithm` wrapper.
+
+See ``docs/RESILIENCE.md`` for the fault model and the degraded Lemma 1.
+"""
+
+from repro.faults.injector import FaultAwareSimulator, run_traced_with_faults
+from repro.faults.plan import (
+    FaultPlan,
+    PEFailure,
+    PERepair,
+    TaskKill,
+    generate_fault_plan,
+    merge_events,
+)
+from repro.faults.salvage import (
+    DegradedCopySet,
+    FaultTolerantAlgorithm,
+    salvage_repack,
+)
+
+__all__ = [
+    "FaultPlan",
+    "PEFailure",
+    "PERepair",
+    "TaskKill",
+    "generate_fault_plan",
+    "merge_events",
+    "DegradedCopySet",
+    "FaultTolerantAlgorithm",
+    "salvage_repack",
+    "FaultAwareSimulator",
+    "run_traced_with_faults",
+]

@@ -61,6 +61,17 @@ class PartitionableMachine(abc.ABC):
         """A fresh, empty load tracker for this machine."""
         return LoadTracker(self._hierarchy)
 
+    def degraded_view(self):
+        """A fresh fault overlay (no failures yet) for this machine.
+
+        Returns a :class:`~repro.machines.degraded.DegradedView`; the
+        machine itself stays immutable, so independent runs can carry
+        independent fault states over one shared machine object.
+        """
+        from repro.machines.degraded import DegradedView
+
+        return DegradedView(self)
+
     def validate_task_size(self, size: int) -> None:
         if not is_power_of_two(size) or size > self.num_pes:
             raise InvalidMachineError(

@@ -43,7 +43,7 @@ class BuddyCopy:
     assignment occupies all leaves below).
     """
 
-    __slots__ = ("hierarchy", "_assigned", "_max_vacant", "_num_tasks")
+    __slots__ = ("hierarchy", "_assigned", "_max_vacant", "_num_tasks", "_blocked")
 
     def __init__(self, hierarchy: Hierarchy):
         self.hierarchy = hierarchy
@@ -55,6 +55,9 @@ class BuddyCopy:
         for level in range(h.height + 1):
             self._max_vacant[h.level_slice(level)] = h.num_leaves >> level
         self._num_tasks = 0
+        # Subtrees withdrawn from allocation without hosting a task (failed
+        # submachines in a degraded copy); occupy vacancy but not task count.
+        self._blocked: frozenset[NodeId] = frozenset()
 
     # -- Queries ---------------------------------------------------------
 
@@ -155,9 +158,32 @@ class BuddyCopy:
         self._num_tasks += 1
         self._recompute_up(node)
 
+    def block(self, node: NodeId) -> None:
+        """Withdraw the (entirely vacant) subtree at ``node`` from allocation.
+
+        Used to build *degraded* copies: a failed submachine is blocked in
+        every copy so first-fit can never place a task on dead PEs.  A
+        blocked node participates in the vacancy tree exactly like an
+        assignment but carries no task and cannot be freed.
+        """
+        h = self.hierarchy
+        h._check(node)
+        if self._max_vacant[node] != h.subtree_size(node):
+            raise AllocationError(f"cannot block node {node}: not entirely vacant")
+        for anc in h.ancestors(node):
+            if self._assigned[anc]:
+                raise AllocationError(
+                    f"cannot block node {node}: ancestor {anc} is assigned"
+                )
+        self._assigned[node] = True
+        self._blocked = self._blocked | {node}
+        self._recompute_up(node)
+
     def free(self, node: NodeId) -> None:
         """Release the task assigned exactly at ``node``."""
         self.hierarchy._check(node)
+        if node in self._blocked:
+            raise AllocationError(f"node {node} is blocked (failed), not a task")
         if not self._assigned[node]:
             raise AllocationError(f"node {node} has no assigned task to free")
         self._assigned[node] = False
@@ -196,7 +222,7 @@ class BuddyCopy:
         unblocked[0] = False
         if not np.array_equal(mv[unblocked], self._max_vacant[unblocked]):
             raise AssertionError("BuddyCopy vacancy tree out of sync")
-        if int(self._assigned[1:].sum()) != self._num_tasks:
+        if int(self._assigned[1:].sum()) != self._num_tasks + len(self._blocked):
             raise AssertionError("BuddyCopy task count out of sync")
 
 
@@ -230,6 +256,10 @@ class CopySet:
         """Copies currently holding at least one task — the tight load bound."""
         return sum(1 for c in self._copies if not c.is_empty)
 
+    def _new_copy(self) -> BuddyCopy:
+        """Construct a fresh copy; subclasses pre-shape it (degraded copies)."""
+        return BuddyCopy(self.hierarchy)
+
     def first_fit(self, size: int) -> tuple[CopyId, NodeId]:
         """Place a task per the paper's rule; returns (copy index, node).
 
@@ -240,8 +270,13 @@ class CopySet:
         for cid, copy in enumerate(self._copies):
             if copy.can_host(size):
                 return CopyId(cid), copy.allocate(size)
-        copy = BuddyCopy(self.hierarchy)
+        copy = self._new_copy()
         self._copies.append(copy)
+        if not copy.can_host(size):
+            raise AllocationError(
+                f"no {size}-PE submachine survives in a fresh copy "
+                "(machine too degraded for this task size)"
+            )
         return CopyId(len(self._copies) - 1), copy.allocate(size)
 
     def free(self, copy_id: CopyId, node: NodeId) -> None:

@@ -14,6 +14,8 @@ topology.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.machines.base import PartitionableMachine
 from repro.types import NodeId, PEId, ilog2
 
@@ -43,3 +45,18 @@ class TreeMachine(PartitionableMachine):
         subtree contains ``x`` internal switch levels.
         """
         return ilog2(self._hierarchy.subtree_size(node))
+
+    def surviving_diameter(self, view) -> int:
+        """Max hop count between two *surviving* PEs under a fault overlay.
+
+        A failed switch severs its whole subtree, so the live interconnect
+        is the tree restricted to alive leaves; its diameter is realised by
+        the leftmost and rightmost survivors (their LCA is the highest
+        switch any surviving pair routes through).  0 when at most one PE
+        survives.  ``view`` is a :class:`~repro.machines.degraded.DegradedView`
+        of this machine.
+        """
+        alive = np.flatnonzero(view.alive_leaf_mask())
+        if alive.size <= 1:
+            return 0
+        return self.pe_distance(int(alive[0]), int(alive[-1]))

@@ -120,6 +120,11 @@ def save_run(
         },
         "max_load": simulator.metrics.max_load,
     }
+    # A fault-injected run archives its plan too, so the evidence file
+    # records *why* tasks moved off failed subtrees.
+    plan = getattr(simulator, "plan", None)
+    if plan is not None and not plan.is_empty:
+        payload["faults"] = plan.to_dict()
     if result is not None:
         payload["result_summary"] = result.to_dict()
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
@@ -128,32 +133,58 @@ def save_run(
 def load_run(
     path: Union[str, Path],
 ) -> tuple[PartitionableMachine, TaskSequence, dict[TaskId, list[tuple[float, float, NodeId]]]]:
-    """Load an archived run: (machine, sequence, placement intervals)."""
+    """Load an archived run: (machine, sequence, placement intervals).
+
+    Every failure mode names the offending file: corrupt JSON, a truncated
+    write (the common crash artifact — detected as JSON that ends
+    mid-document), an unsupported version, or missing/garbled fields all
+    raise :class:`~repro.errors.TraceFormatError` with ``path`` in the
+    message, so a broken archive in a batch is identifiable at a glance.
+    """
+    path = Path(path)
     try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceFormatError(f"{path}: cannot read run archive: {exc}") from exc
+    try:
+        payload = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise TraceFormatError(f"invalid run archive: {exc}") from exc
+        if exc.pos >= len(text.rstrip()):
+            raise TraceFormatError(
+                f"{path}: truncated run archive — the JSON document ends "
+                f"mid-value at offset {exc.pos} (was the writing process "
+                "interrupted?)"
+            ) from exc
+        raise TraceFormatError(f"{path}: invalid run archive: {exc}") from exc
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise TraceFormatError(
-            f"unsupported archive version {version!r} (expected {_FORMAT_VERSION})"
+            f"{path}: unsupported archive version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
         )
-    machine = machine_from_descriptor(payload["machine"])
-    tasks = [
-        Task(
-            TaskId(int(rec["id"])),
-            int(rec["size"]),
-            float(rec["arrival"]),
-            _decode_number(rec["departure"]),
-            float(rec.get("work", 1.0)),
-        )
-        for rec in payload["tasks"]
-    ]
-    sequence = TaskSequence.from_tasks(tasks)
-    intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
-    for tid_str, segs in payload["segments"].items():
-        intervals[TaskId(int(tid_str))] = [
-            (float(start), _decode_number(end), int(node))
-            for start, end, node in segs
+    try:
+        machine = machine_from_descriptor(payload["machine"])
+        tasks = [
+            Task(
+                TaskId(int(rec["id"])),
+                int(rec["size"]),
+                float(rec["arrival"]),
+                _decode_number(rec["departure"]),
+                float(rec.get("work", 1.0)),
+            )
+            for rec in payload["tasks"]
         ]
+        sequence = TaskSequence.from_tasks(tasks)
+        intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
+        for tid_str, segs in payload["segments"].items():
+            intervals[TaskId(int(tid_str))] = [
+                (float(start), _decode_number(end), int(node))
+                for start, end, node in segs
+            ]
+    except TraceFormatError as exc:
+        raise TraceFormatError(f"{path}: {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"{path}: malformed run archive ({type(exc).__name__}: {exc})"
+        ) from exc
     return machine, sequence, intervals

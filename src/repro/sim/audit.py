@@ -19,15 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
 from repro.machines.base import PartitionableMachine
 from repro.tasks.sequence import TaskSequence
-from repro.types import NodeId, TaskId
+from repro.types import NodeId, TaskId, ceil_div
 
-__all__ = ["AuditReport", "audit_run"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["AuditReport", "audit_run", "effective_end_times"]
 
 
 @dataclass
@@ -45,15 +48,52 @@ class AuditReport:
             raise AssertionError("audit failed:\n" + "\n".join(self.violations))
 
 
+def effective_end_times(
+    tasks, kills: list[tuple[TaskId, float]]
+) -> dict[TaskId, float]:
+    """Per-task end of residence once kills are accounted for.
+
+    A kill takes effect iff the task is active at the kill time (arrival
+    <= t < departure) and was not already killed; an effective kill moves
+    the task's end of residence from its departure to the kill time.  The
+    rule mirrors the merged event order: departures at a tied timestamp are
+    processed before faults, so a kill at the departure instant is a no-op.
+    """
+    ends = {tid: task.departure for tid, task in tasks.items()}
+    for tid, t in kills:
+        task = tasks.get(tid)
+        if task is None:
+            continue
+        if task.arrival <= t < ends[tid]:
+            ends[tid] = t
+    return ends
+
+
 def audit_run(
     machine: PartitionableMachine,
     sequence: TaskSequence,
     intervals: Mapping[TaskId, list[tuple[float, float, NodeId]]],
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> AuditReport:
-    """Referee a run from its sequence and placement history alone."""
+    """Referee a run from its sequence and placement history alone.
+
+    With a ``fault_plan`` the referee additionally enforces the degraded
+    invariants: no residence segment may overlap a failure interval of a
+    subtree it shares PEs with, killed tasks end residence at their kill
+    time, failed PEs carry zero load while down, and at every breakpoint
+    the max load is at least the degraded optimum
+    ``ceil(placed_volume / surviving_pes)``.
+    """
     h = machine.hierarchy
     violations: list[str] = []
     tasks = sequence.tasks
+
+    failure_intervals: list[tuple[NodeId, float, float]] = []
+    kills: list[tuple[TaskId, float]] = []
+    if fault_plan is not None:
+        failure_intervals = fault_plan.failure_intervals()
+        kills = fault_plan.kills()
+    ends = effective_end_times(tasks, kills)
 
     # 1. Per-task segment legality and coverage.
     for tid, task in tasks.items():
@@ -72,18 +112,28 @@ def audit_run(
                 )
             if end <= start:
                 violations.append(f"task {tid}: empty segment [{start}, {end})")
+            for fnode, fstart, fend in failure_intervals:
+                if not (h.contains(fnode, node) or h.contains(node, fnode)):
+                    continue
+                if max(start, fstart) < min(end, fend):
+                    violations.append(
+                        f"task {tid}: segment [{start},{end}) at node {node} "
+                        f"overlaps failure of node {fnode} over "
+                        f"[{fstart},{fend})"
+                    )
         starts = [s for s, _e, _n in segs]
-        ends = [e for _s, e, _n in segs]
         if starts[0] != task.arrival:
             violations.append(
                 f"task {tid}: first segment starts at {starts[0]}, "
                 f"arrival is {task.arrival}"
             )
-        expected_end = task.departure
-        if not math.isinf(expected_end) and ends[-1] != expected_end:
+        expected_end = ends[tid]
+        last_end = segs[-1][1]
+        if not math.isinf(expected_end) and last_end != expected_end:
+            what = "kill time" if expected_end != task.departure else "departure"
             violations.append(
-                f"task {tid}: last segment ends at {ends[-1]}, "
-                f"departure is {expected_end}"
+                f"task {tid}: last segment ends at {last_end}, "
+                f"{what} is {expected_end}"
             )
         for (s1, e1, _n1), (s2, e2, _n2) in zip(segs, segs[1:]):
             if e1 != s2:
@@ -100,6 +150,10 @@ def audit_run(
             breakpoints.add(start)
             if not math.isinf(end):
                 breakpoints.add(end)
+    for _fnode, fstart, fend in failure_intervals:
+        breakpoints.add(fstart)
+        if not math.isinf(fend):
+            breakpoints.add(fend)
     breakpoints.add(horizon)
     times = sorted(t for t in breakpoints if t <= horizon)
 
@@ -112,16 +166,39 @@ def audit_run(
                     lo, hi = h.leaf_span(node)
                     loads[lo:hi] += 1
                     break
-        max_load = max(max_load, int(loads.max()) if loads.size else 0)
-        # Cross-check against the sequence's own activity accounting.
-        expected_volume = sequence.active_size_at(t)
-        if int(loads.sum()) != _placed_volume_at(tasks, intervals, t):
+        peak_here = int(loads.max()) if loads.size else 0
+        max_load = max(max_load, peak_here)
+        placed = _placed_volume_at(tasks, intervals, t)
+        # Cross-check against the sequence's own activity accounting
+        # (adjusted for effective kills when a fault plan is present).
+        expected_volume = sum(
+            task.size
+            for tid, task in tasks.items()
+            if task.arrival <= t < ends[tid]
+        )
+        if int(loads.sum()) != placed:
             violations.append(f"t={t}: leaf-load volume inconsistent")
-        if _placed_volume_at(tasks, intervals, t) != expected_volume:
+        if placed != expected_volume:
             violations.append(
-                f"t={t}: placed volume {_placed_volume_at(tasks, intervals, t)} "
+                f"t={t}: placed volume {placed} "
                 f"!= active volume {expected_volume}"
             )
+        if fault_plan is not None:
+            dead = np.zeros(machine.num_pes, dtype=bool)
+            for fnode, fstart, fend in failure_intervals:
+                if fstart <= t < fend:
+                    lo, hi = h.leaf_span(fnode)
+                    dead[lo:hi] = True
+            surviving = int((~dead).sum())
+            if dead.any() and int(loads[dead].max(initial=0)) > 0:
+                violations.append(f"t={t}: load on failed PEs")
+            if surviving > 0 and placed > 0:
+                floor = ceil_div(placed, surviving)
+                if peak_here < floor:
+                    violations.append(
+                        f"t={t}: max load {peak_here} below degraded optimum "
+                        f"ceil({placed}/{surviving}) = {floor}"
+                    )
 
     return AuditReport(
         ok=not violations,

@@ -1,0 +1,207 @@
+"""Journaled checkpoint/resume for long-running cell bags.
+
+A :class:`CheckpointJournal` is an append-only JSONL file that records the
+result of every completed cell of a sweep (or any other bag of independent
+work items).  When the coordinating process dies — SIGKILL, OOM, a pulled
+plug — the journal survives, and the next run replays completed cells from
+it instead of recomputing them.  Because the executors in
+:mod:`repro.sim.parallel` spawn every cell's RNG stream *before* dispatch,
+a resumed run produces **bit-identical** final results to an uninterrupted
+one: the journal only short-circuits work, never changes it.
+
+File layout::
+
+    {"kind": "repro-checkpoint", "version": 1, "fingerprint": "<sha256>", ...}
+    {"cell": 17, "data": "<base64(pickle(result))>"}
+    {"cell": 3,  "data": "..."}
+
+* The **header** pins a fingerprint of the workload (callable identity,
+  cell parameters, seed streams).  Resuming against a different workload
+  is a hard :class:`~repro.errors.CheckpointError` — silently mixing
+  results from two different sweeps would be far worse than recomputing.
+* Each **record** is one completed cell, written with ``flush`` +
+  ``fsync`` so a crash can lose at most the record being written.
+* A **corrupt tail** (the partial line a crash leaves behind) is detected
+  on open, reported with a warning, and truncated away; every record
+  before it is kept.
+
+Results are pickled because cell values are arbitrary Python objects
+(:class:`~repro.sim.engine.RunResult`, dataclasses, tuples).  The journal
+is a private working file, not an interchange format — the schema version
+exists so a newer build refuses an older journal instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointJournal", "workload_fingerprint"]
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+_HEADER_KIND = "repro-checkpoint"
+
+
+def workload_fingerprint(
+    fn: Callable[..., Any],
+    cells: Sequence[Mapping[str, Any]],
+    streams: Sequence[Any] = (),
+) -> dict:
+    """Fingerprint a seeded cell bag: callable + parameters + entropy.
+
+    Used by :func:`repro.sim.parallel.run_seeded_cells` so a journal
+    written for one sweep cannot be replayed into a different one.  The
+    stream component covers ``(entropy, spawn_key)`` of every per-cell
+    :class:`numpy.random.SeedSequence`, which pins the exact randomness
+    each cell would consume.
+    """
+    cell_digest = hashlib.sha256()
+    for params in cells:
+        cell_digest.update(
+            json.dumps(
+                {k: repr(v) for k, v in sorted(params.items())}, sort_keys=True
+            ).encode()
+        )
+    stream_digest = hashlib.sha256()
+    for stream in streams:
+        stream_digest.update(
+            repr((getattr(stream, "entropy", None), getattr(stream, "spawn_key", ()))).encode()
+        )
+    return {
+        "kind": "seeded-cells",
+        "fn": f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}",
+        "num_cells": len(cells),
+        "cells_sha256": cell_digest.hexdigest(),
+        "streams_sha256": stream_digest.hexdigest(),
+    }
+
+
+def _fingerprint_digest(fingerprint: Mapping[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(fingerprint, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only journal of ``(cell index, pickled result)`` records."""
+
+    def __init__(self, path, *, fingerprint: Mapping[str, Any]):
+        self.path = Path(path)
+        self._digest = _fingerprint_digest(fingerprint)
+        self._fingerprint = dict(fingerprint)
+        self._completed: dict[int, Any] = {}
+        self._fh = None
+        if self.path.exists():
+            self._load_existing()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            header = {
+                "kind": _HEADER_KIND,
+                "version": JOURNAL_VERSION,
+                "fingerprint": self._digest,
+                "workload": self._fingerprint,
+            }
+            self._write_line(json.dumps(header, sort_keys=True, default=repr))
+
+    # -- Opening / recovery -------------------------------------------------
+
+    def _load_existing(self) -> None:
+        raw = self.path.read_text(encoding="utf-8")
+        good_chars = 0  # byte offset (in chars) of the validated prefix
+        offset = 0
+        header: Optional[dict] = None
+        bad_reason: Optional[str] = None
+        for lineno, piece in enumerate(raw.splitlines(keepends=True), start=1):
+            line = piece.rstrip("\n")
+            if not piece.endswith("\n"):
+                # Every record is written as one ``line + "\n"`` — a final
+                # line without its newline is the partial write of a crash,
+                # even in the unlikely case it parses as complete JSON.
+                bad_reason = f"line {lineno}: truncated final record"
+                break
+            try:
+                record = json.loads(line)
+                if header is None:
+                    header = record
+                    index = None
+                else:
+                    index = int(record["cell"])
+                    value = pickle.loads(base64.b64decode(record["data"]))
+            except Exception as exc:
+                bad_reason = f"line {lineno}: {type(exc).__name__}: {exc}"
+                break
+            if header is record:
+                self._check_header(header)
+            elif index is not None:
+                self._completed[index] = value
+            offset += len(piece)
+            good_chars = offset
+        if header is None:
+            raise CheckpointError(
+                f"checkpoint {self.path} contains no readable header"
+            )
+        if bad_reason is not None:
+            warnings.warn(
+                f"checkpoint {self.path}: truncating corrupt tail ({bad_reason}); "
+                f"{len(self._completed)} completed cell(s) retained",
+                stacklevel=3,
+            )
+            with open(self.path, "r+", encoding="utf-8") as fh:
+                fh.truncate(good_chars)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _check_header(self, header: dict) -> None:
+        if header.get("kind") != _HEADER_KIND or header.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has kind={header.get('kind')!r} "
+                f"version={header.get('version')!r}; this build expects "
+                f"{_HEADER_KIND!r} v{JOURNAL_VERSION}"
+            )
+        if header.get("fingerprint") != self._digest:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written for a different workload "
+                f"(fingerprint {header.get('fingerprint')!r} != {self._digest!r}); "
+                "delete it or point --resume at the matching run"
+            )
+
+    # -- Recording ----------------------------------------------------------
+
+    def _write_line(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, index: int, value: Any) -> None:
+        """Persist one completed cell (durable before this returns)."""
+        if self._fh is None:
+            raise CheckpointError(f"checkpoint {self.path} is closed")
+        data = base64.b64encode(pickle.dumps(value)).decode("ascii")
+        self._write_line(json.dumps({"cell": int(index), "data": data}))
+        self._completed[int(index)] = value
+
+    def completed(self) -> dict[int, Any]:
+        """Cell index -> result for every journaled cell."""
+        return dict(self._completed)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -84,6 +84,8 @@ class RunResult:
             "checkpoint_bytes": realloc.checkpoint_bytes,
             "fairness_at_peak": self.metrics.fairness_at_peak(),
         }
+        if self.metrics.faults.any_faults:
+            payload["faults"] = self.metrics.faults.to_dict()
         if include_series:
             times, loads = self.metrics.series.as_arrays()
             payload["load_series"] = {

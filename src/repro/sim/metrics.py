@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.types import Time
 
-__all__ = ["LoadTimeSeries", "ReallocationStats", "MetricsCollector", "jain_fairness"]
+__all__ = [
+    "LoadTimeSeries",
+    "ReallocationStats",
+    "FaultStats",
+    "MetricsCollector",
+    "jain_fairness",
+]
 
 
 def jain_fairness(loads: np.ndarray) -> float:
@@ -88,11 +94,85 @@ class ReallocationStats:
 
 
 @dataclass
+class FaultStats:
+    """Degradation accounting for fault-injected runs.
+
+    Salvage repacks (triggered by failures/repairs, not the ``d`` budget)
+    are metered separately from :class:`ReallocationStats` — in the
+    external-perturbation framing of Bender et al. they are charged to the
+    fault, not to the algorithm's reallocation budget.  Orphaned-task
+    latency is the *modeled recovery time* of salvaging an orphan's state
+    onto surviving PEs (the cost model's transfer seconds); event time does
+    not advance during a salvage, so this is the physically meaningful
+    latency figure.
+    """
+
+    num_failures: int = 0
+    num_repairs: int = 0
+    num_kills: int = 0
+    #: Tasks whose placement overlapped a failing subtree (summed per failure).
+    orphaned_tasks: int = 0
+    orphaned_pe_volume: int = 0
+    #: Full A_R repacks triggered by fault events (budget repacks excluded).
+    num_salvage_repacks: int = 0
+    salvage_migrations: int = 0
+    salvage_pe_volume: int = 0
+    salvage_traffic_pe_hops: float = 0.0
+    #: Modeled recovery time of orphaned tasks (cost-model seconds).
+    orphan_latency_total: float = 0.0
+    orphan_latency_max: float = 0.0
+    #: Fewest PEs alive at any instant (machine size if never degraded).
+    min_surviving_pes: int = 0
+    #: Peak of the degraded benchmark ``L*_deg = ceil(volume/surviving)``.
+    peak_degraded_lstar: int = 0
+    #: Worst instantaneous ``max_load - L*_deg`` over the run.
+    load_overshoot_vs_degraded: int = 0
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.num_failures + self.num_repairs + self.num_kills) > 0
+
+    def record_failure(self, orphans: int, orphan_volume: int) -> None:
+        self.num_failures += 1
+        self.orphaned_tasks += orphans
+        self.orphaned_pe_volume += orphan_volume
+
+    def record_salvage_move(
+        self, size: int, distance: int, seconds: float, *, orphan: bool
+    ) -> None:
+        self.salvage_migrations += 1
+        self.salvage_pe_volume += size
+        self.salvage_traffic_pe_hops += size * distance
+        if orphan:
+            self.orphan_latency_total += seconds
+            self.orphan_latency_max = max(self.orphan_latency_max, seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "failures": self.num_failures,
+            "repairs": self.num_repairs,
+            "kills": self.num_kills,
+            "orphaned_tasks": self.orphaned_tasks,
+            "orphaned_pe_volume": self.orphaned_pe_volume,
+            "salvage_repacks": self.num_salvage_repacks,
+            "salvage_migrations": self.salvage_migrations,
+            "salvage_pe_volume": self.salvage_pe_volume,
+            "salvage_traffic_pe_hops": self.salvage_traffic_pe_hops,
+            "orphan_latency_total": self.orphan_latency_total,
+            "orphan_latency_max": self.orphan_latency_max,
+            "min_surviving_pes": self.min_surviving_pes,
+            "peak_degraded_lstar": self.peak_degraded_lstar,
+            "load_overshoot_vs_degraded": self.load_overshoot_vs_degraded,
+        }
+
+
+@dataclass
 class MetricsCollector:
     """Everything measured during one run of one algorithm on one sequence."""
 
     series: LoadTimeSeries = field(default_factory=LoadTimeSeries)
     realloc: ReallocationStats = field(default_factory=ReallocationStats)
+    faults: FaultStats = field(default_factory=FaultStats)
     #: Per-PE loads at the instant the max load peaked (for balance plots).
     peak_snapshot: Optional[np.ndarray] = None
     peak_snapshot_time: Optional[Time] = None

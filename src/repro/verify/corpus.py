@@ -10,6 +10,12 @@ and fails if any entry regresses.
 The format is deliberately dumb — a flat task table, ``"inf"`` for open
 departures, schema-versioned — so an entry written while debugging one bug
 stays replayable after any amount of refactoring around it.
+
+Loading is *tolerant*: a corrupt file or a schema version this build does
+not understand is skipped with a warning instead of aborting the whole
+replay — one bad entry (a truncated write, an entry from a newer branch)
+must not mask regressions in the hundred good ones.  Callers that need the
+strict behaviour pass ``strict=True``.
 """
 
 from __future__ import annotations
@@ -17,18 +23,29 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.tasks.sequence import TaskSequence
 from repro.tasks.task import Task
 from repro.types import TaskId
 
-__all__ = ["CorpusEntry", "load_corpus", "replay_corpus", "write_counterexample"]
+__all__ = [
+    "CorpusEntry",
+    "CorpusLoadWarning",
+    "load_corpus",
+    "replay_corpus",
+    "write_counterexample",
+]
 
 #: Bump when the JSON layout changes incompatibly.
 CORPUS_VERSION = 1
+
+
+class CorpusLoadWarning(UserWarning):
+    """A corpus file was skipped (corrupt JSON or unsupported schema)."""
 
 
 def _encode_time(t: float):
@@ -52,6 +69,11 @@ class CorpusEntry:
     check: str
     #: ``(task_id, size, arrival, departure)`` rows.
     tasks: tuple[tuple[int, int, float, float], ...]
+    #: Fault-plan event rows ``(kind, time, ref)`` for entries recorded in
+    #: fault mode (``ref`` is the node for failure/repair, the task id for
+    #: kill); empty for healthy entries.  Additive: absent from the JSON of
+    #: healthy entries, so the schema version is unchanged.
+    fault_events: tuple[tuple[str, float, int], ...] = ()
 
     @staticmethod
     def from_sequence(
@@ -62,11 +84,22 @@ class CorpusEntry:
         d: float,
         seed: int,
         check: str,
+        fault_plan=None,
     ) -> "CorpusEntry":
         rows = tuple(
             (int(tid), task.size, float(task.arrival), float(task.departure))
             for tid, task in sorted(sequence.tasks.items(), key=lambda kv: int(kv[0]))
         )
+        fault_rows: tuple[tuple[str, float, int], ...] = ()
+        if fault_plan is not None and not fault_plan.is_empty:
+            fault_rows = tuple(
+                (
+                    event.kind,
+                    float(event.time),
+                    int(event.node if event.kind != "kill" else event.task_id),
+                )
+                for event in fault_plan.events
+            )
         return CorpusEntry(
             algorithm=algorithm,
             num_pes=num_pes,
@@ -74,6 +107,7 @@ class CorpusEntry:
             seed=seed,
             check=check,
             tasks=rows,
+            fault_events=fault_rows,
         )
 
     def sequence(self) -> TaskSequence:
@@ -81,6 +115,25 @@ class CorpusEntry:
         return TaskSequence.from_tasks(
             Task(TaskId(tid), size, arrival, departure)
             for tid, size, arrival, departure in self.tasks
+        )
+
+    def fault_plan(self):
+        """Rebuild the fault plan, or ``None`` for healthy entries."""
+        if not self.fault_events:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan.from_dict(
+            {
+                "events": [
+                    {
+                        "kind": kind,
+                        "time": time,
+                        ("task_id" if kind == "kill" else "node"): ref,
+                    }
+                    for kind, time, ref in self.fault_events
+                ]
+            }
         )
 
     def to_json(self) -> str:
@@ -101,6 +154,11 @@ class CorpusEntry:
                 for tid, size, arrival, departure in self.tasks
             ],
         }
+        if self.fault_events:
+            payload["faults"] = [
+                {"kind": kind, "time": time, "ref": ref}
+                for kind, time, ref in self.fault_events
+            ]
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     @staticmethod
@@ -127,6 +185,10 @@ class CorpusEntry:
                 )
                 for row in payload["tasks"]
             ),
+            fault_events=tuple(
+                (str(row["kind"]), float(row["time"]), int(row["ref"]))
+                for row in payload.get("faults", ())
+            ),
         )
 
     def filename(self) -> str:
@@ -144,31 +206,62 @@ def write_counterexample(entry: CorpusEntry, directory) -> Path:
     return path
 
 
-def load_corpus(directory) -> list[CorpusEntry]:
-    """Read every ``*.json`` entry in ``directory`` (sorted by filename)."""
+def load_corpus(directory, *, strict: bool = False) -> list[CorpusEntry]:
+    """Read every ``*.json`` entry in ``directory`` (sorted by filename).
+
+    Unreadable entries — corrupt JSON, missing keys, or a schema version
+    this build does not support — are skipped with a
+    :class:`CorpusLoadWarning` naming the file and the reason, unless
+    ``strict=True``, in which case the underlying error propagates with
+    the file path attached.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         return []
-    return [
-        CorpusEntry.from_json(path.read_text())
-        for path in sorted(directory.glob("*.json"))
-    ]
+    entries: list[CorpusEntry] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entries.append(CorpusEntry.from_json(path.read_text()))
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            if strict:
+                # Not type(exc): some (e.g. JSONDecodeError) need extra
+                # constructor arguments, so rebuild as a plain ValueError.
+                raise ValueError(f"{path}: {type(exc).__name__}: {exc}") from exc
+            warnings.warn(
+                f"skipping corpus entry {path}: {type(exc).__name__}: {exc}",
+                CorpusLoadWarning,
+                stacklevel=2,
+            )
+    return entries
 
 
-def replay_corpus(directory, *, jobs: Optional[int] = None):
+def _replay_one(entry: CorpusEntry):
+    """Dispatch one entry to the matching (healthy or fault-mode) check."""
+    from repro.verify.harness import check_algorithm, check_algorithm_under_faults
+
+    plan = entry.fault_plan()
+    if plan is not None:
+        return check_algorithm_under_faults(
+            entry.algorithm, entry.num_pes, entry.d, entry.seed,
+            entry.sequence(), plan,
+        )
+    return check_algorithm(
+        entry.algorithm, entry.num_pes, entry.d, entry.seed, entry.sequence()
+    )
+
+
+def replay_corpus(directory, *, jobs: Optional[int] = None, strict: bool = False):
     """Re-check every corpus entry; return ``[(entry, CheckOutcome), ...]``.
 
     The committed corpus is a regression corpus — each entry once exposed a
     bug that has since been fixed — so callers (the test suite, the CI
-    ``verify-smoke`` job) assert every outcome is ``ok``.
+    ``verify-smoke`` job) assert every outcome is ``ok``.  Entries recorded
+    in fault mode replay through the fault-aware check with their stored
+    plan.  Unloadable files are skipped with a warning (see
+    :func:`load_corpus`); only real check failures should fail a replay run.
     """
     from repro.sim.parallel import parallel_map
-    from repro.verify.harness import check_algorithm
 
-    entries = load_corpus(directory)
-    outcomes = parallel_map(
-        check_algorithm,
-        [(e.algorithm, e.num_pes, e.d, e.seed, e.sequence()) for e in entries],
-        jobs=jobs,
-    )
+    entries = load_corpus(directory, strict=strict)
+    outcomes = parallel_map(_replay_one, [(e,) for e in entries], jobs=jobs)
     return list(zip(entries, outcomes))

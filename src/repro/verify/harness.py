@@ -27,22 +27,33 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence as TypingSequence
 
 from repro.core.registry import ALGORITHM_SPECS, algorithm_names, make_algorithm
+from repro.faults.plan import FaultPlan, generate_fault_plan
 from repro.machines.tree import TreeMachine
 from repro.sim.audit import audit_run
 from repro.sim.parallel import parallel_map
 from repro.sim.runner import run_traced
 from repro.tasks.sequence import TaskSequence
+from repro.types import ceil_div
 from repro.verify.corpus import CorpusEntry, write_counterexample
 from repro.verify.fuzzer import SequenceFuzzer, sequence_features
 from repro.verify.report import VerifyReport
 from repro.verify.shrink import shrink
 
-__all__ = ["CheckOutcome", "DifferentialHarness", "check_algorithm"]
+__all__ = [
+    "CheckOutcome",
+    "DifferentialHarness",
+    "check_algorithm",
+    "check_algorithm_under_faults",
+]
 
 #: Reallocation parameters cycled across fuzzed sequences: both Theorem 4.2
 #: branches (d < g and d >= g via inf), the degenerate repack-always d = 0,
 #: and a fractional value.
 DEFAULT_D_VALUES: tuple[float, ...] = (0.0, 1.0, 2.0, 0.5, math.inf)
+
+#: Domain-separation key mixed into the per-index fault-plan RNG seed so
+#: fault plans are independent of both the fuzzer stream and check seeds.
+_FAULT_PLAN_KEY = 0xFA017
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,11 @@ class CheckOutcome:
     #: Theorem bound evaluated for this run, or ``None`` when the algorithm
     #: carries no per-run guarantee (randomized / baseline entries).
     bound: Optional[float] = None
+    #: True when the check ran under a fault plan (the bound is then the
+    #: degraded salvage bound, not the healthy theorem bound).
+    faulted: bool = False
+    #: Degradation summary (``FaultStats.to_dict``) for fault-mode checks.
+    degradation: Optional[dict] = None
 
     @property
     def slack(self) -> Optional[float]:
@@ -183,6 +199,124 @@ def check_algorithm(
     )
 
 
+def check_algorithm_under_faults(
+    name: str,
+    num_pes: int,
+    d: float,
+    seed: int,
+    sequence: TaskSequence,
+    plan: FaultPlan,
+) -> CheckOutcome:
+    """Run one algorithm on ``sequence`` under ``plan`` and referee the run.
+
+    The healthy theorem bounds do not apply on a degraded machine; instead
+    the salvage guarantee is enforced: for a finite-``d`` algorithm under a
+    granularity-respecting fault plan, the peak load stays within
+    ``(d + 1) * max(ceil(s_peak / N_surviving_min), 1)`` — the degraded
+    Lemma 1 repack optimum stretched by the d-reallocation transient.
+    Referee agreement (audit == oracle, engine >= audit, equality when
+    neither a reallocation nor a salvage repack happened) is demanded
+    exactly as in the healthy check; healthy ``L*`` comparisons are
+    omitted because kills reduce the realised volume below the sequence's
+    nominal one.
+
+    Module-level and picklable end to end, like :func:`check_algorithm`.
+    """
+    from repro.faults.injector import run_traced_with_faults
+    from repro.verify.oracle import faults_table, oracle_audit, tasks_table
+
+    violations: list[str] = []
+    lstar = sequence.optimal_load(num_pes)
+    bound: Optional[float] = None
+    degradation: Optional[dict] = None
+
+    machine = TreeMachine(num_pes)
+    try:
+        algorithm = make_algorithm(name, machine, d=d, seed=seed)
+        d_eff = algorithm.reallocation_parameter
+        result, intervals = run_traced_with_faults(
+            machine, algorithm, sequence, plan
+        )
+    except Exception as exc:  # a crash IS a finding — record, don't propagate
+        violations.append(f"engine: {type(exc).__name__}: {exc}")
+        return CheckOutcome(
+            algorithm=name,
+            num_pes=num_pes,
+            d=d,
+            seed=seed,
+            num_events=len(sequence),
+            ok=False,
+            violations=tuple(violations),
+            optimal_load=lstar,
+            faulted=True,
+        )
+
+    max_load = result.max_load
+    degradation = result.metrics.faults.to_dict()
+
+    audit = audit_run(machine, sequence, intervals, fault_plan=plan)
+    if not audit.ok:
+        violations.extend(f"audit: {v}" for v in audit.violations)
+    oracle = oracle_audit(
+        num_pes, tasks_table(sequence), intervals, faults=faults_table(plan)
+    )
+    if not oracle.ok:
+        violations.extend(f"oracle: {v}" for v in oracle.violations)
+
+    # Referee agreement: same discipline as the healthy check, except a
+    # salvage repack is a second legitimate source of an engine-only
+    # transient (arrival raises the load, the same-instant salvage lowers
+    # it before the interval referees can see it).
+    if audit.max_load != oracle.max_load:
+        violations.append(
+            f"audit max_load {audit.max_load} != oracle max_load "
+            f"{oracle.max_load} — interval referees disagree"
+        )
+    transient_sources = (
+        result.metrics.realloc.num_reallocations
+        + result.metrics.faults.num_salvage_repacks
+    )
+    if max_load < audit.max_load:
+        violations.append(
+            f"engine max_load {max_load} < audit max_load {audit.max_load} "
+            "— engine under-reports"
+        )
+    if transient_sources == 0 and max_load != audit.max_load:
+        violations.append(
+            f"engine max_load {max_load} != audit max_load {audit.max_load} "
+            "with neither a reallocation nor a salvage to explain a transient"
+        )
+
+    # Degraded salvage bound.  s_peak is the sequence's nominal peak active
+    # volume (kills only shrink it, so this is the conservative numerator);
+    # the denominator is the worst surviving capacity the plan ever left.
+    if plan.num_failures > 0 and math.isfinite(d_eff):
+        min_surviving = plan.min_surviving_pes(num_pes)
+        s_peak = oracle.peak_active_size
+        bound = (d_eff + 1) * max(ceil_div(s_peak, min_surviving), 1)
+        if max_load > bound + 1e-9:
+            violations.append(
+                f"salvage bound violated: max_load {max_load} > {bound:g} "
+                f"((d+1)*ceil(s_peak/N_surv) with d={d_eff:g}, "
+                f"s_peak={s_peak}, N_surv={min_surviving})"
+            )
+
+    return CheckOutcome(
+        algorithm=name,
+        num_pes=num_pes,
+        d=d,
+        seed=seed,
+        num_events=len(sequence),
+        ok=not violations,
+        violations=tuple(violations),
+        max_load=max_load,
+        optimal_load=lstar,
+        bound=bound,
+        faulted=True,
+        degradation=degradation,
+    )
+
+
 class DifferentialHarness:
     """Coverage-guided differential fuzzing over the whole registry.
 
@@ -201,6 +335,11 @@ class DifferentialHarness:
         ``-1`` = all cores) — same convention as the rest of the library.
     corpus_dir:
         Where shrunk counterexamples are written (skipped when ``None``).
+    timeout / retries:
+        Per-check wall-clock bound and transient-failure retry rounds,
+        passed straight to :func:`repro.sim.parallel.parallel_map` — a
+        wedged or crashed check fails (and is retried) alone instead of
+        hanging the campaign.
     """
 
     def __init__(
@@ -212,6 +351,8 @@ class DifferentialHarness:
         seed: int = 0,
         jobs: Optional[int] = None,
         corpus_dir=None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
     ):
         names = list(algorithms) if algorithms is not None else algorithm_names()
         unknown = [n for n in names if n not in ALGORITHM_SPECS]
@@ -224,16 +365,46 @@ class DifferentialHarness:
         self.seed = seed
         self.jobs = jobs
         self.corpus_dir = corpus_dir
+        self.timeout = timeout
+        self.retries = retries
 
     def check_sequence(
-        self, sequence: TaskSequence, *, d: float = 2.0, seed: int = 0
+        self,
+        sequence: TaskSequence,
+        *,
+        d: float = 2.0,
+        seed: int = 0,
+        plan: Optional[FaultPlan] = None,
     ) -> list[CheckOutcome]:
-        """Run every configured algorithm on one sequence."""
+        """Run every configured algorithm on one sequence.
+
+        With a ``plan`` the fault-mode check runs instead of the healthy one.
+        """
+        if plan is not None and not plan.is_empty:
+            return parallel_map(
+                check_algorithm_under_faults,
+                [
+                    (name, self.num_pes, d, seed, sequence, plan)
+                    for name in self.algorithms
+                ],
+                jobs=self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+            )
         return parallel_map(
             check_algorithm,
             [(name, self.num_pes, d, seed, sequence) for name in self.algorithms],
             jobs=self.jobs,
+            timeout=self.timeout,
+            retries=self.retries,
         )
+
+    def _plan_for(self, sequence: TaskSequence, index: int) -> FaultPlan:
+        """Deterministic per-index fault plan (independent of outcomes)."""
+        import numpy as np
+
+        rng = np.random.default_rng([self.seed, _FAULT_PLAN_KEY, index])
+        return generate_fault_plan(self.num_pes, sequence, rng)
 
     def fuzz(
         self,
@@ -241,6 +412,8 @@ class DifferentialHarness:
         max_sequences: Optional[int] = None,
         budget: Optional[float] = None,
         shrink_violations: bool = True,
+        faults: bool = False,
+        checkpoint=None,
     ) -> VerifyReport:
         """Run a fuzzing campaign and return the :class:`VerifyReport`.
 
@@ -248,6 +421,18 @@ class DifferentialHarness:
         caps wall-clock seconds.  At least one of the two must be given.
         Every violation is (optionally) shrunk to a minimal counterexample
         and, when ``corpus_dir`` is set, written there for replay.
+
+        With ``faults=True`` every sequence additionally gets a
+        deterministic per-index fault plan and runs through
+        :func:`check_algorithm_under_faults`.  Faulted violations are
+        stored unshrunk: shrinking changes the task-size census and with
+        it the plan's granularity floor, so the reduced sequence would no
+        longer reproduce the same degraded geometry.
+
+        ``checkpoint`` (a path) journals per-index outcomes so an
+        interrupted campaign resumes from completed indices: the fuzzer's
+        sequence stream is a pure function of the seed, so regeneration is
+        exact and the resumed report is identical to an uninterrupted run.
         """
         if max_sequences is None and budget is None:
             raise ValueError("give max_sequences and/or budget")
@@ -255,6 +440,22 @@ class DifferentialHarness:
         report = VerifyReport(
             num_pes=self.num_pes, seed=self.seed, algorithms=tuple(self.algorithms)
         )
+        journal = None
+        if checkpoint is not None:
+            from repro.sim.checkpoint import CheckpointJournal
+
+            journal = CheckpointJournal(
+                checkpoint,
+                fingerprint={
+                    "kind": "verify-fuzz",
+                    "num_pes": self.num_pes,
+                    "seed": self.seed,
+                    "algorithms": list(self.algorithms),
+                    "d_values": [repr(d) for d in self.d_values],
+                    "faults": faults,
+                },
+            )
+        cached = journal.completed() if journal is not None else {}
         start = time.monotonic()
         index = 0
         while True:
@@ -262,18 +463,34 @@ class DifferentialHarness:
                 break
             if budget is not None and time.monotonic() - start >= budget:
                 break
+            # The sequence must be generated even for cached indices: the
+            # fuzzer's RNG stream and coverage census have to advance
+            # exactly as in the uninterrupted run.
             sequence = fuzzer.generate()
             d = self.d_values[index % len(self.d_values)]
             seed = self.seed + index
-            outcomes = self.check_sequence(sequence, d=d, seed=seed)
+            plan = self._plan_for(sequence, index) if faults else None
+            if index in cached:
+                outcomes = cached[index]
+            else:
+                outcomes = self.check_sequence(sequence, d=d, seed=seed, plan=plan)
+                if journal is not None:
+                    journal.record(index, outcomes)
             report.sequences_tried += 1
             for outcome in outcomes:
                 report.record(outcome)
                 if not outcome.ok:
                     report.counterexamples.append(
-                        self._shrink_and_store(sequence, outcome, shrink_violations)
+                        self._shrink_and_store(
+                            sequence,
+                            outcome,
+                            shrink_violations and not outcome.faulted,
+                            plan=plan,
+                        )
                     )
             index += 1
+        if journal is not None:
+            journal.close()
         report.elapsed = time.monotonic() - start
         report.features = sorted(
             fuzzer.coverage, key=lambda f: (f.size_classes, f.depth, f.volume, f.burst)
@@ -281,7 +498,12 @@ class DifferentialHarness:
         return report
 
     def _shrink_and_store(
-        self, sequence: TaskSequence, outcome: CheckOutcome, do_shrink: bool
+        self,
+        sequence: TaskSequence,
+        outcome: CheckOutcome,
+        do_shrink: bool,
+        *,
+        plan: Optional[FaultPlan] = None,
     ) -> CorpusEntry:
         """Reduce a violating sequence and persist it for replay."""
 
@@ -298,6 +520,7 @@ class DifferentialHarness:
             d=outcome.d,
             seed=outcome.seed,
             check=outcome.violations[0] if outcome.violations else "unknown",
+            fault_plan=plan if outcome.faulted else None,
         )
         if self.corpus_dir is not None:
             write_counterexample(entry, self.corpus_dir)

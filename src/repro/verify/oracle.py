@@ -28,9 +28,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence, Tuple
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["OracleReport", "oracle_audit", "oracle_leaf_span", "oracle_optimal_load"]
+__all__ = [
+    "OracleReport",
+    "oracle_audit",
+    "oracle_leaf_span",
+    "oracle_optimal_load",
+    "faults_table",
+]
 
 #: One placement segment: the task resided at ``node`` over [start, end).
 Segment = Tuple[float, float, int]
@@ -50,6 +56,11 @@ class OracleReport:
     violations: list[str] = field(default_factory=list)
     #: Number of breakpoint times the load field was evaluated at.
     checked_times: int = 0
+    #: Fewest PEs alive at any checked time (``num_pes`` when no faults).
+    min_alive_pes: int = 0
+    #: Peak over time of ``ceil(placed_volume / alive_pes)`` — the degraded
+    #: pointwise optimum (equals the healthy pointwise optimum sans faults).
+    peak_degraded_lstar: int = 0
 
     def raise_if_failed(self) -> None:
         if not self.ok:
@@ -100,10 +111,59 @@ def oracle_optimal_load(
     return peak, lstar
 
 
+def _derive_fault_state(
+    faults: Optional[Mapping[str, Sequence]],
+) -> tuple[list[Tuple[int, float, float]], list[Tuple[int, float]]]:
+    """Failure intervals and kill list from a *raw* fault event stream.
+
+    ``faults["events"]`` rows are ``(kind, time, ref)`` with ``kind`` one of
+    ``"failure"``/``"repair"`` (``ref`` = node) or ``"kill"`` (``ref`` =
+    task id), in chronological order.  Matching repairs to failures is
+    re-derived here — each repair closes the earliest still-open failure of
+    its node — so the oracle does not trust the fault plan's own interval
+    bookkeeping.
+    """
+    failures: list[list] = []
+    open_by_node: dict[int, list[int]] = {}
+    kills: list[Tuple[int, float]] = []
+    for kind, time, ref in (faults or {}).get("events", ()):
+        if kind == "failure":
+            failures.append([int(ref), float(time), math.inf])
+            open_by_node.setdefault(int(ref), []).append(len(failures) - 1)
+        elif kind == "repair":
+            stack = open_by_node.get(int(ref), [])
+            if stack:
+                failures[stack.pop(0)][2] = float(time)
+        elif kind == "kill":
+            kills.append((int(ref), float(time)))
+    return [(n, s, e) for n, s, e in failures], kills
+
+
+def _effective_ends(
+    tasks: Mapping[int, tuple[int, float, float]],
+    kills: Sequence[Tuple[int, float]],
+) -> dict[int, float]:
+    """Own re-derivation of kill semantics: first effective kill wins.
+
+    A kill lands iff the task is alive at the kill time (arrival <= t <
+    current end); departures tie-break before faults, so a kill at the
+    departure instant is void.
+    """
+    ends = {tid: departure for tid, (_s, _a, departure) in tasks.items()}
+    for tid, t in kills:
+        if tid not in tasks:
+            continue
+        _size, arrival, _departure = tasks[tid]
+        if arrival <= t < ends[tid]:
+            ends[tid] = t
+    return ends
+
+
 def oracle_audit(
     num_pes: int,
     tasks: Mapping[int, tuple[int, float, float]],
     intervals: Mapping[int, Sequence[Segment]],
+    faults: Optional[Mapping[str, Sequence]] = None,
 ) -> OracleReport:
     """Referee a run from raw data alone.
 
@@ -117,9 +177,20 @@ def oracle_audit(
     intervals:
         ``task_id -> [(start, end, node), ...]`` placement history, e.g.
         :meth:`repro.sim.engine.Simulator.placement_intervals`.
+    faults:
+        Optional raw fault data — plain tuples, no fault-plan objects, so
+        the oracle's independence extends to the fault model:
+        ``{"events": [(kind, time, ref), ...]}`` with ``kind`` in
+        ``{"failure", "repair", "kill"}`` and ``ref`` the node (failures/
+        repairs) or task id (kills); see :func:`faults_table`.  Failure
+        intervals and kill effectiveness are re-derived in here.
 
     The oracle checks placement geometry, lifetime coverage, and recomputes
-    the max-load figure of merit and ``L*`` by brute force.
+    the max-load figure of merit and ``L*`` by brute force.  Under faults
+    it additionally re-derives kill semantics, rejects any residence on a
+    PE that is down (span intersection with its own leaf arithmetic), and
+    enforces the degraded pointwise optimum
+    ``max_load(t) >= ceil(placed_volume(t) / alive_pes(t))``.
     """
     violations: list[str] = []
     if not _is_power_of_two(num_pes):
@@ -130,6 +201,9 @@ def oracle_audit(
             peak_active_size=0,
             violations=[f"num_pes {num_pes} is not a power of two"],
         )
+
+    failures, kills = _derive_fault_state(faults)
+    ends = _effective_ends(tasks, kills)
 
     # 1. Geometry and lifetime coverage per task.
     for tid, (size, arrival, departure) in tasks.items():
@@ -149,19 +223,29 @@ def oracle_audit(
                 )
             if end <= start:
                 violations.append(f"task {tid}: empty segment [{start}, {end})")
+            for fnode, fstart, fend in failures:
+                flo, fhi = oracle_leaf_span(int(fnode), num_pes)
+                if max(lo, flo) < min(hi, fhi) and max(start, fstart) < min(end, fend):
+                    violations.append(
+                        f"task {tid}: segment [{start},{end}) on PEs "
+                        f"[{lo},{hi}) intersects failed PEs [{flo},{fhi}) "
+                        f"down over [{fstart},{fend})"
+                    )
         if segs[0][0] != arrival:
             violations.append(
                 f"task {tid}: residence starts at {segs[0][0]}, arrival {arrival}"
             )
         last_end = segs[-1][1]
-        if math.isinf(departure):
+        effective_end = ends[tid]
+        if math.isinf(effective_end):
             if not math.isinf(last_end):
                 violations.append(
                     f"task {tid}: open-ended task ends residence at {last_end}"
                 )
-        elif last_end != departure:
+        elif last_end != effective_end:
             violations.append(
-                f"task {tid}: residence ends at {last_end}, departure {departure}"
+                f"task {tid}: residence ends at {last_end}, "
+                f"expected end {effective_end}"
             )
         for (s1, e1, _n1), (s2, _e2, _n2) in zip(segs, segs[1:]):
             if e1 != s2:
@@ -176,8 +260,14 @@ def oracle_audit(
             breakpoints.add(start)
             if not math.isinf(end):
                 breakpoints.add(end)
+    for _fnode, fstart, fend in failures:
+        breakpoints.add(fstart)
+        if not math.isinf(fend):
+            breakpoints.add(fend)
     times = sorted(breakpoints)
     max_load = 0
+    min_alive = num_pes
+    peak_degraded_lstar = 0
     for t in times:
         diff = [0] * (num_pes + 1)
         placed_volume = 0
@@ -198,14 +288,30 @@ def oracle_audit(
         max_load = max(max_load, peak_here)
         active_volume = sum(
             size
-            for size, arrival, departure in tasks.values()
-            if arrival <= t < departure
+            for tid, (size, arrival, _departure) in tasks.items()
+            if arrival <= t < ends[tid]
         )
         if placed_volume != active_volume:
             violations.append(
                 f"t={t}: placed volume {placed_volume} != active volume "
                 f"{active_volume}"
             )
+        dead = [False] * num_pes
+        for fnode, fstart, fend in failures:
+            if fstart <= t < fend:
+                flo, fhi = oracle_leaf_span(int(fnode), num_pes)
+                for pe in range(flo, fhi):
+                    dead[pe] = True
+        alive = num_pes - sum(dead)
+        min_alive = min(min_alive, alive)
+        if alive > 0 and placed_volume > 0:
+            floor = -(-placed_volume // alive)
+            peak_degraded_lstar = max(peak_degraded_lstar, floor)
+            if peak_here < floor:
+                violations.append(
+                    f"t={t}: max load {peak_here} below degraded optimum "
+                    f"ceil({placed_volume}/{alive}) = {floor}"
+                )
 
     peak, lstar = oracle_optimal_load(tasks, num_pes)
     return OracleReport(
@@ -215,6 +321,8 @@ def oracle_audit(
         peak_active_size=peak,
         violations=violations,
         checked_times=len(times),
+        min_alive_pes=min_alive,
+        peak_degraded_lstar=peak_degraded_lstar,
     )
 
 
@@ -230,3 +338,20 @@ def tasks_table(sequence) -> dict[int, tuple[int, float, float]]:
         int(tid): (task.size, float(task.arrival), float(task.departure))
         for tid, task in sequence.tasks.items()
     }
+
+
+def faults_table(plan) -> dict:
+    """Flatten a :class:`~repro.faults.plan.FaultPlan` into the raw
+    ``{"events": [(kind, time, ref), ...]}`` stream the oracle consumes.
+
+    Same explicit plain-data boundary as :func:`tasks_table`: only the
+    event kinds, times and node/task references cross it — interval
+    matching and kill semantics are re-derived inside the oracle.
+    """
+    events = []
+    for event in plan:
+        ref = getattr(event, "node", None)
+        if ref is None:
+            ref = event.task_id
+        events.append((event.kind, float(event.time), int(ref)))
+    return {"events": events}

@@ -70,6 +70,11 @@ class VerifyReport:
     features: list["FeatureVector"] = field(default_factory=list)
     #: Per-algorithm tightest bound instance (least slack seen).
     tightest: dict[str, BoundMargin] = field(default_factory=dict)
+    #: Checks that ran under an injected fault plan.
+    faulted_checks: int = 0
+    #: Degradation tallies over all faulted checks (summed counters plus
+    #: worst-case gauges) — the campaign-level fault accounting.
+    fault_summary: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -79,11 +84,35 @@ class VerifyReport:
     def features_covered(self) -> int:
         return len(self.features)
 
+    _SUMMED_FAULT_KEYS = (
+        "failures",
+        "repairs",
+        "kills",
+        "orphaned_tasks",
+        "salvage_repacks",
+        "salvage_migrations",
+        "salvage_pe_volume",
+    )
+
     def record(self, outcome: "CheckOutcome") -> None:
         """Fold one check outcome into the tallies."""
         self.checks_run += 1
         if not outcome.ok:
             self.violations.append(outcome)
+        if outcome.faulted:
+            self.faulted_checks += 1
+            if outcome.degradation:
+                s = self.fault_summary
+                for key in self._SUMMED_FAULT_KEYS:
+                    s[key] = s.get(key, 0) + outcome.degradation.get(key, 0)
+                s["min_surviving_pes"] = min(
+                    s.get("min_surviving_pes", self.num_pes),
+                    outcome.degradation.get("min_surviving_pes", self.num_pes),
+                )
+                s["max_load_overshoot_vs_degraded"] = max(
+                    s.get("max_load_overshoot_vs_degraded", 0),
+                    outcome.degradation.get("load_overshoot_vs_degraded", 0),
+                )
         if outcome.bound is not None and not math.isinf(outcome.bound):
             margin = BoundMargin(
                 algorithm=outcome.algorithm,
@@ -144,6 +173,8 @@ class VerifyReport:
                 for o in self.violations
             ],
             "counterexamples": [e.filename() for e in self.counterexamples],
+            "faulted_checks": self.faulted_checks,
+            "fault_summary": dict(self.fault_summary),
             "tightest_bounds": {
                 name: {
                     "d": "inf" if math.isinf(m.d) else m.d,

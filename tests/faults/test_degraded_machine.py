@@ -1,0 +1,140 @@
+"""DegradedView: failure bookkeeping vs a brute-force leaf-mask oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import FaultPlanError, PlacementError
+from repro.machines.tree import TreeMachine
+from repro.types import ceil_div
+
+N = 16
+
+
+def _leaf_span(node, n=N):
+    lo, hi = node, node
+    while lo < n:
+        lo, hi = 2 * lo, 2 * hi + 1
+    return lo - n, hi - n + 1
+
+
+class TestDegradedView:
+    def test_healthy_view(self):
+        view = TreeMachine(N).degraded_view()
+        assert not view.is_degraded
+        assert view.surviving_pes == N
+        assert view.failed_nodes == ()
+        assert view.alive_leaf_mask().all()
+        assert view.maximal_alive_subtrees() == [1]
+        assert view.min_alive_subtree_size() == N
+
+    def test_fail_and_repair(self):
+        view = TreeMachine(N).degraded_view()
+        view.fail(2)  # left half
+        assert view.is_degraded
+        assert view.surviving_pes == N // 2
+        assert not view.alive_leaf_mask()[: N // 2].any()
+        assert view.maximal_alive_subtrees() == [3]
+        view.repair(2)
+        assert not view.is_degraded
+        assert view.surviving_pes == N
+
+    def test_overlapping_failures_rejected(self):
+        view = TreeMachine(N).degraded_view()
+        view.fail(2)
+        with pytest.raises(FaultPlanError):
+            view.fail(4)  # inside the failed subtree
+        with pytest.raises(FaultPlanError):
+            view.fail(1)  # contains the failed subtree
+
+    def test_cannot_fail_everything(self):
+        view = TreeMachine(N).degraded_view()
+        view.fail(2)
+        with pytest.raises(FaultPlanError):
+            view.fail(3)
+
+    def test_repair_of_unfailed_node_rejected(self):
+        view = TreeMachine(N).degraded_view()
+        with pytest.raises(FaultPlanError):
+            view.repair(2)
+
+    def test_validate_placement(self):
+        view = TreeMachine(N).degraded_view()
+        view.fail(2)
+        with pytest.raises(PlacementError):
+            view.validate_placement(4)  # inside the dead half
+        view.validate_placement(3)  # alive half is fine
+
+    def test_degraded_optimal_load(self):
+        view = TreeMachine(N).degraded_view()
+        view.fail(2)
+        assert view.degraded_optimal_load(0) == 0
+        assert view.degraded_optimal_load(8) == 1
+        assert view.degraded_optimal_load(9) == 2
+
+
+class DegradedViewMachine(RuleBasedStateMachine):
+    """Stateful check: the view vs an independent boolean leaf mask."""
+
+    def __init__(self):
+        super().__init__()
+        self.view = TreeMachine(N).degraded_view()
+        self.dead = np.zeros(N, dtype=bool)
+        self.failed: set[int] = set()
+
+    @rule(node=st.integers(min_value=1, max_value=2 * N - 1))
+    def fail_node(self, node):
+        lo, hi = _leaf_span(node)
+        would_die = self.dead.copy()
+        would_die[lo:hi] = True
+        overlaps = any(
+            (_leaf_span(f)[0] < hi and lo < _leaf_span(f)[1]) for f in self.failed
+        )
+        if overlaps or would_die.all():
+            with pytest.raises(FaultPlanError):
+                self.view.fail(node)
+        else:
+            self.view.fail(node)
+            self.dead = would_die
+            self.failed.add(node)
+
+    @precondition(lambda self: self.failed)
+    @rule(data=st.data())
+    def repair_node(self, data):
+        node = data.draw(st.sampled_from(sorted(self.failed)))
+        self.view.repair(node)
+        lo, hi = _leaf_span(node)
+        self.dead[lo:hi] = False
+        self.failed.discard(node)
+
+    @invariant()
+    def masks_agree(self):
+        assert np.array_equal(self.view.alive_leaf_mask(), ~self.dead)
+        assert self.view.surviving_pes == int((~self.dead).sum())
+        assert self.view.is_degraded == bool(self.dead.any())
+        assert set(self.view.failed_nodes) == self.failed
+
+    @invariant()
+    def maximal_alive_subtrees_cover_exactly_the_alive_leaves(self):
+        covered = np.zeros(N, dtype=bool)
+        for node in self.view.maximal_alive_subtrees():
+            lo, hi = _leaf_span(node)
+            assert not covered[lo:hi].any(), "subtrees overlap"
+            covered[lo:hi] = True
+        assert np.array_equal(covered, ~self.dead)
+
+    @invariant()
+    def degraded_lstar_matches_ceiling(self):
+        surviving = int((~self.dead).sum())
+        if surviving:
+            for volume in (0, 1, surviving, surviving + 1, 3 * N):
+                expected = ceil_div(volume, surviving) if volume else 0
+                assert self.view.degraded_optimal_load(volume) == expected
+
+
+DegradedViewMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestDegradedViewStateful = DegradedViewMachine.TestCase

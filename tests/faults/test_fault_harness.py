@@ -1,0 +1,152 @@
+"""Fault-mode differential fuzzing, corpus roundtrips, tolerant replay."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, generate_fault_plan
+from repro.faults.plan import PEFailure, TaskKill
+from repro.verify.corpus import (
+    CorpusEntry,
+    CorpusLoadWarning,
+    load_corpus,
+    replay_corpus,
+    write_counterexample,
+)
+from repro.verify.harness import DifferentialHarness, check_algorithm_under_faults
+from repro.workloads.generators import churn_sequence
+
+N = 16
+
+
+class TestFaultFuzz:
+    def test_small_campaign_is_clean(self, tmp_path):
+        harness = DifferentialHarness(N, seed=11, corpus_dir=tmp_path / "corpus")
+        report = harness.fuzz(max_sequences=4, faults=True)
+        assert report.ok, report.violations
+        assert report.faulted_checks == report.checks_run
+        assert report.fault_summary  # degradation metrics were aggregated
+        assert not list((tmp_path / "corpus").glob("*.json")) or True
+
+    def test_fault_plans_are_deterministic_per_index(self):
+        harness = DifferentialHarness(N, seed=11)
+        sigma = churn_sequence(N, 60, np.random.default_rng(1))
+        assert harness._plan_for(sigma, 3) == harness._plan_for(sigma, 3)
+        # Different indices draw from different streams (overwhelmingly).
+        plans = {
+            tuple(harness._plan_for(sigma, i).events) for i in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_check_sequence_accepts_a_plan(self):
+        harness = DifferentialHarness(N, seed=4, algorithms=["greedy", "basic"])
+        sigma = churn_sequence(N, 60, np.random.default_rng(2))
+        plan = generate_fault_plan(N, sigma, np.random.default_rng(9))
+        outcomes = harness.check_sequence(sigma, d=1.0, plan=plan)
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.faulted == (not plan.is_empty)
+            assert outcome.ok, outcome.violations
+
+    def test_faulted_outcomes_carry_degradation(self):
+        sigma = churn_sequence(N, 60, np.random.default_rng(5))
+        plan = FaultPlan(events=(PEFailure(1.0, 2),))
+        outcome = check_algorithm_under_faults("greedy", N, 1.0, 0, sigma, plan)
+        assert outcome.ok, outcome.violations
+        assert outcome.faulted
+        assert outcome.degradation is not None
+        assert outcome.degradation["failures"] == 1
+        assert outcome.degradation["min_surviving_pes"] == N // 2
+
+
+class TestFaultCorpus:
+    def _entry(self):
+        sigma = churn_sequence(N, 40, np.random.default_rng(7))
+        plan = generate_fault_plan(N, sigma, np.random.default_rng(8))
+        return CorpusEntry.from_sequence(
+            sigma,
+            algorithm="greedy",
+            num_pes=N,
+            d=1.0,
+            seed=0,
+            check="fault-mode witness",
+            fault_plan=plan,
+        ), plan
+
+    def test_fault_plan_roundtrips_through_json(self):
+        entry, plan = self._entry()
+        again = CorpusEntry.from_json(entry.to_json())
+        assert again == entry
+        if plan.is_empty:
+            assert again.fault_plan() is None
+        else:
+            assert again.fault_plan() == plan
+
+    def test_healthy_entries_have_no_faults_key(self):
+        sigma = churn_sequence(N, 40, np.random.default_rng(7))
+        entry = CorpusEntry.from_sequence(
+            sigma, algorithm="greedy", num_pes=N, d=1.0, seed=0, check="x"
+        )
+        assert '"faults"' not in entry.to_json()
+        assert entry.fault_plan() is None
+
+    def test_replay_runs_fault_entries_under_their_plan(self, tmp_path):
+        sigma = churn_sequence(N, 40, np.random.default_rng(3))
+        plan = FaultPlan(
+            events=(PEFailure(1.0, 2), TaskKill(2.0, 0))
+        )
+        entry = CorpusEntry.from_sequence(
+            sigma,
+            algorithm="greedy",
+            num_pes=N,
+            d=1.0,
+            seed=0,
+            check="regression",
+            fault_plan=plan,
+        )
+        write_counterexample(entry, tmp_path)
+        replayed = replay_corpus(tmp_path)
+        assert len(replayed) == 1
+        loaded, outcome = replayed[0]
+        assert loaded == entry
+        assert outcome.faulted
+        assert outcome.ok, outcome.violations
+
+
+class TestTolerantLoading:
+    def _write_good(self, directory):
+        sigma = churn_sequence(N, 30, np.random.default_rng(1))
+        entry = CorpusEntry.from_sequence(
+            sigma, algorithm="greedy", num_pes=N, d=1.0, seed=0, check="ok"
+        )
+        return write_counterexample(entry, directory)
+
+    def test_corrupt_file_skipped_with_warning(self, tmp_path):
+        self._write_good(tmp_path)
+        (tmp_path / "zz-corrupt.json").write_text("{not json")
+        with pytest.warns(CorpusLoadWarning, match="zz-corrupt.json"):
+            entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+
+    def test_schema_mismatch_skipped_with_warning(self, tmp_path):
+        self._write_good(tmp_path)
+        (tmp_path / "zz-old.json").write_text('{"version": 99, "tasks": []}\n')
+        with pytest.warns(CorpusLoadWarning, match="version"):
+            entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+
+    def test_strict_mode_raises_with_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="bad.json"):
+            load_corpus(tmp_path, strict=True)
+
+    def test_replay_tolerates_corrupt_entries(self, tmp_path):
+        self._write_good(tmp_path)
+        (tmp_path / "zz-corrupt.json").write_text("]]")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CorpusLoadWarning)
+            replayed = replay_corpus(tmp_path)
+        assert len(replayed) == 1
+        assert replayed[0][1].ok

@@ -1,0 +1,156 @@
+"""FaultAwareSimulator: semantics, equivalence, and referee agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.registry import algorithm_names, make_algorithm
+from repro.faults import (
+    FaultAwareSimulator,
+    FaultPlan,
+    generate_fault_plan,
+    run_traced_with_faults,
+)
+from repro.faults.plan import PEFailure, PERepair, TaskKill
+from repro.machines.tree import TreeMachine
+from repro.sim.audit import audit_run, effective_end_times
+from repro.sim.runner import run_traced
+from repro.tasks.builder import SequenceBuilder
+from repro.verify.oracle import faults_table, oracle_audit, tasks_table
+from repro.workloads.generators import churn_sequence
+
+N = 16
+
+
+def _small_sequence():
+    b = SequenceBuilder()
+    b.arrive("a", size=4, at=0.0)
+    b.arrive("b", size=4, at=1.0)
+    b.arrive("c", size=2, at=2.0)
+    b.depart("a", at=6.0)
+    b.arrive("d", size=2, at=7.0)
+    b.depart("b", at=9.0)
+    b.depart("c", at=10.0)
+    b.depart("d", at=11.0)
+    return b.build()
+
+
+def _plan():
+    return FaultPlan(
+        events=(
+            PEFailure(3.0, 2),   # left half fails: orphans move right
+            TaskKill(5.0, 1),    # task "b" killed before its departure
+            PERepair(8.0, 2),    # capacity comes back
+        )
+    )
+
+
+class TestEmptyPlanEquivalence:
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_identical_to_plain_simulator(self, name):
+        sigma = churn_sequence(N, 120, np.random.default_rng(3))
+        m1, m2 = TreeMachine(N), TreeMachine(N)
+        a1 = make_algorithm(name, m1, d=1.0, seed=5)
+        a2 = make_algorithm(name, m2, d=1.0, seed=5)
+        base, base_intervals = run_traced(m1, a1, sigma)
+        faulted, faulted_intervals = run_traced_with_faults(
+            m2, a2, sigma, FaultPlan.empty()
+        )
+        assert faulted.max_load == base.max_load
+        assert faulted_intervals == base_intervals
+        assert not faulted.metrics.faults.any_faults
+
+
+class TestKillSemantics:
+    def test_killed_task_ends_at_kill_time(self):
+        sigma = _small_sequence()
+        machine = TreeMachine(N)
+        algo = make_algorithm("greedy", machine, d=1.0)
+        result, intervals = run_traced_with_faults(machine, algo, sigma, _plan())
+        # Task id 1 ("b") was killed at t=5 < departure 9.
+        assert intervals[1][-1][1] == 5.0
+        assert result.metrics.faults.num_kills == 1
+
+    def test_kill_of_departed_task_is_noop(self):
+        sigma = _small_sequence()
+        plan = FaultPlan(events=(TaskKill(6.0, 0),))  # "a" departs at 6.0
+        machine = TreeMachine(N)
+        algo = make_algorithm("greedy", machine, d=1.0)
+        result, intervals = run_traced_with_faults(machine, algo, sigma, plan)
+        assert result.metrics.faults.num_kills == 0
+        assert intervals[0][-1][1] == 6.0
+
+    def test_effective_end_times_rules(self):
+        sigma = _small_sequence()
+        ends = effective_end_times(sigma.tasks, [(1, 5.0), (0, 6.0), (2, 1.0)])
+        assert ends[1] == 5.0          # effective kill
+        assert ends[0] == 6.0          # kill at departure instant: void
+        assert ends[2] == 10.0         # kill before arrival: void
+
+
+class TestDegradedExecution:
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_referees_agree_for_every_algorithm(self, name):
+        sigma = _small_sequence()
+        plan = _plan()
+        machine = TreeMachine(N)
+        algo = make_algorithm(name, machine, d=1.0, seed=2)
+        result, intervals = run_traced_with_faults(machine, algo, sigma, plan)
+        audit = audit_run(machine, sigma, intervals, fault_plan=plan)
+        assert audit.ok, audit.violations
+        oracle = oracle_audit(
+            N, tasks_table(sigma), intervals, faults=faults_table(plan)
+        )
+        assert oracle.ok, oracle.violations
+        assert audit.max_load == oracle.max_load
+        assert result.max_load >= audit.max_load
+
+    def test_orphans_are_salvaged_off_the_dead_half(self):
+        sigma = _small_sequence()
+        machine = TreeMachine(N)
+        algo = make_algorithm("basic", machine)
+        result, intervals = run_traced_with_faults(machine, algo, sigma, _plan())
+        stats = result.metrics.faults
+        assert stats.num_failures == 1
+        assert stats.orphaned_tasks >= 1
+        assert stats.num_salvage_repacks >= 1
+        h = machine.hierarchy
+        for tid, segs in intervals.items():
+            for start, end, node in segs:
+                if max(start, 3.0) < min(end, 8.0):  # during the failure
+                    assert not h.contains(2, node) and not h.contains(node, 2)
+
+    def test_salvage_metered_separately_from_reallocations(self):
+        sigma = _small_sequence()
+        machine = TreeMachine(N)
+        algo = make_algorithm("periodic", machine, d=math.inf)
+        result, _ = run_traced_with_faults(machine, algo, sigma, _plan())
+        # d = inf: the algorithm itself never reallocates; every move is
+        # salvage, charged to FaultStats.
+        assert result.metrics.realloc.num_reallocations == 0
+        assert result.metrics.faults.num_salvage_repacks >= 1
+
+    def test_degradation_gauges(self):
+        sigma = _small_sequence()
+        machine = TreeMachine(N)
+        algo = make_algorithm("greedy", machine, d=1.0)
+        result, _ = run_traced_with_faults(machine, algo, sigma, _plan())
+        stats = result.metrics.faults
+        assert stats.min_surviving_pes == N // 2
+        assert stats.peak_degraded_lstar >= 1
+        assert stats.load_overshoot_vs_degraded >= 0
+
+    def test_generated_plans_run_clean_for_all_algorithms(self):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            sigma = churn_sequence(N, 80, np.random.default_rng(100 + seed))
+            plan = generate_fault_plan(N, sigma, rng)
+            for name in algorithm_names():
+                machine = TreeMachine(N)
+                algo = make_algorithm(name, machine, d=1.0, seed=seed)
+                result, intervals = run_traced_with_faults(
+                    machine, algo, sigma, plan
+                )
+                audit = audit_run(machine, sigma, intervals, fault_plan=plan)
+                assert audit.ok, (name, seed, audit.violations)

@@ -1,0 +1,140 @@
+"""Fault plans: admissibility, derived views, merging, and generation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    FaultPlan,
+    PEFailure,
+    PERepair,
+    TaskKill,
+    generate_fault_plan,
+    merge_events,
+)
+from repro.tasks.builder import SequenceBuilder
+from repro.tasks.events import Arrival, Departure
+
+
+def _sequence(n=16):
+    b = SequenceBuilder()
+    b.arrive(1, size=4, at=0.0)
+    b.arrive(2, size=4, at=1.0)
+    b.depart(1, at=5.0)
+    b.arrive(3, size=2, at=5.0)
+    b.depart(2, at=8.0)
+    b.depart(3, at=9.0)
+    return b.build()
+
+
+class TestFaultPlan:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(events=(PEFailure(5.0, 2), PERepair(1.0, 2)))
+
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert plan.num_failures == plan.num_repairs == plan.num_kills == 0
+        assert plan.min_surviving_pes(16) == 16
+
+    def test_validate_rejects_overlapping_failures(self):
+        # Node 2 is the left half of N=16; node 4 is inside it.
+        plan = FaultPlan(events=(PEFailure(1.0, 2), PEFailure(2.0, 4)))
+        with pytest.raises(FaultPlanError):
+            plan.validate_for(16)
+
+    def test_validate_rejects_killing_the_whole_machine(self):
+        plan = FaultPlan(events=(PEFailure(1.0, 2), PEFailure(2.0, 3)))
+        with pytest.raises(FaultPlanError):
+            plan.validate_for(16)
+
+    def test_validate_enforces_granularity_floor(self):
+        # Failing a single leaf is inadmissible when max_task_size = 4.
+        plan = FaultPlan(events=(PEFailure(1.0, 16),))
+        plan.validate_for(16)  # fine with the default floor of 1
+        with pytest.raises(FaultPlanError):
+            plan.validate_for(16, max_task_size=4)
+
+    def test_validate_rejects_repair_of_healthy_node(self):
+        plan = FaultPlan(events=(PERepair(1.0, 2),))
+        with pytest.raises(FaultPlanError):
+            plan.validate_for(16)
+
+    def test_failure_intervals_matches_repairs_to_earliest_open(self):
+        plan = FaultPlan(
+            events=(
+                PEFailure(1.0, 2),
+                PERepair(3.0, 2),
+                PEFailure(5.0, 2),
+            )
+        )
+        plan.validate_for(16)
+        assert plan.failure_intervals() == [(2, 1.0, 3.0), (2, 5.0, math.inf)]
+
+    def test_min_surviving_pes_tracks_the_low_water_mark(self):
+        plan = FaultPlan(
+            events=(PEFailure(1.0, 2), PEFailure(2.0, 6), PERepair(3.0, 2))
+        )
+        plan.validate_for(16)
+        # After both failures: 16 - 8 - 4 = 4 surviving.
+        assert plan.min_surviving_pes(16) == 4
+
+    def test_roundtrip_dict(self):
+        plan = FaultPlan(
+            events=(PEFailure(1.0, 2), TaskKill(2.0, 7), PERepair(3.0, 2))
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_kills_view(self):
+        plan = FaultPlan(events=(TaskKill(2.0, 7), TaskKill(4.0, 9)))
+        assert plan.kills() == [(7, 2.0), (9, 4.0)]
+
+
+class TestMergeEvents:
+    def test_faults_sort_after_task_events_at_a_tied_time(self):
+        sigma = _sequence()
+        plan = FaultPlan(events=(PEFailure(5.0, 2),))
+        merged = merge_events(sigma, plan)
+        at_five = [e for e in merged if e.time == 5.0]
+        assert isinstance(at_five[0], Departure)
+        assert isinstance(at_five[1], Arrival)
+        assert isinstance(at_five[2], PEFailure)
+
+    def test_merge_preserves_all_events(self):
+        sigma = _sequence()
+        plan = FaultPlan(events=(PEFailure(2.0, 2), PERepair(6.0, 2)))
+        merged = merge_events(sigma, plan)
+        assert len(merged) == len(sigma) + 2
+        times = [e.time for e in merged]
+        assert times == sorted(times)
+
+
+class TestGenerateFaultPlan:
+    def test_generated_plans_are_admissible_and_deterministic(self):
+        sigma = _sequence()
+        for seed in range(20):
+            plan = generate_fault_plan(16, sigma, np.random.default_rng(seed))
+            plan.validate_for(16, max_task_size=4)
+            again = generate_fault_plan(16, sigma, np.random.default_rng(seed))
+            assert plan == again
+
+    def test_full_machine_tasks_force_empty_plan(self):
+        b = SequenceBuilder()
+        b.arrive(1, size=16, at=0.0)
+        b.depart(1, at=2.0)
+        sigma = b.build()
+        plan = generate_fault_plan(16, sigma, np.random.default_rng(0))
+        assert plan.num_failures == 0
+
+    def test_kills_reference_live_tasks(self):
+        sigma = _sequence()
+        tasks = sigma.tasks
+        for seed in range(30):
+            plan = generate_fault_plan(16, sigma, np.random.default_rng(seed))
+            for tid, t in plan.kills():
+                task = tasks[tid]
+                assert task.arrival <= t < task.departure

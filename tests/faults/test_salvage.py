@@ -1,0 +1,76 @@
+"""Salvage repacking: the degraded Lemma 1, exactly."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SalvageError
+from repro.faults.salvage import DegradedCopySet, salvage_repack
+from repro.machines.tree import TreeMachine
+from repro.tasks.task import Task
+from repro.types import TaskId, ceil_div
+
+
+def _tasks(sizes):
+    return [Task(TaskId(i), s, 0.0, math.inf) for i, s in enumerate(sizes)]
+
+
+class TestDegradedCopySet:
+    def test_copies_exclude_failed_subtrees(self):
+        machine = TreeMachine(16)
+        copies = DegradedCopySet(machine.hierarchy, blocked_nodes=(2,))
+        placed = []
+        # Only the right half (8 PEs) is usable per copy.
+        for size in (4, 4, 4):
+            _copy, node = copies.first_fit(size)
+            placed.append(node)
+        assert copies.num_copies == 2
+        h = machine.hierarchy
+        for node in placed:
+            assert not h.contains(2, node) and not h.contains(node, 2)
+
+
+class TestSalvageRepack:
+    def test_uses_exactly_degraded_lemma1_copies(self):
+        machine = TreeMachine(16)
+        # Fail the left half: 8 survivors, w_max = 4 respects granularity.
+        for sizes in ([4, 4, 4], [4, 2, 2, 1, 1], [2] * 9, [1] * 17):
+            tasks = _tasks(sizes)
+            result = salvage_repack(machine.hierarchy, tasks, failed_nodes=(2,))
+            volume = sum(sizes)
+            assert result.num_copies == ceil_div(volume, 8)
+            assert set(result.mapping) == {t.task_id for t in tasks}
+
+    def test_granularity_violation_raises_salvage_error(self):
+        machine = TreeMachine(8)
+        # Alternating failed leaves: 4 survivors but no alive size-4 subtree.
+        failed = (8, 10, 12, 14)
+        tasks = _tasks([4])
+        with pytest.raises(SalvageError):
+            salvage_repack(machine.hierarchy, tasks, failed_nodes=failed)
+
+    @given(
+        data=st.data(),
+        num_tasks=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_salvage_never_lands_on_failed_pes(self, data, num_tasks):
+        machine = TreeMachine(16)
+        h = machine.hierarchy
+        failed_node = data.draw(st.sampled_from([2, 3, 4, 5, 6, 7]))
+        w_max = min(4, h.subtree_size(failed_node))
+        sizes = [
+            data.draw(st.sampled_from([1, 2, w_max])) for _ in range(num_tasks)
+        ]
+        tasks = _tasks(sizes)
+        result = salvage_repack(h, tasks, failed_nodes=(failed_node,))
+        for tid, node in result.mapping.items():
+            assert not h.contains(failed_node, node)
+            assert not h.contains(node, failed_node)
+        # Peak load is the copy count: exactly ceil(S / N_surviving).
+        surviving = 16 - h.subtree_size(failed_node)
+        expected = ceil_div(sum(sizes), surviving) if sizes else 0
+        assert result.num_copies == expected

@@ -145,3 +145,80 @@ class TestErrors:
         machine2, seq2, intervals = load_run(path)
         report = audit_run(machine2, seq2, intervals)
         assert not report.ok
+
+
+class TestErrorDiagnostics:
+    """Every load failure must name the offending file."""
+
+    def _saved_run(self, tmp_path):
+        machine = TreeMachine(4)
+        seq = figure1_sequence()
+        sim = _completed_sim(machine, GreedyAlgorithm(machine), seq)
+        path = tmp_path / "run.json"
+        save_run(path, machine, seq, sim)
+        return path
+
+    def test_truncated_archive_names_path_and_cause(self, tmp_path):
+        path = self._saved_run(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(TraceFormatError, match="truncated") as err:
+            load_run(path)
+        assert str(path) in str(err.value)
+
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": } 1')
+        with pytest.raises(TraceFormatError) as err:
+            load_run(path)
+        assert str(path) in str(err.value)
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(TraceFormatError, match="cannot read") as err:
+            load_run(path)
+        assert str(path) in str(err.value)
+
+    def test_malformed_fields_name_path(self, tmp_path):
+        path = self._saved_run(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["segments"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TraceFormatError, match="malformed") as err:
+            load_run(path)
+        assert str(path) in str(err.value)
+
+    def test_version_mismatch_names_path(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(TraceFormatError, match="version") as err:
+            load_run(path)
+        assert str(path) in str(err.value)
+
+
+class TestFaultArchive:
+    def test_fault_plan_saved_with_faulted_runs(self, tmp_path):
+        from repro.faults import FaultAwareSimulator, FaultPlan
+        from repro.faults.plan import PEFailure, PERepair
+
+        machine = TreeMachine(8)
+        seq = churn_sequence(8, 60, np.random.default_rng(2))
+        plan = FaultPlan(events=(PEFailure(1.0, 2), PERepair(4.0, 2)))
+        sim = FaultAwareSimulator(machine, GreedyAlgorithm(machine), plan=plan)
+        sim.run(seq)
+        path = tmp_path / "faulted.json"
+        save_run(path, machine, seq, sim)
+        payload = json.loads(path.read_text())
+        assert payload["faults"] == plan.to_dict()
+
+    def test_healthy_runs_have_no_faults_key(self, tmp_path):
+        path = self._saved(tmp_path)
+        assert "faults" not in json.loads(path.read_text())
+
+    def _saved(self, tmp_path):
+        machine = TreeMachine(4)
+        seq = figure1_sequence()
+        sim = _completed_sim(machine, GreedyAlgorithm(machine), seq)
+        path = tmp_path / "run.json"
+        save_run(path, machine, seq, sim)
+        return path

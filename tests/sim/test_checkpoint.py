@@ -1,0 +1,134 @@
+"""CheckpointJournal: durability, recovery, and workload pinning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import (
+    JOURNAL_VERSION,
+    CheckpointJournal,
+    workload_fingerprint,
+)
+
+FP = {"kind": "test", "what": "checkpoint-unit"}
+
+
+def _square(rng, x):
+    return x * x
+
+
+class TestRecordAndResume:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            journal.record(0, {"load": 3})
+            journal.record(5, (1, 2.5, "x"))
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            done = journal.completed()
+        assert done == {0: {"load": 3}, 5: (1, 2.5, "x")}
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            journal.record(0, "a")
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            journal.record(1, "b")
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            assert journal.completed() == {0: "a", 1: "b"}
+
+    def test_rerecord_overwrites_in_memory(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            journal.record(0, "old")
+            journal.record(0, "new")
+            assert journal.completed()[0] == "new"
+
+    def test_closed_journal_refuses_records(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.ckpt", fingerprint=FP)
+        journal.close()
+        with pytest.raises(CheckpointError, match="closed"):
+            journal.record(0, "x")
+
+
+class TestWorkloadPinning:
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        CheckpointJournal(path, fingerprint=FP).close()
+        with pytest.raises(CheckpointError, match="different workload"):
+            CheckpointJournal(path, fingerprint={"kind": "test", "what": "other"})
+
+    def test_version_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        CheckpointJournal(path, fingerprint=FP).close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = JOURNAL_VERSION + 1
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointJournal(path, fingerprint=FP)
+
+    def test_foreign_file_is_refused(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, fingerprint=FP)
+
+    def test_workload_fingerprint_tracks_cells_and_streams(self):
+        cells = [{"n": 16, "seed": 0}, {"n": 32, "seed": 1}]
+        streams = list(np.random.SeedSequence(7).spawn(2))
+        base = workload_fingerprint(_square, cells, streams)
+        assert base == workload_fingerprint(_square, cells, streams)
+        changed_cells = workload_fingerprint(_square, cells[:1], streams)
+        assert changed_cells != base
+        other_streams = list(np.random.SeedSequence(8).spawn(2))
+        assert workload_fingerprint(_square, cells, other_streams) != base
+
+
+class TestCrashRecovery:
+    def _journal_with_two_records(self, path):
+        journal = CheckpointJournal(path, fingerprint=FP)
+        journal.record(0, "a")
+        journal.record(1, "b")
+        journal.close()
+
+    def test_truncated_final_record_is_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        self._journal_with_two_records(path)
+        raw = path.read_text()
+        path.write_text(raw[:-10])  # crash mid-write of the last record
+        with pytest.warns(UserWarning, match="corrupt tail"):
+            journal = CheckpointJournal(path, fingerprint=FP)
+        assert journal.completed() == {0: "a"}
+        journal.record(1, "b2")  # journal is writable again after recovery
+        journal.close()
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            assert journal.completed() == {0: "a", 1: "b2"}
+
+    def test_unterminated_but_parseable_final_line_is_still_dropped(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        self._journal_with_two_records(path)
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        path.write_text(raw[:-1])  # valid JSON, missing only the newline
+        with pytest.warns(UserWarning, match="truncated final record"):
+            journal = CheckpointJournal(path, fingerprint=FP)
+        assert journal.completed() == {0: "a"}
+        journal.close()
+
+    def test_garbage_record_line_truncates_from_there(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        self._journal_with_two_records(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"cell": 2, "data": "not-base64-pickle!!"}\n')
+        with pytest.warns(UserWarning, match="corrupt tail"):
+            journal = CheckpointJournal(path, fingerprint=FP)
+        assert journal.completed() == {0: "a", 1: "b"}
+        journal.close()
+
+    def test_missing_header_is_an_error(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="no readable header"):
+            CheckpointJournal(path, fingerprint=FP)

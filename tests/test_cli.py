@@ -189,3 +189,79 @@ class TestVerifyCommand:
         assert main(["verify", "--replay", str(corpus)]) == 0
         out = capsys.readouterr().out
         assert "all corpus entries pass" in out
+
+
+class TestInterrupts:
+    """Exit-code conventions when the user (or the pipe) goes away."""
+
+    def _parser_raising(self, exc):
+        import argparse
+
+        def boom(args):
+            raise exc
+
+        def fake_build_parser():
+            p = argparse.ArgumentParser()
+            p.set_defaults(func=boom)
+            return p
+
+        return fake_build_parser
+
+    def test_keyboard_interrupt_exits_130_with_note(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.cli.build_parser", self._parser_raising(KeyboardInterrupt())
+        )
+        assert main([]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+
+    def test_broken_pipe_exits_141_silently(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.cli.build_parser", self._parser_raising(BrokenPipeError())
+        )
+        assert main([]) == 141
+        assert capsys.readouterr().err == ""
+
+
+class TestFaultFlags:
+    def test_simulate_with_faults_prints_degradation(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--n", "16", "--workload", "churn",
+                    "--tasks", "120", "--algorithm", "periodic", "--d", "1",
+                    "--faults", "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "min surviving" in out
+
+    def test_verify_with_faults_reports_fault_mode(self, capsys):
+        assert (
+            main(["verify", "--n", "16", "--sequences", "3", "--faults"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault-mode checks" in out
+        assert "verdict            : OK" in out
+
+    def test_verify_resume_matches_uninterrupted(self, tmp_path, capsys):
+        ckpt = tmp_path / "verify.ckpt"
+        argv = ["verify", "--n", "16", "--sequences", "4", "--seed", "9"]
+        assert main(argv + ["--resume", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume", str(ckpt)]) == 0
+        resumed = capsys.readouterr().out
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        def stats(text):
+            return [
+                line for line in text.splitlines()
+                if "checks run" in line or "verdict" in line
+            ]
+
+        assert stats(first) == stats(resumed) == stats(plain)
