@@ -12,6 +12,11 @@ Subcommands:
 * ``repro simulate --save-run F`` + ``repro audit F`` — archive a run and
   independently re-verify it (placement legality, recomputed load series).
 * ``repro compare ...``          — several algorithms side by side.
+* ``repro emit ...``             — print a workload as a JSONL event stream.
+* ``repro simulate --stream``    — replay a JSONL event stream from stdin,
+  one decision record per event on stdout.
+* ``repro serve ...``            — long-lived journaled allocation session:
+  JSONL events in, decisions out, durable and resumable via ``--journal``.
 * ``repro verify ...``           — differential verification: fuzz task
   sequences and cross-check every algorithm against the independent
   auditor, the brute-force oracle, and the paper's theorem bounds.
@@ -24,6 +29,7 @@ a serial run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -124,9 +130,125 @@ def _make_workload(name: str, n: int, args: argparse.Namespace):
     raise KeyError(name)
 
 
+def _make_session(args: argparse.Namespace, journal_path=None):
+    from repro.service import AllocationSession
+
+    machine = _make_machine(args)
+    algo = make_algorithm(
+        args.algorithm,
+        machine,
+        d=args.d,
+        lazy=args.lazy,
+        moves=getattr(args, "moves", 4),
+        seed=args.seed,
+    )
+    return AllocationSession(
+        machine,
+        algo,
+        fault_tolerant=getattr(args, "faults", False),
+        journal_path=journal_path,
+    )
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """``repro simulate --stream``: stateless JSONL replay from stdin."""
+    from repro.service import decision_line, iter_event_records
+
+    session = _make_session(args)
+    for record in iter_event_records(sys.stdin):
+        print(decision_line(session.push(record)), flush=True)
+    if args.save_run:
+        session.save_run(
+            args.save_run, metadata={"workload": "stream", "seed": args.seed}
+        )
+        print(f"archived run to    : {args.save_run}", file=sys.stderr)
+    status = session.status()
+    print(
+        f"stream done: {status['events']} event(s), "
+        f"L_A = {status['max_load']}, L* = {status['optimal_load']}, "
+        f"ratio = {status['competitive_ratio']:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Interactive journaled session: events in, decisions out.
+
+    Besides event records, control lines are understood::
+
+        {"op": "status"}    -> one status JSON line
+        {"op": "snapshot"}  -> the kernel state snapshot as one JSON line
+        {"op": "save", "path": "run.json"} -> archive the session so far
+
+    A malformed or rejected line yields an ``{"error": ...}`` record on
+    stdout — a serving process must survive one bad client line.
+    """
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.service import decision_line, parse_event_record
+
+    session = _make_session(args, journal_path=args.journal)
+    if args.journal and session.num_events:
+        print(
+            f"resumed {session.num_events} event(s) from {args.journal}",
+            file=sys.stderr,
+        )
+    try:
+        for line in sys.stdin:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                obj = _json.loads(text)
+            except _json.JSONDecodeError as exc:
+                print(_json.dumps({"error": f"invalid JSON: {exc}"}), flush=True)
+                continue
+            try:
+                if isinstance(obj, dict) and "op" in obj:
+                    op = obj["op"]
+                    if op == "status":
+                        out = session.status()
+                    elif op == "snapshot":
+                        out = session.snapshot()
+                    elif op == "save":
+                        session.save_run(obj["path"])
+                        out = {"saved": str(obj["path"])}
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                    print(_json.dumps(out), flush=True)
+                else:
+                    decision = session.push(parse_event_record(obj))
+                    print(decision_line(decision), flush=True)
+            except (ReproError, ValueError, KeyError, TypeError) as exc:
+                print(_json.dumps({"error": str(exc)}), flush=True)
+    finally:
+        status = session.status()
+        session.close()
+    print(
+        f"session closed: {status['events']} event(s), "
+        f"L_A = {status['max_load']}, L* = {status['optimal_load']}, "
+        f"ratio = {status['competitive_ratio']:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    from repro.service import sequence_records
+
+    sigma = _make_workload(args.workload, args.n, args)
+    for record in sequence_records(sigma):
+        print(json.dumps(record, separators=(",", ":")))
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.engine import Simulator
 
+    if args.stream:
+        return _cmd_stream(args)
     machine = _make_machine(args)
     sigma = _make_workload(args.workload, args.n, args)
     algo = make_algorithm(
@@ -478,7 +600,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None,
         help="seed for the fault plan generator (default: --seed)",
     )
+    p_sim.add_argument(
+        "--stream", action="store_true",
+        help="ignore --workload and replay a JSONL event stream from "
+        "stdin instead (see `repro emit`); one decision record per line "
+        "on stdout. With --faults, failure/repair/kill records are "
+        "accepted too.",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived journaled allocation session (JSONL in, "
+        "decisions out; resumable via --journal)",
+    )
+    add_common(p_serve)
+    p_serve.add_argument(
+        "--algorithm", choices=algorithm_names(), default="greedy"
+    )
+    p_serve.add_argument(
+        "--moves", type=int, default=4, help="per-repack budget (incremental)"
+    )
+    p_serve.add_argument(
+        "--faults", action="store_true",
+        help="fault-tolerant session: accept failure/repair/kill records",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="durability journal: every event is fsync'd here before its "
+        "decision is returned, and re-serving with the same journal "
+        "resumes the session bit-identically",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_emit = sub.add_parser(
+        "emit", help="print a workload as a JSONL event stream"
+    )
+    add_common(p_emit)
+    p_emit.set_defaults(func=_cmd_emit)
 
     p_audit = sub.add_parser("audit", help="independently re-verify an archived run")
     p_audit.add_argument("archive", help="file written by `simulate --save-run`")

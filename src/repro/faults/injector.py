@@ -3,18 +3,23 @@
 :class:`FaultAwareSimulator` extends the production
 :class:`~repro.sim.engine.Simulator` with three fault event types
 (:class:`~repro.faults.plan.PEFailure`, :class:`~repro.faults.plan.PERepair`,
-:class:`~repro.faults.plan.TaskKill`) and keeps the same validation
-discipline — every placement is additionally checked against the degraded
-view, so an algorithm (or salvage) bug that lands a task on dead PEs is a
-hard :class:`~repro.errors.PlacementError`, not a silent result.
+:class:`~repro.faults.plan.TaskKill`).  All fault semantics live in the
+shared :class:`~repro.kernel.AllocationKernel` — constructing it with a
+:class:`~repro.machines.degraded.DegradedView` enables the fault event
+paths — so this class only wraps the algorithm for fault tolerance,
+validates the plan, and merges the fault events into the run loop.  The
+validation discipline is unchanged: every placement is additionally
+checked against the degraded view, so an algorithm (or salvage) bug that
+lands a task on dead PEs is a hard
+:class:`~repro.errors.PlacementError`, not a silent result.
 
 Semantics, in the order things happen at a failure event:
 
 1. the set of *orphans* (active tasks overlapping the failing subtree) is
    recorded;
 2. the view degrades; the wrapped algorithm's :meth:`on_fault` runs a
-   salvage repack (A_R on surviving capacity) and the simulator applies
-   the remapping, charging the cost model and metering it in
+   salvage repack (A_R on surviving capacity) and the kernel applies the
+   remapping, charging the cost model and metering it in
    :class:`~repro.sim.metrics.FaultStats` — *not* in the regular
    reallocation stats, because salvage is charged to the fault (the
    external-perturbation framing of Bender et al.), and the ``d``-budget
@@ -31,19 +36,17 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.base import AllocationAlgorithm
-from repro.errors import ReallocationError, SalvageError
-from repro.faults.plan import FaultPlan, PEFailure, PERepair, TaskKill, merge_events
+from repro.faults.plan import FaultPlan, merge_events
 from repro.faults.salvage import FaultTolerantAlgorithm
+from repro.kernel import AllocationKernel
 from repro.machines.base import PartitionableMachine
+from repro.machines.degraded import DegradedView
 from repro.sim.engine import RunResult, Simulator
 from repro.sim.realloc_cost import MigrationCostModel
-from repro.tasks.events import Departure
 from repro.tasks.sequence import TaskSequence
-from repro.types import NodeId, TaskId
+from repro.types import TaskId
 
 __all__ = ["FaultAwareSimulator", "run_traced_with_faults"]
-
-_FAULT_EVENT_TYPES = (PEFailure, PERepair, TaskKill)
 
 
 class FaultAwareSimulator(Simulator):
@@ -66,6 +69,9 @@ class FaultAwareSimulator(Simulator):
             wrapper = FaultTolerantAlgorithm(
                 machine, algorithm, machine.degraded_view()
             )
+        # Stashed for the _build_kernel hook, which super().__init__ calls.
+        self._pending_view: DegradedView = wrapper.view
+        self._pending_repack_on_repair = repack_on_repair
         super().__init__(
             machine,
             wrapper,
@@ -75,142 +81,26 @@ class FaultAwareSimulator(Simulator):
         self.plan = plan
         self.view = wrapper.view
         self.repack_on_repair = repack_on_repair
-        self._killed: set[TaskId] = set()
-        self.metrics.faults.min_surviving_pes = machine.num_pes
 
-    # -- Overridden validation / budget ------------------------------------
-
-    def _validate_node_for(self, task, node: NodeId) -> None:
-        super()._validate_node_for(task, node)
-        self.view.validate_placement(node, task_id=task.task_id)
-
-    def _offer_reallocation(self, now: float) -> None:
-        # Same contract as the base simulator, with the budget measured
-        # against *surviving* capacity: a d-reallocation algorithm on a
-        # degraded machine may repack once d * N_surviving PE-arrivals have
-        # accumulated (d * N with no failures — identical to the base).
-        realloc = self.algorithm.maybe_reallocate(self._arrived_since_realloc)
-        if realloc is None:
-            return
-        d = self.algorithm.reallocation_parameter
-        budget = d * max(1, self.view.surviving_pes)
-        if self._arrived_since_realloc < budget:
-            raise ReallocationError(
-                f"{self.algorithm.name} attempted a reallocation after only "
-                f"{self._arrived_since_realloc} PE-arrivals; its degraded "
-                f"budget is d*N_surviving = {budget}"
-            )
-        self._apply_reallocation(realloc, now)
-        self._arrived_since_realloc = 0
-
-    # -- Fault event processing --------------------------------------------
-
-    def step(self, event) -> None:
-        if isinstance(event, _FAULT_EVENT_TYPES):
-            self._apply_fault(event)
-            self._record_event(event)
-        elif isinstance(event, Departure) and event.task_id in self._killed:
-            # The task already died at its kill time; its scheduled
-            # departure is a no-op (still metered, so series stay aligned
-            # with the merged event stream).
-            self._killed.discard(event.task_id)
-            self._record_event(event)
-        else:
-            super().step(event)
-        self._update_degradation_gauges()
-
-    def _record_event(self, event) -> None:
-        self.metrics.observe(
-            event.time,
-            self._loads.max_load,
-            self._loads.leaf_loads() if self.collect_leaf_snapshots else None,
+    def _build_kernel(
+        self,
+        machine: PartitionableMachine,
+        algorithm: AllocationAlgorithm,
+        cost_model: Optional[MigrationCostModel],
+        collect_leaf_snapshots: bool,
+    ) -> AllocationKernel:
+        return AllocationKernel(
+            machine,
+            algorithm,
+            cost_model,
+            collect_leaf_snapshots=collect_leaf_snapshots,
+            view=self._pending_view,
+            repack_on_repair=self._pending_repack_on_repair,
         )
-        for callback in self._observers:
-            callback(self, event)
 
-    def _apply_fault(self, event) -> None:
-        stats = self.metrics.faults
-        if isinstance(event, PEFailure):
-            h = self.machine.hierarchy
-            orphans = {
-                tid
-                for tid, node in self._placements.items()
-                if h.contains(event.node, node) or h.contains(node, event.node)
-            }
-            self.view.fail(event.node)
-            stats.record_failure(
-                len(orphans), sum(self._tasks[t].size for t in orphans)
-            )
-            self._salvage_after_fault(event.time, orphans)
-        elif isinstance(event, PERepair):
-            self.view.repair(event.node)
-            stats.num_repairs += 1
-            if self.repack_on_repair:
-                self._salvage_after_fault(event.time, set())
-        else:  # TaskKill
-            self._apply_kill(event)
-
-    def _apply_kill(self, event: TaskKill) -> None:
-        node = self._placements.pop(event.task_id, None)
-        task = self._tasks.pop(event.task_id, None)
-        if node is None or task is None:
-            return  # the task is not active at kill time: a no-op by contract
-        assert isinstance(self.algorithm, FaultTolerantAlgorithm)
-        self.algorithm.kill(task)
-        self._loads.remove(node, task.size)
-        self._departure_times[event.task_id] = event.time
-        self._killed.add(event.task_id)
-        self.metrics.faults.num_kills += 1
-
-    def _salvage_after_fault(self, now: float, orphans: set[TaskId]) -> None:
-        assert isinstance(self.algorithm, FaultTolerantAlgorithm)
-        realloc = self.algorithm.on_fault()
-        if realloc is not None:
-            self._apply_salvage(dict(realloc.mapping), now, orphans)
-        # A salvage leaves the machine optimally repacked, so the planned
-        # d-budget clock restarts — the fault paid for the repack, the
-        # algorithm's budget did not.
-        self._arrived_since_realloc = 0
-
-    def _apply_salvage(
-        self, mapping: dict[TaskId, NodeId], now: float, orphans: set[TaskId]
-    ) -> None:
-        if set(mapping) != set(self._placements):
-            missing = set(self._placements) - set(mapping)
-            extra = set(mapping) - set(self._placements)
-            raise SalvageError(
-                f"salvage must remap exactly the active tasks; "
-                f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
-            )
-        stats = self.metrics.faults
-        stats.num_salvage_repacks += 1
-        for tid, new_node in mapping.items():
-            task = self._tasks[tid]
-            self._validate_node_for(task, new_node)
-            old_node = self._placements[tid]
-            if new_node == old_node:
-                continue
-            charge = self.cost_model.charge(
-                self.machine, task.size, old_node, new_node
-            )
-            stats.record_salvage_move(
-                task.size, charge.distance, charge.seconds, orphan=tid in orphans
-            )
-            self._loads.remove(old_node, task.size)
-            self._loads.place(new_node, task.size)
-            self._placements[tid] = new_node
-            self._placement_log[tid].append((now, new_node))
-
-    def _update_degradation_gauges(self) -> None:
-        stats = self.metrics.faults
-        lstar_deg = self.view.degraded_optimal_load(self.active_size())
-        stats.peak_degraded_lstar = max(stats.peak_degraded_lstar, lstar_deg)
-        stats.load_overshoot_vs_degraded = max(
-            stats.load_overshoot_vs_degraded, self._loads.max_load - lstar_deg
-        )
-        stats.min_surviving_pes = min(
-            stats.min_surviving_pes, self.view.surviving_pes
-        )
+    @property
+    def _killed(self) -> set[TaskId]:
+        return self.kernel._killed
 
     # -- Public API ---------------------------------------------------------
 

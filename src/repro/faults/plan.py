@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.errors import FaultPlanError
 from repro.machines.hierarchy import Hierarchy
-from repro.tasks.events import Arrival, Departure, Event
+from repro.tasks.events import Event, event_priority, event_sort_key
 from repro.tasks.sequence import TaskSequence
 from repro.types import NodeId, TaskId, Time
 
@@ -50,7 +50,9 @@ __all__ = [
 ]
 
 #: Sort priority of fault events at a shared timestamp: departures (0) and
-#: arrivals (1) first, then faults.
+#: arrivals (1) first, then faults.  Kept as a named constant for
+#: documentation and tests; the authoritative table lives in
+#: :func:`repro.tasks.events.event_priority`.
 FAULT_EVENT_PRIORITY = 2
 
 
@@ -252,17 +254,15 @@ def merge_events(
 ) -> List[Union[Event, FaultEvent]]:
     """Chronological merge of task events and fault events.
 
-    Ties keep the library's convention — departures (0), arrivals (1), then
-    faults (2) — and within a class the original order (stable sort).
+    Ties follow the canonical :func:`repro.tasks.events.event_sort_key`
+    ordering — departures (0), arrivals (1), then faults (2) — and within a
+    class the original order (stable sort; task events are listed before
+    fault events, so a task event never sorts after a fault event of the
+    same priority because the priorities never collide across the two
+    groups).
     """
-    keyed: list = []
-    for i, event in enumerate(sequence):
-        prio = 0 if isinstance(event, Departure) else 1
-        keyed.append(((event.time, prio, 0, i), event))
-    for i, event in enumerate(plan.events):
-        keyed.append(((event.time, FAULT_EVENT_PRIORITY, 1, i), event))
-    keyed.sort(key=lambda kv: kv[0])
-    return [event for _key, event in keyed]
+    assert all(event_priority(e) == FAULT_EVENT_PRIORITY for e in plan.events)
+    return sorted([*sequence, *plan.events], key=event_sort_key)
 
 
 def generate_fault_plan(

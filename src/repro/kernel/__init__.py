@@ -1,0 +1,23 @@
+"""The allocation kernel: one incremental state machine, many drivers.
+
+:class:`AllocationKernel` is the pure core extracted from the simulation
+layer — placement validation, the d-budget gate, load tracking, metrics,
+and fault handling — consumed event-by-event and answering with
+:class:`Decision` records.  The batch simulator, the fault injector, the
+work-driven simulators and the streaming service layer are all thin
+drivers over it; ``docs/ARCHITECTURE.md`` shows the full layering.
+"""
+
+from repro.kernel.core import (
+    KERNEL_STATE_KIND,
+    KERNEL_STATE_VERSION,
+    AllocationKernel,
+)
+from repro.kernel.decision import Decision
+
+__all__ = [
+    "AllocationKernel",
+    "Decision",
+    "KERNEL_STATE_KIND",
+    "KERNEL_STATE_VERSION",
+]

@@ -1,0 +1,698 @@
+"""The incremental allocation kernel — one state machine for every driver.
+
+:class:`AllocationKernel` owns the authoritative allocation state that the
+batch :class:`~repro.sim.engine.Simulator`, the fault-aware simulator, the
+work-driven simulators and the streaming service layer all used to
+duplicate: placement validation, the d-budget reallocation gate, the
+:class:`~repro.machines.loads.LoadTracker`, incremental metrics deltas and
+the full placement history.  Drivers feed events in with :meth:`apply` (or
+:meth:`apply_placed` when the placement was decided externally) and get a
+:class:`~repro.kernel.decision.Decision` back; they never touch the load
+state directly, so the validation discipline of the original simulator —
+every placement re-derived and checked, every budget violation a hard
+error — holds identically for every operating mode.
+
+The kernel is pure with respect to the outside world: it performs no I/O,
+holds no clock, and spawns no callbacks.  Its complete state round-trips
+through :meth:`snapshot` / :meth:`restore` as a versioned JSON-safe dict,
+which is what makes killed streaming sessions resumable
+(``docs/ARCHITECTURE.md`` has the full picture).
+
+Fault events (failures, repairs, kills) are dispatched by their ``kind``
+string rather than by class, so the kernel never imports
+:mod:`repro.faults` — the dependency points one way, drivers down to
+kernel.
+
+Restoring a snapshot rebuilds *kernel* state only.  Algorithm objects keep
+private incremental state (load trackers, copy sets); per the
+:class:`~repro.core.base.AllocationAlgorithm` contract they are
+deterministic functions of the event history, so a resuming driver
+replays the journaled events through a fresh algorithm and then verifies
+the kernel snapshot digest (see :mod:`repro.service.session`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Protocol, Union, cast
+
+import numpy as np
+
+from repro.core.base import AllocationAlgorithm, Reallocation
+from repro.errors import (
+    CheckpointError,
+    PlacementError,
+    ReallocationError,
+    SalvageError,
+    SimulationError,
+)
+from repro.kernel.decision import Decision
+from repro.machines.base import PartitionableMachine
+from repro.machines.degraded import DegradedView
+from repro.machines.factory import machine_descriptor
+from repro.sim.metrics import MetricsCollector
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.tasks.events import EventKind
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId, Time
+
+__all__ = ["AllocationKernel", "KERNEL_STATE_KIND", "KERNEL_STATE_VERSION"]
+
+#: Identity of the snapshot format; :meth:`AllocationKernel.restore`
+#: refuses anything else rather than guessing.
+KERNEL_STATE_KIND = "repro-kernel-state"
+KERNEL_STATE_VERSION = 1
+
+
+class _SalvageCapable(Protocol):
+    """What the kernel needs from a fault-tolerant algorithm wrapper."""
+
+    def on_fault(self) -> Optional[Reallocation]: ...
+
+    def kill(self, task: Task) -> None: ...
+
+
+def _encode_time(x: float) -> Union[str, float]:
+    return "inf" if math.isinf(x) else float(x)
+
+
+def _decode_time(x: Any) -> float:
+    return math.inf if x == "inf" else float(x)
+
+
+class AllocationKernel:
+    """Incremental, side-effect-free allocation state machine.
+
+    Parameters
+    ----------
+    machine:
+        The partitionable machine whose hierarchy placements must align to.
+    algorithm:
+        The allocation algorithm to drive, or ``None`` for
+        *external-placement mode*: the caller decides placements and feeds
+        them in with :meth:`apply_placed` (the exclusive-queueing driver).
+    cost_model:
+        Prices migrations; defaults to :class:`MigrationCostModel`.
+    collect_leaf_snapshots:
+        When False, skip the O(N)-per-event leaf snapshot (max-load
+        accounting stays exact) — essential for very large machines.
+    view:
+        A :class:`~repro.machines.degraded.DegradedView` enables fault
+        events; with ``view=None`` a fault event is an unknown-event error,
+        exactly as in the fault-unaware simulator.
+    repack_on_repair:
+        Whether a repair event triggers a salvage repack onto the
+        recovered capacity.
+    """
+
+    def __init__(
+        self,
+        machine: PartitionableMachine,
+        algorithm: Optional[AllocationAlgorithm] = None,
+        cost_model: Optional[MigrationCostModel] = None,
+        *,
+        collect_leaf_snapshots: bool = True,
+        view: Optional[DegradedView] = None,
+        repack_on_repair: bool = True,
+    ) -> None:
+        if algorithm is not None and algorithm.machine is not machine:
+            raise SimulationError(
+                "algorithm was constructed for a different machine instance"
+            )
+        self.machine = machine
+        self.algorithm = algorithm
+        self.cost_model = cost_model or MigrationCostModel()
+        self.collect_leaf_snapshots = collect_leaf_snapshots
+        self.view = view
+        self.repack_on_repair = repack_on_repair
+        self._loads = machine.new_load_tracker()
+        self._placements: dict[TaskId, NodeId] = {}
+        self._tasks: dict[TaskId, Task] = {}
+        self._arrived_since_realloc = 0
+        self.metrics = MetricsCollector()
+        # Full placement history: every (start_time, node) a task ever held,
+        # in order — fuels the exact slowdown integration.
+        self._placement_log: dict[TaskId, list[tuple[float, NodeId]]] = {}
+        self._departure_times: dict[TaskId, float] = {}
+        self._killed: set[TaskId] = set()
+        # Online L* tracking: the peak active volume seen so far gives
+        # ceil(peak/N) — readable at any instant by streaming clients.
+        self._active_size = 0
+        self._peak_active_size = 0
+        # Name recorded by a restored snapshot when this kernel itself has
+        # no algorithm — keeps snapshot() -> restore() -> snapshot() exact.
+        self._restored_algorithm_name: Optional[str] = None
+        if view is not None:
+            self.metrics.faults.min_surviving_pes = machine.num_pes
+
+    # -- Event dispatch ------------------------------------------------------
+
+    @staticmethod
+    def _event_kind(event: object) -> Optional[str]:
+        kind = getattr(event, "kind", None)
+        if isinstance(kind, EventKind):
+            return kind.value
+        if isinstance(kind, str):
+            return kind
+        return None
+
+    def apply(self, event: Any) -> Decision:
+        """Absorb one event, update all state, return the decision record.
+
+        Dispatches on the event's ``kind``: arrivals and departures always;
+        failures/repairs/kills only when a degraded ``view`` was supplied
+        (otherwise they are unknown events, as in the plain simulator).
+        """
+        kind = self._event_kind(event)
+        if kind == "arrival":
+            decision = self._apply_arrival(event)
+        elif kind == "departure":
+            decision = self._apply_departure(event)
+        elif kind in ("failure", "repair", "kill") and self.view is not None:
+            decision = self._apply_fault(event, kind)
+        else:
+            raise SimulationError(f"unknown event type {type(event)!r}")
+        self._observe(event.time)
+        if self.view is not None:
+            self._update_degradation_gauges()
+        return decision
+
+    def apply_placed(self, time: Time, task: Task, node: NodeId) -> Decision:
+        """Admit ``task`` at an externally-decided ``node`` (no algorithm).
+
+        The placement is validated with the same discipline as an
+        algorithm's answer; used by drivers that own the placement policy
+        (e.g. the exclusive-queueing comparator's buddy allocator).
+        """
+        if task.task_id in self._placements:
+            raise SimulationError(f"duplicate arrival of task {task.task_id}")
+        self._validate_node_for(task, node)
+        self._admit(time, task, node)
+        self._observe(time)
+        if self.view is not None:
+            self._update_degradation_gauges()
+        return self._decision("arrival", time, task_id=int(task.task_id), node=int(node))
+
+    # -- Validation ----------------------------------------------------------
+
+    @property
+    def _actor(self) -> str:
+        return self.algorithm.name if self.algorithm is not None else "external placement"
+
+    def _validate_node_for(self, task: Task, node: NodeId) -> None:
+        h = self.machine.hierarchy
+        if not h.is_valid_node(node):
+            raise PlacementError(
+                f"{self._actor} placed task {task.task_id} at "
+                f"invalid node {node}"
+            )
+        if h.subtree_size(node) != task.size:
+            raise PlacementError(
+                f"{self._actor} placed a size-{task.size} task at a "
+                f"{h.subtree_size(node)}-PE submachine (node {node})"
+            )
+        if self.view is not None:
+            self.view.validate_placement(node, task_id=task.task_id)
+
+    # -- Arrival / departure -------------------------------------------------
+
+    def _admit(self, time: Time, task: Task, node: NodeId) -> None:
+        self._loads.place(node, task.size)
+        self._placements[task.task_id] = node
+        self._tasks[task.task_id] = task
+        self._placement_log[task.task_id] = [(float(time), node)]
+        self._active_size += task.size
+        if self._active_size > self._peak_active_size:
+            self._peak_active_size = self._active_size
+        self._arrived_since_realloc += task.size
+
+    def _apply_arrival(self, event: Any) -> Decision:
+        task: Task = event.task
+        if task.task_id in self._placements:
+            raise SimulationError(f"duplicate arrival of task {task.task_id}")
+        if self.algorithm is None:
+            raise SimulationError(
+                "kernel has no algorithm; use apply_placed() to admit "
+                "externally-placed tasks"
+            )
+        placement = self.algorithm.on_arrival(task)
+        if placement.task_id != task.task_id:
+            raise PlacementError(
+                f"{self.algorithm.name} answered arrival of {task.task_id} "
+                f"with a placement for {placement.task_id}"
+            )
+        self._validate_node_for(task, placement.node)
+        self._admit(event.time, task, placement.node)
+        reallocated, moved = self._offer_reallocation(event.time)
+        return self._decision(
+            "arrival",
+            event.time,
+            task_id=int(task.task_id),
+            node=int(self._placements[task.task_id]),
+            reallocated=reallocated,
+            migrations=moved,
+        )
+
+    def _apply_departure(self, event: Any) -> Decision:
+        if event.task_id in self._killed:
+            # The task already died at its kill time; its scheduled
+            # departure is a no-op (still metered, so series stay aligned
+            # with the merged event stream).
+            self._killed.discard(event.task_id)
+            return self._decision(
+                "departure", event.time, task_id=int(event.task_id), noop=True
+            )
+        node = self._placements.pop(event.task_id, None)
+        task = self._tasks.pop(event.task_id, None)
+        if node is None or task is None:
+            raise SimulationError(f"departure of unknown task {event.task_id}")
+        if self.algorithm is not None:
+            self.algorithm.on_departure(task)
+        self._loads.remove(node, task.size)
+        self._departure_times[event.task_id] = float(event.time)
+        self._active_size -= task.size
+        return self._decision("departure", event.time, task_id=int(event.task_id))
+
+    # -- Reallocation --------------------------------------------------------
+
+    def _offer_reallocation(self, now: float) -> tuple[bool, int]:
+        assert self.algorithm is not None
+        realloc = self.algorithm.maybe_reallocate(self._arrived_since_realloc)
+        if realloc is None:
+            return False, 0
+        d = self.algorithm.reallocation_parameter
+        if self.view is None:
+            budget = d * self.machine.num_pes
+            if self._arrived_since_realloc < budget:
+                raise ReallocationError(
+                    f"{self.algorithm.name} attempted a reallocation after only "
+                    f"{self._arrived_since_realloc} PE-arrivals; its budget is "
+                    f"d*N = {budget}"
+                )
+        else:
+            # Same contract, with the budget measured against *surviving*
+            # capacity: d * N_surviving (identical to d * N with no failures).
+            budget = d * max(1, self.view.surviving_pes)
+            if self._arrived_since_realloc < budget:
+                raise ReallocationError(
+                    f"{self.algorithm.name} attempted a reallocation after only "
+                    f"{self._arrived_since_realloc} PE-arrivals; its degraded "
+                    f"budget is d*N_surviving = {budget}"
+                )
+        moved = self._apply_reallocation(realloc, now)
+        self._arrived_since_realloc = 0
+        return True, moved
+
+    def _apply_reallocation(self, realloc: Reallocation, now: float) -> int:
+        mapping = dict(realloc.mapping)
+        if set(mapping) != set(self._placements):
+            missing = set(self._placements) - set(mapping)
+            extra = set(mapping) - set(self._placements)
+            raise ReallocationError(
+                f"reallocation must remap exactly the active tasks; "
+                f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
+            )
+        self.metrics.realloc.record_reallocation()
+        moved = 0
+        for tid, new_node in mapping.items():
+            task = self._tasks[tid]
+            self._validate_node_for(task, new_node)
+            old_node = self._placements[tid]
+            if new_node == old_node:
+                self.metrics.realloc.record_stationary()
+                continue
+            charge = self.cost_model.charge(self.machine, task.size, old_node, new_node)
+            self.metrics.realloc.record_move(
+                task.size, charge.distance, charge.bytes_moved
+            )
+            self._loads.remove(old_node, task.size)
+            self._loads.place(new_node, task.size)
+            self._placements[tid] = new_node
+            self._placement_log[tid].append((now, new_node))
+            moved += 1
+        return moved
+
+    # -- Fault events --------------------------------------------------------
+
+    def _apply_fault(self, event: Any, kind: str) -> Decision:
+        view = self.view
+        assert view is not None
+        if self.algorithm is None:
+            raise SimulationError(
+                "fault events require a fault-tolerant algorithm"
+            )
+        stats = self.metrics.faults
+        if kind == "failure":
+            h = self.machine.hierarchy
+            orphans = {
+                tid
+                for tid, node in self._placements.items()
+                if h.contains(event.node, node) or h.contains(node, event.node)
+            }
+            view.fail(event.node)
+            stats.record_failure(
+                len(orphans), sum(self._tasks[t].size for t in orphans)
+            )
+            salvaged, moved = self._salvage_after_fault(event.time, orphans)
+            return self._decision(
+                "failure",
+                event.time,
+                node=int(event.node),
+                salvaged=salvaged,
+                migrations=moved,
+            )
+        if kind == "repair":
+            view.repair(event.node)
+            stats.num_repairs += 1
+            salvaged, moved = False, 0
+            if self.repack_on_repair:
+                salvaged, moved = self._salvage_after_fault(event.time, set())
+            return self._decision(
+                "repair",
+                event.time,
+                node=int(event.node),
+                salvaged=salvaged,
+                migrations=moved,
+            )
+        return self._apply_kill(event)
+
+    def _apply_kill(self, event: Any) -> Decision:
+        node = self._placements.pop(event.task_id, None)
+        task = self._tasks.pop(event.task_id, None)
+        if node is None or task is None:
+            # The task is not active at kill time: a no-op by contract.
+            return self._decision(
+                "kill", event.time, task_id=int(event.task_id), noop=True
+            )
+        cast(_SalvageCapable, self.algorithm).kill(task)
+        self._loads.remove(node, task.size)
+        self._departure_times[event.task_id] = float(event.time)
+        self._active_size -= task.size
+        self._killed.add(event.task_id)
+        self.metrics.faults.num_kills += 1
+        return self._decision("kill", event.time, task_id=int(event.task_id))
+
+    def _salvage_after_fault(
+        self, now: float, orphans: set[TaskId]
+    ) -> tuple[bool, int]:
+        realloc = cast(_SalvageCapable, self.algorithm).on_fault()
+        moved = 0
+        if realloc is not None:
+            moved = self._apply_salvage(dict(realloc.mapping), now, orphans)
+        # A salvage leaves the machine optimally repacked, so the planned
+        # d-budget clock restarts — the fault paid for the repack, the
+        # algorithm's budget did not.
+        self._arrived_since_realloc = 0
+        return realloc is not None, moved
+
+    def _apply_salvage(
+        self, mapping: dict[TaskId, NodeId], now: float, orphans: set[TaskId]
+    ) -> int:
+        if set(mapping) != set(self._placements):
+            missing = set(self._placements) - set(mapping)
+            extra = set(mapping) - set(self._placements)
+            raise SalvageError(
+                f"salvage must remap exactly the active tasks; "
+                f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
+            )
+        stats = self.metrics.faults
+        stats.num_salvage_repacks += 1
+        moved = 0
+        for tid, new_node in mapping.items():
+            task = self._tasks[tid]
+            self._validate_node_for(task, new_node)
+            old_node = self._placements[tid]
+            if new_node == old_node:
+                continue
+            charge = self.cost_model.charge(
+                self.machine, task.size, old_node, new_node
+            )
+            stats.record_salvage_move(
+                task.size, charge.distance, charge.seconds, orphan=tid in orphans
+            )
+            self._loads.remove(old_node, task.size)
+            self._loads.place(new_node, task.size)
+            self._placements[tid] = new_node
+            self._placement_log[tid].append((now, new_node))
+            moved += 1
+        return moved
+
+    # -- Metering ------------------------------------------------------------
+
+    def _observe(self, time: Time) -> None:
+        self.metrics.observe(
+            time,
+            self._loads.max_load,
+            self._loads.leaf_loads() if self.collect_leaf_snapshots else None,
+        )
+
+    def _update_degradation_gauges(self) -> None:
+        view = self.view
+        assert view is not None
+        stats = self.metrics.faults
+        lstar_deg = view.degraded_optimal_load(self._active_size)
+        stats.peak_degraded_lstar = max(stats.peak_degraded_lstar, lstar_deg)
+        stats.load_overshoot_vs_degraded = max(
+            stats.load_overshoot_vs_degraded, self._loads.max_load - lstar_deg
+        )
+        stats.min_surviving_pes = min(
+            stats.min_surviving_pes, view.surviving_pes
+        )
+
+    def _decision(
+        self,
+        kind: str,
+        time: Time,
+        *,
+        task_id: Optional[int] = None,
+        node: Optional[int] = None,
+        reallocated: bool = False,
+        migrations: int = 0,
+        salvaged: bool = False,
+        noop: bool = False,
+    ) -> Decision:
+        return Decision(
+            kind=kind,
+            time=float(time),
+            max_load=self._loads.max_load,
+            active_size=self._active_size,
+            optimal_load=self.optimal_load,
+            task_id=task_id,
+            node=node,
+            reallocated=reallocated,
+            migrations=migrations,
+            salvaged=salvaged,
+            noop=noop,
+        )
+
+    # -- State inspection ----------------------------------------------------
+
+    @property
+    def current_max_load(self) -> int:
+        return self._loads.max_load
+
+    @property
+    def active_tasks(self) -> dict[TaskId, Task]:
+        return dict(self._tasks)
+
+    @property
+    def placements(self) -> dict[TaskId, NodeId]:
+        return dict(self._placements)
+
+    @property
+    def peak_active_size(self) -> int:
+        """Largest active PE volume seen so far (``s(sigma)`` online)."""
+        return self._peak_active_size
+
+    @property
+    def optimal_load(self) -> int:
+        """Running ``L* = ceil(peak active volume / N)``."""
+        return -(-self._peak_active_size // self.machine.num_pes)
+
+    @property
+    def competitive_ratio(self) -> float:
+        """``L_A / L*`` over the events absorbed so far."""
+        lstar = self.optimal_load
+        peak = self.metrics.max_load
+        if lstar == 0:
+            return 0.0 if peak == 0 else math.inf
+        return peak / lstar
+
+    def leaf_loads(self) -> np.ndarray:
+        return self._loads.leaf_loads()
+
+    def submachine_load(self, node: NodeId) -> int:
+        return self._loads.submachine_load(node)
+
+    def active_size(self) -> int:
+        return self._active_size
+
+    def placement_intervals(self) -> dict[TaskId, list[tuple[float, float, NodeId]]]:
+        """Exact (start, end, node) residence segments for every task seen.
+
+        ``end`` is the task's departure time (``inf`` if it never departed)
+        or the instant a reallocation moved it.  This is the input the
+        slowdown model integrates over — it reflects what actually ran,
+        including mid-life migrations.
+        """
+        intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
+        for tid, changes in self._placement_log.items():
+            end_of_life = self._departure_times.get(tid, float("inf"))
+            segments = []
+            for i, (start, node) in enumerate(changes):
+                end = changes[i + 1][0] if i + 1 < len(changes) else end_of_life
+                if end > start:
+                    segments.append((start, end, node))
+            intervals[tid] = segments
+        return intervals
+
+    def check_consistency(self) -> None:
+        """Cross-check tracker vs. placements (test helper)."""
+        self._loads.check_invariants()
+        expected = np.zeros(self.machine.num_pes, dtype=np.int64)
+        h = self.machine.hierarchy
+        for _tid, node in self._placements.items():
+            lo, hi = h.leaf_span(node)
+            expected[lo:hi] += 1
+        if not np.array_equal(expected, self._loads.leaf_loads()):
+            raise SimulationError("leaf loads disagree with placements")
+
+    # -- Snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Versioned, JSON-serialisable image of the complete kernel state.
+
+        Everything the kernel is authoritative for is included; algorithm
+        internals are not (see the module docstring for the replay-based
+        resume contract).  ``restore`` on a kernel built for the same
+        machine reproduces this state bit-identically.
+        """
+        return {
+            "kind": KERNEL_STATE_KIND,
+            "version": KERNEL_STATE_VERSION,
+            "machine": machine_descriptor(self.machine),
+            "algorithm": (
+                self._restored_algorithm_name
+                if self.algorithm is None
+                else self.algorithm.name
+            ),
+            "tasks": [
+                {
+                    "id": int(tid),
+                    "size": t.size,
+                    "arrival": float(t.arrival),
+                    "departure": _encode_time(t.departure),
+                    "work": float(t.work),
+                }
+                for tid, t in sorted(self._tasks.items(), key=lambda kv: int(kv[0]))
+            ],
+            "placements": {
+                str(int(tid)): int(node)
+                for tid, node in sorted(self._placements.items(), key=lambda kv: int(kv[0]))
+            },
+            "placement_log": {
+                str(int(tid)): [[float(t), int(n)] for t, n in log]
+                for tid, log in sorted(self._placement_log.items(), key=lambda kv: int(kv[0]))
+            },
+            "departure_times": {
+                str(int(tid)): float(t)
+                for tid, t in sorted(self._departure_times.items(), key=lambda kv: int(kv[0]))
+            },
+            "killed": sorted(int(t) for t in self._killed),
+            "failed_nodes": (
+                None
+                if self.view is None
+                else [int(n) for n in self.view.failed_nodes]
+            ),
+            "arrived_since_realloc": int(self._arrived_since_realloc),
+            "active_size": int(self._active_size),
+            "peak_active_size": int(self._peak_active_size),
+            "metrics": self.metrics.to_state(),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Load a :meth:`snapshot` into this kernel, replacing its state.
+
+        The kernel must have been constructed for the same machine (and
+        with a degraded view iff the snapshot recorded failed nodes);
+        anything else is a :class:`~repro.errors.CheckpointError` — a
+        snapshot restored onto the wrong machine would corrupt silently.
+        """
+        if (
+            state.get("kind") != KERNEL_STATE_KIND
+            or state.get("version") != KERNEL_STATE_VERSION
+        ):
+            raise CheckpointError(
+                f"not a kernel snapshot: kind={state.get('kind')!r} "
+                f"version={state.get('version')!r} (this build expects "
+                f"{KERNEL_STATE_KIND!r} v{KERNEL_STATE_VERSION})"
+            )
+        here = machine_descriptor(self.machine)
+        if dict(state.get("machine", {})) != here:
+            raise CheckpointError(
+                f"kernel snapshot was taken on {state.get('machine')!r}; "
+                f"this kernel runs on {here!r}"
+            )
+        try:
+            tasks: dict[TaskId, Task] = {}
+            for rec in state["tasks"]:
+                t = Task(
+                    TaskId(int(rec["id"])),
+                    int(rec["size"]),
+                    float(rec["arrival"]),
+                    _decode_time(rec["departure"]),
+                    float(rec.get("work", 1.0)),
+                )
+                tasks[t.task_id] = t
+            placements = {
+                TaskId(int(tid)): NodeId(int(node))
+                for tid, node in state["placements"].items()
+            }
+            placement_log = {
+                TaskId(int(tid)): [(float(t), NodeId(int(n))) for t, n in log]
+                for tid, log in state["placement_log"].items()
+            }
+            departure_times = {
+                TaskId(int(tid)): float(t)
+                for tid, t in state["departure_times"].items()
+            }
+            killed = {TaskId(int(t)) for t in state.get("killed", [])}
+            if not set(placements) <= set(tasks):
+                raise CheckpointError(
+                    "kernel snapshot places tasks it does not list: "
+                    f"{sorted(int(t) for t in set(placements) - set(tasks))!r}"
+                )
+            failed_nodes = state.get("failed_nodes")
+            metrics = MetricsCollector.from_state(state["metrics"])
+            arrived = int(state["arrived_since_realloc"])
+            active = int(state["active_size"])
+            peak_active = int(state["peak_active_size"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed kernel snapshot ({type(exc).__name__}: {exc})"
+            ) from exc
+        if failed_nodes and self.view is None:
+            raise CheckpointError(
+                "kernel snapshot records failed nodes but this kernel has "
+                "no degraded view"
+            )
+        # Parse succeeded — now (and only now) replace the live state.
+        if self.algorithm is None:
+            self._restored_algorithm_name = state.get("algorithm")
+        self._loads.clear()
+        if self.view is not None:
+            for node in list(self.view.failed_nodes):
+                self.view.repair(node)
+            for node in failed_nodes or []:
+                self.view.fail(NodeId(int(node)))
+        self._tasks = tasks
+        self._placements = placements
+        for tid, node in placements.items():
+            self._loads.place(node, tasks[tid].size)
+        self._placement_log = placement_log
+        self._departure_times = departure_times
+        self._killed = killed
+        self._arrived_since_realloc = arrived
+        self._active_size = active
+        self._peak_active_size = peak_active
+        self.metrics = metrics

@@ -1,0 +1,78 @@
+"""Per-event decision records emitted by the allocation kernel.
+
+Every event the :class:`~repro.kernel.core.AllocationKernel` absorbs
+produces one :class:`Decision`: what happened, where the task landed, and
+the post-event figures of merit (current max load, active volume, the
+running optimal load ``L*`` and hence the instantaneous competitive
+ratio).  The streaming service layer serialises these to JSONL, one line
+per event, so an online client can watch the paper's quantities evolve in
+real time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Decision"]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The kernel's answer to one event (post-event state included)."""
+
+    #: ``"arrival" | "departure" | "failure" | "repair" | "kill"``.
+    kind: str
+    time: float
+    #: Max PE load immediately after the event — the running ``L_A``.
+    max_load: int
+    #: Active PE volume (sum of active task sizes) after the event.
+    active_size: int
+    #: Running ``L* = ceil(peak active volume / N)`` — the paper's
+    #: omniscient benchmark, computed online from the peak seen so far.
+    optimal_load: int
+    task_id: Optional[int] = None
+    #: Node the task occupies after the event (arrivals only).
+    node: Optional[int] = None
+    #: True when the event triggered an accepted d-budget reallocation.
+    reallocated: bool = False
+    #: Tasks actually moved by the reallocation or salvage, if any.
+    migrations: int = 0
+    #: True when a fault event triggered a salvage repack.
+    salvaged: bool = False
+    #: True for metered no-ops (e.g. the scheduled departure of a task
+    #: that was already killed).
+    noop: bool = False
+
+    @property
+    def competitive_ratio(self) -> float:
+        """``max_load / optimal_load`` so far (0 on an empty run)."""
+        if self.optimal_load == 0:
+            return 0.0 if self.max_load == 0 else math.inf
+        return self.max_load / self.optimal_load
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact JSON-safe record (falsy optional fields omitted)."""
+        ratio = self.competitive_ratio
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "time": float(self.time),
+            "max_load": self.max_load,
+            "active_size": self.active_size,
+            "optimal_load": self.optimal_load,
+            "competitive_ratio": "inf" if math.isinf(ratio) else round(ratio, 6),
+        }
+        if self.task_id is not None:
+            out["task_id"] = self.task_id
+        if self.node is not None:
+            out["node"] = self.node
+        if self.reallocated:
+            out["reallocated"] = True
+        if self.migrations:
+            out["migrations"] = self.migrations
+        if self.salvaged:
+            out["salvaged"] = True
+        if self.noop:
+            out["noop"] = True
+        return out

@@ -1,0 +1,37 @@
+"""Online allocation service: streaming sessions over the shared kernel.
+
+The batch simulators replay a finished trace; this package serves the
+*online* problem the paper actually poses — tasks "arrive at unpredictable
+times" — as a long-lived, durably journaled service:
+
+* :class:`~repro.service.session.AllocationSession` — one interactive
+  session: push arrivals/departures (and faults), read the running
+  ``L_A``/``L*``/competitive ratio at any instant, resume bit-identically
+  from its journal after a crash;
+* :class:`~repro.service.cluster.ClusterManager` — many named sessions
+  with a shared journal directory;
+* :mod:`~repro.service.stream` — the JSONL wire format consumed by
+  ``repro simulate --stream`` and ``repro serve``.
+"""
+
+from repro.service.cluster import ClusterManager
+from repro.service.session import AllocationSession
+from repro.service.stream import (
+    EVENT_KINDS,
+    decision_line,
+    iter_event_records,
+    parse_event_record,
+    records_from_events,
+    sequence_records,
+)
+
+__all__ = [
+    "AllocationSession",
+    "ClusterManager",
+    "EVENT_KINDS",
+    "decision_line",
+    "iter_event_records",
+    "parse_event_record",
+    "records_from_events",
+    "sequence_records",
+]

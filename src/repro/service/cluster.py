@@ -1,0 +1,100 @@
+"""Many named allocation sessions under one roof.
+
+A partitionable machine in production hosts more than one tenant stream;
+:class:`ClusterManager` keeps a registry of named
+:class:`~repro.service.session.AllocationSession` objects — one machine,
+algorithm and event history each — with a shared journal directory so
+every session is durably resumable by name after a crash.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from repro.core.base import AllocationAlgorithm
+from repro.errors import SimulationError
+from repro.machines.base import PartitionableMachine
+from repro.service.session import AllocationSession
+from repro.sim.realloc_cost import MigrationCostModel
+
+__all__ = ["ClusterManager"]
+
+
+class ClusterManager:
+    """Registry of named, independently-journaled allocation sessions."""
+
+    def __init__(self, journal_dir: Union[str, Path, None] = None) -> None:
+        self._journal_dir = None if journal_dir is None else Path(journal_dir)
+        self._sessions: dict[str, AllocationSession] = {}
+
+    def _journal_path(self, name: str) -> Optional[Path]:
+        if self._journal_dir is None:
+            return None
+        return self._journal_dir / f"{name}.journal"
+
+    def create(
+        self,
+        name: str,
+        machine: PartitionableMachine,
+        algorithm: AllocationAlgorithm,
+        cost_model: Optional[MigrationCostModel] = None,
+        **session_options: Any,
+    ) -> AllocationSession:
+        """Open (or resume, if its journal exists) the session ``name``.
+
+        ``session_options`` pass through to :class:`AllocationSession`
+        (``fault_tolerant``, ``snapshot_interval``, ...).  Reusing a live
+        name is an error — close it first.
+        """
+        if name in self._sessions:
+            raise SimulationError(f"session {name!r} is already open")
+        if not name or "/" in name or name != name.strip():
+            raise SimulationError(
+                f"session name {name!r} must be a non-empty path-safe token"
+            )
+        session = AllocationSession(
+            machine,
+            algorithm,
+            cost_model,
+            journal_path=self._journal_path(name),
+            **session_options,
+        )
+        self._sessions[name] = session
+        return session
+
+    def get(self, name: str) -> AllocationSession:
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise SimulationError(f"no open session named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def status(self) -> dict[str, dict[str, Any]]:
+        """Per-session dashboards, keyed by session name."""
+        return {name: self._sessions[name].status() for name in self.names()}
+
+    def close(self, name: str) -> None:
+        self.get(name).close()
+        del self._sessions[name]
+
+    def close_all(self) -> None:
+        for name in self.names():
+            self.close(name)
+
+    def __enter__(self) -> "ClusterManager":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close_all()

@@ -1,0 +1,460 @@
+"""Online allocation sessions: the paper's model as a long-lived service.
+
+An :class:`AllocationSession` wraps one
+:class:`~repro.kernel.AllocationKernel` behind an interactive API:
+arrivals and departures (and, for fault-tolerant sessions, failures,
+repairs and kills) are *pushed* one at a time, and the paper's running
+quantities — ``L_A`` so far, the online ``L* = ceil(peak active
+volume / N)``, and their ratio — are readable at any instant.  This is
+the operating mode the paper actually describes (tasks "arrive at
+unpredictable times"); the batch simulator is the offline replay of the
+same kernel.
+
+Durability: give the session a journal path and every absorbed event is
+appended — fsync'd — to a :class:`~repro.sim.checkpoint.CheckpointJournal`
+before the decision is returned, with a full kernel snapshot embedded
+every ``snapshot_interval`` events.  If the process dies, constructing a
+session with the same configuration and journal path *resumes* it: the
+journaled events are replayed through a fresh kernel and algorithm (the
+:class:`~repro.core.base.AllocationAlgorithm` contract guarantees
+algorithms are deterministic functions of the event history), and every
+embedded snapshot is digest-verified against the replayed kernel state —
+a mismatch (different code, different config, corrupted journal) is a
+hard :class:`~repro.errors.CheckpointError`, never a silently different
+run.  The resumed session then continues to the same final metrics the
+uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.base import AllocationAlgorithm
+from repro.errors import CheckpointError, SimulationError
+from repro.kernel import AllocationKernel, Decision
+from repro.machines.base import PartitionableMachine
+from repro.machines.factory import machine_descriptor
+from repro.sim.checkpoint import CheckpointJournal
+from repro.sim.engine import RunResult
+from repro.sim.realloc_cost import MigrationCostModel
+from repro.tasks.events import Arrival, Departure
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+
+__all__ = ["AllocationSession"]
+
+
+def _state_digest(state: Mapping[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(state, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+class AllocationSession:
+    """One tenant's interactive allocation service on one machine.
+
+    Parameters
+    ----------
+    machine, algorithm, cost_model:
+        As for the batch :class:`~repro.sim.engine.Simulator`.
+    fault_tolerant:
+        Wrap the algorithm for salvage and enable failure/repair/kill
+        events (otherwise a fault event is rejected).
+    journal_path:
+        Append-only durability journal.  If the file already exists, the
+        session **resumes** from it (see the module docstring); the
+        journal fingerprint pins machine, algorithm and ``d``, so resuming
+        with a different configuration is refused.
+    snapshot_interval:
+        Embed a full kernel snapshot in the journal every this many
+        events (0 disables embedded snapshots; resume still replays).
+    """
+
+    def __init__(
+        self,
+        machine: PartitionableMachine,
+        algorithm: AllocationAlgorithm,
+        cost_model: Optional[MigrationCostModel] = None,
+        *,
+        fault_tolerant: bool = False,
+        journal_path: Union[str, Path, None] = None,
+        snapshot_interval: int = 64,
+        collect_leaf_snapshots: bool = True,
+        repack_on_repair: bool = True,
+    ) -> None:
+        self.machine = machine
+        self._fault_tolerant = fault_tolerant
+        if fault_tolerant:
+            from repro.faults.salvage import FaultTolerantAlgorithm
+
+            if isinstance(algorithm, FaultTolerantAlgorithm):
+                wrapper = algorithm
+            else:
+                wrapper = FaultTolerantAlgorithm(
+                    machine, algorithm, machine.degraded_view()
+                )
+            self.algorithm: AllocationAlgorithm = wrapper
+            view = wrapper.view
+        else:
+            self.algorithm = algorithm
+            view = None
+        self.kernel = AllocationKernel(
+            machine,
+            self.algorithm,
+            cost_model,
+            collect_leaf_snapshots=collect_leaf_snapshots,
+            view=view,
+            repack_on_repair=repack_on_repair,
+        )
+        self._events: list[Any] = []
+        self._now = 0.0
+        self._next_task_id = 0
+        self._snapshot_interval = max(0, int(snapshot_interval))
+        self._journal: Optional[CheckpointJournal] = None
+        if journal_path is not None:
+            resuming = Path(journal_path).exists()
+            self._journal = CheckpointJournal(
+                journal_path, fingerprint=self._fingerprint()
+            )
+            if resuming:
+                self._replay_journal()
+
+    def _fingerprint(self) -> dict[str, Any]:
+        return {
+            "kind": "allocation-session",
+            "machine": machine_descriptor(self.machine),
+            "algorithm": self.algorithm.name,
+            "d": repr(self.algorithm.reallocation_parameter),
+            "fault_tolerant": self._fault_tolerant,
+        }
+
+    # -- Event intake --------------------------------------------------------
+
+    def _clock(self, time: Optional[float]) -> float:
+        if time is None:
+            return self._now + 1.0 if self._events else 0.0
+        t = float(time)
+        if t < self._now:
+            raise SimulationError(
+                f"event time {t} precedes the session clock ({self._now})"
+            )
+        return t
+
+    def submit(
+        self,
+        size: int,
+        *,
+        time: Optional[float] = None,
+        task_id: Optional[int] = None,
+        work: float = 1.0,
+    ) -> Decision:
+        """Admit one task arrival; returns the placement decision."""
+        t = self._clock(time)
+        tid = self._next_task_id if task_id is None else int(task_id)
+        task = Task(TaskId(tid), int(size), t, work=float(work))
+        return self._absorb(
+            Arrival(t, task),
+            {"kind": "arrival", "time": t, "id": tid, "size": int(size),
+             "work": float(work)},
+        )
+
+    def depart(self, task_id: int, *, time: Optional[float] = None) -> Decision:
+        """Retire one active task."""
+        t = self._clock(time)
+        return self._absorb(
+            Departure(t, TaskId(int(task_id))),
+            {"kind": "departure", "time": t, "id": int(task_id)},
+        )
+
+    def fail(self, node: int, *, time: Optional[float] = None) -> Decision:
+        """Fail the aligned subtree at ``node`` (fault-tolerant sessions)."""
+        return self._fault_event("failure", node=int(node), time=time)
+
+    def repair(self, node: int, *, time: Optional[float] = None) -> Decision:
+        """Repair a previously-failed subtree (fault-tolerant sessions)."""
+        return self._fault_event("repair", node=int(node), time=time)
+
+    def kill(self, task_id: int, *, time: Optional[float] = None) -> Decision:
+        """Kill one task in place (fault-tolerant sessions)."""
+        return self._fault_event("kill", task_id=int(task_id), time=time)
+
+    def _fault_event(
+        self,
+        kind: str,
+        *,
+        node: Optional[int] = None,
+        task_id: Optional[int] = None,
+        time: Optional[float] = None,
+    ) -> Decision:
+        if not self._fault_tolerant:
+            raise SimulationError(
+                f"{kind} events need a fault-tolerant session "
+                "(AllocationSession(..., fault_tolerant=True))"
+            )
+        from repro.faults.plan import PEFailure, PERepair, TaskKill
+
+        t = self._clock(time)
+        if kind == "failure":
+            assert node is not None
+            event: Any = PEFailure(t, NodeId(node))
+            record: dict[str, Any] = {"kind": kind, "time": t, "node": node}
+        elif kind == "repair":
+            assert node is not None
+            event = PERepair(t, NodeId(node))
+            record = {"kind": kind, "time": t, "node": node}
+        else:
+            assert task_id is not None
+            event = TaskKill(t, TaskId(task_id))
+            record = {"kind": kind, "time": t, "id": task_id}
+        return self._absorb(event, record)
+
+    def push(self, record: Mapping[str, Any]) -> Decision:
+        """Absorb one wire-format event record (see :mod:`.stream`)."""
+        kind = record.get("kind")
+        if kind == "arrival":
+            return self.submit(
+                int(record["size"]),
+                time=record.get("time"),
+                task_id=record.get("id"),
+                work=float(record.get("work", 1.0)),
+            )
+        if kind == "departure":
+            return self.depart(int(record["id"]), time=record.get("time"))
+        if kind == "kill":
+            return self.kill(int(record["id"]), time=record.get("time"))
+        if kind in ("failure", "repair"):
+            return self._fault_event(
+                kind, node=int(record["node"]), time=record.get("time")
+            )
+        raise SimulationError(f"unknown event record kind {kind!r}")
+
+    def _absorb(
+        self, event: Any, record: dict[str, Any], *, journal: bool = True
+    ) -> Decision:
+        decision = self.kernel.apply(event)
+        # Only a successfully applied event advances the session.
+        self._events.append(event)
+        self._now = float(event.time)
+        tid = record.get("id")
+        if record["kind"] == "arrival" and tid is not None:
+            self._next_task_id = max(self._next_task_id, int(tid) + 1)
+        if journal and self._journal is not None:
+            index = len(self._events) - 1
+            payload: dict[str, Any] = {"record": record}
+            if (
+                self._snapshot_interval
+                and len(self._events) % self._snapshot_interval == 0
+            ):
+                payload["snapshot"] = self.kernel.snapshot()
+            self._journal.record(index, payload)
+        return decision
+
+    # -- Resume --------------------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        assert self._journal is not None
+        completed = self._journal.completed()
+        for index in range(len(completed)):
+            if index not in completed:
+                raise CheckpointError(
+                    f"session journal {self._journal.path} has a gap at "
+                    f"event {index}"
+                )
+            payload = completed[index]
+            try:
+                record = dict(payload["record"])
+            except (TypeError, KeyError) as exc:
+                raise CheckpointError(
+                    f"session journal {self._journal.path}: malformed record "
+                    f"at event {index}"
+                ) from exc
+            self.push_replay(record)
+            embedded = payload.get("snapshot")
+            if embedded is not None:
+                replayed = self.kernel.snapshot()
+                if _state_digest(replayed) != _state_digest(embedded):
+                    raise CheckpointError(
+                        f"session journal {self._journal.path}: replayed state "
+                        f"diverges from the snapshot embedded at event {index} "
+                        "— the journal was written by a different "
+                        "configuration or build"
+                    )
+
+    def push_replay(self, record: Mapping[str, Any]) -> Decision:
+        """Absorb a journaled record without re-journaling it."""
+        kind = record.get("kind")
+        if kind == "arrival":
+            t = self._clock(record.get("time"))
+            tid = int(record["id"])
+            task = Task(
+                TaskId(tid), int(record["size"]), t,
+                work=float(record.get("work", 1.0)),
+            )
+            return self._absorb(
+                Arrival(t, task), dict(record), journal=False
+            )
+        if kind in ("departure", "kill", "failure", "repair"):
+            # Rebuild through the normal constructors, minus journaling.
+            journal, self._journal = self._journal, None
+            try:
+                return self.push(record)
+            finally:
+                self._journal = journal
+        raise CheckpointError(f"journaled record has unknown kind {kind!r}")
+
+    # -- Live metrics --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The session clock: time of the last absorbed event."""
+        return self._now
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> tuple[Any, ...]:
+        """Every event absorbed so far, in order (task and fault events)."""
+        return tuple(self._events)
+
+    @property
+    def max_load(self) -> int:
+        """``L_A`` so far — the peak max PE load over the session."""
+        return self.kernel.metrics.max_load
+
+    @property
+    def current_max_load(self) -> int:
+        return self.kernel.current_max_load
+
+    @property
+    def optimal_load(self) -> int:
+        """Running ``L* = ceil(peak active volume / N)``."""
+        return self.kernel.optimal_load
+
+    @property
+    def competitive_ratio(self) -> float:
+        return self.kernel.competitive_ratio
+
+    @property
+    def active_tasks(self) -> dict[TaskId, Task]:
+        return self.kernel.active_tasks
+
+    @property
+    def placements(self) -> dict[TaskId, NodeId]:
+        return self.kernel.placements
+
+    def status(self) -> dict[str, Any]:
+        """One JSON-safe dashboard line for this session."""
+        out: dict[str, Any] = {
+            "events": self.num_events,
+            "now": self._now,
+            "active_tasks": len(self.kernel.active_tasks),
+            "active_size": self.kernel.active_size(),
+            "max_load": self.max_load,
+            "current_max_load": self.current_max_load,
+            "optimal_load": self.optimal_load,
+            "competitive_ratio": (
+                float("inf")
+                if self.optimal_load == 0 and self.max_load > 0
+                else (0.0 if self.optimal_load == 0
+                      else self.max_load / self.optimal_load)
+            ),
+            "reallocations": self.kernel.metrics.realloc.num_reallocations,
+            "migrations": self.kernel.metrics.realloc.num_migrations,
+        }
+        if self._fault_tolerant:
+            faults = self.kernel.metrics.faults
+            out["failures"] = faults.num_failures
+            out["kills"] = faults.num_kills
+            out["min_surviving_pes"] = faults.min_surviving_pes
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """The kernel's versioned state snapshot (JSON-serialisable)."""
+        return self.kernel.snapshot()
+
+    # -- Batch interop -------------------------------------------------------
+
+    def sequence(self) -> TaskSequence:
+        """The task sequence observed so far, reconstructed from the log.
+
+        Tasks still active (or killed without a scheduled departure) keep
+        ``departure = inf`` — exactly the information an offline replay or
+        audit of this session would have.
+        """
+        tasks: dict[TaskId, Task] = {}
+        departures: dict[TaskId, float] = {}
+        for event in self._events:
+            if isinstance(event, Arrival):
+                tasks[event.task.task_id] = event.task
+            elif isinstance(event, Departure):
+                departures[event.task_id] = float(event.time)
+        out = [
+            t.with_departure(departures[tid]) if tid in departures else t
+            for tid, t in tasks.items()
+        ]
+        return TaskSequence.from_tasks(out)
+
+    def fault_plan(self):
+        """The fault events absorbed so far, as a
+        :class:`~repro.faults.plan.FaultPlan` (None when fault handling is
+        off)."""
+        if not self._fault_tolerant:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        fault_events = tuple(
+            e for e in self._events if not isinstance(e, (Arrival, Departure))
+        )
+        return FaultPlan(fault_events)
+
+    def result(self) -> RunResult:
+        """A :class:`RunResult` for the session so far.
+
+        ``optimal_load`` is the *online* ``L*`` from the peak active
+        volume — for a finished session it equals the offline value the
+        batch simulator would report for :meth:`sequence`.
+        """
+        return RunResult(
+            algorithm_name=self.algorithm.name,
+            machine_description=self.machine.describe(),
+            metrics=self.kernel.metrics,
+            optimal_load=self.kernel.optimal_load,
+            final_placements=self.kernel.placements,
+        )
+
+    def save_run(self, path: Union[str, Path], *, metadata: Optional[Mapping] = None) -> None:
+        """Archive the session for independent re-audit (see
+        :mod:`repro.sim.archive`), with the raw event log embedded."""
+        from repro.service.stream import records_from_events
+        from repro.sim.archive import save_run
+
+        plan = self.fault_plan()
+        save_run(
+            path,
+            self.machine,
+            self.sequence(),
+            self.kernel,
+            metadata=dict(metadata or {}),
+            result=self.result(),
+            events=records_from_events(self._events),
+            fault_plan=None if plan is None or plan.is_empty else plan,
+        )
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "AllocationSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -23,54 +23,25 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Mapping, Union
+from typing import Any, Mapping, Sequence, Union
 
 from repro.errors import TraceFormatError
+from repro.kernel import AllocationKernel
 from repro.machines.base import PartitionableMachine
-from repro.machines.butterfly import Butterfly
-from repro.machines.fattree import FatTree
-from repro.machines.hypercube import Hypercube
-from repro.machines.mesh import Mesh2D
-from repro.machines.tree import TreeMachine
+from repro.machines.factory import machine_descriptor, machine_from_descriptor
 from repro.sim.engine import RunResult, Simulator
 from repro.tasks.sequence import TaskSequence
 from repro.tasks.task import Task
 from repro.types import NodeId, TaskId
 
-__all__ = ["save_run", "load_run", "machine_from_descriptor"]
+__all__ = ["save_run", "load_run", "load_run_events", "machine_from_descriptor"]
 
 _FORMAT_VERSION = 1
 
-
-def _machine_descriptor(machine: PartitionableMachine) -> dict:
-    desc = {"topology": machine.topology_name, "num_pes": machine.num_pes}
-    if isinstance(machine, FatTree):
-        desc["fatness"] = machine.fatness
-        desc["base_capacity"] = machine.base_capacity
-    return desc
-
-
-def machine_from_descriptor(desc: Mapping) -> PartitionableMachine:
-    """Rebuild a machine from its archive descriptor."""
-    topology = desc["topology"]
-    n = int(desc["num_pes"])
-    if topology == "tree":
-        return TreeMachine(n)
-    if topology.startswith("fattree"):
-        return FatTree(
-            n,
-            fatness=float(desc.get("fatness", 2.0)),
-            base_capacity=float(desc.get("base_capacity", 1.0)),
-        )
-    if topology == "hypercube-binary":
-        return Hypercube(n, layout="binary")
-    if topology == "hypercube-gray":
-        return Hypercube(n, layout="gray")
-    if topology == "butterfly":
-        return Butterfly(n)
-    if topology == "mesh2d":
-        return Mesh2D(n)
-    raise TraceFormatError(f"unknown topology {topology!r} in archive")
+# Descriptor round-trip now lives in repro.machines.factory (the kernel and
+# service layers need it without importing sim); the old private name is
+# kept for in-repo callers.
+_machine_descriptor = machine_descriptor
 
 
 def _encode_number(x: float):
@@ -85,16 +56,26 @@ def save_run(
     path: Union[str, Path],
     machine: PartitionableMachine,
     sequence: TaskSequence,
-    simulator: Simulator,
+    simulator: Union[Simulator, AllocationKernel],
     *,
     metadata: Mapping | None = None,
     result: RunResult | None = None,
+    events: Sequence[Mapping[str, Any]] | None = None,
+    fault_plan=None,
 ) -> None:
     """Archive one completed run (machine + sequence + placement history).
 
-    Pass the :class:`RunResult` to embed its compact summary (no load
-    series — ``to_dict()`` default) under ``"result_summary"``; the full
-    series can always be recomputed from the archived segments.
+    ``simulator`` may be a driver or a bare
+    :class:`~repro.kernel.AllocationKernel` (an online session archives its
+    kernel directly).  Pass the :class:`RunResult` to embed its compact
+    summary (no load series — ``to_dict()`` default) under
+    ``"result_summary"``; the full series can always be recomputed from the
+    archived segments.  ``events`` embeds the raw wire-format event log of
+    a streaming run (see :mod:`repro.service.stream`) so the exact online
+    history — not just the reconstructed task table — ships with the
+    evidence; read it back with :func:`load_run_events`.  ``fault_plan``
+    overrides the plan discovered on the simulator (sessions track faults
+    outside the driver).
     """
     intervals = simulator.placement_intervals()
     payload = {
@@ -122,26 +103,17 @@ def save_run(
     }
     # A fault-injected run archives its plan too, so the evidence file
     # records *why* tasks moved off failed subtrees.
-    plan = getattr(simulator, "plan", None)
+    plan = fault_plan if fault_plan is not None else getattr(simulator, "plan", None)
     if plan is not None and not plan.is_empty:
         payload["faults"] = plan.to_dict()
+    if events is not None:
+        payload["events"] = [dict(record) for record in events]
     if result is not None:
         payload["result_summary"] = result.to_dict()
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
-def load_run(
-    path: Union[str, Path],
-) -> tuple[PartitionableMachine, TaskSequence, dict[TaskId, list[tuple[float, float, NodeId]]]]:
-    """Load an archived run: (machine, sequence, placement intervals).
-
-    Every failure mode names the offending file: corrupt JSON, a truncated
-    write (the common crash artifact — detected as JSON that ends
-    mid-document), an unsupported version, or missing/garbled fields all
-    raise :class:`~repro.errors.TraceFormatError` with ``path`` in the
-    message, so a broken archive in a batch is identifiable at a glance.
-    """
-    path = Path(path)
+def _read_payload(path: Path) -> dict:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -162,6 +134,22 @@ def load_run(
             f"{path}: unsupported archive version {version!r} "
             f"(expected {_FORMAT_VERSION})"
         )
+    return payload
+
+
+def load_run(
+    path: Union[str, Path],
+) -> tuple[PartitionableMachine, TaskSequence, dict[TaskId, list[tuple[float, float, NodeId]]]]:
+    """Load an archived run: (machine, sequence, placement intervals).
+
+    Every failure mode names the offending file: corrupt JSON, a truncated
+    write (the common crash artifact — detected as JSON that ends
+    mid-document), an unsupported version, or missing/garbled fields all
+    raise :class:`~repro.errors.TraceFormatError` with ``path`` in the
+    message, so a broken archive in a batch is identifiable at a glance.
+    """
+    path = Path(path)
+    payload = _read_payload(path)
     try:
         machine = machine_from_descriptor(payload["machine"])
         tasks = [
@@ -188,3 +176,19 @@ def load_run(
             f"{path}: malformed run archive ({type(exc).__name__}: {exc})"
         ) from exc
     return machine, sequence, intervals
+
+
+def load_run_events(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """The embedded wire-format event log of an archived streaming run.
+
+    Returns ``[]`` for archives written without ``events=`` (batch runs) —
+    the task table and segments are still available via :func:`load_run`.
+    """
+    path = Path(path)
+    payload = _read_payload(path)
+    events = payload.get("events", [])
+    if not isinstance(events, list) or not all(
+        isinstance(rec, dict) for rec in events
+    ):
+        raise TraceFormatError(f"{path}: malformed embedded event log")
+    return [dict(rec) for rec in events]

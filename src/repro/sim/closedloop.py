@@ -15,22 +15,28 @@ at the fluid round-robin rate ``1 / max-load-of-its-span``; a task departs
 the moment its ``work`` completes.  The integration is exact: rates are
 piecewise constant between events, and the next departure time under
 current rates is known in closed form.
+
+Placement state is owned by the shared
+:class:`~repro.kernel.AllocationKernel` — the same validation, d-budget
+enforcement and migration pricing as the trace-driven simulator — so this
+driver only decides *when* events happen, never *whether they are legal*.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.base import AllocationAlgorithm
 from repro.errors import SimulationError
+from repro.kernel import AllocationKernel
 from repro.machines.base import PartitionableMachine
+from repro.tasks.events import Arrival, Departure
 from repro.tasks.task import Task
-from repro.types import NodeId, TaskId
+from repro.types import TaskId
 
 __all__ = ["ClosedLoopResult", "TaskOutcome", "simulate_shared_closed_loop"]
 
@@ -96,42 +102,28 @@ def simulate_shared_closed_loop(
     ``arrivals`` supply id, size, arrival time and ``work``; their
     ``departure`` fields are ignored (departure is what we compute).  The
     algorithm is driven through its normal hooks; reallocations offered via
-    ``maybe_reallocate`` are applied (spans change mid-flight, and the
-    integration accounts for it exactly).
+    ``maybe_reallocate`` are applied by the kernel (spans change
+    mid-flight, and the integration accounts for it exactly).
     """
     if algorithm.machine is not machine:
         raise SimulationError("algorithm was built for a different machine instance")
-    h = machine.hierarchy
     n = machine.num_pes
     pending = sorted(arrivals, key=lambda t: (t.arrival, t.task_id))
     for t in pending:
         if t.work <= 0:
             raise SimulationError(f"task {t.task_id} has non-positive work")
 
-    leaf_loads = np.zeros(n, dtype=np.int64)
-    spans: dict[TaskId, tuple[int, int]] = {}
+    kernel = AllocationKernel(machine, algorithm, collect_leaf_snapshots=False)
     remaining: dict[TaskId, float] = {}
-    task_by_id: dict[TaskId, Task] = {}
     outcomes: dict[TaskId, TaskOutcome] = {}
-    arrived_since_realloc = 0
 
     now = 0.0
-    max_load = 0
     busy_integral = 0.0
     next_arrival_idx = 0
 
     def rate_of(tid: TaskId) -> float:
-        lo, hi = spans[tid]
-        return 1.0 / float(leaf_loads[lo:hi].max())
-
-    def place(tid: TaskId, node: NodeId) -> None:
-        lo, hi = h.leaf_span(node)
-        spans[tid] = (lo, hi)
-        leaf_loads[lo:hi] += 1
-
-    def unplace(tid: TaskId) -> None:
-        lo, hi = spans.pop(tid)
-        leaf_loads[lo:hi] -= 1
+        # Max leaf load over the task's span — O(log N) via the tracker.
+        return 1.0 / float(kernel.submachine_load(kernel._placements[tid]))
 
     def advance(dt: float) -> None:
         nonlocal busy_integral
@@ -139,7 +131,7 @@ def simulate_shared_closed_loop(
             return
         for tid in remaining:
             remaining[tid] -= dt * rate_of(tid)
-        busy_integral += dt * float((leaf_loads > 0).sum())
+        busy_integral += dt * float((kernel.leaf_loads() > 0).sum())
 
     guard = 0
     while next_arrival_idx < len(pending) or remaining:
@@ -164,10 +156,9 @@ def simulate_shared_closed_loop(
             advance(dt_completion)
             now += dt_completion
             assert completing is not None
-            task = task_by_id[completing]
+            task = kernel._tasks[completing]
             del remaining[completing]
-            unplace(completing)
-            algorithm.on_departure(task)
+            kernel.apply(Departure(now, completing))
             outcomes[completing] = TaskOutcome(
                 task_id=completing,
                 work=task.work,
@@ -182,39 +173,14 @@ def simulate_shared_closed_loop(
             now += dt_arrival
             task = pending[next_arrival_idx]
             next_arrival_idx += 1
-            placement = algorithm.on_arrival(task)
-            if h.subtree_size(placement.node) != task.size:
-                raise SimulationError(
-                    f"algorithm placed size-{task.size} task at a "
-                    f"{h.subtree_size(placement.node)}-PE node"
-                )
-            task_by_id[task.task_id] = task
+            kernel.apply(Arrival(now, task))
             remaining[task.task_id] = task.work
-            place(task.task_id, placement.node)
-            arrived_since_realloc += task.size
-            realloc = algorithm.maybe_reallocate(arrived_since_realloc)
-            if realloc is not None:
-                budget = algorithm.reallocation_parameter * n
-                if arrived_since_realloc < budget:
-                    raise SimulationError(
-                        "reallocation attempted before the d*N budget filled"
-                    )
-                mapping = dict(realloc.mapping)
-                if set(mapping) != set(remaining):
-                    raise SimulationError("reallocation must remap the active set")
-                for tid, new_node in mapping.items():
-                    lo, hi = h.leaf_span(new_node)
-                    if spans[tid] != (lo, hi):
-                        unplace(tid)
-                        place(tid, new_node)
-                arrived_since_realloc = 0
-        max_load = max(max_load, int(leaf_loads.max()) if leaf_loads.size else 0)
 
     makespan = now
     utilization = 0.0 if makespan <= 0 else busy_integral / (n * makespan)
     return ClosedLoopResult(
         outcomes=outcomes,
         makespan=makespan,
-        max_load=max_load,
+        max_load=kernel.metrics.max_load,
         utilization=utilization,
     )

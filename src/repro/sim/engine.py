@@ -1,21 +1,26 @@
-"""The discrete-event simulator that drives algorithms over task sequences.
+"""The batch discrete-event simulator — a thin driver over the kernel.
 
-The :class:`Simulator` owns the authoritative machine state.  For each
-event of a :class:`~repro.tasks.sequence.TaskSequence` (already ordered,
-with same-time departures before arrivals) it:
+The :class:`Simulator` drives one algorithm over one
+:class:`~repro.tasks.sequence.TaskSequence` (already ordered, with
+same-time departures before arrivals).  All allocation state — placement
+validation, the d-budget gate, the
+:class:`~repro.machines.loads.LoadTracker`, metrics, and the placement
+history — lives in the shared
+:class:`~repro.kernel.AllocationKernel`; the simulator contributes only
+the batch loop, the observer hooks, and the :class:`RunResult` bundle.
+Streaming sessions (:mod:`repro.service`) and the fault injector drive the
+very same kernel, so every operating mode enforces the same validation
+discipline:
 
-1. calls the algorithm's hook and validates the returned placement —
-   the node must root a submachine of exactly the task's size;
-2. applies it to the machine's :class:`~repro.machines.loads.LoadTracker`;
-3. after each arrival, offers the algorithm a reallocation and *enforces
-   the d-budget*: a reallocation is accepted only when the cumulative
-   arrival volume since the last one has reached ``d * N`` (``d = 0``
-   always may; ``d = inf`` never may).  Accepted remaps are diffed against
-   current placements, migrations are priced by the cost model, and the
-   arrival counter resets;
-4. records metrics after every event, so the reported peak load is exact.
+1. the algorithm's placement must root a submachine of exactly the task's
+   size;
+2. a reallocation is accepted only when the cumulative arrival volume
+   since the last one has reached ``d * N`` (``d = 0`` always may;
+   ``d = inf`` never may); accepted remaps are diffed against current
+   placements and migrations priced by the cost model;
+3. metrics are recorded after every event, so the reported peak is exact.
 
-The simulator deliberately re-derives loads itself rather than trusting any
+The kernel deliberately re-derives loads itself rather than trusting any
 algorithm-internal tracker: an algorithm bug (e.g. overlapping copies or a
 dropped task) surfaces as a hard :class:`~repro.errors.SimulationError`
 instead of silently flattering the results.
@@ -28,12 +33,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import AllocationAlgorithm, Reallocation
-from repro.errors import PlacementError, ReallocationError, SimulationError
+from repro.core.base import AllocationAlgorithm
+from repro.kernel import AllocationKernel
 from repro.machines.base import PartitionableMachine
 from repro.sim.metrics import MetricsCollector
 from repro.sim.realloc_cost import MigrationCostModel
-from repro.tasks.events import Arrival, Departure
 from repro.tasks.sequence import TaskSequence
 from repro.tasks.task import Task
 from repro.types import NodeId, TaskId
@@ -106,112 +110,73 @@ class Simulator:
         *,
         collect_leaf_snapshots: bool = True,
     ):
-        if algorithm.machine is not machine:
-            raise SimulationError(
-                "algorithm was constructed for a different machine instance"
-            )
-        self.machine = machine
-        self.algorithm = algorithm
-        self.cost_model = cost_model or MigrationCostModel()
-        # Lightweight mode: skip the O(N)-per-event leaf snapshot (max-load
-        # accounting stays exact); essential for N >= 2^14 runs.
-        self.collect_leaf_snapshots = collect_leaf_snapshots
-        self._loads = machine.new_load_tracker()
-        self._placements: dict[TaskId, NodeId] = {}
-        self._tasks: dict[TaskId, Task] = {}
-        self._arrived_since_realloc = 0
-        self.metrics = MetricsCollector()
-        # Full placement history: every (start_time, node) a task ever held,
-        # in order.  Fuels the exact slowdown integration
-        # (repro.sim.slowdown.placement_intervals / measure_slowdowns).
-        self._placement_log: dict[TaskId, list[tuple[float, NodeId]]] = {}
-        self._departure_times: dict[TaskId, float] = {}
+        self.kernel = self._build_kernel(
+            machine, algorithm, cost_model, collect_leaf_snapshots
+        )
         self._observers: list = []
 
-    # -- Validation helpers -------------------------------------------------
+    def _build_kernel(
+        self,
+        machine: PartitionableMachine,
+        algorithm: AllocationAlgorithm,
+        cost_model: Optional[MigrationCostModel],
+        collect_leaf_snapshots: bool,
+    ) -> AllocationKernel:
+        """Subclass hook: the fault injector builds a fault-capable kernel."""
+        return AllocationKernel(
+            machine,
+            algorithm,
+            cost_model,
+            collect_leaf_snapshots=collect_leaf_snapshots,
+        )
 
-    def _validate_node_for(self, task: Task, node: NodeId) -> None:
-        h = self.machine.hierarchy
-        if not h.is_valid_node(node):
-            raise PlacementError(
-                f"{self.algorithm.name} placed task {task.task_id} at "
-                f"invalid node {node}"
-            )
-        if h.subtree_size(node) != task.size:
-            raise PlacementError(
-                f"{self.algorithm.name} placed a size-{task.size} task at a "
-                f"{h.subtree_size(node)}-PE submachine (node {node})"
-            )
+    # -- Kernel state, re-exported for drivers, tests and observers ----------
 
-    # -- Event processing -----------------------------------------------------
+    @property
+    def machine(self) -> PartitionableMachine:
+        return self.kernel.machine
 
-    def _apply_arrival(self, event: Arrival) -> None:
-        task = event.task
-        if task.task_id in self._placements:
-            raise SimulationError(f"duplicate arrival of task {task.task_id}")
-        placement = self.algorithm.on_arrival(task)
-        if placement.task_id != task.task_id:
-            raise PlacementError(
-                f"{self.algorithm.name} answered arrival of {task.task_id} "
-                f"with a placement for {placement.task_id}"
-            )
-        self._validate_node_for(task, placement.node)
-        self._loads.place(placement.node, task.size)
-        self._placements[task.task_id] = placement.node
-        self._tasks[task.task_id] = task
-        self._placement_log[task.task_id] = [(event.time, placement.node)]
-        self._arrived_since_realloc += task.size
-        self._offer_reallocation(event.time)
+    @property
+    def algorithm(self) -> AllocationAlgorithm:
+        algorithm = self.kernel.algorithm
+        assert algorithm is not None  # batch simulators always drive one
+        return algorithm
 
-    def _apply_departure(self, event: Departure) -> None:
-        node = self._placements.pop(event.task_id, None)
-        task = self._tasks.pop(event.task_id, None)
-        if node is None or task is None:
-            raise SimulationError(f"departure of unknown task {event.task_id}")
-        self.algorithm.on_departure(task)
-        self._loads.remove(node, task.size)
-        self._departure_times[event.task_id] = event.time
+    @property
+    def cost_model(self) -> MigrationCostModel:
+        return self.kernel.cost_model
 
-    def _offer_reallocation(self, now: float) -> None:
-        realloc = self.algorithm.maybe_reallocate(self._arrived_since_realloc)
-        if realloc is None:
-            return
-        d = self.algorithm.reallocation_parameter
-        budget = d * self.machine.num_pes
-        if self._arrived_since_realloc < budget:
-            raise ReallocationError(
-                f"{self.algorithm.name} attempted a reallocation after only "
-                f"{self._arrived_since_realloc} PE-arrivals; its budget is "
-                f"d*N = {budget}"
-            )
-        self._apply_reallocation(realloc, now)
-        self._arrived_since_realloc = 0
+    @property
+    def collect_leaf_snapshots(self) -> bool:
+        return self.kernel.collect_leaf_snapshots
 
-    def _apply_reallocation(self, realloc: Reallocation, now: float) -> None:
-        mapping = dict(realloc.mapping)
-        if set(mapping) != set(self._placements):
-            missing = set(self._placements) - set(mapping)
-            extra = set(mapping) - set(self._placements)
-            raise ReallocationError(
-                f"reallocation must remap exactly the active tasks; "
-                f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
-            )
-        self.metrics.realloc.record_reallocation()
-        for tid, new_node in mapping.items():
-            task = self._tasks[tid]
-            self._validate_node_for(task, new_node)
-            old_node = self._placements[tid]
-            if new_node == old_node:
-                self.metrics.realloc.record_stationary()
-                continue
-            charge = self.cost_model.charge(self.machine, task.size, old_node, new_node)
-            self.metrics.realloc.record_move(
-                task.size, charge.distance, charge.bytes_moved
-            )
-            self._loads.remove(old_node, task.size)
-            self._loads.place(new_node, task.size)
-            self._placements[tid] = new_node
-            self._placement_log[tid].append((now, new_node))
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.kernel.metrics
+
+    @property
+    def _loads(self):
+        return self.kernel._loads
+
+    @property
+    def _placements(self) -> dict[TaskId, NodeId]:
+        return self.kernel._placements
+
+    @property
+    def _tasks(self) -> dict[TaskId, Task]:
+        return self.kernel._tasks
+
+    @property
+    def _arrived_since_realloc(self) -> int:
+        return self.kernel._arrived_since_realloc
+
+    @property
+    def _placement_log(self) -> dict[TaskId, list[tuple[float, NodeId]]]:
+        return self.kernel._placement_log
+
+    @property
+    def _departure_times(self) -> dict[TaskId, float]:
+        return self.kernel._departure_times
 
     # -- Public API ------------------------------------------------------------
 
@@ -226,17 +191,7 @@ class Simulator:
 
     def step(self, event) -> None:
         """Process one event and record metrics."""
-        if isinstance(event, Arrival):
-            self._apply_arrival(event)
-        elif isinstance(event, Departure):
-            self._apply_departure(event)
-        else:
-            raise SimulationError(f"unknown event type {type(event)!r}")
-        self.metrics.observe(
-            event.time,
-            self._loads.max_load,
-            self._loads.leaf_loads() if self.collect_leaf_snapshots else None,
-        )
+        self.kernel.apply(event)
         for callback in self._observers:
             callback(self, event)
 
@@ -256,24 +211,24 @@ class Simulator:
 
     @property
     def current_max_load(self) -> int:
-        return self._loads.max_load
+        return self.kernel.current_max_load
 
     @property
     def active_tasks(self) -> dict[TaskId, Task]:
-        return dict(self._tasks)
+        return self.kernel.active_tasks
 
     @property
     def placements(self) -> dict[TaskId, NodeId]:
-        return dict(self._placements)
+        return self.kernel.placements
 
     def leaf_loads(self) -> np.ndarray:
-        return self._loads.leaf_loads()
+        return self.kernel.leaf_loads()
 
     def submachine_load(self, node: NodeId) -> int:
-        return self._loads.submachine_load(node)
+        return self.kernel.submachine_load(node)
 
     def active_size(self) -> int:
-        return sum(t.size for t in self._tasks.values())
+        return self.kernel.active_size()
 
     def placement_intervals(self) -> dict[TaskId, list[tuple[float, float, NodeId]]]:
         """Exact (start, end, node) residence segments for every task seen.
@@ -283,24 +238,8 @@ class Simulator:
         slowdown model integrates over — it reflects what actually ran,
         including mid-life migrations.
         """
-        intervals: dict[TaskId, list[tuple[float, float, NodeId]]] = {}
-        for tid, changes in self._placement_log.items():
-            end_of_life = self._departure_times.get(tid, float("inf"))
-            segments = []
-            for i, (start, node) in enumerate(changes):
-                end = changes[i + 1][0] if i + 1 < len(changes) else end_of_life
-                if end > start:
-                    segments.append((start, end, node))
-            intervals[tid] = segments
-        return intervals
+        return self.kernel.placement_intervals()
 
     def check_consistency(self) -> None:
         """Cross-check tracker vs. placements (test helper)."""
-        self._loads.check_invariants()
-        expected = np.zeros(self.machine.num_pes, dtype=np.int64)
-        h = self.machine.hierarchy
-        for tid, node in self._placements.items():
-            lo, hi = h.leaf_span(node)
-            expected[lo:hi] += 1
-        if not np.array_equal(expected, self._loads.leaf_loads()):
-            raise SimulationError("leaf loads disagree with placements")
+        self.kernel.check_consistency()

@@ -9,7 +9,7 @@ snapshots, load-balance indices, and reallocation/migration counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -56,6 +56,20 @@ class LoadTimeSeries:
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         return np.asarray(self.times), np.asarray(self.max_loads, dtype=np.int64)
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the series (kernel snapshot format)."""
+        return {
+            "times": [float(t) for t in self.times],
+            "max_loads": [int(v) for v in self.max_loads],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LoadTimeSeries":
+        return cls(
+            times=[float(t) for t in state["times"]],
+            max_loads=[int(v) for v in state["max_loads"]],
+        )
+
     def time_average(self) -> float:
         """Time-weighted average of the max load (piecewise constant)."""
         if len(self.times) < 2:
@@ -91,6 +105,14 @@ class ReallocationStats:
 
     def record_stationary(self) -> None:
         self.num_stationary += 1
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot (kernel snapshot format)."""
+        return dict(asdict(self))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReallocationStats":
+        return cls(**state)
 
 
 @dataclass
@@ -165,6 +187,14 @@ class FaultStats:
             "load_overshoot_vs_degraded": self.load_overshoot_vs_degraded,
         }
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot (kernel snapshot format)."""
+        return dict(asdict(self))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultStats":
+        return cls(**state)
+
 
 @dataclass
 class MetricsCollector:
@@ -207,3 +237,37 @@ class MetricsCollector:
         if self.peak_snapshot is None:
             return 1.0
         return jain_fairness(self.peak_snapshot)
+
+    def to_state(self) -> dict:
+        """Full JSON-safe snapshot — the exact collector state, so a
+        restored kernel continues metering bit-identically."""
+        return {
+            "series": self.series.to_state(),
+            "realloc": self.realloc.to_state(),
+            "faults": self.faults.to_state(),
+            "peak_snapshot": (
+                None
+                if self.peak_snapshot is None
+                else [int(v) for v in self.peak_snapshot]
+            ),
+            "peak_snapshot_time": (
+                None
+                if self.peak_snapshot_time is None
+                else float(self.peak_snapshot_time)
+            ),
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsCollector":
+        snap = state.get("peak_snapshot")
+        return cls(
+            series=LoadTimeSeries.from_state(state["series"]),
+            realloc=ReallocationStats.from_state(state["realloc"]),
+            faults=FaultStats.from_state(state["faults"]),
+            peak_snapshot=(
+                None if snap is None else np.asarray(snap, dtype=np.int64)
+            ),
+            peak_snapshot_time=state.get("peak_snapshot_time"),
+            events_processed=int(state["events_processed"]),
+        )

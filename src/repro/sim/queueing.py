@@ -32,11 +32,13 @@ from collections import deque
 from typing import Sequence
 
 from repro.errors import SimulationError
+from repro.kernel import AllocationKernel
 from repro.machines.base import PartitionableMachine
 from repro.machines.copies import BuddyCopy
 from repro.sim.closedloop import ClosedLoopResult, TaskOutcome
+from repro.tasks.events import Departure
 from repro.tasks.task import Task
-from repro.types import TaskId
+from repro.types import NodeId, TaskId
 
 __all__ = ["simulate_exclusive_queueing"]
 
@@ -71,6 +73,14 @@ def simulate_exclusive_queueing(
     pending = sorted(arrivals, key=lambda t: (t.arrival, t.task_id))
     task_by_id = {t.task_id: t for t in pending}
     copy = allocator if allocator is not None else BuddyCopy(machine.hierarchy)
+    # On the default buddy path, handles are hierarchy nodes, so occupancy
+    # is tracked by the shared kernel in external-placement mode (same
+    # alignment validation as every other driver).  A custom allocator may
+    # return opaque handles the kernel cannot interpret, so it is trusted
+    # to do its own bookkeeping.
+    kernel = None if allocator is not None else AllocationKernel(
+        machine, collect_leaf_snapshots=False
+    )
     queue: deque[Task] = deque()
     running: dict[TaskId, tuple[float, int]] = {}  # tid -> (finish time, node)
     outcomes: dict[TaskId, TaskOutcome] = {}
@@ -87,6 +97,8 @@ def simulate_exclusive_queueing(
         if not copy.can_host(task.size):
             return False
         node = copy.allocate(task.size)
+        if kernel is not None:
+            kernel.apply_placed(now, task, NodeId(int(node)))
         running[task.task_id] = (now + task.work, node)
         start_times[task.task_id] = now
         busy_pes += task.size
@@ -135,6 +147,8 @@ def simulate_exclusive_queueing(
             for tid in finished:
                 _f, node = running.pop(tid)
                 copy.free(node)
+                if kernel is not None:
+                    kernel.apply(Departure(now, tid))
                 task = task_by_id[tid]
                 busy_pes -= task.size
                 outcomes[tid] = TaskOutcome(
@@ -155,6 +169,11 @@ def simulate_exclusive_queueing(
 
     makespan = now
     utilization = 0.0 if makespan <= 0 else busy_integral / (machine.num_pes * makespan)
+    if kernel is not None and kernel.metrics.max_load > 1:
+        raise SimulationError(
+            "exclusive-use run exceeded load 1 — the allocator double-booked "
+            "a submachine"
+        )
     return ClosedLoopResult(
         outcomes=outcomes,
         makespan=makespan,

@@ -15,7 +15,14 @@ from typing import Union
 from repro.tasks.task import Task
 from repro.types import TaskId, Time
 
-__all__ = ["EventKind", "Arrival", "Departure", "Event", "event_sort_key"]
+__all__ = [
+    "EventKind",
+    "Arrival",
+    "Departure",
+    "Event",
+    "event_priority",
+    "event_sort_key",
+]
 
 
 class EventKind(enum.Enum):
@@ -59,13 +66,42 @@ class Departure:
 
 Event = Union[Arrival, Departure]
 
+#: Canonical same-timestamp ordering for *every* event the library knows:
+#: departures (0) before arrivals (1) before fault events (2).  Keyed by the
+#: event's ``kind`` so fault events (which live in :mod:`repro.faults.plan`
+#: and cannot be imported here without a cycle) participate without an
+#: isinstance ladder.  This single table is the one source of truth for
+#: tie-ordering — :class:`~repro.tasks.sequence.TaskSequence`,
+#: :func:`repro.faults.plan.merge_events`, and the streaming service layer
+#: all sort with :func:`event_sort_key`.
+_TIE_PRIORITY: dict[str, int] = {
+    "departure": 0,
+    "arrival": 1,
+    "failure": 2,
+    "repair": 2,
+    "kill": 2,
+}
 
-def event_sort_key(event: Event) -> tuple[Time, int]:
-    """Stable chronological ordering with departures before arrivals at ties.
 
-    Processing a simultaneous departure first is the convention that makes
-    the paper's worked example (Figure 1) come out right: a slot freed "at
-    the same time" a new task arrives is available to that task.  Within the
-    same kind the original order is preserved (``sorted`` is stable).
+def event_priority(event: object) -> int:
+    """Tie-break rank of any task or fault event at a shared timestamp.
+
+    Departures first (a slot freed "at the same time" a new task arrives is
+    available to that task — the convention that makes the paper's Figure 1
+    come out right), then arrivals, then fault events (a placement decided
+    "at" a fault time still sees the pre-fault machine and is immediately
+    salvaged — the convention the audit referees assume).
     """
-    return (event.time, 0 if isinstance(event, Departure) else 1)
+    kind = event.kind  # type: ignore[attr-defined]
+    if isinstance(kind, EventKind):
+        kind = kind.value
+    return _TIE_PRIORITY[kind]
+
+
+def event_sort_key(event: object) -> tuple[Time, int]:
+    """Stable chronological ordering under the canonical tie priority.
+
+    Within the same kind the original order is preserved (``sorted`` is
+    stable).  Accepts both task events and fault events.
+    """
+    return (event.time, event_priority(event))  # type: ignore[attr-defined]

@@ -1,0 +1,192 @@
+"""Unit tests for the shared AllocationKernel.
+
+The kernel is the single owner of allocation state; these tests pin its
+two load-bearing contracts: (1) ``snapshot()``/``restore()`` round-trips
+exactly, on every topology, including mid-run under an active fault plan;
+(2) the state machine rejects malformed snapshots loudly instead of
+restoring garbage.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.errors import CheckpointError, SimulationError
+from repro.kernel import (
+    KERNEL_STATE_KIND,
+    KERNEL_STATE_VERSION,
+    AllocationKernel,
+)
+from repro.machines.butterfly import Butterfly
+from repro.machines.fattree import FatTree
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import Mesh2D
+from repro.machines.tree import TreeMachine
+from repro.tasks.events import Arrival, Departure
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId
+from repro.workloads.generators import poisson_sequence
+
+TOPOLOGIES = {
+    "tree": TreeMachine,
+    "hypercube": Hypercube,
+    "hypercube-gray": lambda n: Hypercube(n, layout="gray"),
+    "mesh": Mesh2D,
+    "butterfly": Butterfly,
+    "fattree": lambda n: FatTree(n, fatness=2.0),
+}
+
+
+def _digest(state) -> str:
+    return hashlib.sha256(
+        json.dumps(state, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def _drive(machine, events):
+    kernel = AllocationKernel(machine, make_algorithm("greedy", machine))
+    for event in events:
+        kernel.apply(event)
+    return kernel
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_round_trip_every_topology(self, topology):
+        machine = TOPOLOGIES[topology](16)
+        rng = np.random.default_rng(7)
+        events = list(poisson_sequence(16, 40, rng))
+        kernel = _drive(machine, events[: len(events) // 2])
+        snap = kernel.snapshot()
+
+        fresh = AllocationKernel(TOPOLOGIES[topology](16))
+        fresh.restore(snap)
+        assert _digest(fresh.snapshot()) == _digest(snap)
+        assert fresh.placements == kernel.placements
+        assert fresh.current_max_load == kernel.current_max_load
+        assert fresh.optimal_load == kernel.optimal_load
+        assert (fresh.leaf_loads() == kernel.leaf_loads()).all()
+        assert fresh.metrics.max_load == kernel.metrics.max_load
+        fresh.check_consistency()
+
+    def test_snapshot_is_json_serialisable(self):
+        machine = TreeMachine(8)
+        kernel = _drive(
+            machine,
+            [Arrival(0.0, Task(TaskId(0), 2, 0.0)),
+             Arrival(1.0, Task(TaskId(1), 4, 1.0))],
+        )
+        snap = kernel.snapshot()
+        assert snap["kind"] == KERNEL_STATE_KIND
+        assert snap["version"] == KERNEL_STATE_VERSION
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_restored_kernel_keeps_stepping(self):
+        machine = TreeMachine(8)
+        kernel = _drive(
+            machine,
+            [Arrival(0.0, Task(TaskId(0), 2, 0.0)),
+             Arrival(1.0, Task(TaskId(1), 2, 1.0))],
+        )
+        fresh = AllocationKernel(TreeMachine(8))
+        fresh.restore(kernel.snapshot())
+        decision = fresh.apply(Departure(2.0, TaskId(0)))
+        assert decision.task_id == TaskId(0)
+        assert TaskId(0) not in fresh.placements
+        fresh.check_consistency()
+
+    def test_round_trip_mid_run_under_faults(self):
+        from repro.faults.injector import FaultAwareSimulator
+        from repro.faults.plan import generate_fault_plan, merge_events
+        from repro.machines.degraded import DegradedView
+
+        machine = TreeMachine(16)
+        rng = np.random.default_rng(11)
+        sequence = poisson_sequence(16, 60, rng, utilization=0.6)
+        plan = generate_fault_plan(16, sequence, np.random.default_rng(5))
+        assert not plan.is_empty
+        sim = FaultAwareSimulator(
+            machine, make_algorithm("greedy", machine), plan
+        )
+        merged = list(merge_events(sequence, plan))
+        cut = len(merged) // 2
+        for event in merged[:cut]:
+            sim.step(event)
+        snap = sim.kernel.snapshot()
+
+        machine2 = TreeMachine(16)
+        fresh = AllocationKernel(machine2, view=DegradedView(machine2))
+        fresh.restore(snap)
+        assert _digest(fresh.snapshot()) == _digest(snap)
+        assert fresh.view.failed_nodes == sim.kernel.view.failed_nodes
+        assert fresh.metrics.faults.num_failures == snap["metrics"]["faults"]["num_failures"]
+        fresh.check_consistency()
+
+
+class TestRestoreRejections:
+    def _snap(self):
+        machine = TreeMachine(8)
+        return _drive(
+            machine, [Arrival(0.0, Task(TaskId(0), 2, 0.0))]
+        ).snapshot()
+
+    def test_wrong_kind_and_version(self):
+        kernel = AllocationKernel(TreeMachine(8))
+        bad = dict(self._snap())
+        bad["kind"] = "something-else"
+        with pytest.raises(CheckpointError):
+            kernel.restore(bad)
+        bad = dict(self._snap())
+        bad["version"] = 99
+        with pytest.raises(CheckpointError):
+            kernel.restore(bad)
+
+    def test_wrong_machine(self):
+        kernel = AllocationKernel(TreeMachine(16))
+        with pytest.raises(CheckpointError):
+            kernel.restore(self._snap())
+
+    def test_placement_of_unknown_task(self):
+        bad = dict(self._snap())
+        bad["placements"] = dict(bad["placements"], **{"99": 1})
+        kernel = AllocationKernel(TreeMachine(8))
+        with pytest.raises(CheckpointError):
+            kernel.restore(bad)
+
+    def test_failed_nodes_need_a_view(self):
+        bad = dict(self._snap())
+        bad["failed_nodes"] = [4]
+        kernel = AllocationKernel(TreeMachine(8))
+        with pytest.raises(CheckpointError):
+            kernel.restore(bad)
+
+
+class TestKernelStateMachine:
+    def test_external_placement_mode(self):
+        machine = TreeMachine(8)
+        kernel = AllocationKernel(machine)
+        decision = kernel.apply_placed(
+            0.0, Task(TaskId(0), 2, 0.0), NodeId(4)
+        )
+        assert decision.node == NodeId(4)
+        assert kernel.current_max_load == 1
+        kernel.apply(Departure(1.0, TaskId(0)))
+        assert kernel.current_max_load == 0
+
+    def test_fault_event_without_view_is_rejected(self):
+        from repro.faults.plan import PEFailure
+
+        machine = TreeMachine(8)
+        kernel = AllocationKernel(machine, make_algorithm("greedy", machine))
+        with pytest.raises(SimulationError, match="unknown event type"):
+            kernel.apply(PEFailure(0.0, NodeId(4)))
+
+    def test_duplicate_arrival_message_is_stable(self):
+        machine = TreeMachine(8)
+        kernel = AllocationKernel(machine, make_algorithm("greedy", machine))
+        kernel.apply(Arrival(0.0, Task(TaskId(0), 1, 0.0)))
+        with pytest.raises(SimulationError, match="duplicate arrival of task 0"):
+            kernel.apply(Arrival(1.0, Task(TaskId(0), 1, 1.0)))

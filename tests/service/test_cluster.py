@@ -1,0 +1,55 @@
+"""Multi-session ClusterManager tests."""
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.errors import SimulationError
+from repro.machines.tree import TreeMachine
+from repro.service import ClusterManager
+
+
+def _open(mgr, name, n=8):
+    machine = TreeMachine(n)
+    return mgr.create(name, machine, make_algorithm("greedy", machine))
+
+
+class TestClusterManager:
+    def test_create_get_close(self):
+        with ClusterManager() as mgr:
+            session = _open(mgr, "alpha")
+            assert mgr.get("alpha") is session
+            assert "alpha" in mgr and mgr.names() == ["alpha"]
+            mgr.close("alpha")
+            assert "alpha" not in mgr
+            with pytest.raises(SimulationError, match="no open session"):
+                mgr.get("alpha")
+
+    def test_duplicate_and_bad_names(self):
+        with ClusterManager() as mgr:
+            _open(mgr, "alpha")
+            with pytest.raises(SimulationError, match="already open"):
+                _open(mgr, "alpha")
+            with pytest.raises(SimulationError, match="path-safe"):
+                _open(mgr, "not/safe")
+
+    def test_status_aggregates_sessions(self):
+        with ClusterManager() as mgr:
+            _open(mgr, "a").submit(2)
+            b = _open(mgr, "b")
+            b.submit(4)
+            b.submit(4)
+            status = mgr.status()
+            assert sorted(status) == ["a", "b"]
+            assert status["a"]["events"] == 1
+            assert status["b"]["events"] == 2
+
+    def test_journal_dir_resumes_by_name(self, tmp_path):
+        with ClusterManager(journal_dir=tmp_path) as mgr:
+            session = _open(mgr, "tenant")
+            session.submit(2)
+            session.submit(2, time=1.0)
+        # New manager, same directory: the named session resumes.
+        with ClusterManager(journal_dir=tmp_path) as mgr:
+            resumed = _open(mgr, "tenant")
+            assert resumed.num_events == 2
+            assert resumed.now == 1.0

@@ -40,3 +40,53 @@ class TestOrdering:
         a2 = Arrival(1.0, _task(1, arrival=1.0))
         assert sorted([a1, a2], key=event_sort_key) == [a1, a2]
         assert sorted([a2, a1], key=event_sort_key) == [a2, a1]
+
+
+class TestCanonicalTieOrder:
+    """The repo-wide same-timestamp convention, pinned.
+
+    Departures free capacity first, arrivals are placed on the pre-fault
+    machine, and fault events strike last — the convention both the batch
+    event merge and the audit referees assume.
+    """
+
+    def test_departures_then_arrivals_then_faults(self):
+        from repro.faults.plan import PEFailure, PERepair, TaskKill
+        from repro.tasks.events import event_priority
+
+        t = 5.0
+        dep = Departure(t, TaskId(0))
+        arr = Arrival(t, _task(1, arrival=t))
+        fail = PEFailure(t, 3)
+        rep = PERepair(t, 3)
+        kill = TaskKill(t, TaskId(1))
+        events = [kill, arr, rep, fail, dep]
+        ordered = sorted(events, key=event_sort_key)
+        assert ordered[0] is dep
+        assert ordered[1] is arr
+        # Fault events share one priority; stable sort keeps their input
+        # order (kill, rep, fail here).
+        assert ordered[2:] == [kill, rep, fail]
+        assert [event_priority(e) for e in ordered] == [0, 1, 2, 2, 2]
+
+    def test_merge_events_uses_the_canonical_key(self):
+        from repro.faults.plan import FaultPlan, PEFailure, merge_events
+        from repro.tasks.sequence import TaskSequence
+
+        seq = TaskSequence.from_tasks(
+            [Task(TaskId(0), 1, 0.0, 5.0), Task(TaskId(1), 1, 5.0, 9.0)]
+        )
+        plan = FaultPlan((PEFailure(5.0, 5),))
+        merged = list(merge_events(seq, plan))
+        at_five = [e for e in merged if e.time == 5.0]
+        kinds = [
+            e.kind.value if hasattr(e.kind, "value") else e.kind
+            for e in at_five
+        ]
+        assert kinds == ["departure", "arrival", "failure"]
+
+    def test_fault_priority_constant_matches_table(self):
+        from repro.faults.plan import FAULT_EVENT_PRIORITY, PEFailure
+        from repro.tasks.events import event_priority
+
+        assert event_priority(PEFailure(0.0, 1)) == FAULT_EVENT_PRIORITY

@@ -265,3 +265,89 @@ class TestFaultFlags:
             ]
 
         assert stats(first) == stats(resumed) == stats(plain)
+
+
+class TestStreaming:
+    """`repro emit`, `repro simulate --stream`, and `repro serve`."""
+
+    def _stdin(self, monkeypatch, text):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_emit_prints_jsonl(self, capsys):
+        import json
+
+        assert main(["emit", "--n", "8", "--tasks", "10", "--seed", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in ("arrival", "departure")
+
+    def test_emit_pipes_into_stream_simulate(self, capsys, monkeypatch):
+        import json
+
+        assert main(["emit", "--n", "8", "--tasks", "10", "--seed", "1"]) == 0
+        emitted = capsys.readouterr().out
+        self._stdin(monkeypatch, emitted)
+        assert main(["simulate", "--stream", "--n", "8", "--seed", "1"]) == 0
+        captured = capsys.readouterr()
+        decisions = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert len(decisions) == len(emitted.strip().splitlines())
+        assert all("max_load" in d for d in decisions)
+        assert "stream done" in captured.err
+
+    def test_stream_rejects_garbage(self, capsys, monkeypatch):
+        self._stdin(monkeypatch, "{not json\n")
+        assert main(["simulate", "--stream", "--n", "8"]) == 2
+        assert "invalid event JSON" in capsys.readouterr().err
+
+    def test_stream_save_run_audits(self, capsys, monkeypatch, tmp_path):
+        path = tmp_path / "stream-run.json"
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":4}\n'
+            '{"kind":"arrival","size":2,"time":1.0}\n'
+            '{"kind":"departure","id":0,"time":2.0}\n',
+        )
+        assert main(
+            ["simulate", "--stream", "--n", "8", "--save-run", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["audit", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_serve_ops_and_errors(self, capsys, monkeypatch):
+        import json
+
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":2}\n'
+            '{"op":"status"}\n'
+            '{"kind":"departure","id":99}\n'  # unknown task -> error record
+            "not json at all\n"
+            '{"op":"nope"}\n',
+        )
+        assert main(["serve", "--n", "8"]) == 0
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        decision = json.loads(out_lines[0])
+        assert decision["kind"] == "arrival"
+        status = json.loads(out_lines[1])
+        assert status["events"] == 1
+        assert "error" in json.loads(out_lines[2])
+        assert "error" in json.loads(out_lines[3])
+        assert "error" in json.loads(out_lines[4])
+
+    def test_serve_journal_resume(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        journal = tmp_path / "serve.journal"
+        self._stdin(monkeypatch, '{"kind":"arrival","size":2}\n')
+        assert main(["serve", "--n", "8", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        self._stdin(monkeypatch, '{"op":"status"}\n')
+        assert main(["serve", "--n", "8", "--journal", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert "resumed 1 event(s)" in captured.err
+        status = json.loads(captured.out.strip().splitlines()[0])
+        assert status["events"] == 1 and status["active_tasks"] == 1
