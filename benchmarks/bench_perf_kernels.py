@@ -8,7 +8,8 @@ every experiment leans on:
 * the O(log N) min-load tree descent (greedy's inner loop) and the
   legacy O(N/size) level scan it replaced, side by side,
 * the journal-backed leaf-load snapshot,
-* procedure A_R packing throughput,
+* procedure A_R packing plus the vectorised LoadTracker adoption
+  (``rebuild_from``) and the legacy clear+place loop it replaced,
 * BuddyCopy allocate/free cycles,
 * a full greedy run (end-to-end event rate).
 
@@ -97,14 +98,64 @@ def test_perf_leaf_loads(benchmark, hierarchy):
     assert loads.shape == (N_LARGE,)
 
 
-def test_perf_repack_throughput(benchmark, hierarchy):
+def _repack_workload():
     rng = np.random.default_rng(1)
-    tasks = [
+    return [
         Task(TaskId(i), int(1 << rng.integers(0, 8)), 0.0) for i in range(500)
     ]
 
-    result = benchmark(lambda: repack(hierarchy, tasks))
+
+def test_perf_repack_cycle(benchmark, hierarchy):
+    # The production reallocation path: procedure A_R packs the active
+    # set, then a warm LoadTracker adopts the new mapping via the
+    # vectorised rebuild (what PeriodicAlgorithm and restore() do).
+    tasks = _repack_workload()
+    sizes = {task.task_id: task.size for task in tasks}
+    tracker = _churned_tracker(hierarchy)
+
+    def kernel():
+        result = repack(hierarchy, tasks)
+        tracker.rebuild_from(
+            (node, sizes[tid]) for tid, node in result.mapping.items()
+        )
+        return result
+
+    result = benchmark(kernel)
     assert result.num_copies >= 1
+    assert tracker.max_load >= 1
+
+
+def test_perf_repack_adopt_rebuild(benchmark, hierarchy):
+    # Adoption step in isolation: one vectorised rebuild_from call.
+    tasks = _repack_workload()
+    sizes = {task.task_id: task.size for task in tasks}
+    mapping = repack(hierarchy, tasks).mapping
+    tracker = _churned_tracker(hierarchy)
+
+    benchmark(
+        lambda: tracker.rebuild_from(
+            (node, sizes[tid]) for tid, node in mapping.items()
+        )
+    )
+    assert tracker.max_load >= 1
+
+
+def test_perf_repack_adopt_legacy(benchmark, hierarchy):
+    # The clear() + per-task place() adoption loop that rebuild_from
+    # replaced — kept benchmarked so one snapshot shows the adoption
+    # speedup ratio at the current N.
+    tasks = _repack_workload()
+    sizes = {task.task_id: task.size for task in tasks}
+    mapping = repack(hierarchy, tasks).mapping
+    tracker = _churned_tracker(hierarchy)
+
+    def kernel():
+        tracker.clear()
+        for tid, node in mapping.items():
+            tracker.place(node, sizes[tid])
+
+    benchmark(kernel)
+    assert tracker.max_load >= 1
 
 
 def test_perf_buddy_cycle(benchmark, hierarchy):

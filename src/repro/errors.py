@@ -17,6 +17,7 @@ __all__ = [
     "PlacementError",
     "ReallocationError",
     "SimulationError",
+    "BatchError",
     "TraceFormatError",
     "UnknownAlgorithmError",
     "VerificationError",
@@ -80,6 +81,25 @@ class ReallocationError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class BatchError(SimulationError):
+    """An event inside :meth:`AllocationKernel.apply_batch` failed.
+
+    The kernel state equals the per-event path after the ``applied``
+    prefix: every event before the failing one is fully applied and its
+    metrics flushed, the failing event left no partial state.  Carries
+    the per-event :class:`~repro.kernel.Decision` objects of the applied
+    prefix so callers (e.g. ``AllocationSession.push_batch``) can journal
+    exactly what happened before re-raising.
+    """
+
+    def __init__(self, message: str, *, applied: int, decisions: list | None = None):
+        super().__init__(message)
+        #: Number of events successfully applied before the failure.
+        self.applied = applied
+        #: Decisions of the applied prefix, in event order.
+        self.decisions: list = list(decisions or [])
 
 
 class TraceFormatError(ReproError, ValueError):

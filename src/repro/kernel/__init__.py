@@ -13,10 +13,11 @@ from repro.kernel.core import (
     KERNEL_STATE_VERSION,
     AllocationKernel,
 )
-from repro.kernel.decision import Decision
+from repro.kernel.decision import BatchDecision, Decision
 
 __all__ = [
     "AllocationKernel",
+    "BatchDecision",
     "Decision",
     "KERNEL_STATE_KIND",
     "KERNEL_STATE_VERSION",

@@ -34,19 +34,21 @@ the kernel snapshot digest (see :mod:`repro.service.session`).
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Optional, Protocol, Union, cast
+from typing import Any, Mapping, Optional, Protocol, Sequence, Union, cast
 
 import numpy as np
 
 from repro.core.base import AllocationAlgorithm, Reallocation
 from repro.errors import (
+    BatchError,
     CheckpointError,
     PlacementError,
     ReallocationError,
+    ReproError,
     SalvageError,
     SimulationError,
 )
-from repro.kernel.decision import Decision
+from repro.kernel.decision import BatchDecision, Decision
 from repro.machines.base import PartitionableMachine
 from repro.machines.degraded import DegradedView
 from repro.machines.factory import machine_descriptor
@@ -156,8 +158,8 @@ class AllocationKernel:
             return kind
         return None
 
-    def apply(self, event: Any) -> Decision:
-        """Absorb one event, update all state, return the decision record.
+    def _dispatch(self, event: Any) -> Decision:
+        """Mutate state for one event; metering is the caller's job.
 
         Dispatches on the event's ``kind``: arrivals and departures always;
         failures/repairs/kills only when a degraded ``view`` was supplied
@@ -165,17 +167,84 @@ class AllocationKernel:
         """
         kind = self._event_kind(event)
         if kind == "arrival":
-            decision = self._apply_arrival(event)
-        elif kind == "departure":
-            decision = self._apply_departure(event)
-        elif kind in ("failure", "repair", "kill") and self.view is not None:
-            decision = self._apply_fault(event, kind)
-        else:
-            raise SimulationError(f"unknown event type {type(event)!r}")
+            return self._apply_arrival(event)
+        if kind == "departure":
+            return self._apply_departure(event)
+        if kind in ("failure", "repair", "kill") and self.view is not None:
+            return self._apply_fault(event, kind)
+        raise SimulationError(f"unknown event type {type(event)!r}")
+
+    def apply(self, event: Any) -> Decision:
+        """Absorb one event, update all state, return the decision record."""
+        decision = self._dispatch(event)
         self._observe(event.time)
         if self.view is not None:
             self._update_degradation_gauges()
         return decision
+
+    def apply_batch(self, events: Sequence[Any]) -> BatchDecision:
+        """Absorb a sequence of events with amortised per-event overhead.
+
+        Bit-identical to calling :meth:`apply` once per event — same
+        decisions, same metrics, same snapshots — but the per-event
+        metering is batched: the max-load series is buffered and appended
+        once, and the O(N) peak-snapshot scan runs only at events that
+        strictly raise the peak (the per-event path pays it every event).
+        Event *semantics* are untouched; each event still runs the full
+        dispatch, validation, and d-budget discipline.
+
+        If an event fails, the kernel state equals the per-event path
+        after the preceding events (their metrics are flushed in the
+        ``finally`` below) and a :class:`~repro.errors.BatchError`
+        carrying the applied prefix is raised.
+        """
+        decisions: list[Decision] = []
+        times: list[Time] = []
+        max_loads: list[int] = []
+        tracker = self._loads
+        collect = self.collect_leaf_snapshots
+        view = self.view
+        snap = self.metrics.peak_snapshot
+        # The captured snapshot's max equals the max load at capture time
+        # (the peak snapshot *is* the leaf-load vector), so a scalar
+        # suffices to decide "strictly above every peak so far".
+        snap_peak = int(snap.max()) if snap is not None else None
+        new_snap: Optional[np.ndarray] = None
+        new_snap_time: Optional[Time] = None
+        try:
+            for event in events:
+                decision = self._dispatch(event)
+                max_load = tracker.max_load
+                times.append(event.time)
+                max_loads.append(max_load)
+                if collect and (snap_peak is None or max_load > snap_peak):
+                    new_snap = tracker.leaf_loads()  # already a fresh copy
+                    new_snap_time = event.time
+                    snap_peak = max_load
+                if view is not None:
+                    self._update_degradation_gauges()
+                decisions.append(decision)
+        except ReproError as exc:
+            raise BatchError(
+                f"batch event {len(decisions)} failed: {exc}",
+                applied=len(decisions),
+                decisions=decisions,
+            ) from exc
+        finally:
+            # Flush the applied prefix so kernel state always equals the
+            # per-event path, success or failure.
+            m = self.metrics
+            m.events_processed += len(times)
+            m.series.record_many(times, max_loads)
+            if new_snap is not None:
+                m.peak_snapshot = new_snap
+                m.peak_snapshot_time = new_snap_time
+        return BatchDecision.summarize(
+            tuple(decisions),
+            max_load=tracker.max_load,
+            active_size=self._active_size,
+            optimal_load=self.optimal_load,
+        )
 
     def apply_placed(self, time: Time, task: Task, node: NodeId) -> Decision:
         """Admit ``task`` at an externally-decided ``node`` (no algorithm).
@@ -313,7 +382,7 @@ class AllocationKernel:
                 f"missing={sorted(missing)!r} extra={sorted(extra)!r}"
             )
         self.metrics.realloc.record_reallocation()
-        moved = 0
+        moves: list[tuple[NodeId, NodeId, int]] = []
         for tid, new_node in mapping.items():
             task = self._tasks[tid]
             self._validate_node_for(task, new_node)
@@ -325,12 +394,11 @@ class AllocationKernel:
             self.metrics.realloc.record_move(
                 task.size, charge.distance, charge.bytes_moved
             )
-            self._loads.remove(old_node, task.size)
-            self._loads.place(new_node, task.size)
+            moves.append((old_node, new_node, task.size))
             self._placements[tid] = new_node
             self._placement_log[tid].append((now, new_node))
-            moved += 1
-        return moved
+        self._commit_moves(moves)
+        return len(moves)
 
     # -- Fault events --------------------------------------------------------
 
@@ -417,7 +485,7 @@ class AllocationKernel:
             )
         stats = self.metrics.faults
         stats.num_salvage_repacks += 1
-        moved = 0
+        moves: list[tuple[NodeId, NodeId, int]] = []
         for tid, new_node in mapping.items():
             task = self._tasks[tid]
             self._validate_node_for(task, new_node)
@@ -430,20 +498,43 @@ class AllocationKernel:
             stats.record_salvage_move(
                 task.size, charge.distance, charge.seconds, orphan=tid in orphans
             )
-            self._loads.remove(old_node, task.size)
-            self._loads.place(new_node, task.size)
+            moves.append((old_node, new_node, task.size))
             self._placements[tid] = new_node
             self._placement_log[tid].append((now, new_node))
-            moved += 1
-        return moved
+        self._commit_moves(moves)
+        return len(moves)
+
+    def _commit_moves(self, moves: list[tuple[NodeId, NodeId, int]]) -> None:
+        """Apply validated placement moves to the load tracker.
+
+        A handful of moves is cheapest incrementally (each remove/place is
+        O(height)); a repack that relocates most of the machine is cheaper
+        as one vectorised :meth:`LoadTracker.rebuild_from` over the final
+        placements.  Both paths leave the tracker answering identically —
+        the crossover only trades time.
+        """
+        h = self.machine.hierarchy
+        if len(moves) * 2 * (h.height + 1) < h.num_leaves:
+            tracker = self._loads
+            for old_node, new_node, size in moves:
+                tracker.remove(old_node, size)
+                tracker.place(new_node, size)
+        elif moves:
+            self._loads.rebuild_from(
+                (node, self._tasks[tid].size)
+                for tid, node in self._placements.items()
+            )
 
     # -- Metering ------------------------------------------------------------
 
     def _observe(self, time: Time) -> None:
+        # copy=False: the collector only reads the vector (and copies it
+        # itself at a new peak), so the read-only view avoids an O(N)
+        # defensive copy on every event.
         self.metrics.observe(
             time,
             self._loads.max_load,
-            self._loads.leaf_loads() if self.collect_leaf_snapshots else None,
+            self._loads.leaf_loads(copy=False) if self.collect_leaf_snapshots else None,
         )
 
     def _update_degradation_gauges(self) -> None:
@@ -518,8 +609,10 @@ class AllocationKernel:
             return 0.0 if peak == 0 else math.inf
         return peak / lstar
 
-    def leaf_loads(self) -> np.ndarray:
-        return self._loads.leaf_loads()
+    def leaf_loads(self, *, copy: bool = True) -> np.ndarray:
+        """Per-PE loads; ``copy=False`` returns a read-only view valid
+        only until the next event (see :meth:`LoadTracker.leaf_loads`)."""
+        return self._loads.leaf_loads(copy=copy)
 
     def submachine_load(self, node: NodeId) -> int:
         return self._loads.submachine_load(node)
@@ -554,7 +647,7 @@ class AllocationKernel:
         for _tid, node in self._placements.items():
             lo, hi = h.leaf_span(node)
             expected[lo:hi] += 1
-        if not np.array_equal(expected, self._loads.leaf_loads()):
+        if not np.array_equal(expected, self._loads.leaf_loads(copy=False)):
             raise SimulationError("leaf loads disagree with placements")
 
     # -- Snapshot / restore --------------------------------------------------
@@ -679,7 +772,6 @@ class AllocationKernel:
         # Parse succeeded — now (and only now) replace the live state.
         if self.algorithm is None:
             self._restored_algorithm_name = state.get("algorithm")
-        self._loads.clear()
         if self.view is not None:
             for node in list(self.view.failed_nodes):
                 self.view.repair(node)
@@ -687,8 +779,9 @@ class AllocationKernel:
                 self.view.fail(NodeId(int(node)))
         self._tasks = tasks
         self._placements = placements
-        for tid, node in placements.items():
-            self._loads.place(node, tasks[tid].size)
+        self._loads.rebuild_from(
+            (node, tasks[tid].size) for tid, node in placements.items()
+        )
         self._placement_log = placement_log
         self._departure_times = departure_times
         self._killed = killed

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Optional
 
-__all__ = ["Decision"]
+__all__ = ["Decision", "BatchDecision"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,3 +76,103 @@ class Decision:
         if self.noop:
             out["noop"] = True
         return out
+
+
+@dataclass(frozen=True, slots=True)
+class BatchDecision:
+    """Summary of one :meth:`AllocationKernel.apply_batch` call.
+
+    The per-event :class:`Decision` records are retained in event order —
+    the batch path is an amortisation of the per-event path, not a
+    different algorithm, so every individual answer is still available.
+    The aggregate fields save callers a pass over the batch.
+    """
+
+    #: Per-event decisions, in the order the events were applied.
+    decisions: tuple[Decision, ...]
+    arrivals: int
+    departures: int
+    faults: int
+    noops: int
+    #: Accepted d-budget reallocations triggered inside the batch.
+    reallocations: int
+    #: Tasks moved by reallocations and salvages inside the batch.
+    migrations: int
+    salvages: int
+    #: Highest max PE load observed after any event in the batch.
+    peak_max_load: int
+    #: Max PE load after the final event (post-batch state).
+    max_load: int
+    active_size: int
+    optimal_load: int
+
+    @classmethod
+    def summarize(
+        cls,
+        decisions: tuple[Decision, ...],
+        *,
+        max_load: int,
+        active_size: int,
+        optimal_load: int,
+    ) -> "BatchDecision":
+        arrivals = departures = faults = noops = 0
+        reallocations = migrations = salvages = 0
+        for d in decisions:
+            if d.kind == "arrival":
+                arrivals += 1
+            elif d.kind == "departure":
+                departures += 1
+            else:
+                faults += 1
+            if d.noop:
+                noops += 1
+            if d.reallocated:
+                reallocations += 1
+            if d.salvaged:
+                salvages += 1
+            migrations += d.migrations
+        return cls(
+            decisions=decisions,
+            arrivals=arrivals,
+            departures=departures,
+            faults=faults,
+            noops=noops,
+            reallocations=reallocations,
+            migrations=migrations,
+            salvages=salvages,
+            peak_max_load=max((d.max_load for d in decisions), default=max_load),
+            max_load=max_load,
+            active_size=active_size,
+            optimal_load=optimal_load,
+        )
+
+    @property
+    def count(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def competitive_ratio(self) -> float:
+        """``peak max load / optimal_load`` within the batch so far."""
+        if self.optimal_load == 0:
+            return 0.0 if self.peak_max_load == 0 else math.inf
+        return self.peak_max_load / self.optimal_load
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact JSON-safe summary (per-event decisions not included)."""
+        ratio = self.competitive_ratio
+        return {
+            "kind": "batch",
+            "count": self.count,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "faults": self.faults,
+            "noops": self.noops,
+            "reallocations": self.reallocations,
+            "migrations": self.migrations,
+            "salvages": self.salvages,
+            "peak_max_load": self.peak_max_load,
+            "max_load": self.max_load,
+            "active_size": self.active_size,
+            "optimal_load": self.optimal_load,
+            "competitive_ratio": "inf" if math.isinf(ratio) else round(ratio, 6),
+        }

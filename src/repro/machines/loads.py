@@ -58,6 +58,9 @@ recomputation when the journal overflows between queries.
 
 from __future__ import annotations
 
+from itertools import repeat
+from typing import Iterable
+
 import numpy as np
 
 from repro.errors import PlacementError
@@ -66,11 +69,27 @@ from repro.types import NodeId, ilog2, is_power_of_two
 
 __all__ = ["LoadTracker"]
 
-#: Journal entries kept between ``leaf_loads`` queries before the cache is
-#: declared stale and rebuilt vectorized on the next query.  Each entry
-#: replays as one slice addition, so the cap bounds replay work to roughly
-#: one rebuild's worth.
-_LEAF_JOURNAL_CAP = 64
+#: Test override for the leaf-journal capacity.  ``None`` (the default)
+#: scales the cap with the machine: a fixed constant is mistuned at both
+#: ends — at N = 16 a 64-entry journal replays more work than one
+#: vectorized rebuild costs, while at N = 65536 it overflows (forcing the
+#: O(N) rebuild) long before replay stops being the cheaper path.  Set an
+#: ``int`` here to pin the cap for deterministic journal-overflow tests.
+_LEAF_JOURNAL_CAP: int | None = None
+
+
+def _leaf_journal_cap(num_leaves: int) -> int:
+    """Journal entries kept between ``leaf_loads`` queries before the cache
+    is declared stale and rebuilt vectorized on the next query.
+
+    Each entry replays as one slice addition of average width ~N/2, so a
+    cap of ``N // 8`` bounds replay work to roughly one rebuild's worth
+    while keeping small machines from journaling more than they are worth;
+    the floor/ceiling keep the bookkeeping sane at the extremes.
+    """
+    if _LEAF_JOURNAL_CAP is not None:
+        return _LEAF_JOURNAL_CAP
+    return max(16, min(8192, num_leaves // 8))
 
 
 class LoadTracker:
@@ -86,7 +105,9 @@ class LoadTracker:
         "_minagg",
         "_minagg_base",
         "_leaf_cache",
+        "_leaf_view",
         "_leaf_journal",
+        "_leaf_journal_cap",
         "_leaf_stale",
         "_path_shifts",
     )
@@ -115,9 +136,13 @@ class LoadTracker:
         for level in range(n + 1):
             base[level + 1] = base[level] + (1 << level) * (n - level + 1)
         self._minagg_base = base
-        # Incremental per-PE load cache fed by a bounded span journal.
+        # Incremental per-PE load cache fed by a bounded span journal, plus
+        # a reusable read-only view for copy-free internal readers.
         self._leaf_cache = np.zeros(hierarchy.num_leaves, dtype=np.int64)
+        self._leaf_view = self._leaf_cache.view()
+        self._leaf_view.flags.writeable = False
         self._leaf_journal: list[tuple[int, int, int]] = []
+        self._leaf_journal_cap = _leaf_journal_cap(hierarchy.num_leaves)
         self._leaf_stale = False
         # Shift vector for the vectorized root-path gather (satellite:
         # ancestor_load / leaf_load without a Python generator).
@@ -181,7 +206,7 @@ class LoadTracker:
         if self._leaf_stale:
             return
         journal = self._leaf_journal
-        if len(journal) >= _LEAF_JOURNAL_CAP:
+        if len(journal) >= self._leaf_journal_cap:
             self._leaf_stale = True
             journal.clear()
             return
@@ -209,17 +234,62 @@ class LoadTracker:
         self._journal_span(node, -1)
 
     def clear(self) -> None:
-        """Drop all placements (used by reallocation: repack from scratch)."""
+        """Drop all placements (used by reallocation: repack from scratch).
+
+        All buffers stay allocated — repack-heavy runs (A_C repacks on
+        every arrival) call this constantly, and reallocating the two
+        2N-slot mirror lists each time dominated the repack path.
+        """
         self._count[:] = 0
         self._max_below[:] = 0
         self._active = 0
         size = 2 * self.hierarchy.num_leaves
-        self._count_list = [0] * size
-        self._mb_list = [0] * size
+        self._count_list[:] = repeat(0, size)
+        self._mb_list[:] = repeat(0, size)
         self._minagg = None  # rebuilt lazily on the next min-load query
         self._leaf_cache[:] = 0
         self._leaf_journal.clear()
         self._leaf_stale = False
+
+    def rebuild_from(self, placements: Iterable[tuple[NodeId, int]]) -> None:
+        """Replace the entire load state with ``placements`` in one pass.
+
+        ``placements`` is an iterable of ``(node, size)`` pairs — one per
+        active task, duplicates allowed (several tasks may share a node).
+        Equivalent to :meth:`clear` followed by one :meth:`place` per pair,
+        but the ``count``/``max_below`` aggregation is recomputed bottom-up
+        with vectorized per-level NumPy reductions: **O(N + T)** total
+        instead of T single O(log N) (or O(log^2 N) with the min-agg
+        structure built) path walks.  This is what makes the repack
+        adoption in ``A_C``/``A_M`` reallocations stop being the dominant
+        cost of repack-heavy runs.
+        """
+        h = self.hierarchy
+        count = self._count
+        count[:] = 0
+        nodes: list[int] = []
+        for node, size in placements:
+            self._validate_placement(node, size)
+            nodes.append(node)
+        if nodes:
+            np.add.at(count, np.asarray(nodes, dtype=np.int64), 1)
+        self._active = len(nodes)
+        # Bottom-up max aggregation, one vectorized reduction per level.
+        mb = self._max_below
+        n = h.height
+        leaves = h.level_slice(n)
+        mb[leaves] = count[leaves]
+        for level in range(n - 1, -1, -1):
+            sl = h.level_slice(level)
+            below = mb[h.level_slice(level + 1)]
+            np.maximum(below[0::2], below[1::2], out=mb[sl])
+            mb[sl] += count[sl]
+        self._count_list[:] = count.tolist()
+        self._mb_list[:] = mb.tolist()
+        self._minagg = None  # rebuilt lazily on the next min-load query
+        # The per-PE cache is recomputed vectorized on the next query.
+        self._leaf_journal.clear()
+        self._leaf_stale = True
 
     # -- Queries -------------------------------------------------------------
 
@@ -261,9 +331,17 @@ class LoadTracker:
         leaf = self.hierarchy.leaf_node(pe)
         return int(self._path_gather(leaf).sum())
 
-    def leaf_loads(self) -> np.ndarray:
+    def leaf_loads(self, *, copy: bool = True) -> np.ndarray:
         """Loads of all PEs — incrementally cached; O(journal) typical,
-        one O(N) vectorized rebuild after journal overflow."""
+        one O(N) vectorized rebuild after journal overflow.
+
+        With ``copy=False`` the returned array is a **read-only view** of
+        the internal cache: O(1) after the journal replay, for internal
+        callers (engine metrics, audits, consistency checks) that only
+        read it before the tracker mutates again.  The view's contents are
+        only guaranteed until the next ``place``/``remove``/``clear``;
+        callers that hold onto the loads must copy (the default).
+        """
         cache = self._leaf_cache
         if self._leaf_stale:
             h = self.hierarchy
@@ -274,7 +352,7 @@ class LoadTracker:
             for lo, hi, delta in self._leaf_journal:
                 cache[lo:hi] += delta
             self._leaf_journal.clear()
-        return cache.copy()
+        return cache.copy() if copy else self._leaf_view
 
     def level_loads(self, size: int) -> np.ndarray:
         """Loads of every ``size``-PE submachine, left to right — vectorized.

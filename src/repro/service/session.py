@@ -30,11 +30,11 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.core.base import AllocationAlgorithm
-from repro.errors import CheckpointError, SimulationError
-from repro.kernel import AllocationKernel, Decision
+from repro.errors import BatchError, CheckpointError, ReproError, SimulationError
+from repro.kernel import AllocationKernel, BatchDecision, Decision
 from repro.machines.base import PartitionableMachine
 from repro.machines.factory import machine_descriptor
 from repro.sim.checkpoint import CheckpointJournal
@@ -72,6 +72,14 @@ class AllocationSession:
     snapshot_interval:
         Embed a full kernel snapshot in the journal every this many
         events (0 disables embedded snapshots; resume still replays).
+    fsync_policy:
+        Journal durability mode (``always`` | ``batch`` |
+        ``interval:<ms>``, see :class:`~repro.sim.checkpoint.
+        CheckpointJournal`).  ``always`` keeps the original per-event
+        durability; ``batch`` group-commits — :meth:`push_batch` syncs
+        once per batch and per-event pushes buffer until :meth:`flush`
+        (or a control read, or close) — so a crash loses at most the
+        records since the last commit: one uncommitted batch.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class AllocationSession:
         snapshot_interval: int = 64,
         collect_leaf_snapshots: bool = True,
         repack_on_repair: bool = True,
+        fsync_policy: str = "always",
     ) -> None:
         self.machine = machine
         self._fault_tolerant = fault_tolerant
@@ -118,7 +127,9 @@ class AllocationSession:
         if journal_path is not None:
             resuming = Path(journal_path).exists()
             self._journal = CheckpointJournal(
-                journal_path, fingerprint=self._fingerprint()
+                journal_path,
+                fingerprint=self._fingerprint(),
+                fsync_policy=fsync_policy,
             )
             if resuming:
                 self._replay_journal()
@@ -231,6 +242,138 @@ class AllocationSession:
                 kind, node=int(record["node"]), time=record.get("time")
             )
         raise SimulationError(f"unknown event record kind {kind!r}")
+
+    def push_batch(self, records: Sequence[Mapping[str, Any]]) -> BatchDecision:
+        """Absorb a batch of wire-format records in one amortised call.
+
+        Bit-identical to :meth:`push`-ing each record — same decisions,
+        metrics, journal records, and clock/task-id assignment — but the
+        kernel meters the batch in one pass
+        (:meth:`AllocationKernel.apply_batch`) and the journal absorbs it
+        as one group commit (:meth:`CheckpointJournal.record_many`: one
+        write, one ``fsync``).  A crash mid-call therefore loses at most
+        this one batch; once ``push_batch`` returns under the ``always``
+        or ``batch`` policy the batch is durable.
+
+        If a record is invalid or an event fails in the kernel, every
+        preceding event is fully applied and journaled (exactly as the
+        per-event path would leave it) and a
+        :class:`~repro.errors.BatchError` carrying the applied prefix is
+        raised.
+        """
+        pairs: list[tuple[Any, dict[str, Any]]] = []
+        now = self._now
+        count = len(self._events)
+        next_id = self._next_task_id
+        build_error: Optional[Exception] = None
+        for record in records:
+            try:
+                kind = record.get("kind")
+                t = record.get("time")
+                if t is None:
+                    t = now + 1.0 if count else 0.0
+                else:
+                    t = float(t)
+                    if t < now:
+                        raise SimulationError(
+                            f"event time {t} precedes the session clock ({now})"
+                        )
+                if kind == "arrival":
+                    rid = record.get("id")
+                    tid = next_id if rid is None else int(rid)
+                    work = float(record.get("work", 1.0))
+                    event: Any = Arrival(
+                        t, Task(TaskId(tid), int(record["size"]), t, work=work)
+                    )
+                    norm: dict[str, Any] = {
+                        "kind": "arrival", "time": t, "id": tid,
+                        "size": int(record["size"]), "work": work,
+                    }
+                    next_id = max(next_id, tid + 1)
+                elif kind == "departure":
+                    event = Departure(t, TaskId(int(record["id"])))
+                    norm = {"kind": "departure", "time": t,
+                            "id": int(record["id"])}
+                elif kind in ("failure", "repair", "kill"):
+                    if not self._fault_tolerant:
+                        raise SimulationError(
+                            f"{kind} events need a fault-tolerant session "
+                            "(AllocationSession(..., fault_tolerant=True))"
+                        )
+                    from repro.faults.plan import PEFailure, PERepair, TaskKill
+
+                    if kind == "failure":
+                        event = PEFailure(t, NodeId(int(record["node"])))
+                        norm = {"kind": kind, "time": t,
+                                "node": int(record["node"])}
+                    elif kind == "repair":
+                        event = PERepair(t, NodeId(int(record["node"])))
+                        norm = {"kind": kind, "time": t,
+                                "node": int(record["node"])}
+                    else:
+                        event = TaskKill(t, TaskId(int(record["id"])))
+                        norm = {"kind": kind, "time": t,
+                                "id": int(record["id"])}
+                else:
+                    raise SimulationError(
+                        f"unknown event record kind {kind!r}"
+                    )
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                # Bad record: apply + journal the records before it, just
+                # as the per-event path would have, then report.
+                build_error = exc
+                break
+            pairs.append((event, norm))
+            now = t
+            count += 1
+        try:
+            batch = self.kernel.apply_batch([e for e, _ in pairs])
+        except BatchError as exc:
+            self._commit_batch(pairs[: exc.applied])
+            raise
+        self._commit_batch(pairs)
+        if build_error is not None:
+            raise BatchError(
+                f"batch record {len(pairs)} is invalid: {build_error}",
+                applied=len(pairs),
+                decisions=list(batch.decisions),
+            ) from build_error
+        return batch
+
+    def _commit_batch(self, pairs: list[tuple[Any, dict[str, Any]]]) -> None:
+        """Advance session state and journal one applied batch."""
+        if not pairs:
+            return
+        base = len(self._events)
+        for event, record in pairs:
+            self._events.append(event)
+            self._now = float(event.time)
+            tid = record.get("id")
+            if record["kind"] == "arrival" and tid is not None:
+                self._next_task_id = max(self._next_task_id, int(tid) + 1)
+        if self._journal is None:
+            return
+        payloads: list[tuple[int, dict[str, Any]]] = [
+            (base + i, {"record": record})
+            for i, (_, record) in enumerate(pairs)
+        ]
+        interval = self._snapshot_interval
+        if interval and (base + len(pairs)) // interval > base // interval:
+            # Mid-batch kernel states no longer exist, so the snapshot
+            # that per-event journaling would have embedded at the
+            # interval boundary rides on the batch's last record instead
+            # (resume digest-verifies snapshots wherever they appear).
+            payloads[-1][1]["snapshot"] = self.kernel.snapshot()
+        self._journal.record_many(payloads)
+
+    def flush(self) -> None:
+        """Make buffered journal records durable (group-commit boundary).
+
+        A no-op without a journal or when nothing is pending; under the
+        ``always`` policy there is never anything to flush.
+        """
+        if self._journal is not None:
+            self._journal.commit()
 
     def _absorb(
         self, event: Any, record: dict[str, Any], *, journal: bool = True

@@ -131,7 +131,7 @@ def simulate_shared_closed_loop(
             return
         for tid in remaining:
             remaining[tid] -= dt * rate_of(tid)
-        busy_integral += dt * float((kernel.leaf_loads() > 0).sum())
+        busy_integral += dt * float((kernel.leaf_loads(copy=False) > 0).sum())
 
     guard = 0
     while next_arrival_idx < len(pending) or remaining:

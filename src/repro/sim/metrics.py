@@ -48,6 +48,12 @@ class LoadTimeSeries:
         self.times.append(time)
         self.max_loads.append(max_load)
 
+    def record_many(self, times: list[Time], max_loads: list[int]) -> None:
+        """Bulk append — one list-extend per batch instead of one method
+        call per event; identical series to repeated :meth:`record`."""
+        self.times.extend(times)
+        self.max_loads.extend(max_loads)
+
     @property
     def peak(self) -> int:
         """``L_A(sigma)``: maximum over the whole run (0 if no events)."""

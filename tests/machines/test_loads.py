@@ -239,3 +239,118 @@ class TestLeftmostMinDescent:
             naive[lo:hi] += 1
         assert tracker.leaf_loads().tolist() == naive.tolist()
         tracker.check_invariants()
+
+
+class TestRebuildFrom:
+    """rebuild_from(placements) must equal clear() + place() per task."""
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=31), max_size=40),
+        st.lists(st.integers(min_value=1, max_value=31), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_incremental_rebuild(self, warmup, placements):
+        h = Hierarchy(16)
+        fast = LoadTracker(h)
+        slow = LoadTracker(h)
+        # Warm both trackers with prior state so rebuild_from really
+        # replaces something (and must discard stale caches/journals).
+        for node in warmup:
+            fast.place(node, h.subtree_size(node))
+            _ = fast.leaf_loads()  # populate cache + journal mid-stream
+        pairs = [(node, h.subtree_size(node)) for node in placements]
+        fast.rebuild_from(pairs)
+        for node, size in pairs:
+            slow.place(node, size)
+        assert fast.leaf_loads().tolist() == slow.leaf_loads().tolist()
+        assert fast.max_load == slow.max_load
+        assert fast.num_active == slow.num_active
+        for size in (1, 2, 4, 8, 16):
+            assert fast.level_loads(size).tolist() == slow.level_loads(size).tolist()
+            assert fast.leftmost_min_submachine(size) == slow.leftmost_min_submachine(size)
+        fast.check_invariants()
+
+    def test_rebuild_from_empty_clears(self):
+        h = Hierarchy(8)
+        tracker = LoadTracker(h)
+        tracker.place(1, 8)
+        tracker.place(4, 2)
+        tracker.rebuild_from([])
+        assert tracker.max_load == 0
+        assert tracker.num_active == 0
+        assert tracker.leaf_loads().tolist() == [0] * 8
+        tracker.check_invariants()
+
+    def test_rebuild_from_validates(self):
+        tracker = LoadTracker(Hierarchy(8))
+        with pytest.raises(PlacementError):
+            tracker.rebuild_from([(8, 4)])  # node 8 is a leaf (1 PE)
+        with pytest.raises(PlacementError):
+            tracker.rebuild_from([(99, 1)])
+
+    def test_clear_keeps_answering(self):
+        tracker = LoadTracker(Hierarchy(8))
+        tracker.place(1, 8)
+        tracker.clear()
+        assert tracker.leaf_loads().tolist() == [0] * 8
+        tracker.place(4, 2)
+        assert tracker.max_load == 1
+        tracker.check_invariants()
+
+
+class TestLeafLoadsView:
+    def test_view_is_read_only_and_tracks_cache(self):
+        tracker = LoadTracker(Hierarchy(8))
+        tracker.place(4, 2)
+        view = tracker.leaf_loads(copy=False)
+        assert view.tolist() == [1, 1, 0, 0, 0, 0, 0, 0]
+        with pytest.raises(ValueError):
+            view[0] = 99
+        # The view is live: after the next mutation + query it shows the
+        # new loads without being re-fetched.
+        tracker.place(5, 2)
+        _ = tracker.leaf_loads(copy=False)
+        assert view.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_copy_default_is_isolated(self):
+        tracker = LoadTracker(Hierarchy(8))
+        tracker.place(4, 2)
+        snap = tracker.leaf_loads()
+        tracker.place(4, 2)
+        _ = tracker.leaf_loads()
+        assert snap.tolist() == [1, 1, 0, 0, 0, 0, 0, 0]
+        snap[0] = 42  # a real copy is writable
+
+    def test_view_and_copy_agree_after_rebuild(self):
+        h = Hierarchy(16)
+        tracker = LoadTracker(h)
+        tracker.rebuild_from([(1, 16), (2, 8), (8, 2)])
+        assert tracker.leaf_loads(copy=False).tolist() == tracker.leaf_loads().tolist()
+
+
+class TestJournalCapScaling:
+    def test_scales_with_machine_size(self):
+        from repro.machines.loads import _leaf_journal_cap
+
+        assert _leaf_journal_cap(16) == 16          # floor
+        assert _leaf_journal_cap(1 << 10) == 128    # N // 8
+        assert _leaf_journal_cap(1 << 16) == 8192   # ceiling
+        assert _leaf_journal_cap(1 << 20) == 8192
+
+    def test_module_override_wins(self, monkeypatch):
+        import repro.machines.loads as loads_mod
+
+        monkeypatch.setattr(loads_mod, "_LEAF_JOURNAL_CAP", 3)
+        tracker = LoadTracker(Hierarchy(64))
+        assert tracker._leaf_journal_cap == 3
+        h = tracker.hierarchy
+        naive = np.zeros(64, dtype=np.int64)
+        rng = np.random.default_rng(1)
+        _ = tracker.leaf_loads()
+        for _ in range(50):  # far past the tiny cap: overflow path
+            node = int(rng.integers(1, 128))
+            tracker.place(node, h.subtree_size(node))
+            lo, hi = h.leaf_span(node)
+            naive[lo:hi] += 1
+        assert tracker.leaf_loads().tolist() == naive.tolist()
+        tracker.check_invariants()

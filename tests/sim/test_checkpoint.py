@@ -132,3 +132,66 @@ class TestCrashRecovery:
         path.write_text("")
         with pytest.raises(CheckpointError, match="no readable header"):
             CheckpointJournal(path, fingerprint=FP)
+
+
+class TestFsyncPolicies:
+    def test_bad_policy_is_refused(self, tmp_path):
+        for bad in ("sometimes", "interval:", "interval:x", "interval:-5", "interval:0"):
+            with pytest.raises(CheckpointError):
+                CheckpointJournal(tmp_path / "p.ckpt", fingerprint=FP, fsync_policy=bad)
+
+    def test_always_has_no_pending(self, tmp_path):
+        with CheckpointJournal(tmp_path / "j.ckpt", fingerprint=FP) as journal:
+            journal.record(0, "a")
+            assert journal.pending == 0
+
+    def test_batch_buffers_until_commit(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP, fsync_policy="batch") as journal:
+            journal.record(0, "a")
+            journal.record(1, "b")
+            assert journal.pending == 2
+            journal.commit()
+            assert journal.pending == 0
+            journal.record(2, "c")  # left pending: close() must commit it
+            assert journal.pending == 1
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            assert journal.completed() == {0: "a", 1: "b", 2: "c"}
+
+    def test_record_many_is_one_group_commit(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP, fsync_policy="batch") as journal:
+            journal.record_many([(i, f"v{i}") for i in range(5)])
+            assert journal.pending == 0  # the batch committed atomically
+            journal.record_many([])      # empty group is a no-op
+            assert journal.pending == 0
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            assert journal.completed() == {i: f"v{i}" for i in range(5)}
+
+    def test_record_many_under_always_is_durable(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP) as journal:
+            journal.record_many([(0, "a"), (1, "b")])
+            assert journal.pending == 0
+
+    def test_interval_policy_syncs_after_elapse(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(
+            path, fingerprint=FP, fsync_policy="interval:3600000"
+        ) as journal:
+            journal.record(0, "a")
+            assert journal.pending == 1  # one hour has not elapsed
+        # interval:<tiny> syncs on (almost) every record.
+        with CheckpointJournal(
+            tmp_path / "k.ckpt", fingerprint=FP, fsync_policy="interval:0.0001"
+        ) as journal:
+            journal.record(0, "a")
+            assert journal.pending == 0
+
+    def test_resumed_journal_reads_batched_records(self, tmp_path):
+        path = tmp_path / "j.ckpt"
+        with CheckpointJournal(path, fingerprint=FP, fsync_policy="batch") as journal:
+            journal.record_many([(0, "a"), (1, "b")])
+            journal.record(2, "c")
+        with CheckpointJournal(path, fingerprint=FP, fsync_policy="always") as journal:
+            assert journal.completed() == {0: "a", 1: "b", 2: "c"}

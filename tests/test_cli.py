@@ -351,3 +351,100 @@ class TestStreaming:
         assert "resumed 1 event(s)" in captured.err
         status = json.loads(captured.out.strip().splitlines()[0])
         assert status["events"] == 1 and status["active_tasks"] == 1
+
+
+class TestBatchedStreaming:
+    """`simulate --stream --batch K --fsync ...`: amortised, same answers."""
+
+    def _stdin(self, monkeypatch, text):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_batched_stream_equals_per_event(self, capsys, monkeypatch):
+        assert main(["emit", "--n", "8", "--tasks", "30", "--seed", "4"]) == 0
+        emitted = capsys.readouterr().out
+
+        self._stdin(monkeypatch, emitted)
+        assert main(["simulate", "--stream", "--n", "8", "--seed", "4"]) == 0
+        per_event = capsys.readouterr().out.strip().splitlines()
+
+        self._stdin(monkeypatch, emitted)
+        assert main(
+            ["simulate", "--stream", "--batch", "7", "--n", "8", "--seed", "4"]
+        ) == 0
+        batched = capsys.readouterr().out.strip().splitlines()
+        assert batched == per_event
+
+    def test_batched_stream_with_journal_resumes(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        journal = tmp_path / "stream.journal"
+        assert main(["emit", "--n", "8", "--tasks", "20", "--seed", "2"]) == 0
+        emitted = capsys.readouterr().out
+        self._stdin(monkeypatch, emitted)
+        assert main(
+            [
+                "simulate", "--stream", "--batch", "8",
+                "--fsync", "batch", "--journal", str(journal),
+                "--n", "8", "--seed", "2",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert journal.exists()
+        # The journal resumes in `serve` (same session wire format).
+        self._stdin(monkeypatch, '{"op":"status"}\n')
+        assert main(["serve", "--n", "8", "--journal", str(journal)]) == 0
+        captured = capsys.readouterr()
+        status = json.loads(captured.out.strip().splitlines()[0])
+        assert status["events"] == len(emitted.strip().splitlines())
+
+    def test_bad_fsync_policy_is_a_clean_error(self, capsys, monkeypatch, tmp_path):
+        self._stdin(monkeypatch, '{"kind":"arrival","size":2}\n')
+        code = main(
+            [
+                "simulate", "--stream", "--n", "8",
+                "--journal", str(tmp_path / "j"), "--fsync", "nope",
+            ]
+        )
+        assert code != 0
+        assert "fsync" in capsys.readouterr().err
+
+    def test_serve_control_op_flushes_group_commit(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """Every control op is a commit point: it must flush the pending
+        group-commit buffer before answering."""
+        import json
+
+        from repro.service import AllocationSession
+
+        pending_at_flush = []
+        original = AllocationSession.flush
+
+        def spying_flush(self):
+            if self._journal is not None:
+                pending_at_flush.append(self._journal.pending)
+            original(self)
+
+        monkeypatch.setattr(AllocationSession, "flush", spying_flush)
+        journal = tmp_path / "serve.journal"
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":2}\n'
+            '{"kind":"arrival","size":4}\n'
+            '{"op":"status"}\n'
+            '{"op":"snapshot"}\n',
+        )
+        assert main(
+            ["serve", "--n", "8", "--journal", str(journal), "--fsync", "batch"]
+        ) == 0
+        captured = capsys.readouterr()
+        status = json.loads(captured.out.strip().splitlines()[2])
+        assert status["events"] == 2
+        # status saw 2 buffered records and committed them; snapshot then
+        # had nothing pending.
+        assert pending_at_flush == [2, 0]
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 committed event records
