@@ -128,7 +128,14 @@ def gate_exempt(name: str) -> bool:
 
 
 def compare(previous: dict, current: dict, tolerance: float) -> list[str]:
-    """Return regression messages for kernels slower than ``tolerance``."""
+    """Return regression messages for kernels slower than ``tolerance``.
+
+    Two axes are gated with the same relative tolerance: per-call mean
+    time (must not grow past ``1 + tolerance``) and, where both snapshots
+    record it, ``events_per_sec`` throughput (must not fall below
+    ``prev / (1 + tolerance)``).  The throughput gate catches regressions
+    the mean-time gate can miss when a benchmark's event count changes.
+    """
     problems = []
     if previous.get("bench_n") != current.get("bench_n"):
         print(
@@ -156,6 +163,21 @@ def compare(previous: dict, current: dict, tolerance: float) -> list[str]:
         if marker == "REGRESSION":
             problems.append(
                 f"{name} slowed {ratio:.2f}x "
+                f"(tolerance {1 + tolerance:.2f}x)"
+            )
+        prev_rate, cur_rate = prev.get("events_per_sec"), cur.get("events_per_sec")
+        if (
+            not gate_exempt(name)
+            and prev_rate
+            and cur_rate is not None
+            and cur_rate < prev_rate / (1 + tolerance)
+        ):
+            print(
+                f"  {name}: {prev_rate} ev/s -> {cur_rate} ev/s  "
+                f"THROUGHPUT REGRESSION"
+            )
+            problems.append(
+                f"{name} throughput fell {prev_rate} -> {cur_rate} ev/s "
                 f"(tolerance {1 + tolerance:.2f}x)"
             )
     return problems

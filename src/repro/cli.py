@@ -41,6 +41,7 @@ from repro.analysis.tables import format_table
 from repro.core.bounds import deterministic_upper_factor
 from repro.core.periodic import PeriodicReallocationAlgorithm
 from repro.core.registry import ALGORITHM_SPECS, algorithm_names, make_algorithm
+from repro.kernel.columnar import BACKENDS
 from repro.machines.butterfly import Butterfly
 from repro.machines.fattree import FatTree
 from repro.machines.hypercube import Hypercube
@@ -148,6 +149,7 @@ def _make_session(args: argparse.Namespace, journal_path=None):
         fault_tolerant=getattr(args, "faults", False),
         journal_path=journal_path,
         fsync_policy=getattr(args, "fsync", "always"),
+        batch_backend=getattr(args, "backend", "python"),
     )
 
 
@@ -280,6 +282,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         moves=args.moves,
         seed=args.seed,
     )
+    backend = getattr(args, "backend", "python")
     if args.faults:
         from repro.faults import FaultAwareSimulator, generate_fault_plan
 
@@ -287,16 +290,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             args.fault_seed if args.fault_seed is not None else args.seed
         )
         plan = generate_fault_plan(args.n, sigma, fault_rng)
-        sim = FaultAwareSimulator(machine, algo, plan)
+        sim = FaultAwareSimulator(machine, algo, plan, batch_backend=backend)
     else:
         plan = None
-        sim = Simulator(machine, algo)
+        sim = Simulator(machine, algo, batch_backend=backend)
     load_frames: list[list[int]] = []
     if args.plot:
         sim.add_observer(
             lambda s, ev: load_frames.append(s.leaf_loads().tolist())
         )
-    result = sim.run(sigma)
+    batch = max(1, int(getattr(args, "batch", 1) or 1))
+    if batch > 1 and not args.plot:
+        result = sim.run_batched(sigma, batch)
+    else:
+        result = sim.run(sigma)
     _cmd_simulate_archive_option(sim, args, machine, sigma, result)
     realloc = result.metrics.realloc
     print(f"algorithm          : {result.algorithm_name}")
@@ -630,9 +637,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument(
         "--batch", type=int, default=1, metavar="K",
-        help="(--stream) absorb events in batches of K through the "
-        "kernel's amortised apply_batch path — identical decisions, "
-        "higher throughput (default: 1, per-event)",
+        help="absorb events in batches of K through the kernel's "
+        "amortised apply_batch path — identical decisions, higher "
+        "throughput; applies to --stream and to workload runs without "
+        "--plot (default: 1, per-event)",
+    )
+    p_sim.add_argument(
+        "--backend", choices=BACKENDS, default="python",
+        help="batch execution backend for apply_batch: 'numpy' runs the "
+        "columnar engine, 'numba' adds a JIT run kernel (requires the "
+        "optional numba package); decisions are bit-identical across "
+        "backends (default: python)",
     )
     p_sim.add_argument(
         "--journal", default=None, metavar="FILE",
@@ -674,6 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal fsync policy: 'always' (durable per event), "
         "'batch' (group-commit; control ops, interrupt, and close are "
         "commit points), or 'interval:<ms>' (default: always)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=BACKENDS, default="python",
+        help="batch execution backend for batched event records "
+        "(bit-identical decisions; journals stay backend-portable, "
+        "default: python)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -61,3 +61,20 @@ class GreedyAlgorithm(AllocationAlgorithm):
     def current_max_load(self) -> int:
         """Max PE load as seen by the algorithm's own bookkeeping."""
         return self._loads.max_load
+
+    # -- Columnar batch capability --------------------------------------------
+
+    @property
+    def columnar_state(self):
+        """Expose ``(load tracker, placement map)`` to the columnar engine.
+
+        Contract (see :mod:`repro.kernel.columnar`): the algorithm's whole
+        arrival behaviour must be "place on the leftmost minimum-load
+        submachine of the task's size, never reallocate", with these two
+        structures as its *complete* mutable state — the engine updates
+        both directly while it owns a batch, bypassing
+        :meth:`on_arrival`/:meth:`on_departure`.  A_G satisfies this by
+        definition (Section 4.1); an algorithm with any additional
+        per-event state must not expose this property.
+        """
+        return self._loads, self._placement

@@ -48,6 +48,7 @@ from repro.errors import (
     SalvageError,
     SimulationError,
 )
+from repro.kernel.columnar import ColumnarEngine, resolve_backend
 from repro.kernel.decision import BatchDecision, Decision
 from repro.machines.base import PartitionableMachine
 from repro.machines.degraded import DegradedView
@@ -105,6 +106,15 @@ class AllocationKernel:
     repack_on_repair:
         Whether a repair event triggers a salvage repack onto the
         recovered capacity.
+    batch_backend:
+        Execution strategy for :meth:`apply_batch`: ``"python"`` (the
+        per-event loop, always), ``"numpy"`` (the columnar
+        structure-of-arrays engine in :mod:`repro.kernel.columnar`) or
+        ``"numba"`` (columnar with a JIT-compiled run kernel; requires
+        the optional numba package).  Non-python backends are
+        bit-identical to the per-event loop and fall back to it
+        transparently for batches they cannot vectorise (fault events,
+        algorithms without the ``columnar_state`` capability).
     """
 
     def __init__(
@@ -116,6 +126,7 @@ class AllocationKernel:
         collect_leaf_snapshots: bool = True,
         view: Optional[DegradedView] = None,
         repack_on_repair: bool = True,
+        batch_backend: str = "python",
     ) -> None:
         if algorithm is not None and algorithm.machine is not machine:
             raise SimulationError(
@@ -127,6 +138,12 @@ class AllocationKernel:
         self.collect_leaf_snapshots = collect_leaf_snapshots
         self.view = view
         self.repack_on_repair = repack_on_repair
+        self.batch_backend = resolve_backend(batch_backend)
+        self._columnar: Optional[ColumnarEngine] = (
+            ColumnarEngine(self, self.batch_backend)
+            if self.batch_backend != "python"
+            else None
+        )
         self._loads = machine.new_load_tracker()
         self._placements: dict[TaskId, NodeId] = {}
         self._tasks: dict[TaskId, Task] = {}
@@ -197,7 +214,17 @@ class AllocationKernel:
         after the preceding events (their metrics are flushed in the
         ``finally`` below) and a :class:`~repro.errors.BatchError`
         carrying the applied prefix is raised.
+
+        With a non-python ``batch_backend`` the batch is first offered to
+        the columnar engine (:mod:`repro.kernel.columnar`), which either
+        absorbs it whole — same decisions, metrics, snapshots and error
+        semantics, bit for bit — or declines without side effects, in
+        which case the loop below runs as always.
         """
+        if self._columnar is not None:
+            summary = self._columnar.try_apply_batch(events)
+            if summary is not None:
+                return summary
         decisions: list[Decision] = []
         times: list[Time] = []
         max_loads: list[int] = []

@@ -70,22 +70,25 @@ from repro.types import NodeId, ilog2, is_power_of_two
 __all__ = ["LoadTracker"]
 
 #: Test override for the leaf-journal capacity.  ``None`` (the default)
-#: scales the cap with the machine: a fixed constant is mistuned at both
-#: ends — at N = 16 a 64-entry journal replays more work than one
-#: vectorized rebuild costs, while at N = 65536 it overflows (forcing the
-#: O(N) rebuild) long before replay stops being the cheaper path.  Set an
-#: ``int`` here to pin the cap for deterministic journal-overflow tests.
+#: makes staleness a function of accumulated *replay width* (see
+#: :meth:`LoadTracker._journal_span`); setting an ``int`` here pins a
+#: plain entry cap instead, for deterministic journal-overflow tests.
 _LEAF_JOURNAL_CAP: int | None = None
 
 
 def _leaf_journal_cap(num_leaves: int) -> int:
-    """Journal entries kept between ``leaf_loads`` queries before the cache
-    is declared stale and rebuilt vectorized on the next query.
+    """Nominal journal entry budget for a machine of ``num_leaves`` PEs.
 
-    Each entry replays as one slice addition of average width ~N/2, so a
-    cap of ``N // 8`` bounds replay work to roughly one rebuild's worth
-    while keeping small machines from journaling more than they are worth;
-    the floor/ceiling keep the bookkeeping sane at the extremes.
+    Production staleness is decided by accumulated replay *width* (the
+    total number of leaf-element additions a replay would perform), not by
+    this entry count — a flat entry cap misjudges replay cost by up to a
+    factor of N, since a span may touch one leaf or all of them, and a
+    single large batch of narrow spans (the columnar engine journals one
+    span per touched node) used to blow through ``N // 8`` entries and
+    silently force a full O(N) rebuild per batch.  The entry cap remains
+    meaningful in two places: the ``_LEAF_JOURNAL_CAP`` override pins it
+    as the sole staleness criterion for deterministic overflow tests, and
+    its scaled value is kept as the reported journal capacity.
     """
     if _LEAF_JOURNAL_CAP is not None:
         return _LEAF_JOURNAL_CAP
@@ -108,6 +111,8 @@ class LoadTracker:
         "_leaf_view",
         "_leaf_journal",
         "_leaf_journal_cap",
+        "_leaf_journal_width",
+        "_leaf_journal_budget",
         "_leaf_stale",
         "_path_shifts",
     )
@@ -143,6 +148,14 @@ class LoadTracker:
         self._leaf_view.flags.writeable = False
         self._leaf_journal: list[tuple[int, int, int]] = []
         self._leaf_journal_cap = _leaf_journal_cap(hierarchy.num_leaves)
+        # Accumulated replay width of the pending journal, against a budget
+        # of ~one rebuild's worth of element additions.  ``None`` budget
+        # means the _LEAF_JOURNAL_CAP override is active and staleness is
+        # entry-counted instead (deterministic overflow tests).
+        self._leaf_journal_width = 0
+        self._leaf_journal_budget: int | None = (
+            None if _LEAF_JOURNAL_CAP is not None else 2 * hierarchy.num_leaves
+        )
         self._leaf_stale = False
         # Shift vector for the vectorized root-path gather (satellite:
         # ancestor_load / leaf_load without a Python generator).
@@ -202,15 +215,37 @@ class LoadTracker:
             level -= 1
 
     def _journal_span(self, node: NodeId, delta: int) -> None:
-        """Record a span update for the leaf-load cache (bounded journal)."""
+        """Record a span update for the leaf-load cache (bounded journal).
+
+        The journal goes stale — dropping to one vectorized O(N) rebuild
+        on the next :meth:`leaf_loads` — when the accumulated replay
+        *width* of the pending spans exceeds ~2N leaf additions, i.e. when
+        replay stops being cheaper than the rebuild.  Width-based
+        accounting (rather than a flat entry count) lets a large batch of
+        narrow spans stay incremental: 2N width also bounds the journal to
+        at most 2N entries, since every span is at least one leaf wide.
+        With the ``_LEAF_JOURNAL_CAP`` override a plain entry cap applies
+        instead (deterministic overflow tests).
+        """
         if self._leaf_stale:
             return
         journal = self._leaf_journal
-        if len(journal) >= self._leaf_journal_cap:
-            self._leaf_stale = True
-            journal.clear()
-            return
-        lo, hi = self.hierarchy.leaf_span(node)
+        budget = self._leaf_journal_budget
+        if budget is None:
+            if len(journal) >= self._leaf_journal_cap:
+                self._leaf_stale = True
+                journal.clear()
+                return
+            lo, hi = self.hierarchy.leaf_span(node)
+        else:
+            lo, hi = self.hierarchy.leaf_span(node)
+            width = self._leaf_journal_width + (hi - lo)
+            if width > budget:
+                self._leaf_stale = True
+                journal.clear()
+                self._leaf_journal_width = 0
+                return
+            self._leaf_journal_width = width
         journal.append((lo, hi, delta))
 
     def place(self, node: NodeId, size: int) -> None:
@@ -249,6 +284,7 @@ class LoadTracker:
         self._minagg = None  # rebuilt lazily on the next min-load query
         self._leaf_cache[:] = 0
         self._leaf_journal.clear()
+        self._leaf_journal_width = 0
         self._leaf_stale = False
 
     def rebuild_from(self, placements: Iterable[tuple[NodeId, int]]) -> None:
@@ -274,7 +310,15 @@ class LoadTracker:
         if nodes:
             np.add.at(count, np.asarray(nodes, dtype=np.int64), 1)
         self._active = len(nodes)
-        # Bottom-up max aggregation, one vectorized reduction per level.
+        self._recompute_aggregates()
+
+    def _recompute_aggregates(self) -> None:
+        """Rebuild ``max_below`` (and its mirror) bottom-up from ``count``
+        with one vectorized reduction per level: O(N) total.  The lazy
+        min-of-max structure and the per-PE cache are invalidated and
+        rebuilt on their next query."""
+        h = self.hierarchy
+        count = self._count
         mb = self._max_below
         n = h.height
         leaves = h.level_slice(n)
@@ -289,7 +333,69 @@ class LoadTracker:
         self._minagg = None  # rebuilt lazily on the next min-load query
         # The per-PE cache is recomputed vectorized on the next query.
         self._leaf_journal.clear()
+        self._leaf_journal_width = 0
         self._leaf_stale = True
+
+    def apply_spans(self, updates: Iterable[tuple[NodeId, int, int]]) -> None:
+        """Apply many placement-count deltas in one bulk mutation.
+
+        ``updates`` is an iterable of ``(node, size, delta)`` triples:
+        ``delta > 0`` records that many additional tasks placed exactly at
+        ``node``, ``delta < 0`` removes that many.  The end state is
+        identical to ``|delta|`` :meth:`place`/:meth:`remove` calls per
+        triple, but the aggregation work is amortised: duplicate nodes
+        coalesce, each distinct node costs one O(log N) path walk, and
+        past the same crossover the kernel's repack commit uses (enough
+        distinct nodes that the walks would exceed one rebuild) the whole
+        tree is recomputed bottom-up vectorized instead.  This is the
+        entry point the columnar batch engine uses to sync a whole batch
+        of load deltas onto the kernel's tracker in one call.
+
+        Validation matches the per-call methods: every ``(node, size)``
+        pair is checked and a net-negative count at any node raises
+        :class:`~repro.errors.PlacementError` before any state changes.
+        """
+        h = self.hierarchy
+        num_nodes = 2 * h.num_leaves
+        num_leaves = h.num_leaves
+        acc: dict[int, int] = {}
+        for node, size, delta in updates:
+            # Inline the hot-path acceptance test (node in range and
+            # rooting exactly a size-PE subtree — which also forces size
+            # to a power of two); delegate to _validate_placement only to
+            # produce its exact diagnostic on failure.
+            if not 0 < node < num_nodes or num_leaves >> (node.bit_length() - 1) != size:
+                self._validate_placement(node, size)
+            if delta:
+                acc[node] = acc.get(node, 0) + delta
+        acc = {v: d for v, d in acc.items() if d}
+        if not acc:
+            return
+        count = self._count_list
+        for v, d in acc.items():
+            if count[v] + d < 0:
+                raise PlacementError(f"no task placed at node {v} to remove")
+        total = 0
+        count_np = self._count
+        for v, d in acc.items():
+            count_np[v] += d
+            count[v] += d
+            total += d
+        self._active += total
+        # Crossover measured, not counted: a Python path walk costs ~5µs
+        # regardless of height at realistic N, while the vectorized
+        # bottom-up recompute is ~200µs at N = 4096 — so walks win only
+        # up to about one node per hundred leaves.
+        if len(acc) * 100 < h.num_leaves:
+            # Path walks recompute each node from its children's *current*
+            # aggregates, so with all counts applied up front the walks
+            # commute: the last walk through any shared path segment sees
+            # every sibling branch already settled.
+            for v, d in acc.items():
+                self._reaggregate_up(v)
+                self._journal_span(v, d)
+        else:
+            self._recompute_aggregates()
 
     # -- Queries -------------------------------------------------------------
 
@@ -352,6 +458,7 @@ class LoadTracker:
             for lo, hi, delta in self._leaf_journal:
                 cache[lo:hi] += delta
             self._leaf_journal.clear()
+            self._leaf_journal_width = 0
         return cache.copy() if copy else self._leaf_view
 
     def level_loads(self, size: int) -> np.ndarray:

@@ -80,6 +80,14 @@ class AllocationSession:
         once per batch and per-event pushes buffer until :meth:`flush`
         (or a control read, or close) — so a crash loses at most the
         records since the last commit: one uncommitted batch.
+    batch_backend:
+        Execution strategy for :meth:`push_batch`'s kernel ingest
+        (``python`` | ``numpy`` | ``numba``, see
+        :class:`~repro.kernel.core.AllocationKernel`).  Decisions and
+        journals are bit-identical across backends, so the backend is a
+        per-process tuning knob — it is deliberately *not* part of the
+        journal fingerprint, and a journal written under one backend
+        resumes cleanly under another.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class AllocationSession:
         collect_leaf_snapshots: bool = True,
         repack_on_repair: bool = True,
         fsync_policy: str = "always",
+        batch_backend: str = "python",
     ) -> None:
         self.machine = machine
         self._fault_tolerant = fault_tolerant
@@ -118,6 +127,7 @@ class AllocationSession:
             collect_leaf_snapshots=collect_leaf_snapshots,
             view=view,
             repack_on_repair=repack_on_repair,
+            batch_backend=batch_backend,
         )
         self._events: list[Any] = []
         self._now = 0.0

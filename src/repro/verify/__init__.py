@@ -20,6 +20,11 @@ the suite's scattered ad-hoc checks into one engine:
   and cross-checks engine metrics against ``audit_run``, the oracle, and
   the theorem bounds from :mod:`repro.core.bounds` (via the registry's
   ``load_bound`` table);
+* :mod:`repro.verify.backends` —
+  :func:`~repro.verify.backends.check_backend_parity`, a fifth referee
+  that replays each sequence through every columnar batch backend
+  (:mod:`repro.kernel.columnar`) and demands bit-identical decisions,
+  metrics, and kernel state against the per-event oracle path;
 * :mod:`repro.verify.shrink` — greedy delta debugging that reduces any
   violating sequence to a minimal counterexample;
 * :mod:`repro.verify.corpus` — the replayable counterexample store under
@@ -35,6 +40,7 @@ Entry points: ``repro verify`` on the command line, or::
     report.raise_if_failed()
 """
 
+from repro.verify.backends import check_backend_parity
 from repro.verify.corpus import (
     CorpusEntry,
     load_corpus,
@@ -57,6 +63,7 @@ __all__ = [
     "SequenceFuzzer",
     "VerifyReport",
     "check_algorithm",
+    "check_backend_parity",
     "load_corpus",
     "oracle_audit",
     "replay_corpus",

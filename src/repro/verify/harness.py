@@ -185,6 +185,18 @@ def check_algorithm(
                 f"({spec.guarantee})"
             )
 
+    # Backend-parity axis: columnar-capable algorithms additionally replay
+    # the sequence through every available batch backend and must produce
+    # bit-identical decisions, metrics, and state (fifth referee).  Gated on
+    # the capability so non-columnar algorithms don't pay the extra runs.
+    if getattr(algorithm, "columnar_state", None) is not None:
+        from repro.verify.backends import check_backend_parity
+
+        violations.extend(
+            f"backend: {v}"
+            for v in check_backend_parity(name, num_pes, d, seed, sequence)
+        )
+
     return CheckOutcome(
         algorithm=name,
         num_pes=num_pes,

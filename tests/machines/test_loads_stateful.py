@@ -11,7 +11,8 @@ machine lets Hypothesis interleave them arbitrarily and asserts after
   ``leftmost_min_submachine_scan`` oracle, for every submachine size;
 * ``max_load`` and the tracker's own ``check_invariants``.
 
-A dedicated churn rule overflows the 64-entry leaf journal so the
+A dedicated churn rule overflows the leaf journal's replay-width budget
+(2N leaf additions) so the
 stale-flag → vectorised-rebuild path runs inside arbitrary histories, and
 the repack rule exercises ``clear()`` + bulk re-placement (the A_M repack
 idiom) rather than only incremental updates.
@@ -82,9 +83,10 @@ class LoadTrackerMachine(RuleBasedStateMachine):
 
     @rule(pe=st.integers(0, N - 1))
     def churn_overflows_journal(self, pe):
-        # 70 place/remove pairs on one leaf: net zero, but 140 journal
-        # entries — past the 64-entry cap, forcing the stale-rebuild path
-        # the next time leaf_loads() is consulted.
+        # 70 place/remove pairs on one leaf: net zero, but 140 leaves of
+        # accumulated replay width — past the 2N = 32 width budget,
+        # forcing the stale-rebuild path the next time leaf_loads() is
+        # consulted.
         leaf = N + pe
         for _ in range(70):
             self.tracker.place(leaf, 1)
