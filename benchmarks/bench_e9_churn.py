@@ -1,0 +1,59 @@
+"""E9 — steady-state load under churn, elasticity, and flash crowds.
+
+The paper prices reallocation against load on a fixed healthy machine;
+E9 extends that trade to external perturbations: PE faults with repair,
+task kills, flash-crowd arrival storms, and online grow/shrink.  The
+timed kernel is :func:`repro.scenarios.run_scenario` on a worst-mix
+scenario — the full event alphabet through the production kernel — and
+the recorded artifact is the e9 regime table (steady-state load ratio vs
+the analytic degraded benchmark, salvage traffic per churn event).
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis.experiments import experiment_churn_tradeoff
+from repro.scenarios import ChurnProcess, run_scenario
+
+
+def _worst_mix_scenario():
+    return ChurnProcess(
+        num_pes=64,
+        seed=9,
+        horizon=120.0,
+        task_rate=1.5,
+        pe_mttf=10.0,
+        mttr=4.0,
+        kill_rate=0.05,
+        storm_rate=0.1,
+        storm_depth=8,
+        resizes=((40.0, "grow", 2), (80.0, "shrink", 2)),
+    ).build()
+
+
+def test_e9_churn(benchmark):
+    scenario = _worst_mix_scenario()
+    result = benchmark(lambda: run_scenario(scenario, "periodic", d=2.0, seed=9))
+
+    # The machine-size trajectory round-trips: one x2 grow, one x2 shrink.
+    assert result.num_resizes == 2
+    assert result.final_num_pes == 64
+    # Churn actually happened and was salvaged, not ignored.
+    faults = result.metrics.faults
+    assert faults.num_failures > 0 and faults.num_kills > 0
+    assert faults.num_grows == 1 and faults.num_shrinks == 1
+    # The steady-state figures are coherent: the time-averaged max load
+    # dominates the analytic degraded benchmark (pigeonhole, pointwise).
+    steady = result.steady
+    assert steady.time_avg_max_load >= steady.time_avg_lstar - 1e-9
+    assert steady.churn_events == scenario.num_churn_events
+
+    report = experiment_churn_tradeoff()
+    record_report(report)
+    by_regime = {row[0]: row for row in report.rows}
+    assert set(by_regime) == {
+        "calm", "faulty", "hostile", "flash-crowd", "worst-mix"
+    }
+    # Calm has no faults to salvage; the fault regimes do.
+    assert by_regime["calm"][1] == 0 and by_regime["calm"][2] == 0
+    assert by_regime["hostile"][1] > 0 and by_regime["hostile"][2] > 0
+    # Every regime absorbed both resizes.
+    assert all(row[3] == 2 for row in report.rows)

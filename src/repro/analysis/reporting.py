@@ -92,6 +92,15 @@ def render_verify_markdown(report) -> str:
         f"- verdict: **{'OK' if report.ok else 'FAILED'}**",
         "",
     ]
+    if getattr(report, "churn_checks", 0):
+        lines += [
+            f"- churn scenarios checked: **{report.churn_checks}** "
+            f"({report.resizes_checked} online resize(s) absorbed); "
+            "the piecewise-N salvage bound "
+            "`(d+1) * max(ceil(s_peak_e / N_surviving_e), 1)` was enforced "
+            "per constant-size epoch",
+            "",
+        ]
     if report.faulted_checks:
         s = report.fault_summary
         lines += [
@@ -101,13 +110,16 @@ def render_verify_markdown(report) -> str:
             "plans (PE failures, repairs, task kills). Salvage repacks are "
             "charged to the fault, not to the algorithm's d-budget; the "
             "enforced bound is `(d+1) * ceil(s_peak / N_surviving)` on the "
-            "degraded machine.",
+            "degraded machine (per constant-N epoch for churn scenarios "
+            "with online resizes).",
             "",
             "| metric | value |",
             "|---|---|",
             f"| PE failures injected | {s.get('failures', 0)} |",
             f"| repairs | {s.get('repairs', 0)} |",
             f"| task kills | {s.get('kills', 0)} |",
+            f"| machine grows | {s.get('grows', 0)} |",
+            f"| machine shrinks | {s.get('shrinks', 0)} |",
             f"| orphaned tasks | {s.get('orphaned_tasks', 0)} |",
             f"| salvage repacks | {s.get('salvage_repacks', 0)} |",
             f"| salvage migrations | {s.get('salvage_migrations', 0)} |",
@@ -137,13 +149,16 @@ def render_verify_markdown(report) -> str:
         lines += [
             "## Feature coverage",
             "",
-            "| size classes | full-machine | depth | volume | burst |",
-            "|---|---|---|---|---|",
+            "| size classes | full-machine | depth | volume | burst "
+            "| churn | storm | resizes |",
+            "|---|---|---|---|---|---|---|---|",
         ]
         for f in report.features:
             lines.append(
                 f"| {f.size_classes} | {'yes' if f.has_full_machine else 'no'} "
-                f"| {f.depth} | {f.volume} | {f.burst} |"
+                f"| {f.depth} | {f.volume} | {f.burst} "
+                f"| {getattr(f, 'churn', 0)} | {getattr(f, 'storm', 0)} "
+                f"| {getattr(f, 'resizes', 0)} |"
             )
         lines.append("")
     if report.violations:

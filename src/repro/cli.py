@@ -20,6 +20,10 @@ Subcommands:
 * ``repro verify ...``           — differential verification: fuzz task
   sequences and cross-check every algorithm against the independent
   auditor, the brute-force oracle, and the paper's theorem bounds.
+* ``repro simulate --churn-rate R --resize 'grow@30,shrink@75'`` — full
+  churn scenario (faults, kills, storms, online grow/shrink) with
+  steady-state metrics; ``repro verify --churn`` fuzzes such scenarios
+  through the piecewise-N referees.
 
 ``all``, ``report``, and ``sweep`` take ``--jobs K`` (``-1`` = all cores)
 to fan independent runs across worker processes; results are identical to
@@ -267,11 +271,95 @@ def _cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_resize_schedule(spec: str):
+    """Parse ``--resize``: comma-separated ``op@time`` or ``op@timexF``.
+
+    Example: ``grow@30,shrink@75x4`` — grow (x2) at t=30, shrink by 4 at
+    t=75.  Returns a tuple of :class:`~repro.scenarios.MachineResize`.
+    """
+    from repro.errors import ReproError
+    from repro.scenarios import MachineResize
+
+    out = []
+    for part in filter(None, (s.strip() for s in spec.split(","))):
+        op, sep, rest = part.partition("@")
+        time_s, _, factor_s = rest.partition("x")
+        try:
+            if not sep or not rest:
+                raise ValueError("missing '@'")
+            event = MachineResize(
+                float(time_s), op, int(factor_s) if factor_s else 2
+            )
+        except (ValueError, ReproError) as exc:
+            raise ValueError(
+                f"bad resize spec {part!r}; expected op@time[xFACTOR], "
+                f"e.g. grow@30 or shrink@75x4 ({exc})"
+            ) from exc
+        out.append(event)
+    return tuple(out)
+
+
+def _cmd_simulate_churn(args: argparse.Namespace) -> int:
+    """``repro simulate --churn-rate/--resize``: full churn scenario run."""
+    from repro.scenarios import ChurnProcess, run_scenario
+
+    if getattr(args, "topology", "tree") != "tree":
+        print("note: churn scenarios run on the tree machine; "
+              f"--topology {args.topology} ignored", file=sys.stderr)
+    rate = args.churn_rate or 0.0
+    horizon = float(args.horizon)
+    process = ChurnProcess(
+        num_pes=args.n,
+        seed=args.seed,
+        horizon=horizon,
+        task_rate=max(args.tasks / horizon, 1e-9),
+        pe_mttf=(1.0 / rate) if rate > 0 else float("inf"),
+        kill_rate=args.churn_kill_rate,
+        storm_rate=args.churn_storm_rate,
+        resizes=tuple(
+            (float(r.time), r.op, int(r.factor))
+            for r in (_parse_resize_schedule(args.resize) if args.resize else ())
+        ),
+    )
+    scenario = process.build()
+    result = run_scenario(
+        scenario, args.algorithm, d=args.d, seed=args.seed,
+        batch_backend=getattr(args, "backend", "python"),
+    )
+    if args.save_run:
+        print("note: --save-run is not supported for churn scenarios "
+              "(the machine size varies); skipping", file=sys.stderr)
+    steady = result.steady
+    faults = result.metrics.faults
+    print(f"algorithm          : {result.algorithm_name}")
+    print(f"scenario           : {scenario.describe()}")
+    print(f"machine            : N={scenario.num_pes} -> "
+          f"{result.final_num_pes} ({result.num_resizes} resize(s))")
+    print(f"max load L_A       : {result.max_load}")
+    print(f"time-avg max load  : {steady.time_avg_max_load:.3f}")
+    print(f"time-avg L*_deg    : {steady.time_avg_lstar:.3f}")
+    print(f"steady load ratio  : {steady.load_ratio:.3f}")
+    print(f"churn events       : {steady.churn_events} "
+          f"({steady.churn_rate:.3f}/unit time)")
+    print(f"salvage traffic    : {steady.salvage_traffic_per_churn:.1f} "
+          "PE-hops per churn event")
+    print(f"failures/repairs   : {faults.num_failures}/{faults.num_repairs}")
+    print(f"kills              : {faults.num_kills}")
+    print(f"grows/shrinks      : {faults.num_grows}/{faults.num_shrinks}")
+    print(f"orphaned tasks     : {faults.orphaned_tasks}")
+    print(f"salvage repacks    : {faults.num_salvage_repacks} "
+          f"({faults.salvage_migrations} migrations)")
+    print(f"min surviving PEs  : {faults.min_surviving_pes}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.engine import Simulator
 
     if args.stream:
         return _cmd_stream(args)
+    if getattr(args, "churn_rate", None) is not None or getattr(args, "resize", None):
+        return _cmd_simulate_churn(args)
     machine = _make_machine(args)
     sigma = _make_workload(args.workload, args.n, args)
     algo = make_algorithm(
@@ -469,12 +557,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
     )
-    report = harness.fuzz(
-        budget=args.budget or None,
-        max_sequences=args.sequences or (None if args.budget else 50),
-        faults=args.faults,
-        checkpoint=args.resume,
-    )
+    if args.churn:
+        report = harness.fuzz_churn(
+            budget=args.budget or None,
+            max_sequences=args.sequences or (None if args.budget else 50),
+            horizon=args.horizon,
+            checkpoint=args.resume,
+        )
+    else:
+        report = harness.fuzz(
+            budget=args.budget or None,
+            max_sequences=args.sequences or (None if args.budget else 50),
+            faults=args.faults,
+            checkpoint=args.resume,
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(render_verify_markdown(report))
@@ -490,6 +586,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"({s.get('failures', 0)} failures, {s.get('kills', 0)} kills, "
               f"{s.get('salvage_repacks', 0)} salvage repacks, "
               f"min surviving {s.get('min_surviving_pes', args.n)} PEs)")
+    if getattr(report, "churn_checks", 0):
+        s = report.fault_summary
+        print(f"churn-mode checks  : {report.churn_checks} "
+              f"({report.resizes_checked} online resize(s) absorbed: "
+              f"{s.get('grows', 0)} grows, {s.get('shrinks', 0)} shrinks)")
+        buckets = sorted(
+            {
+                (
+                    getattr(f, "churn", 0),
+                    getattr(f, "storm", 0),
+                    getattr(f, "resizes", 0),
+                )
+                for f in report.features
+            }
+        )
+        print("churn buckets      : " + ", ".join(
+            f"churn={c}/storm={st}/resizes={r}" for c, st, r in buckets))
     for name, margin in sorted(report.tightest.items()):
         print(
             f"  {name:<10} tightest: load {margin.max_load} vs bound "
@@ -660,6 +773,31 @@ def build_parser() -> argparse.ArgumentParser:
         "'batch' (group-commit per batch/flush), or 'interval:<ms>' "
         "(default: always)",
     )
+    p_sim.add_argument(
+        "--churn-rate", type=float, default=None, metavar="R",
+        help="churn-scenario mode: per-PE fault rate (failures per unit "
+        "time; MTTF = 1/R).  Generates a ChurnProcess scenario instead of "
+        "--workload and reports steady-state metrics (time-averaged max "
+        "load vs the analytic L*_deg benchmark)",
+    )
+    p_sim.add_argument(
+        "--churn-kill-rate", type=float, default=0.0, metavar="R",
+        help="(churn mode) task-kill rate per unit time (default: 0)",
+    )
+    p_sim.add_argument(
+        "--churn-storm-rate", type=float, default=0.0, metavar="R",
+        help="(churn mode) flash-crowd storm rate per unit time (default: 0)",
+    )
+    p_sim.add_argument(
+        "--resize", default=None, metavar="SPEC",
+        help="(churn mode) online resize schedule, comma-separated "
+        "op@time[xFACTOR] entries, e.g. 'grow@30,shrink@75x4'; implies "
+        "churn mode even without --churn-rate",
+    )
+    p_sim.add_argument(
+        "--horizon", type=float, default=120.0, metavar="T",
+        help="(churn mode) scenario time horizon (default: 120)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_serve = sub.add_parser(
@@ -755,6 +893,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", action="store_true",
         help="fault mode: every fuzzed sequence also gets a generated "
         "fault plan; checks run on the degraded machine",
+    )
+    p_ver.add_argument(
+        "--churn", action="store_true",
+        help="churn mode: fuzz full churn scenarios (faults, kills, "
+        "flash-crowd storms, online grow/shrink) and check every "
+        "algorithm with the piecewise-N referees",
+    )
+    p_ver.add_argument(
+        "--horizon", type=float, default=60.0, metavar="T",
+        help="(--churn) scenario time horizon (default: 60)",
     )
     add_jobs(p_ver)
     add_resilience(p_ver)

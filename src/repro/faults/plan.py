@@ -138,41 +138,47 @@ class FaultPlan:
         Raises :class:`FaultPlanError` on overlapped failures, repairs of
         healthy nodes, a failure that kills the whole machine, or — when
         ``max_task_size`` is given — a violation of the granularity rule.
+        Every message names the offending event's plan index and
+        timestamp, so a rejected generated plan (hundreds of events under
+        churn) is findable without bisecting.
         """
         h = Hierarchy(num_pes)
         failed: set[NodeId] = set()
         failed_pes = 0
-        for event in self.events:
+        for index, event in enumerate(self.events):
+            where = f"event {index} (t={float(event.time):g})"
             if isinstance(event, PEFailure):
                 if not h.is_valid_node(event.node):
                     raise FaultPlanError(
-                        f"failure at node {event.node}: outside the "
-                        f"{num_pes}-PE machine"
+                        f"{where}: failure at node {event.node}: outside "
+                        f"the {num_pes}-PE machine"
                     )
                 size = h.subtree_size(event.node)
                 if max_task_size is not None and size < max_task_size:
                     raise FaultPlanError(
-                        f"failure at node {event.node} (size {size}) breaks "
-                        f"the granularity rule for task size {max_task_size}"
+                        f"{where}: failure at node {event.node} (size "
+                        f"{size}) breaks the granularity rule for task "
+                        f"size {max_task_size}"
                     )
                 for f in failed:
                     if h.contains(f, event.node) or h.contains(event.node, f):
                         raise FaultPlanError(
-                            f"failure at node {event.node} overlaps "
-                            f"already-failed subtree {f}"
+                            f"{where}: failure at node {event.node} "
+                            f"overlaps already-failed subtree {f}"
                         )
                 floor = max_task_size if max_task_size is not None else 1
                 if num_pes - failed_pes - size < floor:
                     raise FaultPlanError(
-                        f"failure at node {event.node} leaves fewer than "
-                        f"{floor} surviving PEs"
+                        f"{where}: failure at node {event.node} leaves "
+                        f"fewer than {floor} surviving PEs"
                     )
                 failed.add(event.node)
                 failed_pes += size
             elif isinstance(event, PERepair):
                 if event.node not in failed:
                     raise FaultPlanError(
-                        f"repair of node {event.node}, which is not failed"
+                        f"{where}: repair of node {event.node}, which is "
+                        "not failed"
                     )
                 failed.discard(event.node)
                 failed_pes -= h.subtree_size(event.node)

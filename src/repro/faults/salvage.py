@@ -220,6 +220,28 @@ class FaultTolerantAlgorithm(AllocationAlgorithm):
         mapping = self._salvage()
         return Reallocation(mapping) if mapping else None
 
+    def on_resize(
+        self, machine: PartitionableMachine, view: DegradedView
+    ) -> Optional[Reallocation]:
+        """Adopt a grown/shrunk ``machine`` and repack every active task.
+
+        Called by the kernel *after* it swapped its own machine and view
+        (so placements the repack returns are validated against the new
+        tree).  The wrapper switches to degraded mode permanently: the
+        inner algorithm's internal geometry (greedy load trees, healthy
+        copies) was built for the old machine and is unsound on the new
+        one, while copy-based first-fit is sound on any machine — and its
+        degraded bound (``(d+1) * max(ceil(s / N_surviving), 1)``,
+        evaluated per constant-N epoch) is exactly what the piecewise
+        referee checks.  Returns the full remapping (``None`` when nothing
+        is active; the copies are still rebuilt for future arrivals).
+        """
+        self.machine = machine
+        self.view = view
+        self._degraded = True
+        mapping = self._salvage()
+        return Reallocation(mapping) if mapping else None
+
     def _salvage(self) -> Dict[TaskId, NodeId]:
         result = salvage_repack(
             self.machine.hierarchy, self._tasks.values(), self.view.failed_nodes

@@ -22,7 +22,7 @@ from repro.machines.fragmentation import (
     machine_potential,
     submachine_potential,
 )
-from repro.machines.hierarchy import Hierarchy
+from repro.machines.hierarchy import Hierarchy, grown_node, shrunk_node
 from repro.machines.hypercube import Hypercube, gray_code, inverse_gray_code
 from repro.machines.loads import LoadTracker
 from repro.machines.mesh import Mesh2D, morton_decode, morton_encode
@@ -38,6 +38,8 @@ from repro.machines.visualize import render_allocation, render_tree
 __all__ = [
     "PartitionableMachine",
     "Hierarchy",
+    "grown_node",
+    "shrunk_node",
     "TreeMachine",
     "Butterfly",
     "Hypercube",

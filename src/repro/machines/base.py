@@ -78,6 +78,55 @@ class PartitionableMachine(abc.ABC):
                 f"task size {size} not admissible on a {self.num_pes}-PE machine"
             )
 
+    # -- Online resize ------------------------------------------------------
+
+    def resized(self, num_pes: int) -> "PartitionableMachine":
+        """An equivalent machine of this topology with ``num_pes`` PEs.
+
+        Machines are immutable, so an online resize produces a *new*
+        machine object; the allocation kernel swaps it in atomically at a
+        resize event and remaps node ids (see
+        :func:`repro.machines.hierarchy.grown_node`).  Subclasses whose
+        constructors take extra parameters override :meth:`_with_num_pes`
+        to carry them over.
+        """
+        if num_pes == self.num_pes:
+            return self
+        return self._with_num_pes(num_pes)
+
+    def _with_num_pes(self, num_pes: int) -> "PartitionableMachine":
+        return type(self)(num_pes)
+
+    def grow(self, factor: int = 2) -> "PartitionableMachine":
+        """The machine after an online grow by ``factor`` (a power of two).
+
+        The current machine becomes the leftmost ``1/factor`` of the new
+        one: physical PEs keep their indices and the new capacity appends
+        to the right.
+        """
+        if not is_power_of_two(factor) or factor < 2:
+            raise InvalidMachineError(
+                f"grow factor must be a power of two >= 2, got {factor}"
+            )
+        return self.resized(self.num_pes * factor)
+
+    def shrink(self, factor: int = 2) -> "PartitionableMachine":
+        """The machine after an online shrink by ``factor`` (a power of two).
+
+        Only the leftmost ``num_pes / factor`` PEs are retained; callers
+        (the kernel's resize event) must repack active tasks into the
+        surviving prefix first.
+        """
+        if not is_power_of_two(factor) or factor < 2:
+            raise InvalidMachineError(
+                f"shrink factor must be a power of two >= 2, got {factor}"
+            )
+        if self.num_pes // factor < 1:
+            raise InvalidMachineError(
+                f"cannot shrink a {self.num_pes}-PE machine by {factor}"
+            )
+        return self.resized(self.num_pes // factor)
+
     # -- Physical interpretation (per topology) ---------------------------------
 
     @property

@@ -105,6 +105,26 @@ class DegradedView:
         self._failed.add(node)
         self._failed_pes += size
 
+    def resized(
+        self, machine: "PartitionableMachine", *, factor: int, grow: bool
+    ) -> "DegradedView":
+        """A fresh view on a grown/shrunk ``machine`` carrying this fault set.
+
+        On a grow, failed subtree roots keep their physical PEs and only
+        their heap indices change (:func:`~repro.machines.hierarchy.grown_node`).
+        A shrink with outstanding failures is rejected by the kernel before
+        this is called — the retained prefix cannot be guaranteed to contain
+        (or exclude) a failed subtree in general — so the shrink path only
+        ever transfers an empty fault set.
+        """
+        from repro.machines.hierarchy import grown_node, shrunk_node
+
+        view = DegradedView(machine)
+        remap = grown_node if grow else shrunk_node
+        for node in self.failed_nodes:
+            view.fail(remap(node, factor))
+        return view
+
     def repair(self, node: NodeId) -> None:
         """Bring the subtree at ``node`` back; must match a recorded failure."""
         if node not in self._failed:

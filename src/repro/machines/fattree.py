@@ -38,6 +38,9 @@ class FatTree(PartitionableMachine):
         self.fatness = fatness
         self.base_capacity = base_capacity
 
+    def _with_num_pes(self, num_pes: int) -> "FatTree":
+        return FatTree(num_pes, fatness=self.fatness, base_capacity=self.base_capacity)
+
     @property
     def topology_name(self) -> str:
         return f"fattree-f{self.fatness:g}"

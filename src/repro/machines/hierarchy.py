@@ -31,7 +31,44 @@ import numpy as np
 from repro.errors import InvalidMachineError
 from repro.types import NodeId, PEId, ilog2, is_power_of_two
 
-__all__ = ["Hierarchy"]
+__all__ = ["Hierarchy", "grown_node", "shrunk_node"]
+
+
+def grown_node(node: NodeId, factor: int) -> NodeId:
+    """Heap index of ``node`` after the machine grows by ``factor``.
+
+    Growing ``N -> N * factor`` (``factor = 2**k``) makes the old tree the
+    leftmost level-``k`` subtree of the new one, so physical PEs keep their
+    indices.  A node at level ``l`` (index ``i`` within its level) stays at
+    the same leaf span but now sits at level ``l + k`` with the same
+    within-level index: ``node + (factor - 1) * 2**l``.
+    """
+    if not is_power_of_two(factor) or factor < 2:
+        raise InvalidMachineError(
+            f"grow factor must be a power of two >= 2, got {factor}"
+        )
+    level = node.bit_length() - 1
+    return NodeId(node + (factor - 1) * (1 << level))
+
+
+def shrunk_node(node: NodeId, factor: int) -> NodeId:
+    """Heap index of ``node`` after the machine shrinks by ``factor``.
+
+    Exact inverse of :func:`grown_node`: only nodes inside the leftmost
+    ``1/factor`` of the tree survive a shrink (their PEs are the retained
+    prefix); anything else raises :class:`InvalidMachineError`.
+    """
+    if not is_power_of_two(factor) or factor < 2:
+        raise InvalidMachineError(
+            f"shrink factor must be a power of two >= 2, got {factor}"
+        )
+    k = ilog2(factor)
+    level = node.bit_length() - 1
+    if level < k or (node >> (level - k)) != 1 << k:
+        raise InvalidMachineError(
+            f"node {node} lies outside the retained 1/{factor} of the tree"
+        )
+    return NodeId(node - (factor - 1) * (1 << (level - k)))
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,9 @@ class Hypercube(PartitionableMachine):
             )
         self.layout = layout
 
+    def _with_num_pes(self, num_pes: int) -> "Hypercube":
+        return Hypercube(num_pes, layout=self.layout)
+
     @property
     def topology_name(self) -> str:
         return f"hypercube-{self.layout}"

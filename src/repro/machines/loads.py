@@ -312,6 +312,21 @@ class LoadTracker:
         self._active = len(nodes)
         self._recompute_aggregates()
 
+    def resized(
+        self, hierarchy: Hierarchy, placements: Iterable[tuple[NodeId, int]]
+    ) -> "LoadTracker":
+        """A fresh tracker on ``hierarchy`` seeded from ``placements``.
+
+        The leaf arrays of a tracker are sized to its hierarchy, so an
+        online machine resize cannot mutate in place; instead the kernel
+        swaps in this replacement — new-size buffers, loads re-derived
+        from the (already remapped) placements via the O(N + T) vectorized
+        :meth:`rebuild_from`.
+        """
+        tracker = LoadTracker(hierarchy)
+        tracker.rebuild_from(placements)
+        return tracker
+
     def _recompute_aggregates(self) -> None:
         """Rebuild ``max_below`` (and its mirror) bottom-up from ``count``
         with one vectorized reduction per level: O(N) total.  The lazy

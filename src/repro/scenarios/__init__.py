@@ -1,0 +1,38 @@
+"""Churn, elasticity, and flash-crowd scenarios.
+
+* :class:`~repro.scenarios.elastic.MachineResize` — online grow/shrink as
+  a first-class event (priority 3 at a shared timestamp).
+* :class:`~repro.scenarios.elastic.Scenario` — one replayable bundle of
+  task sequence + fault plan + resize schedule, with per-epoch
+  admissibility validation.
+* :class:`~repro.scenarios.churn.ChurnProcess` — deterministic, seedable
+  generator turning rate parameters (MTTF/MTTR, kill rate, flash-crowd
+  storms, diurnal modulation, resize schedule) into admissible scenarios.
+* :func:`~repro.scenarios.runner.run_scenario` /
+  :func:`~repro.scenarios.runner.churn_sweep` — drive scenarios through
+  the production kernel and report steady-state metrics.
+"""
+
+from repro.scenarios.churn import ChurnProcess
+from repro.scenarios.elastic import Epoch, MachineResize, Scenario
+from repro.scenarios.runner import (
+    ScenarioRunResult,
+    SteadyStateMetrics,
+    churn_sweep,
+    degraded_lstar_series,
+    run_scenario,
+    steady_state_metrics,
+)
+
+__all__ = [
+    "ChurnProcess",
+    "Epoch",
+    "MachineResize",
+    "Scenario",
+    "ScenarioRunResult",
+    "SteadyStateMetrics",
+    "churn_sweep",
+    "degraded_lstar_series",
+    "run_scenario",
+    "steady_state_metrics",
+]

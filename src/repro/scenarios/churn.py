@@ -1,0 +1,383 @@
+"""ChurnProcess: rate parameters in, admissible churn scenarios out.
+
+Production partitionable machines see *churn*: PEs fail (MTTF) and return
+(MTTR), tasks get killed, flash crowds slam the queue with simultaneous
+arrivals, demand follows a diurnal cycle, and operators grow or shrink
+the machine online.  :class:`ChurnProcess` turns those rate parameters
+into a deterministic, seedable :class:`~repro.scenarios.elastic.Scenario`
+— one :class:`~repro.tasks.sequence.TaskSequence` plus one
+:class:`~repro.faults.plan.FaultPlan` plus one resize schedule — that is
+admissible *by construction*:
+
+* every task size is a power of two at most ``max_task_size``, which is
+  itself at most the smallest machine of the run, so placements are
+  feasible in every epoch;
+* failures hit only subtrees of size >= ``max_task_size`` and never sink
+  surviving capacity below it (the granularity rule of
+  :meth:`FaultPlan.validate_for`), evaluated against the epoch's machine;
+* every failure's repair is scheduled strictly before the next resize,
+  so fault intervals never straddle an epoch boundary and the piecewise-N
+  referees (:mod:`repro.verify.churn`) can audit each epoch on its own;
+* kills target tasks that are actually alive at the kill instant.
+
+Determinism: all randomness flows from one ``np.random.default_rng(seed)``
+consumed in a fixed order, so the same parameters replay to byte-identical
+scenarios across runs, platforms, and ``to_dict``/``from_dict`` round
+trips (the Hypothesis stateful test in ``tests/scenarios`` pins this).
+:meth:`ChurnProcess.build` ends with :meth:`Scenario.validate` as a safety
+net — construction-time guarantees are also checked, never assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultPlanError, InvalidMachineError
+from repro.faults.plan import FaultEvent, FaultPlan, PEFailure, PERepair, TaskKill
+from repro.machines.hierarchy import Hierarchy
+from repro.scenarios.elastic import Epoch, MachineResize, Scenario
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import NodeId, TaskId, ilog2, is_power_of_two
+
+__all__ = ["ChurnProcess"]
+
+#: Geometric ratio for power-of-two task-size exponents (small sizes most
+#: common — the Feitelson-era census the workload generators also use).
+_SIZE_RATIO = 0.6
+
+
+@dataclass(frozen=True)
+class ChurnProcess:
+    """A seeded churn-scenario generator.
+
+    Parameters
+    ----------
+    num_pes:
+        Initial machine size (power of two).
+    seed:
+        Master seed; the scenario is a pure function of the parameters.
+    horizon:
+        Length of the generation window; arrivals, faults and kills are
+        drawn in ``[0, horizon)``.
+    task_rate:
+        Mean (diurnal-modulated) Poisson arrival rate, tasks per unit time.
+    mean_duration:
+        Mean exponential task duration.
+    max_task_size:
+        Power-of-two ceiling on task sizes and granularity floor for
+        failures; defaults to a quarter of the smallest machine of the
+        run (at least 1).  Must not exceed the smallest machine.
+    pe_mttf:
+        Mean time between failure events (``inf`` disables failures).
+        This is the machine-level MTTF: each drawn failure takes down one
+        granularity-respecting subtree.
+    mttr:
+        Mean repair delay after a failure.  Repairs are clamped strictly
+        inside the failure's epoch so fault intervals never straddle a
+        resize.
+    kill_rate:
+        Poisson rate of task-kill events (a kill of an idle instant is
+        skipped, not retried — rates are intents, the plan is exact).
+    storm_rate:
+        Poisson rate of flash-crowd storms.
+    storm_depth:
+        Simultaneous arrivals per storm.
+    diurnal_period / diurnal_amplitude:
+        Sinusoidal modulation of the arrival rate
+        (``rate(t) = task_rate * (1 + a*sin(2*pi*t/period))``);
+        amplitude 0 (or period 0) means homogeneous arrivals.
+    resizes:
+        Explicit resize schedule as ``(time, op, factor)`` tuples, e.g.
+        ``((40.0, "grow", 2), (80.0, "shrink", 2))``.
+    """
+
+    num_pes: int
+    seed: int = 0
+    horizon: float = 120.0
+    task_rate: float = 1.0
+    mean_duration: float = 8.0
+    max_task_size: Optional[int] = None
+    pe_mttf: float = math.inf
+    mttr: float = 5.0
+    kill_rate: float = 0.0
+    storm_rate: float = 0.0
+    storm_depth: int = 8
+    diurnal_period: float = 0.0
+    diurnal_amplitude: float = 0.0
+    resizes: Tuple[Tuple[float, str, int], ...] = ()
+
+    # -- Derived configuration ----------------------------------------------
+
+    def resize_events(self) -> Tuple[MachineResize, ...]:
+        return tuple(
+            MachineResize(float(t), str(op), int(f)) for t, op, f in self.resizes
+        )
+
+    def _epochs(self) -> Tuple[Epoch, ...]:
+        return Scenario(
+            num_pes=self.num_pes,
+            sequence=TaskSequence(()),
+            resizes=self.resize_events(),
+        ).epochs()
+
+    def _granularity_floor(self, n_min: int) -> int:
+        if self.max_task_size is not None:
+            w = int(self.max_task_size)
+            if not is_power_of_two(w) or w < 1:
+                raise InvalidMachineError(
+                    f"max_task_size must be a power of two >= 1, got {w}"
+                )
+            if w > n_min:
+                raise InvalidMachineError(
+                    f"max_task_size {w} exceeds the smallest machine of "
+                    f"the run ({n_min} PEs)"
+                )
+            return w
+        quarter = max(1, n_min // 4)
+        return 1 << ilog2(quarter)
+
+    def _validate_params(self) -> None:
+        if not is_power_of_two(self.num_pes) or self.num_pes < 1:
+            raise InvalidMachineError(
+                f"num_pes must be a power of two >= 1, got {self.num_pes}"
+            )
+        if self.horizon <= 0:
+            raise InvalidMachineError("horizon must be positive")
+        for name in ("task_rate", "kill_rate", "storm_rate"):
+            if getattr(self, name) < 0:
+                raise InvalidMachineError(f"{name} must be non-negative")
+        if self.mean_duration <= 0:
+            raise InvalidMachineError("mean_duration must be positive")
+        if self.pe_mttf <= 0:
+            raise InvalidMachineError("pe_mttf must be positive (inf disables)")
+        if self.mttr <= 0:
+            raise InvalidMachineError("mttr must be positive")
+        if self.storm_depth < 1:
+            raise InvalidMachineError("storm_depth must be >= 1")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise InvalidMachineError("diurnal_amplitude must lie in [0, 1)")
+        for t, _op, _f in self.resizes:
+            if not 0.0 < float(t):
+                raise InvalidMachineError(
+                    f"resize at t={t}: resizes must happen after t=0"
+                )
+
+    # -- Generation ----------------------------------------------------------
+
+    def build(self) -> Scenario:
+        """Generate the scenario (deterministic in the parameters)."""
+        self._validate_params()
+        epochs = self._epochs()  # also validates the resize schedule
+        n_min = min(e.num_pes for e in epochs)
+        w_cap = self._granularity_floor(n_min)
+        rng = np.random.default_rng(self.seed)
+
+        # Draw order is part of the determinism contract: arrivals, then
+        # storms, then kills, then per-epoch failures/repairs.  Never
+        # reorder without bumping every committed scenario seed.
+        tasks = self._draw_tasks(rng, w_cap)
+        sequence = TaskSequence.from_tasks(tasks)
+        kills = self._draw_kills(rng, tasks)
+        faults = self._draw_faults(rng, epochs, w_cap)
+        events: List[FaultEvent] = sorted(
+            [*faults, *kills], key=lambda e: (float(e.time),)
+        )
+        scenario = Scenario(
+            num_pes=self.num_pes,
+            sequence=sequence,
+            plan=FaultPlan(tuple(events)),
+            resizes=self.resize_events(),
+        )
+        scenario.validate()  # construction guarantees, checked not assumed
+        return scenario
+
+    def _draw_duration(self, rng: np.random.Generator) -> float:
+        # A zero-length task would put its departure *before* its arrival
+        # in the canonical tie order; floor the duration away from zero.
+        return max(float(rng.exponential(self.mean_duration)), 1e-9)
+
+    def _size_weights(self, w_cap: int) -> np.ndarray:
+        max_exp = ilog2(w_cap)
+        weights = np.asarray([_SIZE_RATIO**x for x in range(max_exp + 1)])
+        return weights / weights.sum()
+
+    def _draw_tasks(self, rng: np.random.Generator, w_cap: int) -> List[Task]:
+        weights = self._size_weights(w_cap)
+        max_exp = len(weights) - 1
+        specs: List[Tuple[float, int, float]] = []  # (arrival, size, duration)
+
+        # Diurnal-modulated Poisson arrivals by thinning at the peak rate.
+        amplitude = self.diurnal_amplitude if self.diurnal_period > 0 else 0.0
+        peak_rate = self.task_rate * (1.0 + amplitude)
+        clock = 0.0
+        while peak_rate > 0:
+            clock += float(rng.exponential(1.0 / peak_rate))
+            if clock >= self.horizon:
+                break
+            if amplitude > 0:
+                rate = self.task_rate * (
+                    1.0
+                    + amplitude
+                    * math.sin(2.0 * math.pi * clock / self.diurnal_period)
+                )
+                if float(rng.random()) * peak_rate > rate:
+                    continue  # thinned out
+            size = 1 << int(rng.choice(max_exp + 1, p=weights))
+            duration = self._draw_duration(rng)
+            specs.append((clock, size, duration))
+
+        # Flash-crowd storms: bursts of simultaneous arrivals.
+        if self.storm_rate > 0:
+            clock = 0.0
+            while True:
+                clock += float(rng.exponential(1.0 / self.storm_rate))
+                if clock >= self.horizon:
+                    break
+                for _ in range(self.storm_depth):
+                    size = 1 << int(rng.choice(max_exp + 1, p=weights))
+                    duration = self._draw_duration(rng)
+                    specs.append((clock, size, duration))
+
+        # Ids in chronological order (storm members consecutive), so the
+        # scenario is stable under serialisation round trips.
+        specs.sort(key=lambda s: s[0])
+        return [
+            Task(TaskId(i), size, arrival, arrival + duration)
+            for i, (arrival, size, duration) in enumerate(specs)
+        ]
+
+    def _draw_kills(
+        self, rng: np.random.Generator, tasks: List[Task]
+    ) -> List[TaskKill]:
+        if self.kill_rate <= 0 or not tasks:
+            return []
+        kills: List[TaskKill] = []
+        killed: set[TaskId] = set()
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(1.0 / self.kill_rate))
+            if clock >= self.horizon:
+                break
+            live = [
+                t.task_id
+                for t in tasks
+                if t.task_id not in killed and t.arrival <= clock < t.departure
+            ]
+            if not live:
+                continue  # an idle instant; the intent is a rate, not a count
+            tid = live[int(rng.integers(len(live)))]
+            kills.append(TaskKill(clock, tid))
+            killed.add(tid)
+        return kills
+
+    def _draw_faults(
+        self,
+        rng: np.random.Generator,
+        epochs: Tuple[Epoch, ...],
+        w_cap: int,
+    ) -> List[FaultEvent]:
+        if not math.isfinite(self.pe_mttf):
+            return []
+        events: List[FaultEvent] = []
+        for epoch in epochs:
+            lo = max(0.0, epoch.start)
+            hi = min(epoch.end, self.horizon)
+            if hi <= lo:
+                continue
+            events.extend(
+                self._epoch_faults(rng, epoch.num_pes, lo, hi, w_cap)
+            )
+        return events
+
+    def _epoch_faults(
+        self,
+        rng: np.random.Generator,
+        num_pes: int,
+        t_lo: float,
+        t_hi: float,
+        w_cap: int,
+    ) -> List[FaultEvent]:
+        """Failure/repair pairs inside one epoch, admissible by construction.
+
+        Walks a Poisson clock at rate ``1/pe_mttf``; each tick fails a
+        uniformly chosen granularity-respecting subtree (skipped when none
+        is available) and schedules its repair after an exponential
+        ``mttr`` delay, clamped strictly before the epoch boundary so no
+        failure is ever open at a resize.
+        """
+        h = Hierarchy(num_pes)
+        candidates = [
+            NodeId(v)
+            for v in range(1, 2 * num_pes)
+            if h.subtree_size(NodeId(v)) >= w_cap
+        ]
+        events: List[FaultEvent] = []
+        failed: dict[NodeId, float] = {}  # node -> scheduled repair time
+        failed_pes = 0
+        t = t_lo
+        while True:
+            t += float(rng.exponential(self.pe_mttf))
+            if t >= t_hi:
+                break
+            # Apply repairs that have already landed by now.
+            for node in sorted(n for n, tr in failed.items() if tr <= t):
+                failed_pes -= h.subtree_size(node)
+                del failed[node]
+            usable = [
+                v
+                for v in candidates
+                if not any(
+                    h.contains(f, v) or h.contains(v, f) for f in failed
+                )
+                and num_pes - failed_pes - h.subtree_size(v) >= w_cap
+            ]
+            if not usable:
+                continue  # machine too degraded right now; skip this tick
+            node = usable[int(rng.integers(len(usable)))]
+            repair_at = t + float(rng.exponential(self.mttr))
+            if math.isfinite(t_hi) and repair_at >= t_hi:
+                # Clamp strictly inside the epoch: no open failure may
+                # cross a resize boundary.
+                repair_at = t + 0.875 * (t_hi - t)
+            events.append(PEFailure(t, node))
+            events.append(PERepair(repair_at, node))
+            failed[node] = repair_at
+            failed_pes += h.subtree_size(node)
+        # Events were appended as (failure, repair) pairs; chronological
+        # order within the epoch is restored by the caller's global sort.
+        return events
+
+    # -- Serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["resizes"] = [
+            [float(t), str(op), int(f)] for t, op, f in self.resizes
+        ]
+        payload["pe_mttf"] = (
+            "inf" if math.isinf(self.pe_mttf) else float(self.pe_mttf)
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChurnProcess":
+        data = dict(payload)
+        data["resizes"] = tuple(
+            (float(t), str(op), int(f)) for t, op, f in data.get("resizes", [])
+        )
+        mttf = data.get("pe_mttf", math.inf)
+        data["pe_mttf"] = math.inf if mttf == "inf" else float(mttf)
+        if data.get("max_task_size") is not None:
+            data["max_task_size"] = int(data["max_task_size"])
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown ChurnProcess parameter(s): {sorted(unknown)}"
+            )
+        return cls(**data)

@@ -1,0 +1,278 @@
+"""Elasticity: machine resize events, epochs, and full churn scenarios.
+
+A :class:`MachineResize` is a first-class event — ``grow`` doubles (or
+``factor``-folds) the machine by making the old tree the leftmost subtree
+of a bigger one; ``shrink`` retains the leftmost ``1/factor`` of the PEs.
+At a shared timestamp a resize sorts *after* every other event
+(:data:`repro.tasks.events._TIE_PRIORITY` gives it priority 3), so
+everything "at" a resize instant happens on the old machine and the
+machine-size trajectory is a right-continuous step function.
+
+A :class:`Scenario` bundles one task sequence, one fault plan and one
+resize schedule into a single replayable object.  Between consecutive
+resizes the machine size is constant — an :class:`Epoch` — and
+:meth:`Scenario.validate` enforces the *scenario discipline* that makes
+each epoch independently auditable by the piecewise-N referees
+(:mod:`repro.verify.churn`):
+
+* every task fits the smallest machine of the run (so any placement is
+  feasible in any epoch);
+* every failure is repaired before the next resize (fault intervals never
+  straddle an epoch boundary);
+* within each epoch, the fault slice obeys the granularity rule for that
+  epoch's machine size (:meth:`repro.faults.plan.FaultPlan.validate_for`).
+
+:class:`~repro.scenarios.churn.ChurnProcess` generates scenarios that
+satisfy all of this *by construction*; hand-built scenarios get the same
+guarantees checked here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.errors import FaultPlanError, InvalidMachineError
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.tasks.events import Event, event_sort_key
+from repro.tasks.sequence import TaskSequence
+from repro.types import Time, is_power_of_two
+
+__all__ = ["MachineResize", "Epoch", "Scenario", "RESIZE_EVENT_PRIORITY"]
+
+#: Sort priority of resize events at a shared timestamp (after departures,
+#: arrivals, and faults).  The authoritative table lives in
+#: :func:`repro.tasks.events.event_priority`.
+RESIZE_EVENT_PRIORITY = 3
+
+
+@dataclass(frozen=True, slots=True)
+class MachineResize:
+    """The machine grows or shrinks by ``factor`` at ``time``."""
+
+    time: Time
+    op: str
+    factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.op not in ("grow", "shrink"):
+            raise InvalidMachineError(
+                f"resize op must be 'grow' or 'shrink', got {self.op!r}"
+            )
+        if not is_power_of_two(self.factor) or self.factor < 2:
+            raise InvalidMachineError(
+                f"resize factor must be a power of two >= 2, got {self.factor}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "resize"
+
+    def applied_to(self, num_pes: int) -> int:
+        """The machine size after this resize of an ``num_pes``-PE machine."""
+        if self.op == "grow":
+            return num_pes * self.factor
+        if num_pes // self.factor < 1:
+            raise InvalidMachineError(
+                f"cannot shrink a {num_pes}-PE machine by {self.factor}"
+            )
+        return num_pes // self.factor
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """A maximal interval of constant machine size.
+
+    Covers ``(start, end]`` for event-assignment purposes: an event at
+    exactly a resize timestamp sorts before the resize (priorities 0-2 vs
+    3), so it belongs to the *old* epoch.  The first epoch has
+    ``start = -inf``, the last has ``end = inf``.
+    """
+
+    index: int
+    start: float
+    end: float
+    num_pes: int
+
+    def covers(self, time: float) -> bool:
+        return self.start < time <= self.end
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable churn run: tasks + faults + resizes on one machine."""
+
+    num_pes: int
+    sequence: TaskSequence
+    plan: FaultPlan = field(default_factory=FaultPlan.empty)
+    resizes: Tuple[MachineResize, ...] = ()
+
+    def __post_init__(self) -> None:
+        times = [float(r.time) for r in self.resizes]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise InvalidMachineError(
+                "resize schedule must be strictly time-ordered "
+                "(equal-time resizes would create empty epochs)"
+            )
+
+    # -- Epoch structure -----------------------------------------------------
+
+    def epochs(self) -> Tuple[Epoch, ...]:
+        """The constant-machine-size intervals, in order.
+
+        Raises :class:`InvalidMachineError` if the schedule ever shrinks
+        the machine below one PE.
+        """
+        out: List[Epoch] = []
+        n = self.num_pes
+        start = -math.inf
+        for i, resize in enumerate(self.resizes):
+            out.append(Epoch(i, start, float(resize.time), n))
+            n = resize.applied_to(n)
+            start = float(resize.time)
+        out.append(Epoch(len(self.resizes), start, math.inf, n))
+        return tuple(out)
+
+    def min_num_pes(self) -> int:
+        """Smallest machine size over the whole run."""
+        return min(e.num_pes for e in self.epochs())
+
+    def final_num_pes(self) -> int:
+        """Machine size after the last resize."""
+        return self.epochs()[-1].num_pes
+
+    def epoch_at(self, time: float) -> Epoch:
+        """The epoch an event at ``time`` belongs to (old epoch at a
+        resize timestamp — resizes sort last at their instant)."""
+        for epoch in self.epochs():
+            if epoch.covers(time):
+                return epoch
+        raise InvalidMachineError(f"no epoch covers time {time}")  # pragma: no cover
+
+    # -- Event stream --------------------------------------------------------
+
+    def merged_events(self) -> List[Union[Event, FaultEvent, MachineResize]]:
+        """The full chronological event stream: tasks, faults, resizes.
+
+        Ties follow the canonical priority table — departures, arrivals,
+        faults, then resizes.
+        """
+        return sorted(
+            [*self.sequence, *self.plan.events, *self.resizes],
+            key=event_sort_key,
+        )
+
+    @property
+    def num_churn_events(self) -> int:
+        """Fault events plus resizes — the scenario's churn volume."""
+        return len(self.plan) + len(self.resizes)
+
+    def horizon(self) -> float:
+        """Time of the last event of any kind (0.0 when empty)."""
+        times = [float(e.time) for e in self.merged_events()]
+        return max(times, default=0.0)
+
+    def plan_slices(self) -> List[FaultPlan]:
+        """The fault plan split by epoch (one slice per epoch, in order)."""
+        epochs = self.epochs()
+        buckets: List[List[FaultEvent]] = [[] for _ in epochs]
+        for event in self.plan.events:
+            for epoch in epochs:
+                if epoch.covers(float(event.time)):
+                    buckets[epoch.index].append(event)
+                    break
+        return [FaultPlan(tuple(b)) for b in buckets]
+
+    # -- Validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Enforce the scenario discipline (see module docstring).
+
+        Raises :class:`FaultPlanError` / :class:`InvalidMachineError` with
+        the offending epoch or boundary named.
+        """
+        epochs = self.epochs()  # validates the resize schedule itself
+        w_max = self.sequence.max_task_size()
+        n_min = self.min_num_pes()
+        if w_max > n_min:
+            raise InvalidMachineError(
+                f"task size {w_max} exceeds the smallest machine of the "
+                f"run ({n_min} PEs) — every task must fit every epoch"
+            )
+        slices = self.plan_slices()
+        for epoch, piece in zip(epochs, slices):
+            open_failures = piece.num_failures - piece.num_repairs
+            if open_failures > 0 and epoch.index < len(epochs) - 1:
+                raise FaultPlanError(
+                    f"epoch {epoch.index} (N={epoch.num_pes}) ends at "
+                    f"t={epoch.end:g} with {open_failures} unrepaired "
+                    f"failure(s) — failures must be repaired before a "
+                    f"resize"
+                )
+            piece.validate_for(
+                epoch.num_pes,
+                max_task_size=w_max if w_max > 0 else None,
+            )
+
+    # -- Serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "num_pes": self.num_pes,
+            "tasks": [
+                [
+                    int(tid),
+                    task.size,
+                    float(task.arrival),
+                    "inf" if math.isinf(task.departure) else float(task.departure),
+                    float(task.work),
+                ]
+                for tid, task in sorted(
+                    self.sequence.tasks.items(), key=lambda kv: int(kv[0])
+                )
+            ],
+            "plan": self.plan.to_dict(),
+            "resizes": [
+                [float(r.time), r.op, int(r.factor)] for r in self.resizes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        from repro.tasks.task import Task
+        from repro.types import TaskId
+
+        tasks = [
+            Task(
+                TaskId(int(tid)),
+                int(size),
+                float(arrival),
+                math.inf if departure == "inf" else float(departure),
+                float(work),
+            )
+            for tid, size, arrival, departure, work in payload.get("tasks", [])
+        ]
+        return cls(
+            num_pes=int(payload["num_pes"]),
+            sequence=TaskSequence.from_tasks(tasks),
+            plan=FaultPlan.from_dict(payload.get("plan", {})),
+            resizes=tuple(
+                MachineResize(float(t), str(op), int(f))
+                for t, op, f in payload.get("resizes", [])
+            ),
+        )
+
+    def describe(self) -> dict:
+        """Structured one-line summary for reports."""
+        return {
+            "num_pes": self.num_pes,
+            "num_tasks": self.sequence.num_tasks,
+            "num_events": len(self.sequence),
+            "failures": self.plan.num_failures,
+            "repairs": self.plan.num_repairs,
+            "kills": self.plan.num_kills,
+            "grows": sum(1 for r in self.resizes if r.op == "grow"),
+            "shrinks": sum(1 for r in self.resizes if r.op == "shrink"),
+            "machine_sizes": [e.num_pes for e in self.epochs()],
+        }

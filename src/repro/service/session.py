@@ -203,6 +203,42 @@ class AllocationSession:
         """Kill one task in place (fault-tolerant sessions)."""
         return self._fault_event("kill", task_id=int(task_id), time=time)
 
+    def grow(self, factor: int = 2, *, time: Optional[float] = None) -> Decision:
+        """Grow the machine online by ``factor`` (fault-tolerant sessions)."""
+        return self.resize("grow", factor, time=time)
+
+    def shrink(self, factor: int = 2, *, time: Optional[float] = None) -> Decision:
+        """Shrink the machine online by ``factor`` (fault-tolerant sessions)."""
+        return self.resize("shrink", factor, time=time)
+
+    def resize(
+        self, op: str, factor: int = 2, *, time: Optional[float] = None
+    ) -> Decision:
+        """Resize the machine in place while tasks stay resident.
+
+        ``grow`` renumbers every placement into a ``factor``-times larger
+        machine (zero migrations); ``shrink`` repacks the survivors into
+        the leftmost ``1/factor`` of the PEs and refuses if any active
+        task would no longer fit.  Resizes need a fault-tolerant session
+        (the kernel routes them through the degraded view) and are
+        journaled like any other event, so a resumed session replays the
+        same machine-size trajectory.
+        """
+        if not self._fault_tolerant:
+            raise SimulationError(
+                "resize events need a fault-tolerant session "
+                "(AllocationSession(..., fault_tolerant=True))"
+            )
+        from repro.scenarios.elastic import MachineResize
+
+        t = self._clock(time)
+        event = MachineResize(t, str(op), int(factor))
+        return self._absorb(
+            event,
+            {"kind": "resize", "time": t, "op": event.op,
+             "factor": event.factor},
+        )
+
     def _fault_event(
         self,
         kind: str,
@@ -250,6 +286,12 @@ class AllocationSession:
         if kind in ("failure", "repair"):
             return self._fault_event(
                 kind, node=int(record["node"]), time=record.get("time")
+            )
+        if kind == "resize":
+            return self.resize(
+                str(record["op"]),
+                int(record.get("factor", 2)),
+                time=record.get("time"),
             )
         raise SimulationError(f"unknown event record kind {kind!r}")
 
@@ -324,6 +366,19 @@ class AllocationSession:
                         event = TaskKill(t, TaskId(int(record["id"])))
                         norm = {"kind": kind, "time": t,
                                 "id": int(record["id"])}
+                elif kind == "resize":
+                    if not self._fault_tolerant:
+                        raise SimulationError(
+                            "resize events need a fault-tolerant session "
+                            "(AllocationSession(..., fault_tolerant=True))"
+                        )
+                    from repro.scenarios.elastic import MachineResize
+
+                    event = MachineResize(
+                        t, str(record["op"]), int(record.get("factor", 2))
+                    )
+                    norm = {"kind": "resize", "time": t, "op": event.op,
+                            "factor": event.factor}
                 else:
                     raise SimulationError(
                         f"unknown event record kind {kind!r}"
@@ -450,7 +505,7 @@ class AllocationSession:
             return self._absorb(
                 Arrival(t, task), dict(record), journal=False
             )
-        if kind in ("departure", "kill", "failure", "repair"):
+        if kind in ("departure", "kill", "failure", "repair", "resize"):
             # Rebuild through the normal constructors, minus journaling.
             journal, self._journal = self._journal, None
             try:
@@ -525,6 +580,9 @@ class AllocationSession:
             out["failures"] = faults.num_failures
             out["kills"] = faults.num_kills
             out["min_surviving_pes"] = faults.min_surviving_pes
+            out["num_pes"] = self.kernel.machine.num_pes
+            out["grows"] = faults.num_grows
+            out["shrinks"] = faults.num_shrinks
         return out
 
     def snapshot(self) -> dict[str, Any]:
@@ -562,9 +620,18 @@ class AllocationSession:
         from repro.faults.plan import FaultPlan
 
         fault_events = tuple(
-            e for e in self._events if not isinstance(e, (Arrival, Departure))
+            e
+            for e in self._events
+            if not isinstance(e, (Arrival, Departure))
+            and getattr(e, "kind", None) != "resize"
         )
         return FaultPlan(fault_events)
+
+    def resizes(self) -> tuple[Any, ...]:
+        """The online resize events absorbed so far, in order."""
+        return tuple(
+            e for e in self._events if getattr(e, "kind", None) == "resize"
+        )
 
     def result(self) -> RunResult:
         """A :class:`RunResult` for the session so far.

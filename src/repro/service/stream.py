@@ -10,6 +10,7 @@ One event per line, one decision per line back — the format consumed by
     {"kind": "failure", "node": 2, "time": 6.0}     # fault-tolerant sessions
     {"kind": "repair",  "node": 2}
     {"kind": "kill",    "id": 3}
+    {"kind": "resize",  "op": "grow", "factor": 2}  # online machine resize
 
 Omitted times auto-advance the session clock; omitted arrival ids are
 assigned by the session.  Blank lines and ``#`` comments are ignored, so
@@ -37,7 +38,7 @@ __all__ = [
 ]
 
 #: Every event kind the wire format knows, in canonical tie order.
-EVENT_KINDS = ("departure", "arrival", "failure", "repair", "kill")
+EVENT_KINDS = ("departure", "arrival", "failure", "repair", "kill", "resize")
 
 _REQUIRED: dict[str, tuple[str, ...]] = {
     "arrival": ("size",),
@@ -45,6 +46,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "failure": ("node",),
     "repair": ("node",),
     "kill": ("id",),
+    "resize": ("op",),
 }
 
 
@@ -143,6 +145,9 @@ def records_from_events(events: Iterable[Any]) -> list[dict[str, Any]]:
                 record["work"] = float(event.task.work)
         elif kind in ("departure", "kill"):
             record["id"] = int(event.task_id)
+        elif kind == "resize":
+            record["op"] = str(event.op)
+            record["factor"] = int(event.factor)
         else:
             record["node"] = int(event.node)
         out.append(record)

@@ -155,10 +155,24 @@ class FaultStats:
     peak_degraded_lstar: int = 0
     #: Worst instantaneous ``max_load - L*_deg`` over the run.
     load_overshoot_vs_degraded: int = 0
+    #: Online resizes absorbed (elasticity events; their repack traffic is
+    #: metered in the salvage counters above).
+    num_grows: int = 0
+    num_shrinks: int = 0
 
     @property
     def any_faults(self) -> bool:
-        return (self.num_failures + self.num_repairs + self.num_kills) > 0
+        return (
+            self.num_failures
+            + self.num_repairs
+            + self.num_kills
+            + self.num_grows
+            + self.num_shrinks
+        ) > 0
+
+    @property
+    def num_resizes(self) -> int:
+        return self.num_grows + self.num_shrinks
 
     def record_failure(self, orphans: int, orphan_volume: int) -> None:
         self.num_failures += 1
@@ -191,6 +205,8 @@ class FaultStats:
             "min_surviving_pes": self.min_surviving_pes,
             "peak_degraded_lstar": self.peak_degraded_lstar,
             "load_overshoot_vs_degraded": self.load_overshoot_vs_degraded,
+            "grows": self.num_grows,
+            "shrinks": self.num_shrinks,
         }
 
     def to_state(self) -> dict:

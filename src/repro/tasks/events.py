@@ -80,6 +80,11 @@ _TIE_PRIORITY: dict[str, int] = {
     "failure": 2,
     "repair": 2,
     "kill": 2,
+    # Machine resizes sort after everything else at their instant: a
+    # same-time fault is resolved (and a same-time repair lands) on the
+    # pre-resize machine, which is what keeps resize epochs self-contained
+    # for the piecewise-N referees (repro.verify.churn).
+    "resize": 3,
 }
 
 
@@ -90,7 +95,8 @@ def event_priority(event: object) -> int:
     available to that task — the convention that makes the paper's Figure 1
     come out right), then arrivals, then fault events (a placement decided
     "at" a fault time still sees the pre-fault machine and is immediately
-    salvaged — the convention the audit referees assume).
+    salvaged — the convention the audit referees assume), then machine
+    resizes (everything at a resize instant happens on the old machine).
     """
     kind = event.kind  # type: ignore[attr-defined]
     if isinstance(kind, EventKind):

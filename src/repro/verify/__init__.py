@@ -25,6 +25,12 @@ the suite's scattered ad-hoc checks into one engine:
   that replays each sequence through every columnar batch backend
   (:mod:`repro.kernel.columnar`) and demands bit-identical decisions,
   metrics, and kernel state against the per-event oracle path;
+* :mod:`repro.verify.churn` —
+  :func:`~repro.verify.churn.check_algorithm_under_churn`, the
+  piecewise-N referee for full churn scenarios (faults, kills,
+  flash-crowd storms, and online grow/shrink): each constant-machine-size
+  epoch is audited independently and the degraded salvage bound is
+  enforced with that epoch's minimum surviving capacity;
 * :mod:`repro.verify.shrink` — greedy delta debugging that reduces any
   violating sequence to a minimal counterexample;
 * :mod:`repro.verify.corpus` — the replayable counterexample store under
@@ -40,14 +46,21 @@ Entry points: ``repro verify`` on the command line, or::
     report.raise_if_failed()
 """
 
-from repro.verify.backends import check_backend_parity
+from repro.verify.backends import check_backend_parity, check_churn_backend_parity
+from repro.verify.churn import check_algorithm_under_churn
 from repro.verify.corpus import (
     CorpusEntry,
     load_corpus,
     replay_corpus,
     write_counterexample,
 )
-from repro.verify.fuzzer import FeatureVector, SequenceFuzzer, sequence_features
+from repro.verify.fuzzer import (
+    ChurnFuzzer,
+    FeatureVector,
+    SequenceFuzzer,
+    scenario_features,
+    sequence_features,
+)
 from repro.verify.harness import CheckOutcome, DifferentialHarness, check_algorithm
 from repro.verify.oracle import OracleReport, oracle_audit
 from repro.verify.report import BoundMargin, VerifyReport
@@ -56,6 +69,7 @@ from repro.verify.shrink import shrink
 __all__ = [
     "BoundMargin",
     "CheckOutcome",
+    "ChurnFuzzer",
     "CorpusEntry",
     "DifferentialHarness",
     "FeatureVector",
@@ -63,10 +77,13 @@ __all__ = [
     "SequenceFuzzer",
     "VerifyReport",
     "check_algorithm",
+    "check_algorithm_under_churn",
     "check_backend_parity",
+    "check_churn_backend_parity",
     "load_corpus",
     "oracle_audit",
     "replay_corpus",
+    "scenario_features",
     "sequence_features",
     "shrink",
     "write_counterexample",

@@ -36,7 +36,7 @@ from repro.kernel.core import AllocationKernel
 from repro.machines.tree import TreeMachine
 from repro.tasks.sequence import TaskSequence
 
-__all__ = ["check_backend_parity"]
+__all__ = ["check_backend_parity", "check_churn_backend_parity"]
 
 
 def _state_digest(kernel: AllocationKernel) -> str:
@@ -64,10 +64,26 @@ def _run_backend(
     seed: int,
     events: list,
     chunk: int,
+    *,
+    churn: bool = False,
 ) -> _BackendRun:
     machine = TreeMachine(num_pes)
     algorithm = make_algorithm(name, machine, d=d, seed=seed)
-    kernel = AllocationKernel(machine, algorithm, batch_backend=backend)
+    if churn:
+        # Full event alphabet (faults, kills, resizes): the algorithm needs
+        # the fault-tolerant wrapper and the kernel a degraded view.  The
+        # columnar engines decline such batches and fall back to the exact
+        # per-event path — which is precisely the behaviour under test:
+        # the decline must be deterministic and identical across backends.
+        from repro.faults.salvage import FaultTolerantAlgorithm
+
+        view = machine.degraded_view()
+        wrapped = FaultTolerantAlgorithm(machine, algorithm, view)
+        kernel = AllocationKernel(
+            machine, wrapped, view=view, batch_backend=backend
+        )
+    else:
+        kernel = AllocationKernel(machine, algorithm, batch_backend=backend)
     decisions: list = []
     error: Optional[str] = None
     try:
@@ -117,6 +133,43 @@ def check_backend_parity(
     runs = [
         _run_backend(b, name, num_pes, d, seed, events, chunk) for b in names
     ]
+    return _diff_runs(runs)
+
+
+def check_churn_backend_parity(
+    name: str,
+    d: float,
+    seed: int,
+    scenario,
+    *,
+    backends: Optional[TypingSequence[str]] = None,
+    chunk: int = 64,
+) -> list[str]:
+    """Replay a full churn scenario under every batch backend and diff.
+
+    Same contract as :func:`check_backend_parity`, but the event stream is
+    the scenario's merged alphabet — arrivals, departures, failures,
+    repairs, kills, and resizes — fed through ``apply_batch`` in chunks
+    that deliberately straddle fault and resize boundaries.  The columnar
+    engines must decline such batches onto the per-event path identically,
+    so every observable (decision stream, snapshot digest, metered series,
+    peak snapshots, error behaviour) stays bit-identical across backends.
+    """
+    names = tuple(backends) if backends is not None else available_backends()
+    if len(names) < 2:
+        return []
+    events = list(scenario.merged_events())
+    runs = [
+        _run_backend(
+            b, name, scenario.num_pes, d, seed, events, chunk, churn=True
+        )
+        for b in names
+    ]
+    return _diff_runs(runs)
+
+
+def _diff_runs(runs: list[_BackendRun]) -> list[str]:
+    """Diff every run against the first (the per-event reference)."""
     ref = runs[0]
     violations: list[str] = []
     for run in runs[1:]:

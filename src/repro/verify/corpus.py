@@ -74,6 +74,11 @@ class CorpusEntry:
     #: kill); empty for healthy entries.  Additive: absent from the JSON of
     #: healthy entries, so the schema version is unchanged.
     fault_events: tuple[tuple[str, float, int], ...] = ()
+    #: Resize-schedule rows ``(time, op, factor)`` for entries recorded in
+    #: churn mode; empty otherwise.  Additive, like ``fault_events`` — the
+    #: presence of any row routes replay through the piecewise-N churn
+    #: check (:func:`repro.verify.churn.check_algorithm_under_churn`).
+    resize_events: tuple[tuple[float, str, int], ...] = ()
 
     @staticmethod
     def from_sequence(
@@ -85,6 +90,7 @@ class CorpusEntry:
         seed: int,
         check: str,
         fault_plan=None,
+        resizes=None,
     ) -> "CorpusEntry":
         rows = tuple(
             (int(tid), task.size, float(task.arrival), float(task.departure))
@@ -100,6 +106,11 @@ class CorpusEntry:
                 )
                 for event in fault_plan.events
             )
+        resize_rows: tuple[tuple[float, str, int], ...] = ()
+        if resizes:
+            resize_rows = tuple(
+                (float(r.time), str(r.op), int(r.factor)) for r in resizes
+            )
         return CorpusEntry(
             algorithm=algorithm,
             num_pes=num_pes,
@@ -108,6 +119,7 @@ class CorpusEntry:
             check=check,
             tasks=rows,
             fault_events=fault_rows,
+            resize_events=resize_rows,
         )
 
     def sequence(self) -> TaskSequence:
@@ -136,6 +148,23 @@ class CorpusEntry:
             }
         )
 
+    def scenario(self):
+        """Rebuild the churn scenario, or ``None`` for non-churn entries."""
+        if not self.resize_events:
+            return None
+        from repro.faults.plan import FaultPlan
+        from repro.scenarios.elastic import MachineResize, Scenario
+
+        return Scenario(
+            num_pes=self.num_pes,
+            sequence=self.sequence(),
+            plan=self.fault_plan() or FaultPlan.empty(),
+            resizes=tuple(
+                MachineResize(float(t), str(op), int(f))
+                for t, op, f in self.resize_events
+            ),
+        )
+
     def to_json(self) -> str:
         payload = {
             "version": CORPUS_VERSION,
@@ -158,6 +187,11 @@ class CorpusEntry:
             payload["faults"] = [
                 {"kind": kind, "time": time, "ref": ref}
                 for kind, time, ref in self.fault_events
+            ]
+        if self.resize_events:
+            payload["resizes"] = [
+                {"time": time, "op": op, "factor": factor}
+                for time, op, factor in self.resize_events
             ]
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -188,6 +222,10 @@ class CorpusEntry:
             fault_events=tuple(
                 (str(row["kind"]), float(row["time"]), int(row["ref"]))
                 for row in payload.get("faults", ())
+            ),
+            resize_events=tuple(
+                (float(row["time"]), str(row["op"]), int(row["factor"]))
+                for row in payload.get("resizes", ())
             ),
         )
 
@@ -236,9 +274,16 @@ def load_corpus(directory, *, strict: bool = False) -> list[CorpusEntry]:
 
 
 def _replay_one(entry: CorpusEntry):
-    """Dispatch one entry to the matching (healthy or fault-mode) check."""
+    """Dispatch one entry to its check: churn, fault-mode, or healthy."""
     from repro.verify.harness import check_algorithm, check_algorithm_under_faults
 
+    scenario = entry.scenario()
+    if scenario is not None:
+        from repro.verify.churn import check_algorithm_under_churn
+
+        return check_algorithm_under_churn(
+            entry.algorithm, entry.d, entry.seed, scenario
+        )
     plan = entry.fault_plan()
     if plan is not None:
         return check_algorithm_under_faults(

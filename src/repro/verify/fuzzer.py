@@ -27,7 +27,13 @@ from repro.tasks.sequence import TaskSequence
 from repro.tasks.task import Task
 from repro.types import TaskId, ceil_div
 
-__all__ = ["FeatureVector", "SequenceFuzzer", "sequence_features"]
+__all__ = [
+    "ChurnFuzzer",
+    "FeatureVector",
+    "SequenceFuzzer",
+    "scenario_features",
+    "sequence_features",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,15 @@ class FeatureVector:
     #: capped at 5.  Mass departures create the fragmentation that repacking
     #: exists to undo.
     burst: int
+    #: Churn-rate bucket: fault-plan events (failures/repairs/kills) per
+    #: unit time, coarsened to 0 (none) .. 4 (storm of churn).  0 for the
+    #: plain task-sequence features, so healthy campaigns are unchanged.
+    churn: int = 0
+    #: Flash-crowd depth: most arrivals sharing one timestamp, capped at 5
+    #: (1 = no storm; 0 for plain task-sequence features).
+    storm: int = 0
+    #: Online resize count, capped at 3 (0 = fixed machine).
+    resizes: int = 0
 
 
 def sequence_features(sequence: TaskSequence, num_pes: int) -> FeatureVector:
@@ -75,6 +90,37 @@ def sequence_features(sequence: TaskSequence, num_pes: int) -> FeatureVector:
         depth=min(ceil_div(sequence.peak_active_size, num_pes), 4),
         volume=min(sequence.total_arrival_size // num_pes, 8),
         burst=min(max_run, 5),
+    )
+
+
+def scenario_features(scenario) -> FeatureVector:
+    """Map a churn :class:`~repro.scenarios.elastic.Scenario` onto its
+    :class:`FeatureVector` bucket (base sequence axes + churn axes)."""
+    from collections import Counter
+    from dataclasses import replace
+
+    base = sequence_features(scenario.sequence, scenario.num_pes)
+    horizon = scenario.horizon()
+    n_fault = len(scenario.plan)
+    rate = n_fault / horizon if horizon > 0 else 0.0
+    if n_fault == 0:
+        churn = 0
+    elif rate <= 0.05:
+        churn = 1
+    elif rate <= 0.2:
+        churn = 2
+    elif rate <= 1.0:
+        churn = 3
+    else:
+        churn = 4
+    arrivals_at = Counter(
+        float(t.arrival) for t in scenario.sequence.tasks.values()
+    )
+    return replace(
+        base,
+        churn=churn,
+        storm=min(max(arrivals_at.values(), default=0), 5),
+        resizes=min(len(scenario.resizes), 3),
     )
 
 
@@ -202,5 +248,156 @@ class SequenceFuzzer:
         return sequence
 
     def __iter__(self) -> Iterator[TaskSequence]:
+        while True:
+            yield self.generate()
+
+
+#: Churn-process parameter bounds, same role as :data:`_PARAM_BOUNDS`.
+#: ``fault_rate`` is failures per unit time (below 0.02 disables faults);
+#: ``resize_mode`` indexes the resize-schedule templates below.
+_CHURN_PARAM_BOUNDS: dict[str, tuple[float, float]] = {
+    "task_rate": (0.2, 4.0),
+    "mean_duration": (1.0, 20.0),
+    "fault_rate": (0.0, 1.0),
+    "mttr": (0.5, 6.0),
+    "kill_rate": (0.0, 0.5),
+    "storm_rate": (0.0, 0.3),
+    "storm_depth": (2, 12),
+    "diurnal_amplitude": (0.0, 0.9),
+    "resize_mode": (0, 4),
+}
+
+_CHURN_INT_PARAMS = frozenset({"storm_depth", "resize_mode"})
+
+
+def _churn_seed_pool() -> list[dict[str, float]]:
+    """Hand-picked corners of the churn parameter space."""
+    base = dict(
+        task_rate=1.0, mean_duration=8.0, fault_rate=0.0, mttr=3.0,
+        kill_rate=0.0, storm_rate=0.0, storm_depth=6,
+        diurnal_amplitude=0.0, resize_mode=0,
+    )
+    return [
+        # calm fixed machine: healthy regression anchor
+        dict(base),
+        # faulty: MTTF pressure with slow repairs
+        dict(base, fault_rate=0.5, mttr=5.0, kill_rate=0.1),
+        # flash crowds: deep storms, short tasks
+        dict(base, storm_rate=0.25, storm_depth=10, mean_duration=3.0),
+        # elastic: grow then shrink under diurnal load
+        dict(base, resize_mode=3, diurnal_amplitude=0.7, task_rate=2.0),
+        # worst mix: shrink-first schedule with faults, kills and storms
+        dict(base, resize_mode=4, fault_rate=0.3, kill_rate=0.3,
+             storm_rate=0.15, storm_depth=8),
+    ]
+
+
+def _churn_clamp(key: str, value: float) -> float:
+    lo, hi = _CHURN_PARAM_BOUNDS[key]
+    value = min(max(value, lo), hi)
+    if key in _CHURN_INT_PARAMS:
+        value = int(round(value))
+    return value
+
+
+def _churn_mutate(
+    params: dict[str, float], rng: np.random.Generator
+) -> dict[str, float]:
+    child = dict(params)
+    for key in rng.choice(
+        sorted(_CHURN_PARAM_BOUNDS), size=int(rng.integers(1, 3)), replace=False
+    ):
+        lo, hi = _CHURN_PARAM_BOUNDS[key]
+        child[key] = _churn_clamp(key, child[key] + rng.normal(0.0, 0.25 * (hi - lo)))
+    return child
+
+
+def _resize_schedule(
+    mode: int, horizon: float
+) -> tuple[tuple[float, str, int], ...]:
+    """Resize-schedule templates, scaled to the generation horizon."""
+    if mode == 1:
+        return ((0.45 * horizon, "grow", 2),)
+    if mode == 2:
+        return ((0.45 * horizon, "shrink", 2),)
+    if mode == 3:
+        return ((0.35 * horizon, "grow", 2), (0.7 * horizon, "shrink", 2))
+    if mode == 4:
+        return ((0.3 * horizon, "shrink", 2), (0.65 * horizon, "grow", 2))
+    return ()
+
+
+class ChurnFuzzer:
+    """Coverage-guided generator of churn scenarios.
+
+    Same AFL loop as :class:`SequenceFuzzer`, but the pool holds
+    :class:`~repro.scenarios.churn.ChurnProcess` rate parameters and
+    coverage is over :func:`scenario_features` — the base sequence axes
+    plus churn rate, flash-crowd depth, and resize count.  Every generated
+    scenario is admissible by construction (the churn process guarantees
+    the granularity floor per epoch), so the campaign never wastes checks
+    on inadmissible inputs.
+    """
+
+    def __init__(self, num_pes: int, *, seed: int = 0, horizon: float = 60.0):
+        if num_pes < 2 or num_pes & (num_pes - 1):
+            raise ValueError(
+                f"num_pes must be a power of two >= 2 (shrink schedules "
+                f"halve it), got {num_pes}"
+            )
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.num_pes = num_pes
+        self.seed = seed
+        self.horizon = horizon
+        self._rng = np.random.default_rng([seed, 0xC0897])
+        self._pool: list[dict[str, float]] = _churn_seed_pool()
+        self._covered: set[FeatureVector] = set()
+        self.generated = 0
+
+    @property
+    def coverage(self) -> frozenset[FeatureVector]:
+        return frozenset(self._covered)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def process_for(self, params: dict[str, float], seed: int):
+        """Materialise one parameter vector as a :class:`ChurnProcess`."""
+        from repro.scenarios.churn import ChurnProcess
+
+        fault_rate = float(params["fault_rate"])
+        return ChurnProcess(
+            num_pes=self.num_pes,
+            seed=seed,
+            horizon=self.horizon,
+            task_rate=float(params["task_rate"]),
+            mean_duration=float(params["mean_duration"]),
+            pe_mttf=(1.0 / fault_rate) if fault_rate >= 0.02 else float("inf"),
+            mttr=float(params["mttr"]),
+            kill_rate=float(params["kill_rate"]),
+            storm_rate=float(params["storm_rate"]),
+            storm_depth=int(params["storm_depth"]),
+            diurnal_period=self.horizon / 2.0,
+            diurnal_amplitude=float(params["diurnal_amplitude"]),
+            resizes=_resize_schedule(int(params["resize_mode"]), self.horizon),
+        )
+
+    def generate(self):
+        """Produce the next scenario, updating coverage and the pool."""
+        rng = self._rng
+        parent = self._pool[int(rng.integers(len(self._pool)))]
+        params = _churn_mutate(parent, rng)
+        process = self.process_for(params, int(rng.integers(2**31)))
+        scenario = process.build()
+        self.generated += 1
+        features = scenario_features(scenario)
+        if features not in self._covered:
+            self._covered.add(features)
+            self._pool.append(params)
+        return scenario
+
+    def __iter__(self):
         while True:
             yield self.generate()

@@ -77,6 +77,13 @@ class CheckOutcome:
     faulted: bool = False
     #: Degradation summary (``FaultStats.to_dict``) for fault-mode checks.
     degradation: Optional[dict] = None
+    #: True when the check ran a full churn scenario (faults + resizes)
+    #: through the piecewise-N referees of :mod:`repro.verify.churn`.
+    churned: bool = False
+    #: Constant-machine-size epochs the piecewise referee audited.
+    num_epochs: int = 0
+    #: Online grow/shrink events in the scenario (churn checks only).
+    num_resizes: int = 0
 
     @property
     def slack(self) -> Optional[float]:
@@ -302,7 +309,14 @@ def check_algorithm_under_faults(
     # Degraded salvage bound.  s_peak is the sequence's nominal peak active
     # volume (kills only shrink it, so this is the conservative numerator);
     # the denominator is the worst surviving capacity the plan ever left.
-    if plan.num_failures > 0 and math.isfinite(d_eff):
+    # Randomized algorithms carry w.h.p. guarantees only — a single run may
+    # legally stack tasks past any deterministic bound, so the referee
+    # skips them (same policy as ``load_bound is None`` in the registry).
+    if (
+        plan.num_failures > 0
+        and math.isfinite(d_eff)
+        and not ALGORITHM_SPECS[name].randomized
+    ):
         min_surviving = plan.min_surviving_pes(num_pes)
         s_peak = oracle.peak_active_size
         bound = (d_eff + 1) * max(ceil_div(s_peak, min_surviving), 1)
@@ -506,6 +520,109 @@ class DifferentialHarness:
         report.elapsed = time.monotonic() - start
         report.features = sorted(
             fuzzer.coverage, key=lambda f: (f.size_classes, f.depth, f.volume, f.burst)
+        )
+        return report
+
+    def fuzz_churn(
+        self,
+        *,
+        max_sequences: Optional[int] = None,
+        budget: Optional[float] = None,
+        horizon: float = 60.0,
+        checkpoint=None,
+    ) -> VerifyReport:
+        """Run a churn-mode campaign: full scenarios, piecewise-N referees.
+
+        The coverage-guided :class:`~repro.verify.fuzzer.ChurnFuzzer`
+        generates admissible churn scenarios (faults, kills, flash-crowd
+        storms, diurnal arrivals, grow/shrink schedules); every scenario
+        runs through :func:`repro.verify.churn.check_algorithm_under_churn`
+        for each configured algorithm.  Violating scenarios are stored
+        *unshrunk* — like fault-mode entries, shrinking would change the
+        epoch structure and the granularity census the scenario's
+        admissibility rests on — with their resize schedule, so corpus
+        replay dispatches them back through the churn check.
+
+        ``checkpoint`` journaling and resume semantics match :meth:`fuzz`.
+        """
+        from repro.verify.churn import check_algorithm_under_churn
+        from repro.verify.fuzzer import ChurnFuzzer
+
+        if max_sequences is None and budget is None:
+            raise ValueError("give max_sequences and/or budget")
+        fuzzer = ChurnFuzzer(self.num_pes, seed=self.seed, horizon=horizon)
+        report = VerifyReport(
+            num_pes=self.num_pes, seed=self.seed, algorithms=tuple(self.algorithms)
+        )
+        journal = None
+        if checkpoint is not None:
+            from repro.sim.checkpoint import CheckpointJournal
+
+            journal = CheckpointJournal(
+                checkpoint,
+                fingerprint={
+                    "kind": "verify-fuzz-churn",
+                    "num_pes": self.num_pes,
+                    "seed": self.seed,
+                    "algorithms": list(self.algorithms),
+                    "d_values": [repr(d) for d in self.d_values],
+                    "horizon": horizon,
+                },
+            )
+        cached = journal.completed() if journal is not None else {}
+        start = time.monotonic()
+        index = 0
+        while True:
+            if max_sequences is not None and index >= max_sequences:
+                break
+            if budget is not None and time.monotonic() - start >= budget:
+                break
+            # Generated even for cached indices so the fuzzer's RNG stream
+            # and coverage census advance exactly as in the original run.
+            scenario = fuzzer.generate()
+            d = self.d_values[index % len(self.d_values)]
+            seed = self.seed + index
+            if index in cached:
+                outcomes = cached[index]
+            else:
+                outcomes = parallel_map(
+                    check_algorithm_under_churn,
+                    [(name, d, seed, scenario) for name in self.algorithms],
+                    jobs=self.jobs,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                )
+                if journal is not None:
+                    journal.record(index, outcomes)
+            report.sequences_tried += 1
+            for outcome in outcomes:
+                report.record(outcome)
+                if not outcome.ok:
+                    entry = CorpusEntry.from_sequence(
+                        scenario.sequence,
+                        algorithm=outcome.algorithm,
+                        num_pes=self.num_pes,
+                        d=outcome.d,
+                        seed=outcome.seed,
+                        check=(
+                            outcome.violations[0]
+                            if outcome.violations
+                            else "unknown"
+                        ),
+                        fault_plan=scenario.plan,
+                        resizes=scenario.resizes,
+                    )
+                    if self.corpus_dir is not None:
+                        write_counterexample(entry, self.corpus_dir)
+                    report.counterexamples.append(entry)
+            index += 1
+        if journal is not None:
+            journal.close()
+        report.elapsed = time.monotonic() - start
+        report.features = sorted(
+            fuzzer.coverage,
+            key=lambda f: (f.size_classes, f.depth, f.volume, f.burst,
+                           f.churn, f.storm, f.resizes),
         )
         return report
 

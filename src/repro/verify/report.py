@@ -72,6 +72,11 @@ class VerifyReport:
     tightest: dict[str, BoundMargin] = field(default_factory=dict)
     #: Checks that ran under an injected fault plan.
     faulted_checks: int = 0
+    #: Checks that ran a full churn scenario through the piecewise-N
+    #: referees (every churn check is also counted in ``faulted_checks``).
+    churn_checks: int = 0
+    #: Online resizes absorbed across all churn checks.
+    resizes_checked: int = 0
     #: Degradation tallies over all faulted checks (summed counters plus
     #: worst-case gauges) — the campaign-level fault accounting.
     fault_summary: dict = field(default_factory=dict)
@@ -88,6 +93,8 @@ class VerifyReport:
         "failures",
         "repairs",
         "kills",
+        "grows",
+        "shrinks",
         "orphaned_tasks",
         "salvage_repacks",
         "salvage_migrations",
@@ -99,6 +106,9 @@ class VerifyReport:
         self.checks_run += 1
         if not outcome.ok:
             self.violations.append(outcome)
+        if getattr(outcome, "churned", False):
+            self.churn_checks += 1
+            self.resizes_checked += getattr(outcome, "num_resizes", 0)
         if outcome.faulted:
             self.faulted_checks += 1
             if outcome.degradation:
@@ -160,6 +170,9 @@ class VerifyReport:
                     "depth": f.depth,
                     "volume": f.volume,
                     "burst": f.burst,
+                    "churn": getattr(f, "churn", 0),
+                    "storm": getattr(f, "storm", 0),
+                    "resizes": getattr(f, "resizes", 0),
                 }
                 for f in self.features
             ],
@@ -174,6 +187,8 @@ class VerifyReport:
             ],
             "counterexamples": [e.filename() for e in self.counterexamples],
             "faulted_checks": self.faulted_checks,
+            "churn_checks": self.churn_checks,
+            "resizes_checked": self.resizes_checked,
             "fault_summary": dict(self.fault_summary),
             "tightest_bounds": {
                 name: {

@@ -190,7 +190,7 @@ class TestWorkloadSensitivityDriver:
 class TestRegistry:
     def test_all_ids_present(self):
         assert set(EXPERIMENTS) == {
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
             "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
         }
 

@@ -206,6 +206,41 @@ class TestColumnarParity:
             assert got == expected
             _assert_same_state(columnar, oracle)
 
+    def test_resize_bearing_batch_falls_back_bit_identically(self, backend):
+        # Online grow/shrink is outside the columnar alphabet: a batch
+        # carrying a resize must be declined to the per-event path, not
+        # silently mis-absorbed — and stay bit-identical end to end.
+        from repro.scenarios import ChurnProcess
+
+        rng = np.random.default_rng(17)
+        scenario = ChurnProcess(
+            num_pes=N, seed=13, horizon=25.0, task_rate=1.5,
+            pe_mttf=10.0, mttr=2.0, storm_rate=0.2, storm_depth=5,
+            resizes=((9.0, "grow", 2), (18.0, "shrink", 2)),
+        ).build()
+        events = list(scenario.merged_events())
+        assert any(type(e).__name__ == "MachineResize" for e in events)
+
+        def churn_kernel(backend_name):
+            machine = TreeMachine(N)
+            algo = make_algorithm("greedy", machine, d=1)
+            wrapper = FaultTolerantAlgorithm(
+                machine, algo, machine.degraded_view()
+            )
+            return AllocationKernel(
+                machine, wrapper, view=wrapper.view, batch_backend=backend_name
+            )
+
+        oracle = churn_kernel("python")
+        expected = [oracle.apply(e) for e in events]
+        columnar = churn_kernel(backend)
+        got = []
+        for sl in _random_splits(len(events), rng):
+            got.extend(columnar.apply_batch(events[sl]).decisions)
+        assert got == expected
+        assert columnar.machine.num_pes == oracle.machine.num_pes == N
+        _assert_same_state(columnar, oracle)
+
     def test_snapshot_restore_mid_stream(self, backend):
         events = list(churn_sequence(N, 100, np.random.default_rng(41)))
         half = len(events) // 2

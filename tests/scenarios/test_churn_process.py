@@ -1,0 +1,152 @@
+"""ChurnProcess: deterministic replay, round-trips, admissibility by construction.
+
+The determinism contract is the foundation the whole churn suite rests
+on: a committed scenario seed must rebuild byte-for-byte forever (corpus
+replay, journal resume, and cross-backend parity all assume it).  The
+stateful machine below lets Hypothesis wander through parameter space the
+way the coverage-guided fuzzer does — mutating one knob at a time — and
+re-checks the contract after every step.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import InvalidMachineError
+from repro.scenarios import ChurnProcess
+
+#: Resize schedules that keep every machine size admissible from N=8 up.
+RESIZE_SCHEDULES = (
+    (),
+    ((10.0, "grow", 2),),
+    ((10.0, "grow", 2), (20.0, "shrink", 2)),
+    ((12.0, "shrink", 2), (22.0, "grow", 2)),
+)
+
+
+def _canon(scenario) -> str:
+    """Canonical byte representation of a scenario."""
+    return json.dumps(scenario.to_dict(), sort_keys=True)
+
+
+def _check_contract(process: ChurnProcess) -> None:
+    """One full determinism + round-trip check for one parameter point."""
+    first = _canon(process.build())
+    # Same process object, second build: byte-identical.
+    assert _canon(process.build()) == first
+    # A fresh process with the same parameters: byte-identical.
+    clone = ChurnProcess(**{
+        f: getattr(process, f) for f in process.__dataclass_fields__
+    })
+    assert _canon(clone.build()) == first
+    # to_dict/from_dict round-trips the parameters and the scenario.
+    restored = ChurnProcess.from_dict(process.to_dict())
+    assert restored == process
+    assert restored.to_dict() == process.to_dict()
+    assert _canon(restored.build()) == first
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_replays_identically(self, seed):
+        process = ChurnProcess(
+            num_pes=16, seed=seed, horizon=30.0, task_rate=1.0,
+            pe_mttf=12.0, mttr=2.5, kill_rate=0.1,
+            storm_rate=0.1, storm_depth=5,
+            resizes=((12.0, "grow", 2), (24.0, "shrink", 2)),
+        )
+        _check_contract(process)
+
+    def test_different_seeds_differ(self):
+        base = dict(num_pes=16, horizon=40.0, task_rate=1.5)
+        a = ChurnProcess(seed=1, **base).build()
+        b = ChurnProcess(seed=2, **base).build()
+        assert _canon(a) != _canon(b)
+
+    def test_built_scenarios_are_admissible(self):
+        # build() validates internally; re-validate explicitly anyway.
+        process = ChurnProcess(
+            num_pes=16, seed=7, horizon=50.0, task_rate=2.0,
+            pe_mttf=8.0, mttr=2.0, kill_rate=0.2, storm_rate=0.2,
+            storm_depth=8, diurnal_period=25.0, diurnal_amplitude=0.6,
+            resizes=((18.0, "shrink", 2), (36.0, "grow", 2)),
+        )
+        scenario = process.build()
+        scenario.validate()
+        assert scenario.final_num_pes() == 16
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidMachineError, match="power of two"):
+            ChurnProcess(num_pes=12).build()
+        with pytest.raises(InvalidMachineError, match="horizon"):
+            ChurnProcess(num_pes=8, horizon=0.0).build()
+        with pytest.raises(InvalidMachineError, match="task_rate"):
+            ChurnProcess(num_pes=8, task_rate=-1.0).build()
+
+
+class ChurnDeterminismMachine(RuleBasedStateMachine):
+    """Mutate one generation knob at a time; the contract must never break."""
+
+    def __init__(self):
+        super().__init__()
+        self.params: dict = dict(num_pes=8, seed=0, horizon=25.0, task_rate=1.0)
+
+    # -- knobs -------------------------------------------------------------
+
+    @rule(seed=st.integers(0, 2**32 - 1))
+    def reseed(self, seed):
+        self.params["seed"] = seed
+
+    @rule(n=st.sampled_from([8, 16, 32]))
+    def resize_machine(self, n):
+        self.params["num_pes"] = n
+
+    @rule(rate=st.floats(0.2, 3.0), duration=st.floats(0.5, 8.0))
+    def set_workload(self, rate, duration):
+        self.params["task_rate"] = rate
+        self.params["mean_duration"] = duration
+
+    @rule(mttf=st.one_of(st.none(), st.floats(3.0, 50.0)),
+          mttr=st.floats(0.5, 4.0))
+    def set_faults(self, mttf, mttr):
+        self.params["pe_mttf"] = math.inf if mttf is None else mttf
+        self.params["mttr"] = mttr
+
+    @rule(kill=st.floats(0.0, 0.3))
+    def set_kills(self, kill):
+        self.params["kill_rate"] = kill
+
+    @rule(storm=st.floats(0.0, 0.3), depth=st.integers(2, 10))
+    def set_storms(self, storm, depth):
+        self.params["storm_rate"] = storm
+        self.params["storm_depth"] = depth
+
+    @rule(amplitude=st.floats(0.0, 0.8))
+    def set_diurnal(self, amplitude):
+        self.params["diurnal_period"] = self.params["horizon"] / 2.0
+        self.params["diurnal_amplitude"] = amplitude
+
+    @rule(index=st.integers(0, len(RESIZE_SCHEDULES) - 1))
+    def set_resizes(self, index):
+        self.params["resizes"] = RESIZE_SCHEDULES[index]
+
+    # -- the contract ------------------------------------------------------
+
+    @invariant()
+    def replays_byte_identically_and_round_trips(self):
+        _check_contract(ChurnProcess(**self.params))
+
+
+ChurnDeterminismMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestChurnDeterminismStateful = ChurnDeterminismMachine.TestCase

@@ -1,0 +1,162 @@
+"""Resize events, epoch structure, and the scenario discipline."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError, InvalidMachineError
+from repro.faults.plan import FaultPlan, PEFailure, PERepair, TaskKill
+from repro.scenarios import Epoch, MachineResize, Scenario
+from repro.tasks.events import Arrival, Departure, event_sort_key
+from repro.tasks.sequence import TaskSequence
+from repro.tasks.task import Task
+from repro.types import TaskId
+
+
+def _sequence(*specs):
+    """specs: (tid, size, arrival, departure)."""
+    return TaskSequence.from_tasks(
+        [Task(TaskId(t), s, a, d) for t, s, a, d in specs]
+    )
+
+
+class TestMachineResize:
+    def test_rejects_bad_op_and_factor(self):
+        with pytest.raises(InvalidMachineError, match="grow.*shrink"):
+            MachineResize(1.0, "explode")
+        with pytest.raises(InvalidMachineError, match="power of two"):
+            MachineResize(1.0, "grow", 3)
+        with pytest.raises(InvalidMachineError, match="power of two"):
+            MachineResize(1.0, "grow", 1)
+
+    def test_applied_to(self):
+        assert MachineResize(1.0, "grow", 2).applied_to(8) == 16
+        assert MachineResize(1.0, "shrink", 4).applied_to(8) == 2
+        with pytest.raises(InvalidMachineError, match="cannot shrink"):
+            MachineResize(1.0, "shrink", 4).applied_to(2)
+
+    def test_resize_sorts_last_at_shared_timestamp(self):
+        t = 5.0
+        task = Task(TaskId(0), 2, 0.0, t)
+        events = [
+            MachineResize(t, "grow"),
+            Arrival(t, Task(TaskId(1), 2, t)),
+            PEFailure(t, 3),
+            Departure(t, TaskId(0)),
+        ]
+        ordered = sorted(events, key=event_sort_key)
+        assert [type(e).__name__ for e in ordered] == [
+            "Departure", "Arrival", "PEFailure", "MachineResize"
+        ]
+        assert task.departure == t  # the tie the ordering resolves
+
+
+class TestEpochs:
+    def _scenario(self):
+        return Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 2, 0.0, 50.0)),
+            resizes=(
+                MachineResize(10.0, "grow", 2),
+                MachineResize(20.0, "shrink", 4),
+            ),
+        )
+
+    def test_epoch_trajectory(self):
+        epochs = self._scenario().epochs()
+        assert [e.num_pes for e in epochs] == [8, 16, 4]
+        assert epochs[0].start == -math.inf and epochs[-1].end == math.inf
+        assert [(e.start, e.end) for e in epochs][1] == (10.0, 20.0)
+
+    def test_epoch_at_resize_instant_is_the_old_epoch(self):
+        s = self._scenario()
+        assert s.epoch_at(10.0).num_pes == 8
+        assert s.epoch_at(10.0 + 1e-9).num_pes == 16
+        assert s.min_num_pes() == 4
+        assert s.final_num_pes() == 4
+
+    def test_equal_time_resizes_rejected(self):
+        with pytest.raises(InvalidMachineError, match="strictly time-ordered"):
+            Scenario(
+                num_pes=8,
+                sequence=TaskSequence(()),
+                resizes=(
+                    MachineResize(5.0, "grow"),
+                    MachineResize(5.0, "shrink"),
+                ),
+            )
+
+    def test_plan_slices_split_by_epoch(self):
+        plan = FaultPlan((
+            PEFailure(2.0, 4), PERepair(5.0, 4),    # epoch 0 (N=8)
+            TaskKill(10.0, TaskId(0)),               # at the resize -> epoch 0
+            PEFailure(12.0, 8), PERepair(15.0, 8),   # epoch 1 (N=16)
+        ))
+        s = Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 2, 0.0, 50.0)),
+            plan=plan,
+            resizes=(
+                MachineResize(10.0, "grow", 2),
+                MachineResize(20.0, "shrink", 4),
+            ),
+        )
+        slices = s.plan_slices()
+        assert [len(p) for p in slices] == [3, 2, 0]
+        assert s.num_churn_events == 7
+        s.validate()
+
+
+class TestValidate:
+    def test_task_must_fit_smallest_machine(self):
+        s = Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 8, 0.0, 50.0)),
+            resizes=(MachineResize(10.0, "shrink", 2),),
+        )
+        with pytest.raises(InvalidMachineError, match="smallest machine"):
+            s.validate()
+
+    def test_failure_must_be_repaired_before_resize(self):
+        s = Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 1, 0.0, 50.0)),
+            plan=FaultPlan((PEFailure(2.0, 4),)),
+            resizes=(MachineResize(10.0, "grow", 2),),
+        )
+        with pytest.raises(FaultPlanError, match="unrepaired"):
+            s.validate()
+
+    def test_granularity_checked_per_epoch_size(self):
+        # Node 8 is a single PE on N=8: legal for w=1 tasks, but a
+        # size-2 task makes it break the granularity rule in epoch 0.
+        s = Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 2, 0.0, 50.0)),
+            plan=FaultPlan((PEFailure(2.0, 8), PERepair(3.0, 8))),
+        )
+        with pytest.raises(FaultPlanError, match="granularity"):
+            s.validate()
+
+    def test_validate_errors_name_event_index_and_time(self):
+        plan = FaultPlan((
+            PEFailure(1.0, 4), PERepair(2.0, 4), PERepair(3.5, 4),
+        ))
+        with pytest.raises(FaultPlanError, match=r"event 2 \(t=3\.5\)"):
+            plan.validate_for(8)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        s = Scenario(
+            num_pes=8,
+            sequence=_sequence((0, 2, 0.0, 50.0), (1, 4, 1.0, math.inf)),
+            plan=FaultPlan((PEFailure(2.0, 2), PERepair(5.0, 2))),
+            resizes=(MachineResize(10.0, "grow", 2),),
+        )
+        back = Scenario.from_dict(s.to_dict())
+        assert back.to_dict() == s.to_dict()
+        assert back.num_pes == s.num_pes
+        assert back.resizes == s.resizes
+        assert back.plan.events == s.plan.events
+        assert back.describe() == s.describe()

@@ -1,0 +1,127 @@
+"""Crash-resume under churn: SIGKILL mid-storm, every fsync policy.
+
+Extends the executor-level kill tests (tests/sim/test_resilience.py) to
+the service layer with the full churn alphabet: a journaled session
+absorbing arrivals, departures, failures, repairs, kills, *and* online
+resizes is SIGKILLed in the middle of a flash-crowd storm (a run of
+same-timestamp arrivals — the worst place to die), then resumed from its
+journal and driven to the end.  The resumed session must reach the exact
+final state of an uninterrupted run under all three fsync policies: a
+crash may lose uncommitted tail records (``batch`` / ``interval``), never
+corrupt or diverge.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.scenarios import ChurnProcess
+from repro.service import AllocationSession
+from repro.service.stream import records_from_events
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.core.registry import make_algorithm
+    from repro.machines.tree import TreeMachine
+    from repro.service import AllocationSession
+
+    records_path, journal, policy, cut = sys.argv[1:5]
+    records = json.loads(open(records_path).read())
+    machine = TreeMachine(16)
+    session = AllocationSession(
+        machine, make_algorithm("optimal", machine, d=2.0),
+        fault_tolerant=True, journal_path=journal,
+        snapshot_interval=8, fsync_policy=policy,
+    )
+    for record in records[: int(cut)]:
+        session.push(record)
+    os.kill(os.getpid(), signal.SIGKILL)  # no close(), no flush()
+    """
+)
+
+
+def _records():
+    scenario = ChurnProcess(
+        num_pes=16, seed=21, horizon=30.0, task_rate=1.5,
+        pe_mttf=12.0, mttr=2.5, kill_rate=0.08,
+        storm_rate=0.25, storm_depth=6,
+        resizes=((12.0, "grow", 2), (24.0, "shrink", 2)),
+    ).build()
+    return records_from_events(list(scenario.merged_events()))
+
+
+def _storm_cut(records):
+    """An index in the middle of the biggest same-timestamp arrival run."""
+    arrivals = [r["time"] for r in records if r["kind"] == "arrival"]
+    storm_time, depth = Counter(arrivals).most_common(1)[0]
+    assert depth >= 3, "scenario has no storm to die inside"
+    first = next(
+        i for i, r in enumerate(records)
+        if r["kind"] == "arrival" and r["time"] == storm_time
+    )
+    return first + depth // 2
+
+
+def _session(journal_path=None, policy="always"):
+    machine = TreeMachine(16)
+    return AllocationSession(
+        machine, make_algorithm("optimal", machine, d=2.0),
+        fault_tolerant=True, journal_path=journal_path,
+        snapshot_interval=8, fsync_policy=policy,
+    )
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "interval:20"])
+def test_sigkill_mid_storm_resumes_to_identical_metrics(tmp_path, policy):
+    records = _records()
+    cut = _storm_cut(records)
+
+    reference = _session()
+    for record in records:
+        reference.push(record)
+
+    records_path = tmp_path / "records.json"
+    records_path.write_text(json.dumps(records))
+    journal = tmp_path / f"churn-{policy.replace(':', '-')}.journal"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD,
+         str(records_path), str(journal), policy, str(cut)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+    assert journal.exists()
+
+    resumed = _session(journal_path=journal, policy=policy)
+    # Durability contract: everything acknowledged as committed survives;
+    # batch/interval may lose an uncommitted tail, never more than that.
+    assert resumed.num_events <= cut
+    if policy == "always":
+        assert resumed.num_events == cut
+    for record in records[resumed.num_events:]:
+        resumed.push(record)
+    resumed.flush()
+
+    assert resumed.num_events == reference.num_events
+    assert resumed.status() == reference.status()
+    assert resumed.kernel.metrics.to_state() == reference.kernel.metrics.to_state()
+    assert resumed.snapshot() == reference.snapshot()
+    assert resumed.placements == reference.placements
+    # The resumed session lived through both resizes: trajectory intact.
+    assert resumed.kernel.machine.num_pes == 16
+    assert resumed.kernel.num_resizes == 2
+    resumed.close()

@@ -42,7 +42,8 @@ class TestParseEventRecord:
     @pytest.mark.parametrize(
         "kind,field",
         [("arrival", "size"), ("departure", "id"),
-         ("failure", "node"), ("repair", "node"), ("kill", "id")],
+         ("failure", "node"), ("repair", "node"), ("kill", "id"),
+         ("resize", "op")],
     )
     def test_missing_required_field(self, kind, field):
         with pytest.raises(TraceFormatError, match=field):
@@ -50,7 +51,9 @@ class TestParseEventRecord:
 
     def test_every_kind_is_known(self):
         for kind in EVENT_KINDS:
-            assert kind in ("arrival", "departure", "failure", "repair", "kill")
+            assert kind in (
+                "arrival", "departure", "failure", "repair", "kill", "resize"
+            )
 
 
 class TestIterEventRecords:

@@ -1,0 +1,156 @@
+"""The churn verify wiring: piecewise-N referee, fuzzer, campaign, corpus."""
+
+import json
+import math
+
+import pytest
+
+from repro.scenarios import ChurnProcess, MachineResize, Scenario
+from repro.verify import (
+    ChurnFuzzer,
+    CorpusEntry,
+    check_algorithm_under_churn,
+    check_churn_backend_parity,
+    replay_corpus,
+    scenario_features,
+    write_counterexample,
+)
+from repro.verify.harness import DifferentialHarness
+
+
+def _scenario(num_pes=16, seed=11):
+    return ChurnProcess(
+        num_pes=num_pes, seed=seed, horizon=30.0, task_rate=1.2,
+        pe_mttf=10.0, mttr=2.5, kill_rate=0.1, storm_rate=0.1, storm_depth=5,
+        resizes=((12.0, "grow", 2), (24.0, "shrink", 2)),
+    ).build()
+
+
+class TestChurnReferee:
+    def test_ok_on_generated_scenario(self):
+        scenario = _scenario()
+        outcome = check_algorithm_under_churn("optimal", 2.0, 0, scenario)
+        assert outcome.ok, outcome.violations
+        assert outcome.churned and outcome.faulted
+        assert outcome.num_resizes == 2
+        assert outcome.num_epochs == 3
+        # Finite d: the piecewise bound was computed and holds.
+        assert outcome.bound is not None
+        assert outcome.max_load <= outcome.bound + 1e-9
+
+    def test_infinite_d_gates_the_bound_off(self):
+        outcome = check_algorithm_under_churn("greedy", 2.0, 0, _scenario())
+        assert outcome.ok, outcome.violations
+        # Greedy never reallocates (d = inf): no finite bound to enforce.
+        assert outcome.bound is None
+
+    def test_backend_parity_over_full_alphabet(self):
+        assert check_churn_backend_parity("optimal", 2.0, 0, _scenario()) == []
+
+
+class TestChurnFuzzer:
+    def test_deterministic_stream(self):
+        a = [s.to_dict() for _, s in zip(range(4), ChurnFuzzer(16, seed=3))]
+        b = [s.to_dict() for _, s in zip(range(4), ChurnFuzzer(16, seed=3))]
+        assert a == b
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(Exception, match="power of two"):
+            ChurnFuzzer(12)
+
+    def test_generated_scenarios_are_admissible(self):
+        fuzzer = ChurnFuzzer(16, seed=1, horizon=30.0)
+        for _ in range(5):
+            fuzzer.generate().validate()
+
+    def test_scenario_features_buckets(self):
+        calm = Scenario(num_pes=16, sequence=_scenario().sequence)
+        f = scenario_features(calm)
+        assert f.churn == 0 and f.resizes == 0
+        stormy = _scenario()
+        g = scenario_features(stormy)
+        assert g.churn >= 1
+        assert g.resizes == 2
+        assert 0 <= g.storm <= 5
+
+
+class TestFuzzChurnCampaign:
+    def test_small_campaign_is_green(self, tmp_path):
+        harness = DifferentialHarness(
+            16, algorithms=("optimal", "greedy"), seed=5, jobs=1,
+            corpus_dir=tmp_path,
+        )
+        report = harness.fuzz_churn(max_sequences=3, horizon=30.0)
+        assert report.ok, [v.violations for v in report.violations]
+        assert report.sequences_tried == 3
+        assert report.churn_checks == report.checks_run == 6
+        assert report.faulted_checks == 6
+        assert report.features
+        payload = report.to_dict()
+        assert payload["churn_checks"] == 6
+        assert "resizes_checked" in payload
+        assert all("churn" in f for f in payload["features"])
+
+    def test_campaign_resumes_from_checkpoint(self, tmp_path):
+        journal = tmp_path / "churn.journal"
+        args = dict(max_sequences=3, horizon=30.0, checkpoint=journal)
+        first = DifferentialHarness(
+            16, algorithms=("optimal",), seed=5, jobs=1
+        ).fuzz_churn(**args)
+        resumed = DifferentialHarness(
+            16, algorithms=("optimal",), seed=5, jobs=1
+        ).fuzz_churn(**args)
+        assert resumed.checks_run == first.checks_run
+        assert resumed.ok == first.ok
+        assert [repr(f) for f in resumed.features] == [
+            repr(f) for f in first.features
+        ]
+
+
+class TestChurnCorpus:
+    def _entry(self):
+        scenario = _scenario()
+        return CorpusEntry.from_sequence(
+            scenario.sequence,
+            algorithm="optimal",
+            num_pes=scenario.num_pes,
+            d=2.0,
+            seed=0,
+            check="churn demo",
+            fault_plan=scenario.plan,
+            resizes=scenario.resizes,
+        ), scenario
+
+    def test_json_round_trip_keeps_resizes(self):
+        entry, scenario = self._entry()
+        back = CorpusEntry.from_json(entry.to_json())
+        assert back == entry
+        payload = json.loads(entry.to_json())
+        assert payload["resizes"] == [
+            {"time": 12.0, "op": "grow", "factor": 2},
+            {"time": 24.0, "op": "shrink", "factor": 2},
+        ]
+
+    def test_scenario_rebuild_is_exact(self):
+        entry, scenario = self._entry()
+        rebuilt = entry.scenario()
+        assert rebuilt is not None
+        assert rebuilt.to_dict() == scenario.to_dict()
+
+    def test_entry_without_resizes_has_no_scenario(self):
+        scenario = _scenario()
+        entry = CorpusEntry.from_sequence(
+            scenario.sequence, algorithm="optimal",
+            num_pes=scenario.num_pes, d=2.0, seed=0, check="plain",
+        )
+        assert entry.scenario() is None
+
+    def test_replay_dispatches_churn_check(self, tmp_path):
+        entry, _ = self._entry()
+        write_counterexample(entry, tmp_path)
+        results = replay_corpus(tmp_path)
+        assert len(results) == 1
+        replayed, outcome = results[0]
+        assert replayed == entry
+        assert outcome.churned
+        assert outcome.ok, outcome.violations

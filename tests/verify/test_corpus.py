@@ -81,3 +81,16 @@ class TestCommittedCorpus:
         assert results
         for entry, outcome in results:
             assert outcome.ok, (entry.filename(), outcome.violations)
+
+    def test_churn_witnesses_are_committed_and_replay_churned(self):
+        # Churn entries are stored UNSHRUNK (shrinking would break the
+        # epoch/granularity admissibility discipline) and must route
+        # through the piecewise-N churn referee on replay.
+        results = replay_corpus(COMMITTED_CORPUS)
+        churned = [(e, o) for e, o in results if o.churned]
+        assert churned, "no churn witness committed in tests/corpus/"
+        for entry, outcome in churned:
+            assert entry.resize_events, entry.filename()
+            assert entry.scenario() is not None
+            assert outcome.num_resizes == len(entry.resize_events)
+            assert outcome.num_epochs == len(entry.resize_events) + 1
