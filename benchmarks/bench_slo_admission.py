@@ -1,0 +1,68 @@
+"""SLO admission under a flash crowd: protection vs. exposure.
+
+Not a paper artifact — this meters the serving-stack robustness layer
+(docs/SLO.md).  One flash-crowd churn storm is replayed twice:
+
+* **unprotected** — straight `push` into a greedy session; the storm
+  must drive the max PE load to at least twice the slowdown target
+  (otherwise the scenario is no overload and the comparison is vacuous);
+* **gated** — the same records through the admission controller with a
+  target-aware two-choice allocator; zero `slo_violations` and a peak
+  at or below the target, by construction.
+
+The timed kernel is the gated offer loop — the admission gate's
+O(log N) min-of-max descent per arrival plus drains — so regressions in
+the controller's hot path show up here.  ``REPRO_BENCH_N`` overrides
+the machine size for CI smoke passes.
+"""
+
+import os
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.scenarios import ChurnProcess
+from repro.service import AllocationSession, SLOPolicy
+from repro.service.stream import records_from_events
+
+N = int(os.environ.get("REPRO_BENCH_N", "1024"))
+TARGET = 2
+
+
+@pytest.fixture(scope="module")
+def storm():
+    scenario = ChurnProcess(
+        num_pes=N, seed=7, horizon=40.0, task_rate=N / 10.0,
+        storm_rate=0.5, storm_depth=max(8, N // 10),
+    ).build()
+    return records_from_events(list(scenario.merged_events()))
+
+
+def test_slo_admission_under_storm(benchmark, storm):
+    machine = TreeMachine(N)
+    plain = AllocationSession(machine, make_algorithm("greedy", machine, d=2.0))
+    for record in storm:
+        plain.push(record)
+    # The storm is a genuine overload: >= 2x the load target unprotected.
+    assert plain.max_load >= 2 * TARGET
+
+    def kernel():
+        m = TreeMachine(N)
+        session = AllocationSession(
+            m,
+            make_algorithm(
+                "twochoice", m, d=2.0, seed=7, load_target=TARGET
+            ),
+            slo=SLOPolicy(slowdown_target=float(TARGET), queue_capacity=32),
+        )
+        for record in storm:
+            session.offer(record)
+        return session
+
+    gated = benchmark(kernel)
+    status = gated.status()
+    assert status["slo_violations"] == 0
+    assert gated.max_load <= TARGET
+    assert status["slo"]["admitted_total"] > 0
+    assert status["rejected_total"] > 0  # the gate actually gated

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Flash-crowd overload smoke: unprotected vs SLO-gated serving.
+
+The CI `overload-smoke` gate (and the acceptance bar for the SLO layer):
+drive one flash-crowd churn storm at N PEs through
+
+1. an **unprotected** session — no admission control; the storm must
+   push its max load to at least ``--ratio`` times the slowdown target
+   (otherwise the scenario is not an overload and the test is vacuous);
+2. an **SLO-gated** session — same records through the admission
+   controller; it must finish with **zero** ``slo_violations`` and a
+   peak max load at or below the target.
+
+Every admission outcome of the gated run is written to ``--out`` as
+JSONL (the admission-decision artifact CI uploads), followed by one
+summary record.  Exits nonzero if either side of the bar fails.
+
+Usage::
+
+    python scripts/overload_smoke.py --n 256 --target 2 \
+        --out admission-decisions.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.registry import make_algorithm  # noqa: E402
+from repro.machines.tree import TreeMachine  # noqa: E402
+from repro.scenarios import ChurnProcess  # noqa: E402
+from repro.service import (  # noqa: E402
+    AllocationSession,
+    SLOPolicy,
+    admission_lines,
+)
+from repro.service.stream import records_from_events  # noqa: E402
+
+
+def storm_records(n: int, seed: int) -> list[dict]:
+    """A flash-crowd heavy churn scenario (PR-7's storm generator)."""
+    scenario = ChurnProcess(
+        num_pes=n, seed=seed, horizon=40.0, task_rate=n / 10.0,
+        storm_rate=0.5, storm_depth=max(8, n // 10),
+    ).build()
+    return records_from_events(list(scenario.merged_events()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--target", type=float, default=2.0,
+                        help="slowdown target (default 2)")
+    parser.add_argument("--queue", type=int, default=32,
+                        help="admission queue capacity")
+    parser.add_argument("--ratio", type=float, default=2.0,
+                        help="overload bar: unprotected max load must "
+                             "reach ratio * target")
+    parser.add_argument("--algorithm", default="twochoice",
+                        help="gated allocator (default twochoice)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("admission-decisions.jsonl"))
+    args = parser.parse_args(argv)
+
+    records = storm_records(args.n, args.seed)
+    target = SLOPolicy(slowdown_target=args.target).load_target
+    failures: list[str] = []
+
+    # 1. Unprotected: same storm, no gate — establish genuine overload.
+    machine = TreeMachine(args.n)
+    plain = AllocationSession(
+        machine, make_algorithm("greedy", machine, d=2.0)
+    )
+    for record in records:
+        plain.push(record)
+    plain_ratio = plain.max_load / target
+    print(
+        f"unprotected: max_load {plain.max_load} = {plain_ratio:.1f}x "
+        f"the load target {target} over {len(records)} records"
+    )
+    if plain_ratio < args.ratio:
+        failures.append(
+            f"storm too mild: unprotected ratio {plain_ratio:.2f} < "
+            f"required {args.ratio}"
+        )
+
+    # 2. Gated: identical records through the admission controller.
+    machine = TreeMachine(args.n)
+    slo = SLOPolicy(slowdown_target=args.target, queue_capacity=args.queue)
+    gated = AllocationSession(
+        machine,
+        make_algorithm(
+            args.algorithm, machine, d=2.0, seed=args.seed,
+            load_target=target,
+        ),
+        slo=slo,
+    )
+    with open(args.out, "w") as sink:
+        for record in records:
+            for line in admission_lines(gated.offer(record)):
+                sink.write(line + "\n")
+        status = gated.status()
+        sink.write(json.dumps({"summary": status}) + "\n")
+
+    print(
+        f"gated ({gated.algorithm.name}): max_load {gated.max_load}, "
+        f"{status['slo']['admitted_total']} admitted, "
+        f"{status['slo']['drained_total']} drained, "
+        f"{status['rejected_total']} rejected, "
+        f"{status['slo_violations']} violation(s)"
+    )
+    print(f"admission decisions -> {args.out}")
+    if status["slo_violations"] != 0:
+        failures.append(
+            f"gated session admitted {status['slo_violations']} "
+            "target-violating arrival(s)"
+        )
+    if gated.max_load > target:
+        failures.append(
+            f"gated peak max load {gated.max_load} exceeds target {target}"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("overload smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

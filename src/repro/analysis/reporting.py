@@ -101,6 +101,15 @@ def render_verify_markdown(report) -> str:
             "per constant-size epoch",
             "",
         ]
+    if getattr(report, "slo_checks", 0):
+        lines += [
+            f"- SLO admission sessions refereed: **{report.slo_checks}** — "
+            "the independent shadow gate confirmed no admitted arrival "
+            "broke its load target, drains stayed strictly FIFO, and "
+            "identical runs produced identical admission logs "
+            "(see docs/SLO.md)",
+            "",
+        ]
     if report.faulted_checks:
         s = report.fault_summary
         lines += [

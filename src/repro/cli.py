@@ -136,9 +136,16 @@ def _make_workload(name: str, n: int, args: argparse.Namespace):
 
 
 def _make_session(args: argparse.Namespace, journal_path=None):
-    from repro.service import AllocationSession
+    from repro.service import AllocationSession, SLOPolicy
 
     machine = _make_machine(args)
+    slo = None
+    slo_target = getattr(args, "slo_target", None)
+    if slo_target is not None:
+        slo = SLOPolicy(
+            slowdown_target=slo_target,
+            queue_capacity=getattr(args, "slo_queue", 64),
+        )
     algo = make_algorithm(
         args.algorithm,
         machine,
@@ -146,6 +153,9 @@ def _make_session(args: argparse.Namespace, journal_path=None):
         lazy=args.lazy,
         moves=getattr(args, "moves", 4),
         seed=args.seed,
+        # Target-aware algorithms (two-choice A_2C) probe admissible
+        # submachines only; others ignore the option.
+        load_target=None if slo is None else slo.load_target,
     )
     return AllocationSession(
         machine,
@@ -154,6 +164,7 @@ def _make_session(args: argparse.Namespace, journal_path=None):
         journal_path=journal_path,
         fsync_policy=getattr(args, "fsync", "always"),
         batch_backend=getattr(args, "backend", "python"),
+        slo=slo,
     )
 
 
@@ -166,7 +177,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     session = _make_session(args, journal_path=getattr(args, "journal", None))
     batch = max(1, int(getattr(args, "batch", 1) or 1))
     records = iter_event_records(sys.stdin)
-    if batch > 1:
+    if session.slo_policy is not None:
+        from repro.service import admission_lines
+
+        # Admission gating is per-event; --batch still group-commits the
+        # journal but the columnar ingest path does not apply.
+        for record in records:
+            for line in admission_lines(session.offer(record)):
+                print(line, flush=True)
+    elif batch > 1:
         while True:
             chunk = list(islice(records, batch))
             if not chunk:
@@ -204,37 +223,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         {"op": "snapshot"}  -> the kernel state snapshot as one JSON line
         {"op": "save", "path": "run.json"} -> archive the session so far
 
-    A malformed or rejected line yields an ``{"error": ...}`` record on
-    stdout — a serving process must survive one bad client line.
+    A malformed or rejected line yields an ``{"error": ..., "op": ...,
+    "line": N}`` record on stdout — a serving process must survive one
+    bad client line, and the line number makes the offender findable in
+    the client's stream.
+
+    With ``--slo-target`` every event goes through the admission
+    controller (typed outcome records instead of bare decisions), and
+    when the journal's fsync lag crosses the policy's high watermark the
+    server emits an ``{"overloaded": true, ...}`` record and *stalls* —
+    it stops reading the stream until the journal is committed.  Signals
+    keep their contract through the stall: SIGINT exits 130 and a closed
+    reader exits 141 exactly as on the fast path (the session closes and
+    commits in both cases).
     """
     import json as _json
 
     from repro.errors import ReproError
-    from repro.service import decision_line, parse_event_record
+    from repro.service import admission_lines, decision_line, parse_event_record
 
     session = _make_session(args, journal_path=args.journal)
+    slo = session.slo_policy
     if args.journal and session.num_events:
         print(
             f"resumed {session.num_events} event(s) from {args.journal}",
             file=sys.stderr,
         )
     try:
-        for line in sys.stdin:
+        for lineno, line in enumerate(sys.stdin, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
             try:
                 obj = _json.loads(text)
             except _json.JSONDecodeError as exc:
-                print(_json.dumps({"error": f"invalid JSON: {exc}"}), flush=True)
+                print(
+                    _json.dumps(
+                        {"error": f"invalid JSON: {exc}", "op": None,
+                         "line": lineno}
+                    ),
+                    flush=True,
+                )
                 continue
+            op = obj.get("op") if isinstance(obj, dict) else None
+            kind = obj.get("kind") if isinstance(obj, dict) else None
             try:
-                if isinstance(obj, dict) and "op" in obj:
+                if op is not None:
                     # Control reads are commit points: flush any pending
                     # group-commit buffer first, so what the client sees
                     # is never ahead of what the journal guarantees.
                     session.flush()
-                    op = obj["op"]
                     if op == "status":
                         out = session.status()
                     elif op == "snapshot":
@@ -245,18 +283,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     else:
                         raise ValueError(f"unknown op {op!r}")
                     print(_json.dumps(out), flush=True)
+                elif slo is not None:
+                    outcome = session.offer(parse_event_record(obj))
+                    for out_line in admission_lines(outcome):
+                        print(out_line, flush=True)
                 else:
                     decision = session.push(parse_event_record(obj))
                     print(decision_line(decision), flush=True)
             except (ReproError, ValueError, KeyError, TypeError) as exc:
-                print(_json.dumps({"error": str(exc)}), flush=True)
+                print(
+                    _json.dumps(
+                        {"error": str(exc), "op": op if op is not None else kind,
+                         "line": lineno}
+                    ),
+                    flush=True,
+                )
+            # Backpressure: past the high watermark, tell the client to
+            # back off and stop reading until the journal is durable.
+            # KeyboardInterrupt / BrokenPipeError raised here propagate
+            # to main() for the usual 130 / 141 exits — the finally
+            # below still closes (and commits) the session.
+            if session.overloaded:
+                print(
+                    _json.dumps(
+                        {
+                            "overloaded": True,
+                            "journal_pending":
+                                session.status()["journal_pending"],
+                            "retry_after": slo.retry_after,
+                        }
+                    ),
+                    flush=True,
+                )
+                session.flush()
     finally:
-        status = session.status()
-        session.close()
+        # close() must run even if status() raises — it is the commit
+        # point that makes a Ctrl-C / broken-pipe exit durable.
+        try:
+            status = session.status()
+        finally:
+            session.close()
+    extra = ""
+    if slo is not None:
+        extra = (
+            f", {status['queued_tasks']} queued, "
+            f"{status['rejected_total']} rejected"
+        )
     print(
         f"session closed: {status['events']} event(s), "
         f"L_A = {status['max_load']}, L* = {status['optimal_load']}, "
-        f"ratio = {status['competitive_ratio']:.3f}",
+        f"ratio = {status['competitive_ratio']:.3f}{extra}",
         file=sys.stderr,
     )
     return 0
@@ -533,6 +609,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import DifferentialHarness, replay_corpus
 
     algorithms = args.algorithms.split(",") if args.algorithms else None
+    if getattr(args, "slo", False) and algorithms is None:
+        # The admission referee shadows non-reallocating placements; the
+        # target-aware pair is the meaningful default coverage.
+        algorithms = ["greedy", "twochoice"]
 
     if args.replay:
         results = replay_corpus(args.replay, jobs=args.jobs)
@@ -557,7 +637,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
     )
-    if args.churn:
+    if getattr(args, "slo", False):
+        report = harness.fuzz_slo(
+            budget=args.budget or None,
+            max_sequences=args.sequences or (None if args.budget else 50),
+            checkpoint=args.resume,
+        )
+    elif args.churn:
         report = harness.fuzz_churn(
             budget=args.budget or None,
             max_sequences=args.sequences or (None if args.budget else 50),
@@ -586,6 +672,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"({s.get('failures', 0)} failures, {s.get('kills', 0)} kills, "
               f"{s.get('salvage_repacks', 0)} salvage repacks, "
               f"min surviving {s.get('min_surviving_pes', args.n)} PEs)")
+    if getattr(report, "slo_checks", 0):
+        print(f"slo-mode checks    : {report.slo_checks} "
+              "(admission-gate shadow referee)")
     if getattr(report, "churn_checks", 0):
         s = report.fault_summary
         print(f"churn-mode checks  : {report.churn_checks} "
@@ -702,6 +791,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="physical machine model",
         )
 
+    def add_slo(p):
+        p.add_argument(
+            "--slo-target", type=float, default=None, metavar="S",
+            help="serve under a slowdown SLO: admit an arrival only when "
+            "its submachine max load stays within floor(S); inadmissible "
+            "arrivals wait in a bounded FIFO queue, drained when capacity "
+            "frees.  Responses become typed admit/queue/reject records "
+            "(see docs/SLO.md)",
+        )
+        p.add_argument(
+            "--slo-queue", type=int, default=64, metavar="K",
+            help="(--slo-target) admission-queue capacity; arrivals past "
+            "it are rejected with a retry_after hint (default: 64)",
+        )
+
     def add_resilience(p):
         p.add_argument(
             "--timeout", type=float, default=None,
@@ -798,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon", type=float, default=120.0, metavar="T",
         help="(churn mode) scenario time horizon (default: 120)",
     )
+    add_slo(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_serve = sub.add_parser(
@@ -834,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical decisions; journals stay backend-portable, "
         "default: python)",
     )
+    add_slo(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_emit = sub.add_parser(
@@ -903,6 +1009,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--horizon", type=float, default=60.0, metavar="T",
         help="(--churn) scenario time horizon (default: 60)",
+    )
+    p_ver.add_argument(
+        "--slo", action="store_true",
+        help="SLO mode: stream every fuzzed sequence through an "
+        "admission-gated session and referee it against an independent "
+        "shadow model (no admitted violation, FIFO drains, bounded-queue "
+        "rejects, deterministic admission log); default algorithms: "
+        "greedy,twochoice",
     )
     add_jobs(p_ver)
     add_resilience(p_ver)

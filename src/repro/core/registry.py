@@ -99,6 +99,7 @@ class AlgorithmSpec:
         moves: int = 4,
         threshold: int = 1,
         num_choices: int = 2,
+        load_target: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
     ) -> AllocationAlgorithm:
@@ -115,6 +116,8 @@ class AlgorithmSpec:
             kwargs["threshold"] = threshold
         if "num_choices" in self.options:
             kwargs["num_choices"] = num_choices
+        if "load_target" in self.options and load_target is not None:
+            kwargs["load_target"] = load_target
         if "rng" in self.options:
             kwargs["rng"] = rng
         return self.factory(machine, **kwargs)
@@ -177,13 +180,13 @@ ALGORITHM_SPECS: dict[str, AlgorithmSpec] = {
         ),
         AlgorithmSpec(
             name="twochoice",
-            paper_name="two-choice (ref [2])",
+            paper_name="two-choice A_2C (ref [2])",
             section="extension",
             guarantee="-",
             randomized=True,
             reallocates=False,
             factory=TwoChoiceAlgorithm,
-            options=("rng", "num_choices"),
+            options=("rng", "num_choices", "load_target"),
         ),
         AlgorithmSpec(
             name="hybrid",
@@ -253,9 +256,9 @@ def make_algorithm(
     """Build an algorithm by registry name.
 
     ``options`` may include ``d``, ``lazy``, ``moves``, ``threshold``,
-    ``num_choices``, ``rng`` or ``seed``; options the algorithm doesn't
-    take are ignored (so one option namespace can drive every algorithm,
-    as the CLI does).
+    ``num_choices``, ``load_target``, ``rng`` or ``seed``; options the
+    algorithm doesn't take are ignored (so one option namespace can drive
+    every algorithm, as the CLI does).
     """
     if name not in ALGORITHM_SPECS:
         raise UnknownAlgorithmError(

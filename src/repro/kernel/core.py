@@ -823,6 +823,16 @@ class AllocationKernel:
     def submachine_load(self, node: NodeId) -> int:
         return self._loads.submachine_load(node)
 
+    def min_submachine_load(self, size: int) -> int:
+        """Smallest max-PE-load over the aligned ``size``-PE submachines.
+
+        O(log N) via the tracker's min-of-max descent.  This is the
+        admission-control primitive: an arrival of ``size`` PEs is
+        admissible under a load target ``T`` iff this value is ``< T``
+        (its best placement lands at ``min + 1 <= T``).
+        """
+        return self._loads.leftmost_min_submachine(int(size))[1]
+
     def active_size(self) -> int:
         return self._active_size
 

@@ -10,14 +10,27 @@ times" — as a long-lived, durably journaled service:
   from its journal after a crash;
 * :class:`~repro.service.cluster.ClusterManager` — many named sessions
   with a shared journal directory;
+* :mod:`~repro.service.slo` — per-task SLOs: the admission controller,
+  typed ``Admit | Queue | Reject | Cancel`` outcomes, and the
+  backpressure watermarks (see ``docs/SLO.md``);
 * :mod:`~repro.service.stream` — the JSONL wire format consumed by
   ``repro simulate --stream`` and ``repro serve``.
 """
 
 from repro.service.cluster import ClusterManager
 from repro.service.session import AllocationSession
+from repro.service.slo import (
+    Admit,
+    AdmissionController,
+    AdmissionOutcome,
+    Cancel,
+    Queue,
+    Reject,
+    SLOPolicy,
+)
 from repro.service.stream import (
     EVENT_KINDS,
+    admission_lines,
     decision_line,
     iter_event_records,
     parse_event_record,
@@ -26,9 +39,17 @@ from repro.service.stream import (
 )
 
 __all__ = [
+    "Admit",
+    "AdmissionController",
+    "AdmissionOutcome",
     "AllocationSession",
+    "Cancel",
     "ClusterManager",
     "EVENT_KINDS",
+    "Queue",
+    "Reject",
+    "SLOPolicy",
+    "admission_lines",
     "decision_line",
     "iter_event_records",
     "parse_event_record",

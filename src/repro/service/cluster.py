@@ -81,6 +81,17 @@ class ClusterManager:
     def __len__(self) -> int:
         return len(self._sessions)
 
+    def overloaded(self) -> list[str]:
+        """Names of sessions currently past their backpressure watermark.
+
+        Sessions without an :class:`~repro.service.slo.SLOPolicy` (or
+        without a journal) never report overload; see ``docs/SLO.md``.
+        """
+        return [
+            name for name in sorted(self._sessions)
+            if self._sessions[name].overloaded
+        ]
+
     def status(self) -> dict[str, dict[str, Any]]:
         """Per-session dashboards, keyed by session name."""
         return {name: self._sessions[name].status() for name in self.names()}

@@ -23,6 +23,21 @@ a mismatch (different code, different config, corrupted journal) is a
 hard :class:`~repro.errors.CheckpointError`, never a silently different
 run.  The resumed session then continues to the same final metrics the
 uninterrupted run would have produced.
+
+SLO mode (``slo=SLOPolicy(...)``): every wire record goes through
+:meth:`AllocationSession.offer`, which gates arrivals against the
+slowdown-derived load target (:mod:`repro.service.slo`) and returns a
+typed ``Admit | Queue | Reject | Cancel`` outcome instead of a bare
+decision.  Inadmissible arrivals wait in a bounded FIFO queue that is
+drained — strictly in order — the moment capacity frees (departures,
+kills, repairs, resizes); a full queue rejects.  Queue and reject
+decisions are journaled alongside absorbed events (``"slo"``-marked
+records in a single contiguous index space), so a resumed session
+reconstructs the exact queue contents, counters, and admission decisions
+— replay never re-decides, it re-applies.  Backpressure: the journal's
+fsync lag is compared against the policy's watermarks and surfaced as
+:attr:`overloaded` (with hysteresis), which ``repro serve`` translates
+into ``"overloaded"`` wire records and a read stall.  See ``docs/SLO.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +52,15 @@ from repro.errors import BatchError, CheckpointError, ReproError, SimulationErro
 from repro.kernel import AllocationKernel, BatchDecision, Decision
 from repro.machines.base import PartitionableMachine
 from repro.machines.factory import machine_descriptor
+from repro.service.slo import (
+    Admit,
+    AdmissionController,
+    AdmissionOutcome,
+    Cancel,
+    Queue,
+    Reject,
+    SLOPolicy,
+)
 from repro.sim.checkpoint import CheckpointJournal
 from repro.sim.engine import RunResult
 from repro.sim.realloc_cost import MigrationCostModel
@@ -88,6 +112,13 @@ class AllocationSession:
         per-process tuning knob — it is deliberately *not* part of the
         journal fingerprint, and a journal written under one backend
         resumes cleanly under another.
+    slo:
+        An :class:`~repro.service.slo.SLOPolicy` switches the session
+        into SLO mode: :meth:`push` / :meth:`push_batch` (and the public
+        mutators) route through the admission controller via
+        :meth:`offer` and return typed admission outcomes.  The policy's
+        load target and queue capacity join the journal fingerprint —
+        an SLO journal only resumes under the same contract.
     """
 
     def __init__(
@@ -103,6 +134,7 @@ class AllocationSession:
         repack_on_repair: bool = True,
         fsync_policy: str = "always",
         batch_backend: str = "python",
+        slo: Optional[SLOPolicy] = None,
     ) -> None:
         self.machine = machine
         self._fault_tolerant = fault_tolerant
@@ -129,9 +161,15 @@ class AllocationSession:
             repack_on_repair=repack_on_repair,
             batch_backend=batch_backend,
         )
+        self._slo: Optional[AdmissionController] = (
+            AdmissionController(slo) if slo is not None else None
+        )
         self._events: list[Any] = []
         self._now = 0.0
         self._next_task_id = 0
+        self._offered = 0
+        self._journal_seq = 0
+        self._overloaded = False
         self._snapshot_interval = max(0, int(snapshot_interval))
         self._journal: Optional[CheckpointJournal] = None
         if journal_path is not None:
@@ -145,19 +183,28 @@ class AllocationSession:
                 self._replay_journal()
 
     def _fingerprint(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "kind": "allocation-session",
             "machine": machine_descriptor(self.machine),
             "algorithm": self.algorithm.name,
             "d": repr(self.algorithm.reallocation_parameter),
             "fault_tolerant": self._fault_tolerant,
         }
+        if self._slo is not None:
+            # Only the fields that shape admission decisions pin the
+            # journal; watermarks/retry hints are serving knobs and may
+            # change across a resume.
+            out["slo"] = {
+                "load_target": self._slo.load_target,
+                "queue_capacity": self._slo.policy.queue_capacity,
+            }
+        return out
 
     # -- Event intake --------------------------------------------------------
 
     def _clock(self, time: Optional[float]) -> float:
         if time is None:
-            return self._now + 1.0 if self._events else 0.0
+            return self._now + 1.0 if self._offered else 0.0
         t = float(time)
         if t < self._now:
             raise SimulationError(
@@ -172,8 +219,31 @@ class AllocationSession:
         time: Optional[float] = None,
         task_id: Optional[int] = None,
         work: float = 1.0,
+    ) -> Union[Decision, AdmissionOutcome]:
+        """Admit one task arrival; returns the placement decision.
+
+        In SLO mode the arrival goes through :meth:`offer` and the typed
+        admission outcome is returned instead.
+        """
+        if self._slo is not None:
+            record: dict[str, Any] = {
+                "kind": "arrival", "size": int(size), "work": float(work)
+            }
+            if time is not None:
+                record["time"] = time
+            if task_id is not None:
+                record["id"] = task_id
+            return self.offer(record)
+        return self._submit_event(size, time=time, task_id=task_id, work=work)
+
+    def _submit_event(
+        self,
+        size: int,
+        *,
+        time: Optional[float] = None,
+        task_id: Optional[int] = None,
+        work: float = 1.0,
     ) -> Decision:
-        """Admit one task arrival; returns the placement decision."""
         t = self._clock(time)
         tid = self._next_task_id if task_id is None else int(task_id)
         task = Task(TaskId(tid), int(size), t, work=float(work))
@@ -183,37 +253,71 @@ class AllocationSession:
              "work": float(work)},
         )
 
-    def depart(self, task_id: int, *, time: Optional[float] = None) -> Decision:
-        """Retire one active task."""
+    def depart(
+        self, task_id: int, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
+        """Retire one active task (via :meth:`offer` in SLO mode)."""
+        if self._slo is not None:
+            record: dict[str, Any] = {"kind": "departure", "id": int(task_id)}
+            if time is not None:
+                record["time"] = time
+            return self.offer(record)
+        return self._depart_event(task_id, time=time)
+
+    def _depart_event(
+        self, task_id: int, *, time: Optional[float] = None
+    ) -> Decision:
         t = self._clock(time)
         return self._absorb(
             Departure(t, TaskId(int(task_id))),
             {"kind": "departure", "time": t, "id": int(task_id)},
         )
 
-    def fail(self, node: int, *, time: Optional[float] = None) -> Decision:
+    def fail(
+        self, node: int, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
         """Fail the aligned subtree at ``node`` (fault-tolerant sessions)."""
+        if self._slo is not None:
+            return self.offer(self._timed({"kind": "failure", "node": int(node)}, time))
         return self._fault_event("failure", node=int(node), time=time)
 
-    def repair(self, node: int, *, time: Optional[float] = None) -> Decision:
+    def repair(
+        self, node: int, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
         """Repair a previously-failed subtree (fault-tolerant sessions)."""
+        if self._slo is not None:
+            return self.offer(self._timed({"kind": "repair", "node": int(node)}, time))
         return self._fault_event("repair", node=int(node), time=time)
 
-    def kill(self, task_id: int, *, time: Optional[float] = None) -> Decision:
+    def kill(
+        self, task_id: int, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
         """Kill one task in place (fault-tolerant sessions)."""
+        if self._slo is not None:
+            return self.offer(self._timed({"kind": "kill", "id": int(task_id)}, time))
         return self._fault_event("kill", task_id=int(task_id), time=time)
 
-    def grow(self, factor: int = 2, *, time: Optional[float] = None) -> Decision:
+    @staticmethod
+    def _timed(record: dict[str, Any], time: Optional[float]) -> dict[str, Any]:
+        if time is not None:
+            record["time"] = time
+        return record
+
+    def grow(
+        self, factor: int = 2, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
         """Grow the machine online by ``factor`` (fault-tolerant sessions)."""
         return self.resize("grow", factor, time=time)
 
-    def shrink(self, factor: int = 2, *, time: Optional[float] = None) -> Decision:
+    def shrink(
+        self, factor: int = 2, *, time: Optional[float] = None
+    ) -> Union[Decision, AdmissionOutcome]:
         """Shrink the machine online by ``factor`` (fault-tolerant sessions)."""
         return self.resize("shrink", factor, time=time)
 
     def resize(
         self, op: str, factor: int = 2, *, time: Optional[float] = None
-    ) -> Decision:
+    ) -> Union[Decision, AdmissionOutcome]:
         """Resize the machine in place while tasks stay resident.
 
         ``grow`` renumbers every placement into a ``factor``-times larger
@@ -224,6 +328,15 @@ class AllocationSession:
         journaled like any other event, so a resumed session replays the
         same machine-size trajectory.
         """
+        if self._slo is not None:
+            return self.offer(self._timed(
+                {"kind": "resize", "op": str(op), "factor": int(factor)}, time
+            ))
+        return self._resize_event(op, factor, time=time)
+
+    def _resize_event(
+        self, op: str, factor: int = 2, *, time: Optional[float] = None
+    ) -> Decision:
         if not self._fault_tolerant:
             raise SimulationError(
                 "resize events need a fault-tolerant session "
@@ -269,33 +382,218 @@ class AllocationSession:
             record = {"kind": kind, "time": t, "id": task_id}
         return self._absorb(event, record)
 
-    def push(self, record: Mapping[str, Any]) -> Decision:
-        """Absorb one wire-format event record (see :mod:`.stream`)."""
+    def push(self, record: Mapping[str, Any]) -> Union[Decision, AdmissionOutcome]:
+        """Absorb one wire-format event record (see :mod:`.stream`).
+
+        SLO sessions route through :meth:`offer` and return the typed
+        admission outcome; plain sessions return the kernel decision.
+        """
+        if self._slo is not None:
+            return self.offer(record)
+        return self._apply_record(record)
+
+    def _apply_record(self, record: Mapping[str, Any]) -> Decision:
+        """Ungated record dispatch — the pre-SLO :meth:`push` semantics."""
         kind = record.get("kind")
         if kind == "arrival":
-            return self.submit(
+            return self._submit_event(
                 int(record["size"]),
                 time=record.get("time"),
                 task_id=record.get("id"),
                 work=float(record.get("work", 1.0)),
             )
         if kind == "departure":
-            return self.depart(int(record["id"]), time=record.get("time"))
+            return self._depart_event(int(record["id"]), time=record.get("time"))
         if kind == "kill":
-            return self.kill(int(record["id"]), time=record.get("time"))
+            return self._fault_event(
+                "kill", task_id=int(record["id"]), time=record.get("time")
+            )
         if kind in ("failure", "repair"):
             return self._fault_event(
                 kind, node=int(record["node"]), time=record.get("time")
             )
         if kind == "resize":
-            return self.resize(
+            return self._resize_event(
                 str(record["op"]),
                 int(record.get("factor", 2)),
                 time=record.get("time"),
             )
         raise SimulationError(f"unknown event record kind {kind!r}")
 
-    def push_batch(self, records: Sequence[Mapping[str, Any]]) -> BatchDecision:
+    # -- SLO admission -------------------------------------------------------
+
+    def offer(self, record: Mapping[str, Any]) -> AdmissionOutcome:
+        """Absorb one wire record through the admission controller.
+
+        Arrivals are evaluated against the post-placement load they would
+        induce: admissible ones (and everything when SLO mode is off) are
+        applied and returned as :class:`~repro.service.slo.Admit`;
+        inadmissible ones wait in the FIFO queue
+        (:class:`~repro.service.slo.Queue`) or, when it is full, are
+        turned away (:class:`~repro.service.slo.Reject`).  Non-arrival
+        events always apply, then drain the queue in FIFO order for as
+        long as its head became admissible — the drained decisions ride
+        on the returned outcome.  Departures/kills of tasks the gate is
+        still holding (or already dropped) resolve as
+        :class:`~repro.service.slo.Cancel` without touching the kernel.
+
+        Every decision is journaled, so a resumed session reproduces the
+        same outcomes bit-identically.
+        """
+        ctrl = self._slo
+        if ctrl is None:
+            decision = self._apply_record(record)
+            return Admit(record=dict(record), decision=decision)
+        kind = record.get("kind")
+        if kind == "arrival":
+            return self._offer_arrival(record)
+        if kind in ("departure", "kill"):
+            tid = int(record["id"])
+            active = TaskId(tid) in self.kernel.placements
+            if not active and (ctrl.is_pending(tid) or ctrl.was_dropped(tid)):
+                return self._cancel(str(kind), record, tid)
+        decision = self._apply_record(record)
+        drained = self._drain()
+        return Admit(record=dict(record), decision=decision, drained=drained)
+
+    def _admissible(self, size: int) -> bool:
+        assert self._slo is not None
+        try:
+            return (
+                self.kernel.min_submachine_load(size) + 1
+                <= self._slo.load_target
+            )
+        except ReproError:
+            # e.g. a queued task larger than the machine after a shrink:
+            # it stays queued until a grow makes it placeable again.
+            return False
+
+    def _offer_arrival(self, record: Mapping[str, Any]) -> AdmissionOutcome:
+        ctrl = self._slo
+        assert ctrl is not None
+        size = int(record["size"])
+        self.machine.validate_task_size(size)
+        t = self._clock(record.get("time"))
+        rid = record.get("id")
+        tid = self._next_task_id if rid is None else int(rid)
+        if ctrl.is_pending(tid) or TaskId(tid) in self.kernel.placements:
+            raise SimulationError(f"task {tid} is already active or queued")
+        ctrl.revive(tid)  # a retry of a rejected/canceled id is a fresh task
+        work = float(record.get("work", 1.0))
+        norm: dict[str, Any] = {
+            "kind": "arrival", "time": t, "id": tid, "size": size, "work": work,
+        }
+        if ctrl.queue_empty and self._admissible(size):
+            decision = self._absorb(Arrival(t, Task(TaskId(tid), size, t, work=work)), norm)
+            ctrl.admitted_total += 1
+            self._note_violation(decision)
+            drained = self._drain()
+            return Admit(record=norm, decision=decision, drained=drained)
+        # FIFO discipline: while anything waits, newcomers wait behind it.
+        self._now = t
+        self._next_task_id = max(self._next_task_id, tid + 1)
+        self._offered += 1
+        if ctrl.queue_full:
+            ctrl.reject(tid)
+            self._journal_slo(dict(norm, slo="reject"))
+            return Reject(
+                record=norm,
+                task_id=tid,
+                reason=(
+                    f"admission queue full "
+                    f"({ctrl.policy.queue_capacity} waiting)"
+                ),
+                retry_after=ctrl.policy.retry_after,
+            )
+        position = ctrl.enqueue(norm)
+        self._journal_slo(dict(norm, slo="queue"))
+        return Queue(
+            record=norm, task_id=tid, position=position, queued=ctrl.queued
+        )
+
+    def _cancel(
+        self, kind: str, record: Mapping[str, Any], tid: int
+    ) -> Cancel:
+        """A departure/kill for a task the gate held back: no kernel event."""
+        ctrl = self._slo
+        assert ctrl is not None
+        t = self._clock(record.get("time"))
+        self._now = t
+        self._offered += 1
+        dequeued = ctrl.cancel(tid)
+        self._journal_slo(
+            {"kind": kind, "time": t, "id": tid, "slo": "cancel"}
+        )
+        # Removing the (possibly blocking) head can expose an admissible
+        # successor — same drain discipline as a capacity-freeing event.
+        drained = self._drain() if dequeued else ()
+        return Cancel(
+            record=dict(record), task_id=tid, dequeued=dequeued,
+            drained=drained,
+        )
+
+    def _drain(self) -> tuple[Decision, ...]:
+        """Admit queued arrivals FIFO while the head fits the load target."""
+        ctrl = self._slo
+        assert ctrl is not None
+        decisions: list[Decision] = []
+        while True:
+            head = ctrl.head()
+            if head is None or not self._admissible(int(head["size"])):
+                break
+            norm = dict(ctrl.pop())
+            norm["time"] = self._now  # admitted when capacity freed, not offered
+            task = Task(
+                TaskId(int(norm["id"])), int(norm["size"]), self._now,
+                work=float(norm.get("work", 1.0)),
+            )
+            decision = self._absorb(
+                Arrival(self._now, task), dict(norm, slo="dequeue")
+            )
+            ctrl.admitted_total += 1
+            ctrl.drained_total += 1
+            self._note_violation(decision)
+            decisions.append(decision)
+        return tuple(decisions)
+
+    def _note_violation(self, decision: Decision) -> None:
+        """Meter a placement that landed past the load target.
+
+        Impossible for target-aware algorithms behind the admission gate
+        (greedy places at the minimum; gated two-choice probes admissible
+        submachines only), but an SLO session can wrap any allocator —
+        the counter is how an oblivious one shows up on the dashboard.
+        """
+        ctrl = self._slo
+        assert ctrl is not None
+        if decision.node is not None:
+            if self.kernel.submachine_load(decision.node) > ctrl.load_target:
+                ctrl.slo_violations += 1
+
+    def _journal_slo(self, record: dict[str, Any]) -> None:
+        """Journal a non-absorbed admission decision (queue/reject/cancel)."""
+        if self._journal is None:
+            return
+        self._journal.record(self._journal_seq, {"record": record})
+        self._journal_seq += 1
+
+    def offer_batch(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> list[AdmissionOutcome]:
+        """Offer a batch of records; one typed outcome per record.
+
+        Admission is inherently per-event (each decision depends on the
+        loads the previous one left), so SLO batches take the per-event
+        path; the journal still group-commits under the ``batch`` /
+        ``interval`` fsync policies, which is where batch throughput
+        lives.  A record that raises leaves the preceding records fully
+        applied, exactly like the per-event path.
+        """
+        return [self.offer(record) for record in records]
+
+    def push_batch(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> Union[BatchDecision, list[AdmissionOutcome]]:
         """Absorb a batch of wire-format records in one amortised call.
 
         Bit-identical to :meth:`push`-ing each record — same decisions,
@@ -312,10 +610,15 @@ class AllocationSession:
         per-event path would leave it) and a
         :class:`~repro.errors.BatchError` carrying the applied prefix is
         raised.
+
+        SLO sessions delegate to :meth:`offer_batch` (admission gating is
+        per-event) and return its outcome list.
         """
+        if self._slo is not None:
+            return self.offer_batch(records)
         pairs: list[tuple[Any, dict[str, Any]]] = []
         now = self._now
-        count = len(self._events)
+        count = self._offered
         next_id = self._next_task_id
         build_error: Optional[Exception] = None
         for record in records:
@@ -413,13 +716,14 @@ class AllocationSession:
         for event, record in pairs:
             self._events.append(event)
             self._now = float(event.time)
+            self._offered += 1
             tid = record.get("id")
             if record["kind"] == "arrival" and tid is not None:
                 self._next_task_id = max(self._next_task_id, int(tid) + 1)
         if self._journal is None:
             return
         payloads: list[tuple[int, dict[str, Any]]] = [
-            (base + i, {"record": record})
+            (self._journal_seq + i, {"record": record})
             for i, (_, record) in enumerate(pairs)
         ]
         interval = self._snapshot_interval
@@ -430,6 +734,7 @@ class AllocationSession:
             # (resume digest-verifies snapshots wherever they appear).
             payloads[-1][1]["snapshot"] = self.kernel.snapshot()
         self._journal.record_many(payloads)
+        self._journal_seq += len(payloads)
 
     def flush(self) -> None:
         """Make buffered journal records durable (group-commit boundary).
@@ -447,18 +752,21 @@ class AllocationSession:
         # Only a successfully applied event advances the session.
         self._events.append(event)
         self._now = float(event.time)
+        if record.get("slo") != "dequeue":
+            # Drained arrivals were already counted when first offered.
+            self._offered += 1
         tid = record.get("id")
         if record["kind"] == "arrival" and tid is not None:
             self._next_task_id = max(self._next_task_id, int(tid) + 1)
         if journal and self._journal is not None:
-            index = len(self._events) - 1
             payload: dict[str, Any] = {"record": record}
             if (
                 self._snapshot_interval
                 and len(self._events) % self._snapshot_interval == 0
             ):
                 payload["snapshot"] = self.kernel.snapshot()
-            self._journal.record(index, payload)
+            self._journal.record(self._journal_seq, payload)
+            self._journal_seq += 1
         return decision
 
     # -- Resume --------------------------------------------------------------
@@ -491,10 +799,20 @@ class AllocationSession:
                         "— the journal was written by a different "
                         "configuration or build"
                     )
+        self._journal_seq = len(completed)
 
-    def push_replay(self, record: Mapping[str, Any]) -> Decision:
-        """Absorb a journaled record without re-journaling it."""
+    def push_replay(self, record: Mapping[str, Any]) -> Optional[Decision]:
+        """Absorb a journaled record without re-journaling it.
+
+        ``"slo"``-marked records re-apply the journaled admission
+        decision mechanically — enqueue, reject, cancel, or admit the
+        queue head — rather than re-deciding, so a resumed SLO session
+        reconstructs the exact queue and counters of the crashed one.
+        """
         kind = record.get("kind")
+        mark = record.get("slo")
+        if mark is not None:
+            return self._replay_slo(str(mark), record)
         if kind == "arrival":
             t = self._clock(record.get("time"))
             tid = int(record["id"])
@@ -502,17 +820,70 @@ class AllocationSession:
                 TaskId(tid), int(record["size"]), t,
                 work=float(record.get("work", 1.0)),
             )
-            return self._absorb(
+            decision = self._absorb(
                 Arrival(t, task), dict(record), journal=False
             )
+            if self._slo is not None:
+                self._slo.revive(tid)
+                self._slo.admitted_total += 1
+                self._note_violation(decision)
+            return decision
         if kind in ("departure", "kill", "failure", "repair", "resize"):
             # Rebuild through the normal constructors, minus journaling.
             journal, self._journal = self._journal, None
             try:
-                return self.push(record)
+                return self._apply_record(record)
             finally:
                 self._journal = journal
         raise CheckpointError(f"journaled record has unknown kind {kind!r}")
+
+    def _replay_slo(
+        self, mark: str, record: Mapping[str, Any]
+    ) -> Optional[Decision]:
+        ctrl = self._slo
+        if ctrl is None:
+            raise CheckpointError(
+                "journal contains SLO admission records but the session "
+                "was opened without an SLO policy"
+            )
+        t = float(record["time"])
+        if mark == "dequeue":
+            head = ctrl.head()
+            if head is None or int(head["id"]) != int(record["id"]):
+                raise CheckpointError(
+                    f"journaled dequeue of task {record['id']} does not "
+                    f"match the replayed queue head "
+                    f"({None if head is None else head['id']})"
+                )
+            norm = dict(ctrl.pop())
+            norm["time"] = t
+            task = Task(
+                TaskId(int(norm["id"])), int(norm["size"]), t,
+                work=float(norm.get("work", 1.0)),
+            )
+            decision = self._absorb(
+                Arrival(t, task), dict(norm, slo="dequeue"), journal=False
+            )
+            ctrl.admitted_total += 1
+            ctrl.drained_total += 1
+            self._note_violation(decision)
+            return decision
+        self._now = t
+        self._offered += 1
+        if mark == "queue":
+            norm = {k: v for k, v in record.items() if k != "slo"}
+            ctrl.revive(int(record["id"]))
+            ctrl.enqueue(norm)
+            self._next_task_id = max(self._next_task_id, int(record["id"]) + 1)
+            return None
+        if mark == "reject":
+            ctrl.reject(int(record["id"]))
+            self._next_task_id = max(self._next_task_id, int(record["id"]) + 1)
+            return None
+        if mark == "cancel":
+            ctrl.cancel(int(record["id"]))
+            return None
+        raise CheckpointError(f"journaled record has unknown slo mark {mark!r}")
 
     # -- Live metrics --------------------------------------------------------
 
@@ -524,6 +895,15 @@ class AllocationSession:
     @property
     def num_events(self) -> int:
         return len(self._events)
+
+    @property
+    def num_offers(self) -> int:
+        """Wire records consumed so far — absorbed, queued, rejected, or
+        canceled (but not queue drains, which re-admit an already-counted
+        record).  This is the resume cursor for a record feed: after a
+        crash, continue from ``records[session.num_offers:]``.  Equal to
+        :attr:`num_events` outside SLO mode."""
+        return self._offered
 
     @property
     def events(self) -> tuple[Any, ...]:
@@ -556,8 +936,52 @@ class AllocationSession:
     def placements(self) -> dict[TaskId, NodeId]:
         return self.kernel.placements
 
+    @property
+    def slo_policy(self) -> Optional[SLOPolicy]:
+        """The active SLO contract (None outside SLO mode)."""
+        return None if self._slo is None else self._slo.policy
+
+    def admission_queue(self) -> tuple[dict[str, Any], ...]:
+        """Arrivals waiting in the admission queue, FIFO order (empty
+        outside SLO mode)."""
+        return () if self._slo is None else self._slo.queue_snapshot()
+
+    @property
+    def overloaded(self) -> bool:
+        """Is the journal's fsync lag past the backpressure watermarks?
+
+        Hysteresis: trips when pending records/bytes reach the policy's
+        high watermark, clears only once both fall to the low watermark
+        (a :meth:`flush` clears it immediately).  Always False outside
+        SLO mode or without a journal.
+        """
+        if self._slo is None or self._journal is None:
+            return False
+        policy = self._slo.policy
+        pending = self._journal.pending
+        pending_bytes = self._journal.pending_bytes
+        if self._overloaded:
+            if (
+                pending <= policy.low_watermark
+                and pending_bytes <= policy.low_watermark_bytes
+            ):
+                self._overloaded = False
+        elif (
+            pending >= policy.high_watermark
+            or pending_bytes >= policy.high_watermark_bytes
+        ):
+            self._overloaded = True
+        return self._overloaded
+
     def status(self) -> dict[str, Any]:
-        """One JSON-safe dashboard line for this session."""
+        """One JSON-safe dashboard line for this session.
+
+        The ``journal_pending`` / ``queued_tasks`` / ``rejected_total`` /
+        ``slo_violations`` counters are always present (zero outside SLO
+        mode / without a journal) so status consumers keep one schema;
+        SLO sessions add an ``slo`` sub-object with the full contract and
+        counters.  Schema: ``docs/ARCHITECTURE.md``.
+        """
         out: dict[str, Any] = {
             "events": self.num_events,
             "now": self._now,
@@ -574,6 +998,16 @@ class AllocationSession:
             ),
             "reallocations": self.kernel.metrics.realloc.num_reallocations,
             "migrations": self.kernel.metrics.realloc.num_migrations,
+            "journal_pending": (
+                0 if self._journal is None else self._journal.pending
+            ),
+            "queued_tasks": 0 if self._slo is None else self._slo.queued,
+            "rejected_total": (
+                0 if self._slo is None else self._slo.rejected_total
+            ),
+            "slo_violations": (
+                0 if self._slo is None else self._slo.slo_violations
+            ),
         }
         if self._fault_tolerant:
             faults = self.kernel.metrics.faults
@@ -583,6 +1017,15 @@ class AllocationSession:
             out["num_pes"] = self.kernel.machine.num_pes
             out["grows"] = faults.num_grows
             out["shrinks"] = faults.num_shrinks
+        if self._slo is not None:
+            ctrl = self._slo
+            out["slo"] = {
+                "slowdown_target": ctrl.policy.slowdown_target,
+                "load_target": ctrl.load_target,
+                "queue_capacity": ctrl.policy.queue_capacity,
+                "overloaded": self.overloaded,
+                **ctrl.counters(),
+            }
         return out
 
     def snapshot(self) -> dict[str, Any]:

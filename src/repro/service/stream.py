@@ -32,6 +32,7 @@ __all__ = [
     "EVENT_KINDS",
     "parse_event_record",
     "iter_event_records",
+    "admission_lines",
     "decision_line",
     "sequence_records",
     "records_from_events",
@@ -100,6 +101,48 @@ def iter_event_records(stream: IO[str]) -> Iterator[dict[str, Any]]:
 def decision_line(decision: Decision) -> str:
     """One compact JSON line for one kernel decision."""
     return json.dumps(decision.to_dict(), separators=(",", ":"))
+
+
+def admission_lines(outcome: Any) -> list[str]:
+    """Wire lines for one typed admission outcome (SLO sessions).
+
+    An :class:`~repro.service.slo.Admit` yields its decision line plus one
+    ``"dequeued": true``-tagged line per queued arrival the event drained;
+    ``Queue`` / ``Reject`` / ``Cancel`` yield one ``"slo"``-tagged record
+    each (plus drained lines for a cancel that unblocked the queue), so a
+    streaming client always sees exactly what happened to its record.
+    """
+    verdict = getattr(outcome, "verdict", None)
+    lines: list[str] = []
+    if verdict == "admit":
+        lines.append(decision_line(outcome.decision))
+    elif verdict == "queue":
+        lines.append(json.dumps(
+            {"slo": "queued", "id": outcome.task_id,
+             "position": outcome.position, "queued": outcome.queued},
+            separators=(",", ":"),
+        ))
+    elif verdict == "reject":
+        lines.append(json.dumps(
+            {"slo": "rejected", "id": outcome.task_id,
+             "reason": outcome.reason, "retry_after": outcome.retry_after},
+            separators=(",", ":"),
+        ))
+    elif verdict == "cancel":
+        lines.append(json.dumps(
+            {"slo": "cancelled", "id": outcome.task_id,
+             "dequeued": outcome.dequeued},
+            separators=(",", ":"),
+        ))
+    else:
+        raise TraceFormatError(
+            f"not an admission outcome: {type(outcome).__name__}"
+        )
+    for decision in getattr(outcome, "drained", ()):
+        payload = decision.to_dict()
+        payload["dequeued"] = True
+        lines.append(json.dumps(payload, separators=(",", ":")))
+    return lines
 
 
 def sequence_records(sequence: TaskSequence) -> Iterator[dict[str, Any]]:

@@ -142,6 +142,7 @@ class CheckpointJournal:
         self._policy, self._interval_s = _parse_fsync_policy(fsync_policy)
         self.fsync_policy = fsync_policy
         self._pending = 0
+        self._pending_bytes = 0
         self._last_sync = time.monotonic()
         self._digest = _fingerprint_digest(fingerprint)
         self._fingerprint = dict(fingerprint)
@@ -235,6 +236,7 @@ class CheckpointJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._pending = 0
+        self._pending_bytes = 0
         self._last_sync = time.monotonic()
 
     def _maybe_interval_sync(self) -> None:
@@ -245,6 +247,16 @@ class CheckpointJournal:
     def pending(self) -> int:
         """Records written but not yet flushed + fsynced (the loss window)."""
         return self._pending
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes written but not yet flushed + fsynced.
+
+        The byte-denominated loss window — the backpressure watermarks in
+        :class:`repro.service.slo.SLOPolicy` trip on either this or
+        :attr:`pending`, whichever crosses first.
+        """
+        return self._pending_bytes
 
     def commit(self) -> None:
         """Make every buffered record durable now (no-op when none pending)."""
@@ -261,8 +273,10 @@ class CheckpointJournal:
         if self._fh is None:
             raise CheckpointError(f"checkpoint {self.path} is closed")
         data = base64.b64encode(pickle.dumps(value)).decode("ascii")
-        self._fh.write(json.dumps({"cell": int(index), "data": data}) + "\n")
+        line = json.dumps({"cell": int(index), "data": data}) + "\n"
+        self._fh.write(line)
         self._pending += 1
+        self._pending_bytes += len(line)
         self._completed[int(index)] = value
         if self._policy == "always":
             self._sync()
@@ -287,8 +301,10 @@ class CheckpointJournal:
             self._completed[int(index)] = value
         if not lines:
             return
-        self._fh.write("\n".join(lines) + "\n")
+        blob = "\n".join(lines) + "\n"
+        self._fh.write(blob)
         self._pending += len(lines)
+        self._pending_bytes += len(blob)
         if self._policy == "interval":
             self._maybe_interval_sync()
         else:

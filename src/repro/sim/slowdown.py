@@ -33,9 +33,34 @@ from repro.types import NodeId, TaskId, Time
 __all__ = [
     "SlowdownReport",
     "TaskSlowdown",
+    "load_target_for_slowdown",
     "measure_slowdowns",
     "measure_slowdowns_dynamic",
 ]
+
+
+def load_target_for_slowdown(slowdown_target: float) -> int:
+    """Max PE load compatible with a worst-case slowdown target.
+
+    Under the fluid round-robin model a resident task's worst slowdown is
+    its submachine's max PE load (every PE at load ``lambda`` advances
+    each task at rate ``1/lambda``), so a slowdown target ``s`` tolerates
+    integer loads up to ``floor(s)``.  The floor is the conservative
+    direction: a submachine at load ``floor(s) + 1`` would already exceed
+    the target.  Targets below 1 are impossible — a task alone on a
+    dedicated submachine has load (and slowdown) exactly 1.
+    """
+    import math
+
+    s = float(slowdown_target)
+    if not s >= 1.0:
+        from repro.errors import SimulationError
+
+        raise SimulationError(
+            f"slowdown target must be >= 1 (dedicated-machine slowdown), "
+            f"got {slowdown_target!r}"
+        )
+    return int(math.floor(s + 1e-9))
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,12 @@ the suite's scattered ad-hoc checks into one engine:
   flash-crowd storms, and online grow/shrink): each constant-machine-size
   epoch is audited independently and the degraded salvage bound is
   enforced with that epoch's minimum surviving capacity;
+* :mod:`repro.verify.slo` —
+  :func:`~repro.verify.slo.check_slo_admission`, the admission-control
+  referee: an independent NumPy/deque shadow of the SLO gate that demands
+  no admitted arrival break the load target, FIFO drains, bounded-queue
+  rejects, counter agreement, and run-to-run determinism (see
+  ``docs/SLO.md``);
 * :mod:`repro.verify.shrink` — greedy delta debugging that reduces any
   violating sequence to a minimal counterexample;
 * :mod:`repro.verify.corpus` — the replayable counterexample store under
@@ -65,6 +71,7 @@ from repro.verify.harness import CheckOutcome, DifferentialHarness, check_algori
 from repro.verify.oracle import OracleReport, oracle_audit
 from repro.verify.report import BoundMargin, VerifyReport
 from repro.verify.shrink import shrink
+from repro.verify.slo import check_slo_admission
 
 __all__ = [
     "BoundMargin",
@@ -80,6 +87,7 @@ __all__ = [
     "check_algorithm_under_churn",
     "check_backend_parity",
     "check_churn_backend_parity",
+    "check_slo_admission",
     "load_corpus",
     "oracle_audit",
     "replay_corpus",

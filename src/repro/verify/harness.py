@@ -84,6 +84,10 @@ class CheckOutcome:
     num_epochs: int = 0
     #: Online grow/shrink events in the scenario (churn checks only).
     num_resizes: int = 0
+    #: True when the check refereed an SLO admission session
+    #: (:func:`repro.verify.slo.check_slo_admission`); ``max_load`` is then
+    #: the shadow model's peak and ``bound`` is unused.
+    sloed: bool = False
 
     @property
     def slack(self) -> Optional[float]:
@@ -623,6 +627,119 @@ class DifferentialHarness:
             fuzzer.coverage,
             key=lambda f: (f.size_classes, f.depth, f.volume, f.burst,
                            f.churn, f.storm, f.resizes),
+        )
+        return report
+
+    def fuzz_slo(
+        self,
+        *,
+        max_sequences: Optional[int] = None,
+        budget: Optional[float] = None,
+        load_targets: TypingSequence[int] = (1, 2, 4),
+        queue_capacity: int = 16,
+        checkpoint=None,
+    ) -> VerifyReport:
+        """Run an SLO-admission campaign through the shadow referee.
+
+        Every fuzzed sequence is streamed through an SLO-gated
+        :class:`~repro.service.session.AllocationSession` per configured
+        algorithm and refereed by
+        :func:`repro.verify.slo.check_slo_admission`: no admitted arrival
+        may push its submachine past the load target, queued arrivals
+        drain strictly FIFO exactly when capacity frees, rejects happen
+        only at capacity, and two identical runs must produce identical
+        admission logs.  ``load_targets`` are cycled one per sequence so
+        both the tight (target 1: dedicated submachines only) and loose
+        regimes get coverage.
+
+        Violating sequences are stored *unshrunk*: shrinking re-times the
+        event stream, which changes which arrivals queue versus admit, so
+        the reduced sequence would no longer replay the same admission
+        trace.  ``checkpoint`` journaling and resume semantics match
+        :meth:`fuzz`.
+        """
+        from repro.verify.slo import check_slo_admission
+
+        if max_sequences is None and budget is None:
+            raise ValueError("give max_sequences and/or budget")
+        targets = tuple(int(t) for t in load_targets)
+        if not targets:
+            raise ValueError("load_targets must be non-empty")
+        fuzzer = SequenceFuzzer(self.num_pes, seed=self.seed)
+        report = VerifyReport(
+            num_pes=self.num_pes, seed=self.seed, algorithms=tuple(self.algorithms)
+        )
+        journal = None
+        if checkpoint is not None:
+            from repro.sim.checkpoint import CheckpointJournal
+
+            journal = CheckpointJournal(
+                checkpoint,
+                fingerprint={
+                    "kind": "verify-fuzz-slo",
+                    "num_pes": self.num_pes,
+                    "seed": self.seed,
+                    "algorithms": list(self.algorithms),
+                    "d_values": [repr(d) for d in self.d_values],
+                    "load_targets": list(targets),
+                    "queue_capacity": queue_capacity,
+                },
+            )
+        cached = journal.completed() if journal is not None else {}
+        start = time.monotonic()
+        index = 0
+        while True:
+            if max_sequences is not None and index >= max_sequences:
+                break
+            if budget is not None and time.monotonic() - start >= budget:
+                break
+            # Generated even for cached indices so the fuzzer's RNG stream
+            # and coverage census advance exactly as in the original run.
+            sequence = fuzzer.generate()
+            d = self.d_values[index % len(self.d_values)]
+            seed = self.seed + index
+            target = targets[index % len(targets)]
+            if index in cached:
+                outcomes = cached[index]
+            else:
+                outcomes = parallel_map(
+                    check_slo_admission,
+                    [
+                        (name, self.num_pes, d, seed, sequence, target,
+                         queue_capacity)
+                        for name in self.algorithms
+                    ],
+                    jobs=self.jobs,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                )
+                if journal is not None:
+                    journal.record(index, outcomes)
+            report.sequences_tried += 1
+            for outcome in outcomes:
+                report.record(outcome)
+                if not outcome.ok:
+                    entry = CorpusEntry.from_sequence(
+                        sequence,
+                        algorithm=outcome.algorithm,
+                        num_pes=self.num_pes,
+                        d=outcome.d,
+                        seed=outcome.seed,
+                        check=(
+                            outcome.violations[0]
+                            if outcome.violations
+                            else "unknown"
+                        ),
+                    )
+                    if self.corpus_dir is not None:
+                        write_counterexample(entry, self.corpus_dir)
+                    report.counterexamples.append(entry)
+            index += 1
+        if journal is not None:
+            journal.close()
+        report.elapsed = time.monotonic() - start
+        report.features = sorted(
+            fuzzer.coverage, key=lambda f: (f.size_classes, f.depth, f.volume, f.burst)
         )
         return report
 

@@ -77,6 +77,9 @@ class VerifyReport:
     churn_checks: int = 0
     #: Online resizes absorbed across all churn checks.
     resizes_checked: int = 0
+    #: Checks that refereed an SLO admission session
+    #: (:func:`repro.verify.slo.check_slo_admission`).
+    slo_checks: int = 0
     #: Degradation tallies over all faulted checks (summed counters plus
     #: worst-case gauges) — the campaign-level fault accounting.
     fault_summary: dict = field(default_factory=dict)
@@ -109,6 +112,8 @@ class VerifyReport:
         if getattr(outcome, "churned", False):
             self.churn_checks += 1
             self.resizes_checked += getattr(outcome, "num_resizes", 0)
+        if getattr(outcome, "sloed", False):
+            self.slo_checks += 1
         if outcome.faulted:
             self.faulted_checks += 1
             if outcome.degradation:
@@ -189,6 +194,7 @@ class VerifyReport:
             "faulted_checks": self.faulted_checks,
             "churn_checks": self.churn_checks,
             "resizes_checked": self.resizes_checked,
+            "slo_checks": self.slo_checks,
             "fault_summary": dict(self.fault_summary),
             "tightest_bounds": {
                 name: {

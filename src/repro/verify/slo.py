@@ -1,0 +1,338 @@
+"""SLO admission referee: an independent shadow of the admission gate.
+
+The production path (:meth:`repro.service.session.AllocationSession.offer`)
+decides with the kernel's O(log N) min-of-max descent; this referee
+re-derives every admission decision from nothing but a flat NumPy leaf-load
+array and a plain deque, and demands the two accounts agree:
+
+1. **No admitted violation** — after every admitted arrival (fresh or
+   drained), the max PE load inside the task's submachine is ``<= target``;
+2. **Head-blocking FIFO** — an arrival is queued only when something is
+   already waiting or its own admission would violate; while the queue is
+   non-empty, the shadow must agree that the *head* is inadmissible after
+   every event (otherwise the session failed to drain);
+3. **FIFO drain order** — every drained decision matches the shadow
+   queue's popleft, id for id;
+4. **Bounded queue** — rejects happen exactly when the shadow queue is at
+   capacity;
+5. **Counter agreement** — ``status()``'s admission counters equal the
+   shadow's tallies;
+6. **Determinism** — a second, fresh session fed the same records produces
+   the identical outcome log.
+
+Module-level and picklable, like the other referees, so
+:meth:`repro.verify.harness.DifferentialHarness.fuzz_slo` can fan it out
+over worker processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.service.session import AllocationSession
+from repro.service.slo import SLOPolicy
+from repro.tasks.sequence import TaskSequence
+from repro.verify.harness import CheckOutcome
+
+__all__ = ["check_slo_admission", "admission_log"]
+
+
+def _shadow_min_load(loads: np.ndarray, size: int) -> int:
+    """Min over aligned ``size``-PE submachines of the max PE load inside."""
+    return int(loads.reshape(-1, size).max(axis=1).min())
+
+
+def admission_log(
+    name: str,
+    num_pes: int,
+    d: float,
+    seed: int,
+    records: Iterable[dict[str, Any]],
+    *,
+    load_target: int,
+    queue_capacity: int,
+) -> list[tuple[str, Any]]:
+    """Feed ``records`` through a fresh SLO session; return the outcome log.
+
+    One ``(verdict, payload)`` tuple per offered record: the admitted node
+    and the drained ``(id, node)`` pairs for admits/cancels, the queue
+    position for queues, the reason for rejects.  Two runs of the same
+    records must produce identical logs — this is the determinism oracle.
+    """
+    machine = TreeMachine(num_pes)
+    algorithm = make_algorithm(
+        name, machine, d=d, seed=seed, load_target=load_target
+    )
+    session = AllocationSession(
+        machine,
+        algorithm,
+        slo=SLOPolicy(
+            slowdown_target=float(load_target), queue_capacity=queue_capacity
+        ),
+    )
+    log: list[tuple[str, Any]] = []
+    for record in records:
+        outcome = session.offer(dict(record))
+        drained = tuple(
+            (d_.task_id, d_.node) for d_ in getattr(outcome, "drained", ())
+        )
+        if outcome.verdict == "admit":
+            log.append(("admit", (outcome.decision.task_id,
+                                  outcome.decision.node, drained)))
+        elif outcome.verdict == "queue":
+            log.append(("queue", (outcome.task_id, outcome.position)))
+        elif outcome.verdict == "reject":
+            log.append(("reject", (outcome.task_id, outcome.reason)))
+        else:
+            log.append(("cancel", (outcome.task_id, outcome.dequeued, drained)))
+    return log
+
+
+def check_slo_admission(
+    name: str,
+    num_pes: int,
+    d: float,
+    seed: int,
+    sequence: TaskSequence,
+    load_target: int = 2,
+    queue_capacity: int = 16,
+) -> CheckOutcome:
+    """Referee one algorithm's SLO session against the shadow model.
+
+    Module-level and picklable end to end, like
+    :func:`repro.verify.harness.check_algorithm`.
+    """
+    from repro.service.stream import sequence_records
+
+    violations: list[str] = []
+    records = list(sequence_records(sequence))
+    machine = TreeMachine(num_pes)
+    hierarchy = machine.hierarchy
+    target = int(load_target)
+
+    try:
+        algorithm = make_algorithm(
+            name, machine, d=d, seed=seed, load_target=target
+        )
+        session = AllocationSession(
+            machine,
+            algorithm,
+            slo=SLOPolicy(
+                slowdown_target=float(target), queue_capacity=queue_capacity
+            ),
+        )
+    except Exception as exc:  # pragma: no cover - construction should not fail
+        return CheckOutcome(
+            algorithm=name, num_pes=num_pes, d=d, seed=seed,
+            num_events=len(records), ok=False,
+            violations=(f"engine: {type(exc).__name__}: {exc}",),
+            sloed=True,
+        )
+
+    # Independent shadow state: flat leaf loads, task spans, FIFO queue.
+    loads = np.zeros(num_pes, dtype=np.int64)
+    spans: dict[int, tuple[int, int]] = {}
+    shadow_queue: "deque[tuple[int, int]]" = deque()  # (id, size)
+    shadow_dropped: set[int] = set()
+    counts = {"admitted": 0, "drained": 0, "queued": 0, "rejected": 0,
+              "canceled": 0}
+    max_seen = 0
+
+    def shadow_admit(tid: int, node: Optional[int], size: int,
+                     what: str) -> None:
+        nonlocal max_seen
+        if node is None:
+            violations.append(f"{what}: admitted task {tid} has no node")
+            return
+        lo, hi = hierarchy.leaf_span(node)
+        if hi - lo != size:
+            violations.append(
+                f"{what}: task {tid} of size {size} placed on node {node} "
+                f"spanning {hi - lo} PEs"
+            )
+            return
+        loads[lo:hi] += 1
+        spans[tid] = (lo, hi)
+        counts["admitted"] += 1
+        peak = int(loads[lo:hi].max())
+        max_seen = max(max_seen, int(loads.max()))
+        if peak > target:
+            violations.append(
+                f"{what}: admitting task {tid} (size {size}) pushed node "
+                f"{node} to load {peak} > target {target}"
+            )
+
+    def check_drained(drained: tuple, what: str) -> None:
+        for decision in drained:
+            if not shadow_queue:
+                violations.append(
+                    f"{what}: drained task {decision.task_id} but the "
+                    "shadow queue is empty"
+                )
+                return
+            head_id, head_size = shadow_queue[0]
+            if decision.task_id != head_id:
+                violations.append(
+                    f"{what}: drained task {decision.task_id} out of FIFO "
+                    f"order (shadow head is {head_id})"
+                )
+                return
+            if _shadow_min_load(loads, head_size) + 1 > target:
+                violations.append(
+                    f"{what}: drained task {head_id} (size {head_size}) "
+                    "while the shadow says it is inadmissible"
+                )
+            shadow_queue.popleft()
+            counts["drained"] += 1
+            shadow_admit(head_id, decision.node, head_size, what)
+
+    for i, record in enumerate(records):
+        kind = record["kind"]
+        what = f"record {i} ({kind})"
+        try:
+            outcome = session.offer(dict(record))
+        except Exception as exc:  # a crash IS a finding
+            violations.append(f"{what}: {type(exc).__name__}: {exc}")
+            break
+        verdict = outcome.verdict
+        if kind == "arrival":
+            tid, size = int(record["id"]), int(record["size"])
+            fits = _shadow_min_load(loads, size) + 1 <= target
+            if verdict == "admit":
+                if shadow_queue:
+                    violations.append(
+                        f"{what}: admitted task {tid} past "
+                        f"{len(shadow_queue)} queued task(s) — FIFO broken"
+                    )
+                if not fits:
+                    violations.append(
+                        f"{what}: admitted task {tid} (size {size}) that the "
+                        "shadow says is inadmissible"
+                    )
+                if outcome.decision.reallocated:
+                    violations.append(
+                        f"{what}: admission triggered an unexpected "
+                        "reallocation — shadow loads no longer track"
+                    )
+                shadow_admit(tid, outcome.decision.node, size, what)
+                check_drained(outcome.drained, what)
+            elif verdict == "queue":
+                if not shadow_queue and fits:
+                    violations.append(
+                        f"{what}: queued task {tid} (size {size}) the shadow "
+                        "says was immediately admissible"
+                    )
+                shadow_queue.append((tid, size))
+                shadow_dropped.discard(tid)
+                counts["queued"] += 1
+            elif verdict == "reject":
+                if len(shadow_queue) < queue_capacity:
+                    violations.append(
+                        f"{what}: rejected task {tid} with only "
+                        f"{len(shadow_queue)}/{queue_capacity} queued"
+                    )
+                shadow_dropped.add(tid)
+                counts["rejected"] += 1
+            else:
+                violations.append(f"{what}: arrival resolved as {verdict}")
+        else:  # departure (sequence_records emits only arrivals/departures)
+            tid = int(record["id"])
+            if verdict == "cancel":
+                in_queue = any(q[0] == tid for q in shadow_queue)
+                if in_queue != outcome.dequeued:
+                    violations.append(
+                        f"{what}: cancel of task {tid} reported "
+                        f"dequeued={outcome.dequeued}, shadow says {in_queue}"
+                    )
+                if in_queue:
+                    shadow_queue = deque(
+                        q for q in shadow_queue if q[0] != tid
+                    )
+                    counts["canceled"] += 1
+                elif tid not in shadow_dropped:
+                    violations.append(
+                        f"{what}: cancel of task {tid} the shadow never "
+                        "queued or dropped"
+                    )
+                shadow_dropped.add(tid)
+                check_drained(outcome.drained, what)
+            elif verdict == "admit":
+                span = spans.pop(tid, None)
+                if span is None:
+                    violations.append(
+                        f"{what}: departure of task {tid} the shadow never "
+                        "admitted"
+                    )
+                else:
+                    loads[span[0]:span[1]] -= 1
+                check_drained(outcome.drained, what)
+            else:
+                violations.append(f"{what}: departure resolved as {verdict}")
+        # Head-blocking invariant: a non-empty queue means the session
+        # could not admit its head right now.
+        if shadow_queue:
+            head_id, head_size = shadow_queue[0]
+            if _shadow_min_load(loads, head_size) + 1 <= target:
+                violations.append(
+                    f"{what}: task {head_id} (size {head_size}) left queued "
+                    "though the shadow says it is admissible — drain missed"
+                )
+
+    status = session.status()
+    expect = {
+        "admitted_total": counts["admitted"],
+        "drained_total": counts["drained"],
+        "queued_total": counts["queued"],
+        "rejected_total": counts["rejected"],
+        "canceled_total": counts["canceled"],
+    }
+    got = {k: status["slo"][k] for k in expect}
+    if got != expect:
+        violations.append(f"counter mismatch: session {got} != shadow {expect}")
+    if status["queued_tasks"] != len(shadow_queue):
+        violations.append(
+            f"queued_tasks {status['queued_tasks']} != shadow queue length "
+            f"{len(shadow_queue)}"
+        )
+    if status["slo_violations"] != 0:
+        violations.append(
+            f"gated session reported {status['slo_violations']} SLO "
+            "violation(s) — the gate admitted a violating arrival"
+        )
+
+    # Determinism oracle: same records, fresh session, identical outcomes.
+    if not violations:
+        first = admission_log(
+            name, num_pes, d, seed, records,
+            load_target=target, queue_capacity=queue_capacity,
+        )
+        second = admission_log(
+            name, num_pes, d, seed, records,
+            load_target=target, queue_capacity=queue_capacity,
+        )
+        if first != second:
+            diverged = next(
+                i for i, (a, b) in enumerate(zip(first, second)) if a != b
+            )
+            violations.append(
+                f"admission log diverges between identical runs at record "
+                f"{diverged}: {first[diverged]} != {second[diverged]}"
+            )
+
+    return CheckOutcome(
+        algorithm=name,
+        num_pes=num_pes,
+        d=d,
+        seed=seed,
+        num_events=len(records),
+        ok=not violations,
+        violations=tuple(violations),
+        max_load=max_seen,
+        optimal_load=sequence.optimal_load(num_pes),
+        sloed=True,
+    )

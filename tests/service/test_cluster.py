@@ -43,6 +43,26 @@ class TestClusterManager:
             assert status["a"]["events"] == 1
             assert status["b"]["events"] == 2
 
+    def test_overloaded_names_slo_sessions_past_watermark(self, tmp_path):
+        from repro.service import SLOPolicy
+
+        with ClusterManager(journal_dir=tmp_path) as mgr:
+            machine = TreeMachine(8)
+            slo = SLOPolicy(
+                slowdown_target=4.0, high_watermark=2, low_watermark=1
+            )
+            tenant = mgr.create(
+                "tenant", machine, make_algorithm("greedy", machine),
+                slo=slo, fsync_policy="batch",
+            )
+            _open(mgr, "calm").submit(2)  # no SLO: never overloaded
+            assert mgr.overloaded() == []
+            tenant.submit(1)
+            tenant.submit(1)  # 2 pending records >= high watermark
+            assert mgr.overloaded() == ["tenant"]
+            tenant.flush()
+            assert mgr.overloaded() == []
+
     def test_journal_dir_resumes_by_name(self, tmp_path):
         with ClusterManager(journal_dir=tmp_path) as mgr:
             session = _open(mgr, "tenant")

@@ -1,0 +1,149 @@
+"""Crash-resume under overload: SIGKILL with arrivals waiting in the
+admission queue, every fsync policy.
+
+The SLO twist on tests/service/test_churn_resume.py: the journaled
+session runs behind an admission gate tight enough that a flash-crowd
+storm fills the FIFO queue, then the process is SIGKILLed with tasks
+still waiting (the riskiest state — queued arrivals exist only as
+``"slo"``-marked journal records, never in kernel placements).  The
+resumed session must reproduce the queue contents, every admission
+decision, and the final metrics bit-identically against an uninterrupted
+reference under all three fsync policies.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.scenarios import ChurnProcess
+from repro.service import AllocationSession, SLOPolicy
+from repro.service.stream import records_from_events
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+TARGET = 2.0
+QUEUE = 8
+
+_CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.core.registry import make_algorithm
+    from repro.machines.tree import TreeMachine
+    from repro.service import AllocationSession, SLOPolicy
+
+    records_path, journal, policy, cut = sys.argv[1:5]
+    records = json.loads(open(records_path).read())
+    machine = TreeMachine(16)
+    slo = SLOPolicy(slowdown_target=%(target)r, queue_capacity=%(queue)d)
+    session = AllocationSession(
+        machine,
+        make_algorithm("greedy", machine, d=2.0, load_target=slo.load_target),
+        fault_tolerant=True, journal_path=journal,
+        snapshot_interval=8, fsync_policy=policy, slo=slo,
+    )
+    for record in records[: int(cut)]:
+        session.offer(record)
+    assert session.status()["queued_tasks"] > 0, "cut missed the queue"
+    os.kill(os.getpid(), signal.SIGKILL)  # no close(), no flush()
+    """
+    % {"target": TARGET, "queue": QUEUE}
+)
+
+
+def _records():
+    scenario = ChurnProcess(
+        num_pes=16, seed=21, horizon=30.0, task_rate=1.5,
+        pe_mttf=12.0, mttr=2.5, kill_rate=0.08,
+        storm_rate=0.4, storm_depth=8,
+    ).build()
+    return records_from_events(list(scenario.merged_events()))
+
+
+def _session(journal_path=None, policy="always"):
+    machine = TreeMachine(16)
+    slo = SLOPolicy(slowdown_target=TARGET, queue_capacity=QUEUE)
+    return AllocationSession(
+        machine,
+        make_algorithm("greedy", machine, d=2.0, load_target=slo.load_target),
+        fault_tolerant=True, journal_path=journal_path,
+        snapshot_interval=8, fsync_policy=policy, slo=slo,
+    )
+
+
+def _queued_cut(records):
+    """An offer index at which the admission queue is non-empty, inside
+    the biggest same-timestamp arrival storm."""
+    arrivals = [r["time"] for r in records if r["kind"] == "arrival"]
+    storm_time, depth = Counter(arrivals).most_common(1)[0]
+    assert depth >= 4, "scenario has no storm to die inside"
+    first = next(
+        i for i, r in enumerate(records)
+        if r["kind"] == "arrival" and r["time"] == storm_time
+    )
+    probe = _session()
+    for i, record in enumerate(records):
+        probe.offer(record)
+        if i >= first and probe.status()["queued_tasks"] > 0:
+            return i + 1
+    pytest.fail("admission queue never filled during the storm")
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "interval:20"])
+def test_sigkill_with_queued_arrivals_resumes_bit_identically(
+    tmp_path, policy
+):
+    records = _records()
+    cut = _queued_cut(records)
+
+    reference = _session()
+    ref_verdicts = [reference.offer(r).verdict for r in records]
+
+    records_path = tmp_path / "records.json"
+    records_path.write_text(json.dumps(records))
+    journal = tmp_path / f"overload-{policy.replace(':', '-')}.journal"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD,
+         str(records_path), str(journal), policy, str(cut)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+    assert journal.exists()
+
+    resumed = _session(journal_path=journal, policy=policy)
+    # Durability contract: committed offers survive; batch/interval may
+    # lose an uncommitted tail, never more than that.  The resume cursor
+    # is num_offers — queued and rejected records consumed wire input
+    # without becoming kernel events.
+    assert resumed.num_offers <= cut
+    if policy == "always":
+        assert resumed.num_offers == cut
+        # The queue contents the child saw survived the SIGKILL verbatim.
+        assert resumed.status()["queued_tasks"] > 0
+    got_verdicts = [
+        resumed.offer(r).verdict for r in records[resumed.num_offers:]
+    ]
+    resumed.flush()
+
+    # Every post-resume admission decision matches the uninterrupted run.
+    assert got_verdicts == ref_verdicts[len(records) - len(got_verdicts):]
+    assert resumed.num_offers == reference.num_offers
+    assert resumed.admission_queue() == reference.admission_queue()
+    assert resumed.status() == reference.status()
+    assert (
+        resumed.kernel.metrics.to_state() == reference.kernel.metrics.to_state()
+    )
+    assert resumed.snapshot() == reference.snapshot()
+    assert resumed.placements == reference.placements
+    resumed.close()

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import io
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -223,6 +225,45 @@ class TestInterrupts:
         assert main([]) == 141
         assert capsys.readouterr().err == ""
 
+    class _SignallingStdin:
+        """One good event line, then the stream raises a signal exception
+        — models Ctrl-C / a vanished reader mid-serve."""
+
+        def __init__(self, exc):
+            self._exc = exc
+
+        def __iter__(self):
+            yield '{"kind":"arrival","size":2}\n'
+            raise self._exc
+
+    @pytest.mark.parametrize(
+        "exc,code", [(KeyboardInterrupt, 130), (BrokenPipeError, 141)]
+    )
+    def test_serve_signal_mid_stream_commits_then_exits(
+        self, monkeypatch, capsys, tmp_path, exc, code
+    ):
+        """Satellite contract: signals during serving (including SLO
+        backpressure stalls) keep the 130/141 convention AND the close()
+        commit — the absorbed event must survive into a resumed session."""
+        import json
+
+        journal = tmp_path / "interrupted.journal"
+        monkeypatch.setattr("sys.stdin", self._SignallingStdin(exc()))
+        argv = [
+            "serve", "--n", "8", "--slo-target", "2",
+            "--journal", str(journal), "--fsync", "batch",
+        ]
+        assert main(argv) == code
+        capsys.readouterr()
+        # The finally-path close() committed the group-commit buffer.
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"op":"status"}\n'))
+        assert main(["serve", "--n", "8", "--slo-target", "2",
+                     "--journal", str(journal)]) == 0
+        status = json.loads(
+            capsys.readouterr().out.strip().splitlines()[0]
+        )
+        assert status["events"] == 1 and status["active_tasks"] == 1
+
 
 class TestFaultFlags:
     def test_simulate_with_faults_prints_degradation(self, capsys):
@@ -246,6 +287,14 @@ class TestFaultFlags:
         )
         out = capsys.readouterr().out
         assert "fault-mode checks" in out
+        assert "verdict            : OK" in out
+
+    def test_verify_slo_reports_slo_mode(self, capsys):
+        assert (
+            main(["verify", "--n", "16", "--sequences", "4", "--slo"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "slo-mode checks" in out
         assert "verdict            : OK" in out
 
     def test_verify_resume_matches_uninterrupted(self, tmp_path, capsys):
@@ -351,6 +400,92 @@ class TestStreaming:
         assert "resumed 1 event(s)" in captured.err
         status = json.loads(captured.out.strip().splitlines()[0])
         assert status["events"] == 1 and status["active_tasks"] == 1
+
+    def test_serve_error_records_carry_line_numbers(self, capsys, monkeypatch):
+        """Satellite contract: every error record names the offending
+        stream line, and the session keeps serving afterwards."""
+        import json
+
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":2}\n'
+            "{broken json\n"
+            '{"op":"bogus"}\n'
+            '{"kind":"arrival","size":4}\n',
+        )
+        assert main(["serve", "--n", "8"]) == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        bad_json, bad_op = out[1], out[2]
+        assert bad_json["error"].startswith("invalid JSON")
+        assert bad_json["op"] is None and bad_json["line"] == 2
+        assert bad_op["op"] == "bogus" and bad_op["line"] == 3
+        # The line after both errors was still served normally.
+        assert out[3]["kind"] == "arrival" and out[3]["task_id"] == 1
+
+    def test_serve_slo_emits_typed_outcomes(self, capsys, monkeypatch):
+        import json
+
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":8}\n'   # admitted (load 1 everywhere)
+            '{"kind":"arrival","size":4}\n'   # queued: target 1 reached
+            '{"kind":"arrival","size":4}\n'   # rejected: queue full
+            '{"kind":"departure","id":0}\n'   # departs and drains task 1
+            '{"op":"status"}\n',
+        )
+        assert main(
+            ["serve", "--n", "8", "--slo-target", "1", "--slo-queue", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        out = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert out[0]["kind"] == "arrival" and "node" in out[0]
+        assert out[1] == {"slo": "queued", "id": 1, "position": 0, "queued": 1}
+        assert out[2]["slo"] == "rejected" and "retry_after" in out[2]
+        assert out[3]["kind"] == "departure"
+        assert out[4]["dequeued"] is True and out[4]["task_id"] == 1
+        status = out[5]
+        assert status["slo"]["load_target"] == 1
+        assert status["rejected_total"] == 1 and status["queued_tasks"] == 0
+        assert ", 0 queued, 1 rejected" in captured.err
+
+    def test_serve_backpressure_emits_overloaded_and_commits(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """Above the high watermark the server emits an ``overloaded``
+        record and flushes the journal before reading on."""
+        import json
+
+        import repro.service as service_mod
+
+        real_policy = service_mod.SLOPolicy
+
+        def tight_policy(**kw):
+            kw.setdefault("high_watermark", 2)
+            kw.setdefault("low_watermark", 1)
+            return real_policy(**kw)
+
+        monkeypatch.setattr(service_mod, "SLOPolicy", tight_policy)
+        journal = tmp_path / "overload.journal"
+        self._stdin(
+            monkeypatch,
+            '{"kind":"arrival","size":1}\n'
+            '{"kind":"arrival","size":1}\n'
+            '{"kind":"arrival","size":1}\n',
+        )
+        assert main(
+            [
+                "serve", "--n", "8", "--slo-target", "4",
+                "--journal", str(journal), "--fsync", "batch",
+            ]
+        ) == 0
+        out = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        overloaded = [o for o in out if o.get("overloaded")]
+        assert overloaded, out
+        assert overloaded[0]["journal_pending"] >= 2
+        assert overloaded[0]["retry_after"] > 0
+        # The stall committed: every admitted event is on disk.
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 committed records
 
 
 class TestBatchedStreaming:
