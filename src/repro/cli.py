@@ -214,6 +214,125 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_shard_cluster(args: argparse.Namespace):
+    """Build the sharded backend for ``repro serve --shards K``."""
+    from repro.service import SLOPolicy
+    from repro.service.shard.worker import create_process_cluster
+
+    machine = _make_machine(args)
+    slo = None
+    slo_target = getattr(args, "slo_target", None)
+    if slo_target is not None:
+        slo = SLOPolicy(
+            slowdown_target=slo_target,
+            queue_capacity=getattr(args, "slo_queue", 64),
+        )
+    algo = make_algorithm(
+        args.algorithm,
+        machine,
+        d=args.d,
+        lazy=args.lazy,
+        moves=getattr(args, "moves", 4),
+        seed=args.seed,
+        load_target=None if slo is None else slo.load_target,
+    )
+    return create_process_cluster(
+        machine,
+        algo,
+        num_shards=args.shards,
+        journal_dir=getattr(args, "journal_dir", None),
+        fsync_policy=getattr(args, "fsync", "always"),
+        slo=slo,
+        batch_backend=getattr(args, "backend", "numpy"),
+    )
+
+
+def _cmd_serve_socket(args: argparse.Namespace) -> int:
+    """``repro serve --listen`` and/or ``--shards``: the socket front-end.
+
+    With ``--shards K`` the backend is a coordinator over K worker
+    processes (bit-identical decisions to a single session — enforced by
+    ``repro verify --shards``); otherwise the single journaled session
+    serves the socket.  Without ``--listen``, a sharded backend still
+    serves stdin/stdout through the same protocol handler, so the two
+    transports cannot drift.  Fault/resize records are not routable in
+    sharded mode: they are refused with an ``{"error": ..., "op":
+    <kind>, "line": N}`` record naming the op.
+    """
+    import asyncio
+
+    from repro.service.shard.server import ServiceServer
+
+    if getattr(args, "shards", None):
+        if args.journal:
+            print(
+                "error: --shards journals per shard; use --journal-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "faults", False):
+            print(
+                "error: --faults is not routable across shards; drop "
+                "--shards for fault workloads",
+                file=sys.stderr,
+            )
+            return 2
+        backend = _make_shard_cluster(args)
+        resumed = backend.gsn
+    else:
+        backend = _make_session(args, journal_path=args.journal)
+        resumed = backend.num_events
+    if resumed:
+        print(f"resumed {resumed} event(s)", file=sys.stderr)
+    server = ServiceServer(backend, metrics_port=args.metrics_port)
+    try:
+        if args.listen:
+            host, _, port = args.listen.rpartition(":")
+            server._host = host or "127.0.0.1"
+            server._port = int(port)
+
+            async def _run() -> None:
+                bound = await server.start()
+                print(f"listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+                if server.metrics_address:
+                    mhost, mport = server.metrics_address
+                    print(f"metrics on http://{mhost}:{mport}/metrics",
+                          file=sys.stderr)
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    await server.close()
+
+            try:
+                asyncio.run(_run())
+            except KeyboardInterrupt:
+                pass
+        else:
+            # Same handler, stdin transport.
+            for lineno, line in enumerate(sys.stdin, start=1):
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                for out in server._serve_line(text, lineno):
+                    print(out, flush=True)
+    finally:
+        try:
+            status = backend.status()
+            if getattr(args, "shards", None):
+                status = status["aggregate"]
+        finally:
+            backend.close()
+    print(
+        f"session closed: {status['events']} event(s), "
+        f"L_A = {status['max_load']}, L* = {status['optimal_load']}, "
+        f"ratio = {status['competitive_ratio']:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Interactive journaled session: events in, decisions out.
 
@@ -242,6 +361,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.service import admission_lines, decision_line, parse_event_record
 
+    if getattr(args, "shards", None) or getattr(args, "listen", None):
+        return _cmd_serve_socket(args)
     session = _make_session(args, journal_path=args.journal)
     slo = session.slo_policy
     if args.journal and session.num_events:
@@ -277,6 +398,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         out = session.status()
                     elif op == "snapshot":
                         out = session.snapshot()
+                    elif op == "metrics":
+                        from repro.service import (
+                            render_exposition,
+                            service_samples,
+                        )
+
+                        out = {
+                            "metrics": render_exposition(
+                                service_samples(session.status())
+                            )
+                        }
                     elif op == "save":
                         session.save_run(obj["path"])
                         out = {"saved": str(obj["path"])}
@@ -604,9 +736,56 @@ def _sweep_cell(n: int, d: float, lazy: bool, sigma) -> list:
     ]
 
 
+def _cmd_verify_sharded(args: argparse.Namespace) -> int:
+    """``repro verify --shards K``: the bit-identity referee."""
+    from repro.errors import SimulationError
+    from repro.verify.sharding import fuzz_sharding, replay_corpus_sharded
+
+    failed = 0
+    print(f"machine            : TreeMachine(N={args.n}), "
+          f"{args.shards} shard(s)")
+    if args.replay:
+        results = replay_corpus_sharded(args.replay, num_shards=args.shards)
+        checked = [(e, o) for e, o in results if o is not None]
+        bad = [(e, o) for e, o in checked if not o.ok]
+        print(f"corpus             : {args.replay}")
+        print(f"entries checked    : {len(checked)} "
+              f"({len(results) - len(checked)} not shardable, skipped)")
+        for entry, outcome in bad:
+            failed += 1
+            print(f"  - {entry.filename()}: "
+                  + "; ".join(outcome.divergences))
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    sequences = args.sequences or 50
+    try:
+        outcomes = fuzz_sharding(
+            num_pes=args.n,
+            num_shards=args.shards,
+            sequences=sequences,
+            seed=args.seed,
+            algorithms=algorithms,
+        )
+    except SimulationError as exc:
+        print(f"verdict            : FAILED — {exc}")
+        return 1
+    cross = sum(o.cross_shard_events for o in outcomes)
+    events = sum(o.events for o in outcomes)
+    print(f"streams fuzzed     : {len(outcomes)} "
+          f"({events} event(s), {cross} cross-shard)")
+    if failed:
+        print("verdict            : FAILED")
+        return 1
+    print("verdict            : OK — sharded cluster is bit-identical "
+          "to the single-process oracle")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_verify_markdown
     from repro.verify import DifferentialHarness, replay_corpus
+
+    if getattr(args, "shards", None):
+        return _cmd_verify_sharded(args)
 
     algorithms = args.algorithms.split(",") if args.algorithms else None
     if getattr(args, "slo", False) and algorithms is None:
@@ -939,6 +1118,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical decisions; journals stay backend-portable, "
         "default: python)",
     )
+    p_serve.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shard the service across K worker processes (power of two): "
+        "a coordinator decides every placement over the full machine "
+        "(bit-identical to a single session) and each worker journals "
+        "its own subtree; requires a non-reallocating --algorithm",
+    )
+    p_serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="(--shards) journal directory: one journal per shard plus "
+        "the coordinator's; re-serving from the same directory resumes "
+        "the cluster from the reconciled durable prefix",
+    )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the JSONL protocol on a TCP socket instead of "
+        "stdin/stdout (many concurrent clients, one serialized history)",
+    )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="(--listen) Prometheus text exposition on this HTTP port: "
+        "live L_A / L* / ratio / event-rate / journal-lag gauges, "
+        "per shard and aggregate",
+    )
     add_slo(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -1017,6 +1220,13 @@ def build_parser() -> argparse.ArgumentParser:
         "shadow model (no admitted violation, FIFO drains, bounded-queue "
         "rejects, deterministic admission log); default algorithms: "
         "greedy,twochoice",
+    )
+    p_ver.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="sharding referee: replay the corpus and fuzz fresh streams "
+        "through a K-shard cluster and demand bit-identical decisions, "
+        "status, snapshots, and merged placements vs the single-process "
+        "oracle",
     )
     add_jobs(p_ver)
     add_resilience(p_ver)

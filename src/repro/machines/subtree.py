@@ -1,0 +1,127 @@
+"""Aligned-subtree views: renumbering between a machine and its subtrees.
+
+The heap-indexed hierarchy (:mod:`repro.machines.hierarchy`) makes every
+aligned size-``2^x`` submachine a self-contained complete binary tree: the
+subtree rooted at node ``r`` of an ``N``-PE machine is, up to node
+renumbering, exactly a ``2^x``-PE machine.  That renumbering is what the
+sharded service (:mod:`repro.service.shard`) is built on — each worker
+owns one subtree and runs an ordinary kernel over a small machine, while
+the coordinator translates node ids at the boundary.
+
+The bijection generalises :func:`repro.machines.hierarchy.grown_node`
+(which is the special case ``root = 1`` of the *inverse* map): a node
+``v`` at level ``l`` of the subtree machine corresponds to global node
+
+    ``g = v + (r - 1) * 2^l``
+
+of the host machine, which lies at level ``level(r) + l`` and has ``r``
+as its ancestor.  The map is a bijection between the subtree machine's
+nodes and the host nodes dominated by ``r``, and it commutes with the
+parent/child structure, so per-subtree load trackers and kernels agree
+with the host machine's arithmetic node for node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvalidMachineError
+from repro.machines.base import PartitionableMachine
+from repro.types import NodeId, ilog2, is_power_of_two
+
+__all__ = [
+    "global_to_subtree",
+    "owning_shard",
+    "shard_root",
+    "subtree_machine",
+    "subtree_to_global",
+]
+
+
+def _level(node: int) -> int:
+    """Level of a heap-indexed node: 0 for the root, 1 for its children."""
+    if node < 1:
+        raise InvalidMachineError(f"invalid node id {node}")
+    return node.bit_length() - 1
+
+
+def subtree_to_global(local: NodeId, root: NodeId) -> NodeId:
+    """Renumber a node of the subtree machine into the host machine.
+
+    ``local`` is a heap index of the standalone machine built over the
+    subtree rooted at host node ``root``; the result is the host node it
+    denotes.  ``subtree_to_global(v, 1) == v`` (the whole machine is the
+    trivial subtree).
+    """
+    level = _level(int(local))
+    return NodeId(int(local) + (int(root) - 1) * (1 << level))
+
+
+def global_to_subtree(node: NodeId, root: NodeId) -> Optional[NodeId]:
+    """Renumber a host node into the subtree machine rooted at ``root``.
+
+    Returns ``None`` when ``node`` is not dominated by ``root`` (it lies
+    outside the subtree, or strictly above its root) — the coordinator
+    uses that as the "cross-shard" signal.
+    """
+    node = int(node)
+    root = int(root)
+    depth = _level(node) - _level(root)
+    if depth < 0:
+        return None
+    if node >> depth != root:
+        return None
+    return NodeId(node - (root - 1) * (1 << depth))
+
+
+def subtree_machine(
+    machine: PartitionableMachine, width: int
+) -> PartitionableMachine:
+    """A standalone machine with the host's topology over ``width`` PEs.
+
+    The shard planner calls this once per shard: the returned machine is
+    what a worker's kernel and load tracker run over, with node ids in
+    subtree numbering.
+    """
+    if not is_power_of_two(width) or width < 1:
+        raise InvalidMachineError(
+            f"subtree width must be a positive power of two, got {width}"
+        )
+    if width > machine.num_pes:
+        raise InvalidMachineError(
+            f"subtree width {width} exceeds the machine ({machine.num_pes} PEs)"
+        )
+    if width == machine.num_pes:
+        return machine
+    return machine._with_num_pes(width)
+
+
+def shard_root(num_shards: int, shard: int) -> NodeId:
+    """Host node owning shard ``shard`` of a ``num_shards``-way split.
+
+    The ``num_shards`` subtrees at level ``ilog2(num_shards)`` partition
+    the leaves; shard ``i`` owns the ``i``-th of them, left to right.
+    """
+    if not is_power_of_two(num_shards) or num_shards < 1:
+        raise InvalidMachineError(
+            f"shard count must be a positive power of two, got {num_shards}"
+        )
+    if not 0 <= shard < num_shards:
+        raise InvalidMachineError(
+            f"shard index {shard} out of range for {num_shards} shard(s)"
+        )
+    return NodeId(num_shards + shard)
+
+
+def owning_shard(node: NodeId, num_shards: int) -> Optional[int]:
+    """Which of ``num_shards`` subtrees contains ``node`` (None if above).
+
+    Nodes at or below the shard level belong to exactly one shard; nodes
+    strictly above it (the top ``num_shards - 1`` internal nodes) span
+    several shards and return ``None``.
+    """
+    shard_level = ilog2(num_shards)
+    depth = _level(int(node)) - shard_level
+    if depth < 0:
+        return None
+    return (int(node) >> depth) - num_shards

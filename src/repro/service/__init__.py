@@ -14,11 +14,28 @@ times" — as a long-lived, durably journaled service:
   typed ``Admit | Queue | Reject | Cancel`` outcomes, and the
   backpressure watermarks (see ``docs/SLO.md``);
 * :mod:`~repro.service.stream` — the JSONL wire format consumed by
-  ``repro simulate --stream`` and ``repro serve``.
+  ``repro simulate --stream`` and ``repro serve``;
+* :mod:`~repro.service.shard` — the sharded service: one coordinator
+  routing the global event stream across per-subtree worker processes,
+  bit-identical to a single session (``repro serve --shards K``);
+* :mod:`~repro.service.metrics` — Prometheus text exposition for the
+  live ``L_A``/``L*``/ratio/event-rate gauges (``--metrics-port``).
 """
 
 from repro.service.cluster import ClusterManager
+from repro.service.metrics import (
+    Sample,
+    parse_exposition,
+    render_exposition,
+    service_samples,
+)
 from repro.service.session import AllocationSession
+from repro.service.shard import (
+    LocalShard,
+    ShardedCoordinator,
+    ShardPlan,
+    reconcile_journals,
+)
 from repro.service.slo import (
     Admit,
     AdmissionController,
@@ -46,13 +63,21 @@ __all__ = [
     "Cancel",
     "ClusterManager",
     "EVENT_KINDS",
+    "LocalShard",
     "Queue",
     "Reject",
     "SLOPolicy",
+    "Sample",
+    "ShardPlan",
+    "ShardedCoordinator",
     "admission_lines",
     "decision_line",
     "iter_event_records",
     "parse_event_record",
+    "parse_exposition",
+    "reconcile_journals",
     "records_from_events",
+    "render_exposition",
     "sequence_records",
+    "service_samples",
 ]

@@ -124,7 +124,7 @@ class AllocationSession:
     def __init__(
         self,
         machine: PartitionableMachine,
-        algorithm: AllocationAlgorithm,
+        algorithm: Optional[AllocationAlgorithm],
         cost_model: Optional[MigrationCostModel] = None,
         *,
         fault_tolerant: bool = False,
@@ -135,9 +135,15 @@ class AllocationSession:
         fsync_policy: str = "always",
         batch_backend: str = "python",
         slo: Optional[SLOPolicy] = None,
+        replay_stop: Optional[Any] = None,
     ) -> None:
         self.machine = machine
         self._fault_tolerant = fault_tolerant
+        if algorithm is None and fault_tolerant:
+            raise SimulationError(
+                "an external-placement session (algorithm=None) cannot be "
+                "fault tolerant; faults need an algorithm to salvage with"
+            )
         if fault_tolerant:
             from repro.faults.salvage import FaultTolerantAlgorithm
 
@@ -147,7 +153,7 @@ class AllocationSession:
                 wrapper = FaultTolerantAlgorithm(
                     machine, algorithm, machine.degraded_view()
                 )
-            self.algorithm: AllocationAlgorithm = wrapper
+            self.algorithm: Optional[AllocationAlgorithm] = wrapper
             view = wrapper.view
         else:
             self.algorithm = algorithm
@@ -171,6 +177,7 @@ class AllocationSession:
         self._journal_seq = 0
         self._overloaded = False
         self._snapshot_interval = max(0, int(snapshot_interval))
+        self._replay_stop = replay_stop
         self._journal: Optional[CheckpointJournal] = None
         if journal_path is not None:
             resuming = Path(journal_path).exists()
@@ -183,11 +190,19 @@ class AllocationSession:
                 self._replay_journal()
 
     def _fingerprint(self) -> dict[str, Any]:
+        # An external-placement session (a shard worker behind the
+        # coordinator) pins "external": its journal must never resume
+        # under an algorithm-driven session or vice versa.
         out: dict[str, Any] = {
             "kind": "allocation-session",
             "machine": machine_descriptor(self.machine),
-            "algorithm": self.algorithm.name,
-            "d": repr(self.algorithm.reallocation_parameter),
+            "algorithm": (
+                "external" if self.algorithm is None else self.algorithm.name
+            ),
+            "d": (
+                "None" if self.algorithm is None
+                else repr(self.algorithm.reallocation_parameter)
+            ),
             "fault_tolerant": self._fault_tolerant,
         }
         if self._slo is not None:
@@ -736,6 +751,92 @@ class AllocationSession:
         self._journal.record_many(payloads)
         self._journal_seq += len(payloads)
 
+    # -- Coordinator-routed intake (shard workers) ---------------------------
+
+    def _routed_event(self, record: dict[str, Any]) -> Any:
+        """Build the kernel event for one coordinator-routed record.
+
+        ``"placed"`` records admit an externally-placed task; ``"departure"``
+        records retire one.  The record dict is normalised in place (the
+        clock is stamped) and later journaled *verbatim*, so coordinator
+        metadata — the global sequence number ``gsn``, ``drain`` marks —
+        survives into the shard journal and resume.
+        """
+        kind = record.get("kind")
+        t = self._clock(record.get("time"))
+        record["time"] = t
+        if kind == "placed":
+            return Arrival(
+                t,
+                Task(
+                    TaskId(int(record["id"])), int(record["size"]), t,
+                    work=float(record.get("work", 1.0)),
+                ),
+            )
+        if kind == "departure":
+            return Departure(t, TaskId(int(record["id"])))
+        raise SimulationError(
+            f"record kind {kind!r} is not routable to a shard session"
+        )
+
+    def push_routed(self, record: Mapping[str, Any]) -> Decision:
+        """Absorb one coordinator-routed record (shard-worker intake).
+
+        The single-record form of :meth:`push_routed_batch`, with the same
+        verbatim journaling contract.
+        """
+        norm = dict(record)
+        return self._absorb(self._routed_event(norm), norm)
+
+    def push_routed_batch(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> list[Decision]:
+        """Absorb a batch of coordinator-routed records, one group commit.
+
+        Bit-identical to :meth:`push_routed` per record; the journal
+        absorbs the batch via :meth:`CheckpointJournal.record_many` (one
+        write, one fsync) — this is where sharded journaled throughput
+        comes from.  If a record fails, the applied prefix is journaled
+        (exactly as the per-record path would leave it) and the error
+        propagates.
+        """
+        applied: list[dict[str, Any]] = []
+        decisions: list[Decision] = []
+        base = len(self._events)
+        try:
+            for record in records:
+                norm = dict(record)
+                event = self._routed_event(norm)
+                if norm["kind"] == "placed":
+                    decision = self.kernel.apply_placed(
+                        event.time, event.task, NodeId(int(norm["node"]))
+                    )
+                else:
+                    decision = self.kernel.apply(event)
+                self._events.append(event)
+                self._now = float(event.time)
+                self._offered += 1
+                if norm["kind"] == "placed":
+                    self._next_task_id = max(
+                        self._next_task_id, int(norm["id"]) + 1
+                    )
+                applied.append(norm)
+                decisions.append(decision)
+        finally:
+            if applied and self._journal is not None:
+                payloads: list[tuple[int, dict[str, Any]]] = [
+                    (self._journal_seq + i, {"record": r})
+                    for i, r in enumerate(applied)
+                ]
+                interval = self._snapshot_interval
+                if interval and (
+                    (base + len(applied)) // interval > base // interval
+                ):
+                    payloads[-1][1]["snapshot"] = self.kernel.snapshot()
+                self._journal.record_many(payloads)
+                self._journal_seq += len(payloads)
+        return decisions
+
     def flush(self) -> None:
         """Make buffered journal records durable (group-commit boundary).
 
@@ -748,7 +849,15 @@ class AllocationSession:
     def _absorb(
         self, event: Any, record: dict[str, Any], *, journal: bool = True
     ) -> Decision:
-        decision = self.kernel.apply(event)
+        if record["kind"] == "placed":
+            # Coordinator-routed admission: the placement was decided by
+            # the sharded coordinator's global descent; this session only
+            # validates and books it (external-placement kernel mode).
+            decision = self.kernel.apply_placed(
+                event.time, event.task, NodeId(int(record["node"]))
+            )
+        else:
+            decision = self.kernel.apply(event)
         # Only a successfully applied event advances the session.
         self._events.append(event)
         self._now = float(event.time)
@@ -756,7 +865,7 @@ class AllocationSession:
             # Drained arrivals were already counted when first offered.
             self._offered += 1
         tid = record.get("id")
-        if record["kind"] == "arrival" and tid is not None:
+        if record["kind"] in ("arrival", "placed") and tid is not None:
             self._next_task_id = max(self._next_task_id, int(tid) + 1)
         if journal and self._journal is not None:
             payload: dict[str, Any] = {"record": record}
@@ -788,6 +897,14 @@ class AllocationSession:
                     f"session journal {self._journal.path}: malformed record "
                     f"at event {index}"
                 ) from exc
+            if self._replay_stop is not None and self._replay_stop(record):
+                # Distributed durable-prefix reconciliation: the sharded
+                # coordinator computed a global cutoff and everything past
+                # it must be discarded — physically, so a later resume
+                # never sees the dropped tail.
+                self._journal.drop_tail(index)
+                self._journal_seq = index
+                return
             self.push_replay(record)
             embedded = payload.get("snapshot")
             if embedded is not None:
@@ -828,6 +945,14 @@ class AllocationSession:
                 self._slo.admitted_total += 1
                 self._note_violation(decision)
             return decision
+        if kind == "placed":
+            norm = dict(record)
+            return self._absorb(self._routed_event(norm), norm, journal=False)
+        if kind == "departure" and "gsn" in record:
+            # A coordinator-routed departure: replay it verbatim so the
+            # shard clock follows the global timestamps.
+            norm = dict(record)
+            return self._absorb(self._routed_event(norm), norm, journal=False)
         if kind in ("departure", "kill", "failure", "repair", "resize"):
             # Rebuild through the normal constructors, minus journaling.
             journal, self._journal = self._journal, None
@@ -945,6 +1070,11 @@ class AllocationSession:
         """Arrivals waiting in the admission queue, FIFO order (empty
         outside SLO mode)."""
         return () if self._slo is None else self._slo.queue_snapshot()
+
+    @property
+    def journal_pending(self) -> int:
+        """Journal records written but not yet fsync'd (0 without one)."""
+        return 0 if self._journal is None else self._journal.pending
 
     @property
     def overloaded(self) -> bool:

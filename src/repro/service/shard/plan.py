@@ -1,0 +1,99 @@
+"""The shard plan: how one machine splits into worker-owned subtrees.
+
+A :class:`ShardPlan` is the pure arithmetic of the split — no I/O, no
+state.  ``num_shards`` must be a power of two no larger than the machine:
+the ``K`` aligned subtrees at level ``log2 K`` partition the leaves, shard
+``i`` owning the subtree rooted at host node ``K + i``.  Everything the
+coordinator needs is derived from :mod:`repro.machines.subtree`:
+
+* which shard owns a placement node (``None`` for the top ``K - 1``
+  internal nodes — a task wider than one shard is *cross-shard* and stays
+  coordinator-owned);
+* the local/global node renumbering at the shard boundary;
+* the standalone ``N/K``-PE machine each worker's kernel runs over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidMachineError
+from repro.machines.base import PartitionableMachine
+from repro.machines.subtree import (
+    global_to_subtree,
+    owning_shard,
+    shard_root,
+    subtree_machine,
+    subtree_to_global,
+)
+from repro.types import NodeId, ilog2, is_power_of_two
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A ``num_shards``-way aligned-subtree split of a ``num_pes`` machine."""
+
+    num_pes: int
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_pes) or self.num_pes < 1:
+            raise InvalidMachineError(
+                f"num_pes must be a positive power of two, got {self.num_pes}"
+            )
+        if not is_power_of_two(self.num_shards) or self.num_shards < 1:
+            raise InvalidMachineError(
+                f"shard count must be a positive power of two, "
+                f"got {self.num_shards}"
+            )
+        if self.num_shards > self.num_pes:
+            raise InvalidMachineError(
+                f"cannot split {self.num_pes} PE(s) into "
+                f"{self.num_shards} shard(s)"
+            )
+
+    @property
+    def shard_level(self) -> int:
+        """Hierarchy level of the shard roots (``log2 num_shards``)."""
+        return ilog2(self.num_shards)
+
+    @property
+    def width(self) -> int:
+        """PEs per shard (``num_pes / num_shards``)."""
+        return self.num_pes // self.num_shards
+
+    def root(self, shard: int) -> NodeId:
+        """Host node at which shard ``shard``'s subtree is rooted."""
+        return shard_root(self.num_shards, shard)
+
+    def owner(self, node: NodeId) -> Optional[int]:
+        """Shard owning host node ``node``; ``None`` when it spans shards."""
+        return owning_shard(node, self.num_shards)
+
+    def to_local(self, node: NodeId, shard: int) -> NodeId:
+        """Host node -> shard-local node (must be owned by ``shard``)."""
+        local = global_to_subtree(node, self.root(shard))
+        if local is None:
+            raise InvalidMachineError(
+                f"node {int(node)} is not inside shard {shard} "
+                f"(root {int(self.root(shard))})"
+            )
+        return local
+
+    def to_global(self, local: NodeId, shard: int) -> NodeId:
+        """Shard-local node -> host node."""
+        return subtree_to_global(local, self.root(shard))
+
+    def shard_machine(
+        self, machine: PartitionableMachine
+    ) -> PartitionableMachine:
+        """The standalone machine one worker's kernel runs over."""
+        if machine.num_pes != self.num_pes:
+            raise InvalidMachineError(
+                f"plan is for {self.num_pes} PE(s), machine has "
+                f"{machine.num_pes}"
+            )
+        return subtree_machine(machine, self.width)

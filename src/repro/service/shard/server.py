@@ -1,0 +1,260 @@
+"""Asyncio socket front-end for the allocation service.
+
+``repro serve --listen HOST:PORT`` binds this server in front of either
+a single-process :class:`~repro.service.session.AllocationSession` or a
+sharded :class:`~repro.service.shard.coordinator.ShardedCoordinator` —
+the wire protocol is the same JSONL codec the stdin server speaks
+(:mod:`repro.service.stream`), one event record in per line, one
+decision (or typed admission outcome) line back, with the same
+``{"error": ..., "op": ..., "line": N}`` structured-error convention and
+the same overload stall.  Many clients may connect; every event still
+flows through the one backend under an :class:`asyncio.Lock`, so the
+global event order (and therefore every decision, ``L_A``, ``L*``) is a
+single serializable history — clients interleave at line granularity.
+
+A second, optional listener (``--metrics-port``) answers any HTTP GET
+with the Prometheus text exposition from :mod:`repro.service.metrics`:
+live ``L_A`` / ``L*`` / ratio / event-rate / journal-lag gauges, per
+shard and aggregate, scrapable while the event stream is live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time as _time
+from typing import Any, Optional, Union
+
+from repro.errors import ReproError
+from repro.service.metrics import render_exposition, service_samples
+from repro.service.session import AllocationSession
+from repro.service.shard.coordinator import ShardedCoordinator
+from repro.service.stream import admission_lines, decision_line, parse_event_record
+
+__all__ = ["ServiceServer"]
+
+Backend = Union[AllocationSession, ShardedCoordinator]
+
+
+class ServiceServer:
+    """One backend, one event-stream listener, one optional scrape port."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: Optional[int] = None,
+    ) -> None:
+        self.backend = backend
+        self._host = host
+        self._port = port
+        self._metrics_port = metrics_port
+        self._rate_mark: tuple[float, int] = (_time.monotonic(), 0)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self.connections = 0
+
+    # -- Backend dispatch (session vs coordinator) ---------------------------
+
+    @property
+    def _sharded(self) -> bool:
+        return isinstance(self.backend, ShardedCoordinator)
+
+    @property
+    def _slo(self):
+        return self.backend.slo_policy
+
+    def _apply(self, record: dict[str, Any]) -> list[str]:
+        """Absorb one event record, return its reply lines."""
+        if self._sharded:
+            result = self.backend.apply(record)
+        elif self._slo is not None:
+            result = self.backend.offer(record)
+        else:
+            result = self.backend.push(record)
+        if self._slo is not None:
+            return admission_lines(result)
+        return [decision_line(result)]
+
+    def _status(self) -> dict[str, Any]:
+        return self.backend.status()
+
+    def _metrics_page(self) -> str:
+        if self._sharded:
+            full = self.backend.metrics()
+            return render_exposition(
+                service_samples(full["aggregate"], full["shards"])
+            )
+        # Single-session backend: same scrape-delta event rate the
+        # coordinator computes for itself.
+        now = _time.monotonic()
+        offers = self.backend.num_offers
+        mark_time, mark_offers = self._rate_mark
+        self._rate_mark = (now, offers)
+        elapsed = now - mark_time
+        status = self.backend.status()
+        status["events_per_second"] = (
+            (offers - mark_offers) / elapsed if elapsed > 0 else 0.0
+        )
+        return render_exposition(service_samples(status))
+
+    @property
+    def _overloaded(self) -> bool:
+        return bool(self.backend.overloaded)
+
+    def _journal_pending(self) -> int:
+        if self._sharded:
+            return int(self.backend.status()["aggregate"]["journal_pending"])
+        return int(self.backend.journal_pending)
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind both listeners; returns the event listener's (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        if self._metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self._host, self._metrics_port
+            )
+        return str(addr[0]), int(addr[1])
+
+    @property
+    def metrics_address(self) -> Optional[tuple[str, int]]:
+        if self._metrics_server is None:
+            return None
+        addr = self._metrics_server.sockets[0].getsockname()
+        return str(addr[0]), int(addr[1])
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = self._metrics_server = None
+
+    # -- Event-stream protocol -----------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            lineno = 0
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                lineno += 1
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text or text.startswith("#"):
+                    continue
+                for out in self._serve_line(text, lineno):
+                    writer.write(out.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown with the connection open
+        finally:
+            self.connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                pass
+
+    def _serve_line(self, text: str, lineno: int) -> list[str]:
+        """Reply lines for one client line.  No lock is needed: every
+        backend touch is synchronous, so the event loop serialises the
+        per-line critical sections across connections by construction."""
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return [json.dumps(
+                {"error": f"invalid JSON: {exc}", "op": None, "line": lineno}
+            )]
+        op = obj.get("op") if isinstance(obj, dict) else None
+        kind = obj.get("kind") if isinstance(obj, dict) else None
+        out: list[str] = []
+        try:
+            if op is not None:
+                # Control reads are commit points (same contract as the
+                # stdin server): flush first, then report.
+                self.backend.flush()
+                if op == "status":
+                    result: Any = self._status()
+                elif op == "snapshot":
+                    result = self.backend.snapshot()
+                elif op == "metrics":
+                    result = {"metrics": self._metrics_page()}
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+                out.append(json.dumps(result))
+            else:
+                out.extend(self._apply(parse_event_record(obj)))
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            # Structured refusal: name the op so an unroutable event in
+            # sharded mode ({"kind": "failure", ...}) is attributable.
+            return [json.dumps(
+                {"error": str(exc), "op": op if op is not None else kind,
+                 "line": lineno}
+            )]
+        if self._overloaded:
+            slo = self._slo
+            out.append(json.dumps(
+                {
+                    "overloaded": True,
+                    "journal_pending": self._journal_pending(),
+                    "retry_after": slo.retry_after if slo else 1.0,
+                }
+            ))
+            # The stall: make everything durable before reading on.
+            self.backend.flush()
+        return out
+
+    # -- Metrics scrape protocol ---------------------------------------------
+
+    async def _handle_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder: any GET gets the exposition page."""
+        try:
+            request = await reader.readline()
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if not request.startswith(b"GET"):
+                writer.write(b"HTTP/1.0 405 Method Not Allowed\r\n\r\n")
+            else:
+                body = self._metrics_page().encode("utf-8")
+                writer.write(
+                    b"HTTP/1.0 200 OK\r\n"
+                    b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                )
+                writer.write(body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                pass

@@ -314,6 +314,45 @@ class CheckpointJournal:
         """Cell index -> result for every journaled cell."""
         return dict(self._completed)
 
+    def drop_tail(self, first_index: int) -> None:
+        """Physically discard every record with index >= ``first_index``.
+
+        Distributed crash recovery: when several journals share one
+        logical history (the sharded service), the coordinator reconciles
+        a common durable prefix and truncates each journal to it — a later
+        resume must never replay records past the cutoff.  The file is
+        rewritten atomically (temp file + rename, fsync'd) keeping the
+        header and every record below the cutoff; a no-op when nothing
+        lies at or past it.
+        """
+        if self._fh is None:
+            raise CheckpointError(f"checkpoint {self.path} is closed")
+        if all(index < first_index for index in self._completed):
+            return
+        self.commit()
+        self._fh.close()
+        self._fh = None
+        kept: list[str] = []
+        with open(self.path, encoding="utf-8") as fh:
+            kept.append(fh.readline())  # header, validated at open
+            for line in fh:
+                if int(json.loads(line)["cell"]) < first_index:
+                    kept.append(line)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.writelines(kept)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._completed = {
+            index: value
+            for index, value in self._completed.items()
+            if index < first_index
+        }
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._pending = 0
+        self._pending_bytes = 0
+
     def close(self) -> None:
         """Commit anything pending, then close the file handle."""
         if self._fh is not None:

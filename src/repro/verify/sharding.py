@@ -1,0 +1,304 @@
+"""The sharding referee: a sharded cluster must be invisible.
+
+The tentpole claim of the sharded service is *bit-identity*: routing one
+event stream through a coordinator and ``K`` subtree workers must
+produce exactly the decisions, running ``L_A``/``L*``/ratio, kernel
+state, and task placements of one single-process session.  This referee
+enforces the claim the same way the rest of :mod:`repro.verify` works —
+drive both configurations with the same input and diff everything:
+
+* **per-event**: every :class:`~repro.kernel.Decision` (as its wire
+  dict) must match the monolithic oracle's, event by event;
+* **final state**: ``status()`` (the aggregate view), the kernel
+  ``snapshot()``, and the *merged placement map* — every shard's local
+  placements lifted back to host-tree nodes, plus the coordinator-owned
+  cross-shard tasks — must equal the oracle's;
+* **determinism across shard counts**: the oracle never changes, so
+  checking K ∈ {2, 4, ...} against it also checks the Ks against each
+  other.
+
+Both the committed regression corpus (:func:`replay_corpus_sharded`) and
+fresh fuzzed sequences (:func:`fuzz_sharding`) feed it; ``repro verify
+--shards K`` wires both into CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.registry import ALGORITHM_SPECS, make_algorithm
+from repro.errors import SimulationError
+from repro.machines.tree import TreeMachine
+from repro.service.session import AllocationSession
+from repro.service.shard.coordinator import COORDINATOR_OWNED, ShardedCoordinator
+from repro.service.stream import sequence_records
+from repro.verify.corpus import load_corpus
+from repro.workloads.generators import churn_sequence
+
+__all__ = [
+    "ShardingOutcome",
+    "check_sharded_parity",
+    "fuzz_sharding",
+    "replay_corpus_sharded",
+    "shardable_algorithms",
+]
+
+
+@dataclass
+class ShardingOutcome:
+    """Verdict of one parity check (one stream, one shard count)."""
+
+    algorithm: str
+    num_pes: int
+    num_shards: int
+    events: int
+    divergences: list[str] = field(default_factory=list)
+    #: Events wider than one shard that exercised the coordinator-owned
+    #: path — a check that never routes one proves less.
+    cross_shard_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def shardable_algorithms() -> list[str]:
+    """Registry names the coordinator accepts (never-reallocating)."""
+    return [
+        name
+        for name, spec in ALGORITHM_SPECS.items()
+        if not spec.reallocates
+    ]
+
+
+def check_sharded_parity(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    algorithm: str,
+    num_pes: int,
+    num_shards: int,
+    d: float = 2.0,
+    seed: int = 0,
+    batch: int = 0,
+    max_divergences: int = 10,
+) -> ShardingOutcome:
+    """Diff one event stream: monolithic oracle vs a local shard cluster.
+
+    ``batch > 1`` drives the cluster through :meth:`apply_batch` (the
+    columnar throughput path) while the oracle stays per-event — so the
+    check also pins the batch path to the per-event semantics.
+    """
+    oracle_machine = TreeMachine(num_pes)
+    oracle = AllocationSession(
+        oracle_machine,
+        make_algorithm(algorithm, oracle_machine, d=d, seed=seed),
+    )
+    cluster_machine = TreeMachine(num_pes)
+    cluster = ShardedCoordinator.create_local(
+        cluster_machine,
+        make_algorithm(algorithm, cluster_machine, d=d, seed=seed),
+        num_shards=num_shards,
+    )
+    outcome = ShardingOutcome(
+        algorithm=algorithm,
+        num_pes=num_pes,
+        num_shards=num_shards,
+        events=len(records),
+    )
+    width = num_pes // num_shards
+
+    def diverge(message: str) -> None:
+        if len(outcome.divergences) < max_divergences:
+            outcome.divergences.append(message)
+
+    try:
+        if batch > 1:
+            for start in range(0, len(records), batch):
+                chunk = [dict(r) for r in records[start : start + batch]]
+                expected = oracle.push_batch(
+                    [dict(r) for r in chunk]
+                ).decisions
+                got = cluster.apply_batch(chunk).decisions
+                for offset, (e, g) in enumerate(zip(expected, got)):
+                    if e.to_dict() != g.to_dict():
+                        diverge(
+                            f"event {start + offset}: oracle {e.to_dict()} "
+                            f"!= sharded {g.to_dict()}"
+                        )
+        else:
+            for i, record in enumerate(records):
+                expected = oracle.push(dict(record))
+                got = cluster.apply(dict(record))
+                if expected.to_dict() != got.to_dict():
+                    diverge(
+                        f"event {i}: oracle {expected.to_dict()} != "
+                        f"sharded {got.to_dict()}"
+                    )
+        outcome.cross_shard_events = sum(
+            1
+            for r in records
+            if r.get("kind") == "arrival" and int(r["size"]) > width
+        )
+        oracle_status = oracle.status()
+        aggregate = cluster.status()["aggregate"]
+        for key, value in oracle_status.items():
+            if aggregate.get(key) != value:
+                diverge(
+                    f"status[{key!r}]: oracle {value!r} != sharded "
+                    f"{aggregate.get(key)!r}"
+                )
+        if oracle.snapshot() != cluster.snapshot():
+            diverge("kernel snapshots differ")
+        merged: dict[int, int] = {}
+        for handle in cluster.shards:
+            for tid, local in handle.placements().items():
+                merged[tid] = int(cluster.plan.to_global(local, handle.index))
+        cross = {
+            tid
+            for tid, owner in cluster._owner.items()
+            if owner == COORDINATOR_OWNED
+        }
+        oracle_placements = {
+            int(tid): int(node) for tid, node in oracle.placements.items()
+        }
+        expected_merged = {
+            tid: node
+            for tid, node in oracle_placements.items()
+            if tid not in cross
+        }
+        if merged != expected_merged:
+            diverge(
+                f"merged shard placements differ: {len(merged)} sharded vs "
+                f"{len(expected_merged)} expected"
+            )
+        if not (cross <= set(oracle_placements)):
+            diverge("coordinator owns task(s) the oracle never placed")
+    finally:
+        oracle.close()
+        cluster.close()
+    return outcome
+
+
+def replay_corpus_sharded(
+    directory: Union[str, Any],
+    *,
+    num_shards: int,
+    batch: int = 0,
+    strict: bool = False,
+) -> list[tuple[Any, Optional[ShardingOutcome]]]:
+    """Parity-check every shardable corpus entry; reallocating entries
+    (which the coordinator refuses by contract) and fault/churn entries
+    (not routable in sharded mode) map to ``None``."""
+    shardable = set(shardable_algorithms())
+    results: list[tuple[Any, Optional[ShardingOutcome]]] = []
+    for entry in load_corpus(directory, strict=strict):
+        if (
+            entry.algorithm not in shardable
+            or entry.fault_events
+            or entry.resize_events
+            or num_shards > entry.num_pes
+        ):
+            results.append((entry, None))
+            continue
+        records = list(sequence_records(entry.sequence()))
+        outcome = check_sharded_parity(
+            records,
+            algorithm=entry.algorithm,
+            num_pes=entry.num_pes,
+            num_shards=num_shards,
+            d=entry.d,
+            seed=entry.seed,
+            batch=batch,
+        )
+        results.append((entry, outcome))
+    return results
+
+
+def _wide_stream(
+    num_pes: int, tasks: int, rng: np.random.Generator
+) -> list[dict[str, Any]]:
+    """A record stream biased toward shard-straddling sizes.
+
+    ``churn_sequence`` keeps tasks small relative to N, so it never
+    exercises the coordinator-owned cross-shard path; this generator
+    draws sizes up to N itself (half the draws from the top two levels)
+    so every fuzz run routes through both halves of the coordinator.
+    """
+    max_log = num_pes.bit_length() - 1
+    records: list[dict[str, Any]] = []
+    active: list[int] = []
+    t, next_id = 0.0, 0
+    for _ in range(tasks):
+        t += float(rng.random()) + 1e-3
+        if active and rng.random() < 0.45:
+            victim = active.pop(int(rng.integers(len(active))))
+            records.append({"kind": "departure", "time": t, "id": victim})
+        else:
+            if rng.random() < 0.5:
+                log = int(rng.integers(max(0, max_log - 1), max_log + 1))
+            else:
+                log = int(rng.integers(0, max_log + 1))
+            records.append(
+                {
+                    "kind": "arrival",
+                    "time": t,
+                    "id": next_id,
+                    "size": 1 << log,
+                    "work": float(rng.random()) * 3 + 0.5,
+                }
+            )
+            active.append(next_id)
+            next_id += 1
+    return records
+
+
+def fuzz_sharding(
+    *,
+    num_pes: int = 256,
+    num_shards: int = 4,
+    sequences: int = 50,
+    tasks: int = 120,
+    seed: int = 0,
+    algorithms: Optional[Sequence[str]] = None,
+    batch_every: int = 3,
+) -> list[ShardingOutcome]:
+    """Random-churn parity sweep: ``sequences`` fresh streams per
+    algorithm, every third one through the batch path.
+
+    Raises :class:`~repro.errors.SimulationError` listing the first
+    divergences if any stream breaks parity, so CI fails loudly.
+    """
+    names = list(algorithms) if algorithms else shardable_algorithms()
+    outcomes: list[ShardingOutcome] = []
+    failures: list[str] = []
+    for name in names:
+        for index in range(sequences):
+            rng = np.random.default_rng(seed + index)
+            if index % 2:
+                records = _wide_stream(num_pes, tasks, rng)
+            else:
+                records = list(
+                    sequence_records(churn_sequence(num_pes, tasks, rng))
+                )
+            outcome = check_sharded_parity(
+                records,
+                algorithm=name,
+                num_pes=num_pes,
+                num_shards=num_shards,
+                seed=seed + index,
+                batch=64 if batch_every and index % batch_every == 0 else 0,
+            )
+            outcomes.append(outcome)
+            if not outcome.ok:
+                failures.append(
+                    f"{name} seq {index}: " + "; ".join(outcome.divergences)
+                )
+    if failures:
+        raise SimulationError(
+            f"sharding parity broken in {len(failures)} stream(s): "
+            + " | ".join(failures[:5])
+        )
+    return outcomes

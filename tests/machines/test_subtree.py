@@ -1,0 +1,121 @@
+"""Aligned-subtree renumbering and the shard plan built on it."""
+
+import pytest
+
+from repro.errors import InvalidMachineError
+from repro.machines.subtree import (
+    global_to_subtree,
+    owning_shard,
+    shard_root,
+    subtree_machine,
+    subtree_to_global,
+)
+from repro.machines.tree import TreeMachine
+from repro.service.shard import ShardPlan
+
+
+class TestRenumbering:
+    def test_trivial_subtree_is_identity(self):
+        for node in range(1, 32):
+            assert subtree_to_global(node, 1) == node
+            assert global_to_subtree(node, 1) == node
+
+    def test_bijection_over_whole_subtree(self):
+        # Subtree rooted at host node 5 of a 16-PE machine: 8 host nodes
+        # (5; 10,11; 20..23) must map onto local heap ids 1..7 and back.
+        root = 5
+        seen = set()
+        for local in range(1, 8):
+            g = int(subtree_to_global(local, root))
+            assert global_to_subtree(g, root) == local
+            seen.add(g)
+        assert seen == {5, 10, 11, 20, 21, 22, 23}
+
+    def test_outside_nodes_map_to_none(self):
+        assert global_to_subtree(4, 5) is None  # sibling subtree
+        assert global_to_subtree(2, 5) is None  # strict ancestor
+        assert global_to_subtree(1, 5) is None
+
+    def test_commutes_with_children(self):
+        # child-of-map == map-of-child: 2v and 2v+1 stay children.
+        root = 6
+        for local in range(1, 4):
+            g = int(subtree_to_global(local, root))
+            assert int(subtree_to_global(2 * local, root)) == 2 * g
+            assert int(subtree_to_global(2 * local + 1, root)) == 2 * g + 1
+
+    def test_invalid_node_raises(self):
+        with pytest.raises(InvalidMachineError):
+            subtree_to_global(0, 1)
+
+
+class TestShardHelpers:
+    def test_shard_roots_partition_level(self):
+        assert [int(shard_root(4, i)) for i in range(4)] == [4, 5, 6, 7]
+
+    def test_owning_shard(self):
+        # 16 PEs, 4 shards: nodes 1..3 are cross-shard (None).
+        assert owning_shard(1, 4) is None
+        assert owning_shard(2, 4) is None
+        assert owning_shard(3, 4) is None
+        assert owning_shard(4, 4) == 0
+        assert owning_shard(11, 4) == 1  # 11 -> parent 5
+        assert owning_shard(31, 4) == 3  # deepest leaf under root 7
+
+    def test_single_shard_owns_everything(self):
+        for node in range(1, 16):
+            assert owning_shard(node, 1) == 0
+
+
+class TestSubtreeMachine:
+    def test_width_and_topology(self):
+        host = TreeMachine(64)
+        small = subtree_machine(host, 16)
+        assert small.num_pes == 16
+        assert type(small) is type(host)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(InvalidMachineError):
+            subtree_machine(TreeMachine(16), 3)
+        with pytest.raises(InvalidMachineError):
+            subtree_machine(TreeMachine(16), 32)
+
+
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(InvalidMachineError):
+            ShardPlan(100, 4)  # non power of two machine
+        with pytest.raises(InvalidMachineError):
+            ShardPlan(16, 3)
+        with pytest.raises(InvalidMachineError):
+            ShardPlan(4, 8)  # more shards than PEs
+
+    def test_roots_and_width(self):
+        plan = ShardPlan(256, 4)
+        assert plan.width == 64
+        assert [int(plan.root(i)) for i in range(4)] == [4, 5, 6, 7]
+
+    def test_owner_to_local_to_global_roundtrip(self):
+        plan = ShardPlan(64, 4)
+        hierarchy = TreeMachine(64).hierarchy
+        owned = 0
+        for node in range(1, hierarchy.num_nodes + 1):
+            shard = plan.owner(node)
+            if shard is None:
+                assert int(node) < 4  # only the top K-1 nodes
+                continue
+            owned += 1
+            local = plan.to_local(node, shard)
+            assert int(plan.to_global(local, shard)) == int(node)
+        assert owned == 127 - 3
+
+    def test_to_local_rejects_foreign_node(self):
+        plan = ShardPlan(64, 4)
+        with pytest.raises(InvalidMachineError):
+            plan.to_local(4, 1)  # node 4 belongs to shard 0
+
+    def test_shard_machine_matches_width(self):
+        plan = ShardPlan(64, 4)
+        assert plan.shard_machine(TreeMachine(64)).num_pes == 16
+        with pytest.raises(InvalidMachineError):
+            plan.shard_machine(TreeMachine(32))

@@ -1,0 +1,113 @@
+"""Prometheus text exposition: rendering, parsing, and the round trip."""
+
+import math
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.errors import TraceFormatError
+from repro.machines.tree import TreeMachine
+from repro.service import (
+    AllocationSession,
+    Sample,
+    parse_exposition,
+    render_exposition,
+    service_samples,
+)
+
+
+def _samples_roundtrip(samples):
+    return parse_exposition(render_exposition(samples))
+
+
+class TestRoundTrip:
+    def test_plain_gauges(self):
+        samples = [
+            Sample("repro_now", 12.5),
+            Sample("repro_events_total", 240),
+            Sample("repro_competitive_ratio", 1.3333333333333333),
+        ]
+        assert _samples_roundtrip(samples) == samples
+
+    def test_labeled_series_stay_contiguous(self):
+        samples = [
+            Sample("repro_shard_events_total", 10, (("shard", "0"),)),
+            Sample("repro_now", 1.0),
+            Sample("repro_shard_events_total", 20, (("shard", "1"),)),
+        ]
+        text = render_exposition(samples)
+        # The format requires one block per metric; order inside the
+        # block is first-appearance.
+        assert text.index('shard="0"') < text.index('shard="1"')
+        assert set(_samples_roundtrip(samples)) == set(samples)
+
+    def test_nan_and_inf_spelling(self):
+        text = render_exposition(
+            [Sample("repro_competitive_ratio", float("nan")),
+             Sample("repro_optimal_load", float("inf"))]
+        )
+        assert "repro_competitive_ratio NaN" in text
+        assert "repro_optimal_load +Inf" in text
+        back = parse_exposition(text)
+        assert math.isnan(back[0].value)
+        assert math.isinf(back[1].value)
+
+    def test_label_escaping(self):
+        tricky = 'a"b\\c\nd'
+        samples = [Sample("repro_shard_max_load", 1, (("shard", tricky),))]
+        assert _samples_roundtrip(samples) == samples
+
+    def test_help_and_type_headers(self):
+        text = render_exposition([Sample("repro_events_total", 3)])
+        assert "# HELP repro_events_total" in text
+        assert "# TYPE repro_events_total counter" in text
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_exposition("repro_now\n")
+        with pytest.raises(TraceFormatError):
+            parse_exposition("repro_now not-a-number\n")
+
+
+class TestServiceSamples:
+    def test_session_status_maps_to_series(self):
+        machine = TreeMachine(16)
+        session = AllocationSession(machine, make_algorithm("greedy", machine, d=2.0))
+        session.push({"kind": "arrival", "time": 0.0, "id": 0, "size": 2})
+        by_name = {s.name: s.value for s in service_samples(session.status())}
+        assert by_name["repro_events_total"] == 1
+        assert by_name["repro_active_tasks"] == 1
+        assert by_name["repro_max_load"] >= 1.0
+        # Single-process sessions have no sharded series.
+        assert "repro_gsn" not in by_name
+        assert "repro_shards" not in by_name
+        session.close()
+
+    def test_shard_dicts_become_labeled_series(self):
+        shards = [
+            {"shard": 0, "events": 5, "active_tasks": 2, "max_load": 1.5,
+             "journal_pending": 0},
+            {"shard": 1, "events": 7, "active_tasks": 3, "max_load": 2.0,
+             "journal_pending": 4},
+        ]
+        samples = service_samples({"events": 12}, shards)
+        labeled = [s for s in samples if s.labels]
+        assert (
+            Sample("repro_shard_events_total", 7.0, (("shard", "1"),))
+            in labeled
+        )
+        assert (
+            Sample("repro_shard_journal_pending", 4.0, (("shard", "1"),))
+            in labeled
+        )
+
+    def test_missing_keys_are_omitted_not_zeroed(self):
+        samples = service_samples({"events": 1})
+        names = {s.name for s in samples}
+        assert names == {"repro_events_total"}
+
+    def test_overloaded_bool_renders_as_01(self):
+        on = service_samples({"slo": {"overloaded": True}})
+        off = service_samples({"slo": {"overloaded": False}})
+        assert (on[0].name, on[0].value) == ("repro_overloaded", 1.0)
+        assert (off[0].name, off[0].value) == ("repro_overloaded", 0.0)

@@ -1,0 +1,237 @@
+"""Sharded coordinator vs. one session: bit-identity and the contract.
+
+The referee (:mod:`repro.verify.sharding`) fuzzes this at scale; these
+tests pin the individual contract points — per-event parity, the batch
+path, cross-shard routing, SLO admission, the reallocation gate, and the
+unroutable-kind refusals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.errors import ShardError, SimulationError
+from repro.machines.tree import TreeMachine
+from repro.service import AllocationSession, SLOPolicy, sequence_records
+from repro.service.shard import ShardedCoordinator
+from repro.service.shard.coordinator import COORDINATOR_OWNED
+from repro.workloads.generators import churn_sequence
+
+N = 64
+
+
+def _records(tasks=120, seed=3, wide_every=7):
+    """Churn plus periodic shard-straddling arrivals (size N/2 and N)."""
+    records = list(
+        sequence_records(churn_sequence(N, tasks, np.random.default_rng(seed)))
+    )
+    out = []
+    next_wide = 10**6
+    t = 0.0
+    for i, record in enumerate(records):
+        t = max(t, float(record["time"]))
+        out.append(record)
+        if i % wide_every == wide_every - 1:
+            out.append(
+                {"kind": "arrival", "time": t, "id": next_wide,
+                 "size": N // 2 if i % 2 else N, "work": 1.0}
+            )
+            out.append({"kind": "departure", "time": t, "id": next_wide})
+            next_wide += 1
+    return out
+
+
+def _oracle(slo=None):
+    machine = TreeMachine(N)
+    return AllocationSession(
+        machine, make_algorithm("greedy", machine, d=2.0), slo=slo
+    )
+
+
+def _cluster(num_shards=4, slo=None, **kwargs):
+    machine = TreeMachine(N)
+    return ShardedCoordinator.create_local(
+        machine,
+        make_algorithm("greedy", machine, d=2.0),
+        num_shards=num_shards,
+        slo=slo,
+        **kwargs,
+    )
+
+
+class TestParity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_per_event_decisions_match(self, num_shards):
+        oracle, cluster = _oracle(), _cluster(num_shards)
+        cross = 0
+        for record in _records():
+            expected = oracle.push(dict(record))
+            got = cluster.apply(dict(record))
+            assert expected.to_dict() == got.to_dict()
+            if (
+                record["kind"] == "arrival"
+                and record["size"] > N // num_shards
+            ):
+                cross += 1
+        assert cross > 0 or num_shards == 1
+        assert oracle.snapshot() == cluster.snapshot()
+        oracle.close(), cluster.close()
+
+    def test_batch_path_matches_per_event_oracle(self):
+        oracle, cluster = _oracle(), _cluster(4)
+        records = _records()
+        expected = [oracle.push(dict(r)) for r in records]
+        got = []
+        for i in range(0, len(records), 32):
+            got.extend(cluster.apply_batch(records[i : i + 32]).decisions)
+        assert [d.to_dict() for d in expected] == [d.to_dict() for d in got]
+        oracle.close(), cluster.close()
+
+    def test_status_aggregate_matches_oracle(self):
+        oracle, cluster = _oracle(), _cluster(4)
+        for record in _records(tasks=60):
+            oracle.push(dict(record))
+            cluster.apply(dict(record))
+        status = cluster.status()
+        aggregate = status["aggregate"]
+        for key, value in oracle.status().items():
+            assert aggregate[key] == value, key
+        assert aggregate["shards"] == 4
+        assert len(status["shards"]) == 4
+        assert aggregate["gsn"] == oracle.num_events
+        oracle.close(), cluster.close()
+
+    def test_cross_shard_tasks_are_coordinator_owned(self):
+        cluster = _cluster(4)
+        cluster.apply({"kind": "arrival", "time": 0.0, "id": 7, "size": N})
+        assert cluster._owner[7] == COORDINATOR_OWNED
+        assert cluster.status()["aggregate"]["cross_shard_tasks"] == 1
+        # No shard holds it; departures still route correctly.
+        assert all(7 not in h.placements() for h in cluster.shards)
+        cluster.apply({"kind": "departure", "time": 1.0, "id": 7})
+        assert cluster.status()["aggregate"]["cross_shard_tasks"] == 0
+        cluster.close()
+
+    def test_merged_shard_placements_lift_to_oracle(self):
+        oracle, cluster = _oracle(), _cluster(4)
+        for record in _records(tasks=80):
+            oracle.push(dict(record))
+            cluster.apply(dict(record))
+        merged = {}
+        for handle in cluster.shards:
+            for tid, local in handle.placements().items():
+                merged[tid] = int(cluster.plan.to_global(local, handle.index))
+        cross = {
+            tid for tid, owner in cluster._owner.items()
+            if owner == COORDINATOR_OWNED
+        }
+        expected = {
+            int(tid): int(node)
+            for tid, node in oracle.placements.items()
+            if int(tid) not in cross
+        }
+        assert merged == expected
+        oracle.close(), cluster.close()
+
+
+class TestSLO:
+    def test_admission_outcomes_match_oracle(self):
+        policy = SLOPolicy(slowdown_target=1.5, queue_capacity=8)
+        oracle, cluster = _oracle(slo=policy), _cluster(4, slo=policy)
+        kinds = []
+        for record in _records(tasks=100, seed=11):
+            expected = oracle.offer(dict(record))
+            got = cluster.apply(dict(record))
+            assert type(expected) is type(got)
+            assert expected.record == got.record
+            kinds.append(type(got).__name__)
+        # The tight policy must actually exercise queueing/rejection.
+        assert {"Admit", "Queue"} <= set(kinds) or "Reject" in kinds
+        assert oracle.status() == {
+            k: v for k, v in cluster.status()["aggregate"].items()
+            if k in oracle.status()
+        }
+        oracle.close(), cluster.close()
+
+
+class TestContract:
+    def test_reallocating_algorithm_refused(self):
+        machine = TreeMachine(N)
+        with pytest.raises(SimulationError, match="reallocat"):
+            ShardedCoordinator.create_local(
+                machine,
+                make_algorithm("optimal", machine, d=2.0),
+                num_shards=4,
+            )
+
+    def test_unroutable_kinds_refused(self):
+        cluster = _cluster(2)
+        for kind in ("failure", "repair", "resize"):
+            with pytest.raises(SimulationError, match="not routable"):
+                cluster.apply({"kind": kind, "time": 0.0, "node": 1, "op": "grow"})
+        cluster.close()
+
+    def test_close_is_idempotent(self):
+        cluster = _cluster(2)
+        cluster.apply({"kind": "arrival", "time": 0.0, "id": 0, "size": 1})
+        cluster.close()
+        cluster.close()
+
+    def test_metrics_include_rate_and_shards(self):
+        cluster = _cluster(2)
+        cluster.apply({"kind": "arrival", "time": 0.0, "id": 0, "size": 1})
+        full = cluster.metrics()
+        assert "events_per_second" in full["aggregate"]
+        assert len(full["shards"]) == 2
+        cluster.close()
+
+
+class TestProcessCluster:
+    def test_process_workers_match_local(self, tmp_path):
+        from repro.service.shard.worker import create_process_cluster
+
+        machine = TreeMachine(N)
+        cluster = create_process_cluster(
+            machine,
+            make_algorithm("greedy", machine, d=2.0),
+            num_shards=2,
+            journal_dir=tmp_path / "cluster",
+            fsync_policy="batch",
+        )
+        oracle = _oracle()
+        try:
+            records = _records(tasks=60)
+            for i in range(0, len(records), 16):
+                chunk = records[i : i + 16]
+                expected = [oracle.push(dict(r)) for r in chunk]
+                got = cluster.apply_batch(chunk).decisions
+                assert [d.to_dict() for d in expected] == [
+                    d.to_dict() for d in got
+                ]
+            cluster.flush()
+            assert oracle.snapshot() == cluster.snapshot()
+        finally:
+            oracle.close()
+            cluster.close()
+
+    def test_dead_worker_raises_shard_error(self, tmp_path):
+        from repro.service.shard.worker import create_process_cluster
+
+        machine = TreeMachine(N)
+        cluster = create_process_cluster(
+            machine,
+            make_algorithm("greedy", machine, d=2.0),
+            num_shards=2,
+            journal_dir=tmp_path / "cluster",
+        )
+        try:
+            cluster.shards[0].process.kill()
+            cluster.shards[0].process.join()
+            with pytest.raises(ShardError, match="died|gone"):
+                for i in range(200):
+                    cluster.apply(
+                        {"kind": "arrival", "time": float(i), "id": i, "size": 1}
+                    )
+                    cluster.flush()
+        finally:
+            cluster.close()

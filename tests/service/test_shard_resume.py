@@ -1,0 +1,211 @@
+"""Sharded crash-resume: SIGKILL a worker or the coordinator, reconcile.
+
+The sharded service journals one logical history across ``K + 1`` files
+(coordinator + one per shard), each fsync'd on its own schedule.  A
+crash can therefore leave the files at *different* durable lengths; the
+reconciliation contract (:func:`repro.service.shard.reconcile_journals`)
+is that reopening the cluster finds the longest hole-free global-gsn
+prefix, truncates every journal to it, and resumes **bit-identically**
+to a single session that absorbed exactly that prefix — under all three
+fsync policies.  Same driver pattern as ``test_churn_resume.py``: the
+child process dies by SIGKILL (no close, no flush), the parent reopens.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.service import AllocationSession, sequence_records
+from repro.service.shard.worker import create_process_cluster
+from repro.workloads.generators import churn_sequence
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+N = 64
+SHARDS = 2
+
+_KILL_WORKER_CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.core.registry import make_algorithm
+    from repro.errors import ShardError
+    from repro.machines.tree import TreeMachine
+    from repro.service.shard.worker import create_process_cluster
+
+    records_path, journal_dir, policy, cut = sys.argv[1:5]
+    records = json.loads(open(records_path).read())
+    machine = TreeMachine(64)
+    cluster = create_process_cluster(
+        machine, make_algorithm("greedy", machine, d=2.0),
+        num_shards=2, journal_dir=journal_dir, fsync_policy=policy,
+        snapshot_interval=16,
+    )
+    for record in records[: int(cut)]:
+        cluster.apply(record)
+    # flush() is the durability barrier: apply() pipelines frames to the
+    # workers without waiting for acks, so only a flushed prefix is
+    # guaranteed on disk (under every fsync policy).
+    cluster.flush()
+    os.kill(cluster.shards[0].process.pid, signal.SIGKILL)
+    # Keep routing until the dead worker surfaces; surviving shards and
+    # the coordinator journal keep absorbing events in the meantime.
+    try:
+        for record in records[int(cut):]:
+            cluster.apply(record)
+            cluster.flush()
+    except ShardError:
+        os.kill(os.getpid(), signal.SIGKILL)  # die too: no close, no flush
+    raise SystemExit("worker death never surfaced")
+    """
+)
+
+_KILL_COORDINATOR_CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.core.registry import make_algorithm
+    from repro.machines.tree import TreeMachine
+    from repro.service.shard.worker import create_process_cluster
+
+    records_path, journal_dir, policy, cut = sys.argv[1:5]
+    records = json.loads(open(records_path).read())
+    machine = TreeMachine(64)
+    cluster = create_process_cluster(
+        machine, make_algorithm("greedy", machine, d=2.0),
+        num_shards=2, journal_dir=journal_dir, fsync_policy=policy,
+        snapshot_interval=16,
+    )
+    for record in records[: int(cut)]:
+        cluster.apply(record)
+    os.kill(os.getpid(), signal.SIGKILL)  # mid-routing: workers die with us
+    """
+)
+
+
+def _records(tasks=150, seed=5):
+    records = list(
+        sequence_records(churn_sequence(N, tasks, np.random.default_rng(seed)))
+    )
+    # A few shard-straddling arrivals so the coordinator journal carries
+    # events of its own (reconciliation must merge all K+1 files).
+    out = []
+    for i, record in enumerate(records):
+        out.append(record)
+        if i % 19 == 18:
+            t = float(record["time"])
+            out.append({"kind": "arrival", "time": t, "id": 10**6 + i,
+                        "size": N, "work": 1.0})
+            out.append({"kind": "departure", "time": t, "id": 10**6 + i})
+    return out
+
+
+def _oracle_after(records, count):
+    machine = TreeMachine(N)
+    session = AllocationSession(machine, make_algorithm("greedy", machine, d=2.0))
+    for record in records[:count]:
+        session.push(dict(record))
+    return session
+
+
+def _run_child(child_src, records, tmp_path, policy, cut):
+    records_path = tmp_path / "records.json"
+    records_path.write_text(json.dumps(records))
+    journal_dir = tmp_path / f"cluster-{policy.replace(':', '-')}"
+    # stderr goes to a file, not a pipe: worker grandchildren inherit the
+    # child's stdio, and a pipe would only EOF once every orphan exits.
+    stderr_path = tmp_path / f"stderr-{policy.replace(':', '-')}.txt"
+    with stderr_path.open("wb") as stderr:
+        proc = subprocess.run(
+            [sys.executable, "-c", child_src,
+             str(records_path), str(journal_dir), policy, str(cut)],
+            env={**os.environ, "PYTHONPATH": SRC},
+            stdout=subprocess.DEVNULL,
+            stderr=stderr,
+            timeout=120,
+        )
+    assert proc.returncode == -signal.SIGKILL, stderr_path.read_text()
+    return journal_dir
+
+
+def _reopen(journal_dir, policy):
+    machine = TreeMachine(N)
+    return create_process_cluster(
+        machine, make_algorithm("greedy", machine, d=2.0),
+        num_shards=SHARDS, journal_dir=journal_dir, fsync_policy=policy,
+        snapshot_interval=16,
+    )
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "interval:20"])
+def test_sigkill_worker_reconciles_durable_prefix(tmp_path, policy):
+    records = _records()
+    cut = len(records) // 2
+    journal_dir = _run_child(_KILL_WORKER_CHILD, records, tmp_path, policy, cut)
+
+    resumed = _reopen(journal_dir, policy)
+    try:
+        gsn = resumed.status()["aggregate"]["gsn"]
+        # One gsn per wire event: the durable prefix is records[:gsn].
+        assert 0 < gsn <= len(records)
+        # The child flushed before the kill: everything up to the cut is
+        # durable under every fsync policy (flush is the barrier).
+        assert gsn >= cut
+        oracle = _oracle_after(records, gsn)
+        assert resumed.snapshot() == oracle.snapshot()
+        aggregate = resumed.status()["aggregate"]
+        for key, value in oracle.status().items():
+            assert aggregate[key] == value, key
+
+        # The resumed cluster is live: drive both to the end of the
+        # stream and require full parity (the bit-identity contract).
+        for record in records[gsn:]:
+            expected = oracle.push(dict(record))
+            got = resumed.apply(dict(record))
+            assert expected.to_dict() == got.to_dict()
+        resumed.flush()
+        assert resumed.snapshot() == oracle.snapshot()
+        oracle.close()
+    finally:
+        resumed.close()
+
+    # Resume is idempotent: reopening again replays the same history.
+    reopened = _reopen(journal_dir, policy)
+    try:
+        assert reopened.status()["aggregate"]["gsn"] == len(records)
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("policy", ["always", "batch"])
+def test_sigkill_coordinator_reconciles_durable_prefix(tmp_path, policy):
+    records = _records(tasks=100, seed=9)
+    cut = (2 * len(records)) // 3
+    journal_dir = _run_child(
+        _KILL_COORDINATOR_CHILD, records, tmp_path, policy, cut
+    )
+
+    resumed = _reopen(journal_dir, policy)
+    try:
+        gsn = resumed.status()["aggregate"]["gsn"]
+        assert 0 < gsn <= cut
+        oracle = _oracle_after(records, gsn)
+        assert resumed.snapshot() == oracle.snapshot()
+        for record in records[gsn:]:
+            expected = oracle.push(dict(record))
+            got = resumed.apply(dict(record))
+            assert expected.to_dict() == got.to_dict()
+        resumed.flush()
+        assert resumed.snapshot() == oracle.snapshot()
+        assert resumed.status()["aggregate"]["gsn"] == len(records)
+        oracle.close()
+    finally:
+        resumed.close()

@@ -1,0 +1,252 @@
+"""Asyncio socket front-end: protocol, errors, scrape, sharded backend.
+
+Each test spins up a real :class:`~repro.service.shard.server.ServiceServer`
+on an ephemeral port inside ``asyncio.run`` and talks to it over a plain
+socket — the same wire a ``repro serve --listen`` client sees.
+"""
+
+import asyncio
+import json
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.service import AllocationSession, parse_exposition
+from repro.service.shard import ShardedCoordinator
+from repro.service.shard.server import ServiceServer
+
+N = 64
+
+
+def _session_backend():
+    machine = TreeMachine(N)
+    return AllocationSession(machine, make_algorithm("greedy", machine, d=2.0))
+
+
+def _sharded_backend(num_shards=2):
+    machine = TreeMachine(N)
+    return ShardedCoordinator.create_local(
+        machine, make_algorithm("greedy", machine, d=2.0), num_shards=num_shards
+    )
+
+
+async def _roundtrip(server, lines):
+    """Send ``lines`` to a started server, return every reply line."""
+    host, port = await server.start()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for line in lines:
+            writer.write(line.encode() + b"\n")
+        await writer.drain()
+        writer.write_eof()
+        replies = []
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout=10)
+            if not raw:
+                return replies
+            replies.append(json.loads(raw))
+    finally:
+        writer.close()
+        await server.close()
+
+
+def _serve(backend, lines, **kwargs):
+    async def scenario():
+        server = ServiceServer(backend, **kwargs)
+        try:
+            return await _roundtrip(server, lines)
+        finally:
+            backend.close()
+
+    return asyncio.run(scenario())
+
+
+class TestEventStream:
+    def test_decisions_match_oracle(self):
+        records = [
+            {"kind": "arrival", "time": 0.0, "id": 0, "size": 4},
+            {"kind": "arrival", "time": 1.0, "id": 1, "size": N},
+            {"kind": "departure", "time": 2.0, "id": 0},
+        ]
+        oracle = _session_backend()
+        expected = [oracle.push(dict(r)).to_dict() for r in records]
+        oracle.close()
+        replies = _serve(
+            _sharded_backend(), [json.dumps(r) for r in records]
+        )
+        assert replies == expected
+
+    def test_blank_and_comment_lines_skipped(self):
+        replies = _serve(
+            _sharded_backend(),
+            ["", "# comment",
+             json.dumps({"kind": "arrival", "time": 0.0, "id": 0, "size": 1})],
+        )
+        assert len(replies) == 1 and replies[0]["task_id"] == 0
+
+    def test_status_and_snapshot_ops(self):
+        replies = _serve(
+            _sharded_backend(),
+            [json.dumps({"kind": "arrival", "time": 0.0, "id": 0, "size": 1}),
+             json.dumps({"op": "status"})],
+        )
+        assert replies[1]["aggregate"]["events"] == 1
+        assert replies[1]["aggregate"]["shards"] == 2
+
+
+class TestStructuredErrors:
+    def test_unroutable_kind_names_the_op(self):
+        replies = _serve(
+            _sharded_backend(),
+            [json.dumps({"kind": "failure", "time": 0.0, "node": 1})],
+        )
+        assert replies == [
+            {"error": replies[0]["error"], "op": "failure", "line": 1}
+        ]
+        assert "not routable" in replies[0]["error"]
+
+    def test_unknown_op_names_the_op_and_line(self):
+        replies = _serve(
+            _sharded_backend(),
+            ["# leading comment", json.dumps({"op": "explode"})],
+        )
+        assert replies[0]["op"] == "explode"
+        assert replies[0]["line"] == 2
+
+    def test_invalid_json_reports_line(self):
+        replies = _serve(_sharded_backend(), ["{not json"])
+        assert replies[0]["op"] is None
+        assert replies[0]["line"] == 1
+        assert "invalid JSON" in replies[0]["error"]
+
+    def test_single_session_backend_same_protocol(self):
+        replies = _serve(
+            _session_backend(),
+            [json.dumps({"kind": "arrival", "time": 0.0, "id": 0, "size": 2}),
+             json.dumps({"kind": "bogus", "time": 0.0})],
+        )
+        assert replies[0]["task_id"] == 0
+        assert replies[1]["op"] == "bogus" and replies[1]["line"] == 2
+
+
+class TestMetrics:
+    def test_metrics_op_returns_exposition(self):
+        replies = _serve(
+            _sharded_backend(),
+            [json.dumps({"kind": "arrival", "time": 0.0, "id": 0, "size": 1}),
+             json.dumps({"op": "metrics"})],
+        )
+        samples = parse_exposition(replies[1]["metrics"])
+        by_name = {(s.name, s.labels): s.value for s in samples}
+        assert by_name[("repro_events_total", ())] == 1.0
+        assert by_name[("repro_shards", ())] == 2.0
+        assert ("repro_shard_events_total", (("shard", "0"),)) in by_name
+
+    def test_http_scrape(self):
+        async def scenario():
+            backend = _sharded_backend()
+            server = ServiceServer(backend, metrics_port=0)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                json.dumps(
+                    {"kind": "arrival", "time": 0.0, "id": 0, "size": 1}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            await asyncio.wait_for(reader.readline(), timeout=10)
+
+            mhost, mport = server.metrics_address
+            sreader, swriter = await asyncio.open_connection(mhost, mport)
+            swriter.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await swriter.drain()
+            payload = await asyncio.wait_for(sreader.read(), timeout=10)
+            swriter.close()
+            writer.close()
+            await server.close()
+            backend.close()
+            return payload.decode()
+
+        page = asyncio.run(scenario())
+        head, _, body = page.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "text/plain" in head
+        names = {s.name for s in parse_exposition(body)}
+        assert "repro_events_total" in names
+
+    def test_scrape_rejects_non_get(self):
+        async def scenario():
+            backend = _sharded_backend()
+            server = ServiceServer(backend, metrics_port=0)
+            await server.start()
+            mhost, mport = server.metrics_address
+            reader, writer = await asyncio.open_connection(mhost, mport)
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            reply = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            await server.close()
+            backend.close()
+            return reply.decode()
+
+        assert asyncio.run(scenario()).startswith("HTTP/1.0 405")
+
+
+class TestConcurrentClients:
+    def test_interleaved_clients_share_one_history(self):
+        async def scenario():
+            backend = _sharded_backend()
+            server = ServiceServer(backend)
+            host, port = await server.start()
+
+            async def client(base):
+                reader, writer = await asyncio.open_connection(host, port)
+                decisions = []
+                for i in range(20):
+                    writer.write(
+                        json.dumps(
+                            {"kind": "arrival", "time": float(i),
+                             "id": base + i, "size": 1}
+                        ).encode() + b"\n"
+                    )
+                    await writer.drain()
+                    decisions.append(
+                        json.loads(await asyncio.wait_for(
+                            reader.readline(), timeout=10
+                        ))
+                    )
+                writer.close()
+                return decisions
+
+            results = await asyncio.gather(client(0), client(1000))
+            status = backend.status()["aggregate"]
+            await server.close()
+            backend.close()
+            return results, status
+
+        (a, b), status = asyncio.run(scenario())
+        assert status["events"] == 40
+        assert status["gsn"] == 40
+        # Every client got a decision for every one of its own records.
+        assert [d["task_id"] for d in a] == list(range(20))
+        assert [d["task_id"] for d in b] == list(range(1000, 1020))
+
+    def test_connection_counter(self):
+        async def scenario():
+            backend = _sharded_backend()
+            server = ServiceServer(backend)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                json.dumps(
+                    {"kind": "arrival", "time": 0.0, "id": 0, "size": 1}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            await asyncio.wait_for(reader.readline(), timeout=10)
+            during = server.connections
+            writer.close()
+            await server.close()
+            backend.close()
+            return during
+
+        assert asyncio.run(scenario()) == 1
