@@ -1,0 +1,263 @@
+"""Journal fast-path benchmarks: frame codec, formats, and durable ingest.
+
+Not a paper artifact — this suite tracks the binary journal (format v2)
+against the JSONL format it replaced.  Three layers are metered:
+
+* codec microbenches: columnar encode/decode of wire-record batches and
+  the v1 raw-JSON record encoding vs the old pickle+base64 double
+  encoding it replaced,
+* replay: reopening a journaled session (the resume path) per format —
+  v2 decodes batch frames columnar-wise, v1 parses JSONL,
+* journaled ingest: ``push_batch`` end-to-end per fsync policy per
+  format, including the headline v2 + numpy-backend configuration.
+
+Journal benches are fsync/I-O bound; the snapshot gate holds them to a
+looser events/sec-only tolerance (see ``scripts/bench_snapshot.py``).
+The ``*_floor`` tests at the bottom are plain-timing acceptance
+assertions, hardware-independent because both sides run in-process;
+CI's ``journal-smoke`` job runs them at N=256.
+
+``REPRO_BENCH_N`` overrides the machine size (default 4096).
+"""
+
+import base64
+import itertools
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.machines.tree import TreeMachine
+from repro.service import AllocationSession, sequence_records
+from repro.sim.frames import (
+    decode_record_batch,
+    encode_wire_records,
+    iter_journal_payloads,
+)
+from repro.workloads.generators import churn_sequence
+
+N_LARGE = int(os.environ.get("REPRO_BENCH_N", "4096"))
+TASKS = 500  # churn gives one arrival + one departure per task
+
+_journal_ids = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def records():
+    sigma = churn_sequence(N_LARGE, TASKS, np.random.default_rng(17))
+    return list(sequence_records(sigma))
+
+
+@pytest.fixture(scope="module")
+def wire_records(records):
+    """Records normalised to the strict hot-path schema (explicit work),
+    the way the session fills defaults before columnar encoding."""
+    return [
+        dict(rec, work=float(rec.get("work", 1.0)))
+        if rec["kind"] == "arrival"
+        else rec
+        for rec in records
+    ]
+
+
+def _fresh_session(tmp_path, fsync_policy, journal_format, backend="python"):
+    machine = TreeMachine(N_LARGE)
+    return AllocationSession(
+        machine,
+        make_algorithm("greedy", machine, d=2.0),
+        journal_path=tmp_path / f"journal-{next(_journal_ids)}.journal",
+        fsync_policy=fsync_policy,
+        journal_format=journal_format,
+        batch_backend=backend,
+    )
+
+
+def _ingest(session, records, batch=256):
+    for i in range(0, len(records), batch):
+        session.push_batch(records[i : i + batch])
+    session.close()
+
+
+def _note_rate(benchmark, num_events):
+    if benchmark.stats is None:  # --benchmark-disable: nothing to annotate
+        return
+    mean = benchmark.stats.stats.mean
+    if mean > 0:
+        benchmark.extra_info["events_per_sec"] = round(num_events / mean)
+
+
+# ---------------------------------------------------------------------------
+# Codec microbenches: pure CPU, no I/O.
+# ---------------------------------------------------------------------------
+
+
+def test_perf_journal_encode_columnar(benchmark, wire_records):
+    """Columnar-encode the whole stream in 256-record slices."""
+
+    def encode():
+        for i in range(0, len(wire_records), 256):
+            assert encode_wire_records(wire_records[i : i + 256]) is not None
+
+    benchmark(encode)
+    _note_rate(benchmark, len(wire_records))
+
+
+def test_perf_journal_decode_columnar(benchmark, wire_records):
+    blobs = [
+        encode_wire_records(wire_records[i : i + 256])
+        for i in range(0, len(wire_records), 256)
+    ]
+    assert all(blobs)
+
+    def decode():
+        for blob in blobs:
+            decode_record_batch(blob)
+
+    benchmark(decode)
+    _note_rate(benchmark, len(wire_records))
+
+
+@pytest.mark.parametrize("codec", ["rawjson", "pickle64"])
+def test_perf_journal_v1_record_encoding(benchmark, records, codec):
+    """The v1 raw-JSON record line vs the pickle+base64 double encoding
+    it replaced — same payloads, same output shape (a JSONL line)."""
+    payloads = [{"record": rec} for rec in records]
+
+    if codec == "rawjson":
+
+        def encode():
+            for i, payload in enumerate(payloads):
+                json.dumps({"cell": i, "json": payload})
+
+    else:
+
+        def encode():
+            for i, payload in enumerate(payloads):
+                json.dumps(
+                    {
+                        "cell": i,
+                        "data": base64.b64encode(
+                            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                        ).decode("ascii"),
+                    }
+                )
+
+    benchmark(encode)
+    _note_rate(benchmark, len(records))
+
+
+# ---------------------------------------------------------------------------
+# Replay: the resume path, per format.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("journal_format", ["v1", "v2"])
+def test_perf_journal_replay(benchmark, records, tmp_path, journal_format):
+    writer = _fresh_session(tmp_path, "batch", journal_format)
+    path = writer._journal.path
+    _ingest(writer, records)
+
+    def replay():
+        machine = TreeMachine(N_LARGE)
+        AllocationSession(
+            machine,
+            make_algorithm("greedy", machine, d=2.0),
+            journal_path=path,
+            fsync_policy="batch",
+            journal_format=journal_format,
+        ).close()
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+    _note_rate(benchmark, len(records))
+
+
+# ---------------------------------------------------------------------------
+# Journaled ingest: end-to-end events/sec per fsync policy per format.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fsync_policy", ["always", "batch", "interval:100"],
+                         ids=lambda v: v.replace(":", ""))
+@pytest.mark.parametrize("journal_format", ["v1", "v2"])
+def test_perf_ingest_journal_format(
+    benchmark, records, tmp_path, journal_format, fsync_policy
+):
+    def setup():
+        return (
+            _fresh_session(tmp_path, fsync_policy, journal_format),
+            records,
+        ), {}
+
+    benchmark.pedantic(_ingest, setup=setup, rounds=3, iterations=1)
+    _note_rate(benchmark, len(records))
+
+
+def test_perf_ingest_journal_v2_numpy(benchmark, records, tmp_path):
+    """The headline configuration: v2 batch frames + columnar numpy
+    kernel backend + group commit at batch 256."""
+
+    def setup():
+        return (
+            _fresh_session(tmp_path, "batch", "v2", backend="numpy"),
+            records,
+        ), {}
+
+    benchmark.pedantic(_ingest, setup=setup, rounds=3, iterations=1)
+    _note_rate(benchmark, len(records))
+
+
+# ---------------------------------------------------------------------------
+# Acceptance floors (plain timing, not pytest-benchmark): the claims the
+# binary journal was built for, asserted relative so any hardware can
+# check them.  CI's journal-smoke job runs these at N=256.
+# ---------------------------------------------------------------------------
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_journal_v2_ingest_speedup_floor(records, tmp_path):
+    """v2 batch frames beat v1 JSONL >= 1.3x on journaled batch ingest
+    (same machine, same stream, same group-commit policy)."""
+    v1 = _best_of(
+        3, lambda: _ingest(_fresh_session(tmp_path, "batch", "v1"), records)
+    )
+    v2 = _best_of(
+        3, lambda: _ingest(_fresh_session(tmp_path, "batch", "v2"), records)
+    )
+    ratio = v1 / v2
+    assert ratio >= 1.3, (
+        f"v2 journaled ingest only {ratio:.2f}x faster than v1 "
+        f"(floor 1.3x at N={N_LARGE})"
+    )
+
+
+def test_journal_v2_size_floor(records, tmp_path):
+    """v2 batch frames take <= half the bytes of v1 raw-JSON lines for
+    the same stream — and both journals replay the same records."""
+    v1_session = _fresh_session(tmp_path, "batch", "v1")
+    v1_path = v1_session._journal.path
+    _ingest(v1_session, records)
+    v2_session = _fresh_session(tmp_path, "batch", "v2")
+    v2_path = v2_session._journal.path
+    _ingest(v2_session, records)
+    v1_bytes = v1_path.stat().st_size
+    v2_bytes = v2_path.stat().st_size
+    assert v2_bytes * 2 <= v1_bytes, (
+        f"v2 journal is {v2_bytes} bytes vs v1 {v1_bytes} — "
+        "expected at least a 2x size win"
+    )
+    v1_records = [p["record"] for _i, p in iter_journal_payloads(v1_path)]
+    v2_records = [p["record"] for _i, p in iter_journal_payloads(v2_path)]
+    assert len(v1_records) == len(records)
+    assert v1_records == v2_records

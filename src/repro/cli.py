@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -780,10 +781,153 @@ def _cmd_verify_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_journal(args: argparse.Namespace) -> int:
+    """``repro verify --journal``: the format-parity referee."""
+    from repro.errors import SimulationError
+    from repro.verify.journal import fuzz_journal, replay_corpus_journal
+
+    failed = 0
+    print(f"machine            : TreeMachine(N={args.n}), "
+          "journal formats v1 vs v2")
+    if args.replay:
+        results = replay_corpus_journal(args.replay)
+        checked = [(e, o) for e, o in results if o is not None]
+        bad = [(e, o) for e, o in checked if not o.ok]
+        print(f"corpus             : {args.replay}")
+        print(f"entries checked    : {len(checked)} "
+              f"({len(results) - len(checked)} churn entries, skipped)")
+        for entry, outcome in bad:
+            failed += 1
+            print(f"  - {entry.filename()}: "
+                  + "; ".join(outcome.divergences))
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    sequences = args.sequences or 25
+    try:
+        outcomes = fuzz_journal(
+            num_pes=args.n,
+            sequences=sequences,
+            seed=args.seed,
+            algorithms=algorithms,
+        )
+    except SimulationError as exc:
+        print(f"verdict            : FAILED — {exc}")
+        return 1
+    events = sum(o.events for o in outcomes)
+    kills = sum(o.kills_checked for o in outcomes)
+    deltas = sum(o.delta_window_kills for o in outcomes)
+    v1 = sum(o.bytes_v1 for o in outcomes)
+    v2 = sum(o.bytes_v2 for o in outcomes)
+    print(f"streams fuzzed     : {len(outcomes)} ({events} event(s))")
+    print(f"kill points        : {kills} truncation(s) resumed "
+          f"({deltas} inside delta-snapshot windows)")
+    if v2:
+        print(f"journal bytes      : v1 {v1} vs v2 {v2} "
+              f"({v1 / v2:.1f}x smaller)")
+    if failed:
+        print("verdict            : FAILED")
+        return 1
+    print("verdict            : OK — v1 and v2 journals of the same "
+          "stream resume bit-identically, kills included")
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """``repro journal dump PATH``: inspect either journal format."""
+    from repro.sim.frames import (
+        FRAME_ATTACH,
+        FRAME_BATCH,
+        FRAME_HEADER,
+        FRAME_JSON,
+        FRAME_PICKLE,
+        JOURNAL_MAGIC,
+        iter_journal_payloads,
+        scan_frames,
+    )
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    data = path.read_bytes()
+    pairs = iter_journal_payloads(path)
+    kind_names = {
+        FRAME_HEADER: "header", FRAME_JSON: "json", FRAME_PICKLE: "pickle",
+        FRAME_BATCH: "batch", FRAME_ATTACH: "attach",
+    }
+    if data.startswith(JOURNAL_MAGIC):
+        frames, good_end, bad_reason = scan_frames(data, len(JOURNAL_MAGIC))
+        print("format             : v2 (framed binary)")
+        print(f"file bytes         : {len(data)}")
+        counts: dict[str, int] = {}
+        for kind, _payload, _pos in frames:
+            name = kind_names.get(kind, f"kind{kind}")
+            counts[name] = counts.get(name, 0) + 1
+        print("frames             : " + " ".join(
+            f"{name}={counts[name]}" for name in sorted(counts)))
+        if bad_reason is not None and good_end < len(data):
+            print(f"tail               : torn ({bad_reason}) at byte "
+                  f"{good_end}, {len(data) - good_end} byte(s) dropped")
+        else:
+            print("tail               : clean")
+    else:
+        lines = data.count(b"\n")
+        torn = bool(data) and not data.endswith(b"\n")
+        print("format             : v1 (JSONL)")
+        print(f"file bytes         : {len(data)}")
+        print(f"lines              : {lines} terminated"
+              + (", 1 torn tail line dropped" if torn else ""))
+    indices = [index for index, _ in pairs]
+    holes = []
+    if indices:
+        seen = set(indices)
+        holes = [i for i in range(max(indices) + 1) if i not in seen]
+    print(f"records            : {len(pairs)} logical record(s)"
+          + (f", indices 0..{max(indices)}" if indices else "")
+          + (f", holes at {holes[:10]}" if holes else ""))
+    if pairs:
+        per = len(data) / len(pairs)
+        print(f"bytes per record   : {per:.1f}")
+    snaps = [i for i, p in pairs if isinstance(p, dict) and "snapshot" in p]
+    deltas = [i for i, p in pairs if isinstance(p, dict) and "delta" in p]
+    def _positions(label, positions):
+        if not positions:
+            print(f"{label}: none")
+        elif len(positions) <= 12:
+            print(f"{label}: at {positions}")
+        else:
+            print(f"{label}: {len(positions)} "
+                  f"(first {positions[0]}, last {positions[-1]})")
+    _positions("full snapshots     ", snaps)
+    _positions("delta snapshots    ", deltas)
+    gsns = sorted(
+        int(p["record"]["gsn"])
+        for _i, p in pairs
+        if isinstance(p, dict)
+        and isinstance(p.get("record"), dict)
+        and "gsn" in p["record"]
+    )
+    if gsns:
+        prefix_end = gsns[0]
+        for g in gsns[1:]:
+            if g > prefix_end + 1:
+                break
+            prefix_end = g
+        print(f"gsn prefix         : hole-free {gsns[0]}..{prefix_end} "
+              f"({len(gsns)} routed record(s), max gsn {gsns[-1]})")
+    if args.head:
+        print(f"--- first {min(args.head, len(pairs))} record(s) ---")
+        for index, payload in pairs[: args.head]:
+            print(f"[{index}] " + json.dumps(
+                payload, sort_keys=True, default=repr))
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_verify_markdown
     from repro.verify import DifferentialHarness, replay_corpus
 
+    if getattr(args, "journal", False):
+        return _cmd_verify_journal(args)
     if getattr(args, "shards", None):
         return _cmd_verify_sharded(args)
 
@@ -1222,6 +1366,13 @@ def build_parser() -> argparse.ArgumentParser:
         "greedy,twochoice",
     )
     p_ver.add_argument(
+        "--journal", action="store_true",
+        help="journal-format referee: stream the corpus and fuzzed "
+        "sequences through v1 (JSONL) and v2 (framed binary) journals "
+        "and demand both resume bit-identically — including truncation "
+        "kills inside delta-snapshot windows",
+    )
+    p_ver.add_argument(
         "--shards", type=int, default=None, metavar="K",
         help="sharding referee: replay the corpus and fuzz fresh streams "
         "through a K-shard cluster and demand bit-identical decisions, "
@@ -1231,6 +1382,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p_ver)
     add_resilience(p_ver)
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_journal = sub.add_parser(
+        "journal", help="inspect a session journal (either format)"
+    )
+    jsub = p_journal.add_subparsers(dest="action", required=True)
+    p_jdump = jsub.add_parser(
+        "dump",
+        help="pretty-print a journal: format, frame/record counts, "
+        "snapshot positions, hole-free gsn prefix, torn-tail status",
+    )
+    p_jdump.add_argument("path", help="journal file (v1 JSONL or v2 framed)")
+    p_jdump.add_argument(
+        "--head", type=int, default=None, metavar="N",
+        help="also print the first N logical records as JSON",
+    )
+    p_jdump.add_argument(
+        "--stats", action="store_true",
+        help="stats only (the default output is already stats; the flag "
+        "exists so scripts can be explicit)",
+    )
+    p_jdump.set_defaults(func=_cmd_journal)
 
     p_sweep = sub.add_parser("sweep", help="load-vs-d sweep with A_M")
     add_common(p_sweep)

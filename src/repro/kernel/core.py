@@ -836,6 +836,10 @@ class AllocationKernel:
     def active_size(self) -> int:
         return self._active_size
 
+    def num_active(self) -> int:
+        """Count of currently-placed tasks (O(1); delta-snapshot digest)."""
+        return len(self._placements)
+
     def placement_intervals(self) -> dict[TaskId, list[tuple[float, float, NodeId]]]:
         """Exact (start, end, node) residence segments for every task seen.
 

@@ -50,6 +50,7 @@ from typing import Any, Mapping, Optional, Sequence, Union
 from repro.core.base import AllocationAlgorithm
 from repro.errors import BatchError, CheckpointError, ReproError, SimulationError
 from repro.kernel import AllocationKernel, BatchDecision, Decision
+from repro.kernel.columnar import apply_routed_columns
 from repro.machines.base import PartitionableMachine
 from repro.machines.factory import machine_descriptor
 from repro.service.slo import (
@@ -63,6 +64,11 @@ from repro.service.slo import (
 )
 from repro.sim.checkpoint import CheckpointJournal
 from repro.sim.engine import RunResult
+from repro.sim.frames import (
+    RoutedColumns,
+    encode_wire_columns,
+    routed_columns_from_records,
+)
 from repro.sim.realloc_cost import MigrationCostModel
 from repro.tasks.events import Arrival, Departure
 from repro.tasks.sequence import TaskSequence
@@ -133,6 +139,8 @@ class AllocationSession:
         collect_leaf_snapshots: bool = True,
         repack_on_repair: bool = True,
         fsync_policy: str = "always",
+        journal_format: str = "v2",
+        full_snapshot_interval: Optional[int] = None,
         batch_backend: str = "python",
         slo: Optional[SLOPolicy] = None,
         replay_stop: Optional[Any] = None,
@@ -177,6 +185,14 @@ class AllocationSession:
         self._journal_seq = 0
         self._overloaded = False
         self._snapshot_interval = max(0, int(snapshot_interval))
+        # v2 journals split the old single interval in two: cheap O(1)
+        # delta records every ``snapshot_interval`` events and a full
+        # pickled kernel snapshot only every ``full_snapshot_interval``
+        # (default 16x).  v1 journals keep the original semantics (every
+        # interval embeds a full snapshot).
+        if full_snapshot_interval is None:
+            full_snapshot_interval = 16 * self._snapshot_interval
+        self._full_snapshot_interval = max(0, int(full_snapshot_interval))
         self._replay_stop = replay_stop
         self._journal: Optional[CheckpointJournal] = None
         if journal_path is not None:
@@ -185,6 +201,7 @@ class AllocationSession:
                 journal_path,
                 fingerprint=self._fingerprint(),
                 fsync_policy=fsync_policy,
+                format=journal_format,
             )
             if resuming:
                 self._replay_journal()
@@ -631,6 +648,9 @@ class AllocationSession:
         """
         if self._slo is not None:
             return self.offer_batch(records)
+        fast = self._push_batch_fast(records)
+        if fast is not None:
+            return fast
         pairs: list[tuple[Any, dict[str, Any]]] = []
         now = self._now
         count = self._offered
@@ -723,6 +743,107 @@ class AllocationSession:
             ) from build_error
         return batch
 
+    def _push_batch_fast(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> Optional[BatchDecision]:
+        """Columnar wire-batch ingest: the journal fast path.
+
+        One pass builds the kernel events *and* the packed column arrays
+        the v2 journal frames directly — no normalised per-record dicts
+        on the hot path.  The whole batch lands in the journal as a
+        single :meth:`~repro.sim.checkpoint.CheckpointJournal.
+        record_batch_blob` frame, which a resume decodes to exactly the
+        dicts the general path would have journaled (bit-identical
+        replay).
+
+        Returns ``None`` *before any state change* whenever a record
+        falls outside the hot schema — fault/resize kinds, implicit
+        times or ids, clock regressions, malformed fields — or the
+        journal is v1; the caller then redoes the batch on the general
+        path, reproducing the exact error text and prefix semantics.
+        A mid-batch kernel failure commits and journals the applied
+        prefix (as the general path would) and re-raises.
+        """
+        journal = self._journal
+        if journal is not None and journal.format != "v2":
+            return None
+        n = len(records)
+        if n == 0:
+            return None
+        now = self._now
+        events: list[Any] = []
+        kinds = bytearray(n)
+        times: list[float] = []
+        ids: list[int] = []
+        sizes: list[int] = []
+        works: list[float] = []
+        try:
+            for i, record in enumerate(records):
+                kind = record["kind"]
+                t = record["time"]
+                if type(t) is not float:
+                    t = float(t)
+                if t < now:
+                    return None
+                tid = record["id"]
+                if type(tid) is not int:
+                    tid = int(tid)
+                if kind == "arrival":
+                    size = record["size"]
+                    if type(size) is not int:
+                        size = int(size)
+                    work = record.get("work", 1.0)
+                    if type(work) is not float:
+                        work = float(work)
+                    events.append(
+                        Arrival(t, Task(TaskId(tid), size, t, work=work))
+                    )
+                    sizes.append(size)
+                    works.append(work)
+                elif kind == "departure":
+                    kinds[i] = 1
+                    events.append(Departure(t, TaskId(tid)))
+                    sizes.append(0)
+                    works.append(0.0)
+                else:
+                    return None
+                times.append(t)
+                ids.append(tid)
+                now = t
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None
+
+        def commit(m: int) -> None:
+            if m == 0:
+                return
+            base = len(self._events)
+            self._events.extend(events[:m])
+            self._now = times[m - 1]
+            self._offered += m
+            nid = self._next_task_id
+            for j in range(m):
+                if kinds[j] == 0 and ids[j] >= nid:
+                    nid = ids[j] + 1
+            self._next_task_id = nid
+            if journal is None:
+                return
+            blob = encode_wire_columns(
+                kinds[:m], times[:m], ids[:m], sizes[:m], works[:m]
+            )
+            rider = self._batch_rider(base, m)
+            seq = self._journal_seq
+            extras = [] if rider is None else [(seq + m - 1, rider)]
+            journal.record_batch_blob(seq, m, blob, extras)
+            self._journal_seq = seq + m
+
+        try:
+            batch = self.kernel.apply_batch(events)
+        except BatchError as exc:
+            commit(exc.applied)
+            raise
+        commit(n)
+        return batch
+
     def _commit_batch(self, pairs: list[tuple[Any, dict[str, Any]]]) -> None:
         """Advance session state and journal one applied batch."""
         if not pairs:
@@ -741,13 +862,13 @@ class AllocationSession:
             (self._journal_seq + i, {"record": record})
             for i, (_, record) in enumerate(pairs)
         ]
-        interval = self._snapshot_interval
-        if interval and (base + len(pairs)) // interval > base // interval:
-            # Mid-batch kernel states no longer exist, so the snapshot
-            # that per-event journaling would have embedded at the
-            # interval boundary rides on the batch's last record instead
-            # (resume digest-verifies snapshots wherever they appear).
-            payloads[-1][1]["snapshot"] = self.kernel.snapshot()
+        # Mid-batch kernel states no longer exist, so the snapshot (or
+        # delta) that per-event journaling would have embedded at the
+        # interval boundary rides on the batch's last record instead
+        # (resume verifies them wherever they appear).
+        rider = self._batch_rider(base, len(pairs))
+        if rider is not None:
+            payloads[-1][1].update(rider)
         self._journal.record_many(payloads)
         self._journal_seq += len(payloads)
 
@@ -789,7 +910,7 @@ class AllocationSession:
         return self._absorb(self._routed_event(norm), norm)
 
     def push_routed_batch(
-        self, records: Sequence[Mapping[str, Any]]
+        self, records: Sequence[Mapping[str, Any]], *, want_decisions: bool = True
     ) -> list[Decision]:
         """Absorb a batch of coordinator-routed records, one group commit.
 
@@ -799,7 +920,17 @@ class AllocationSession:
         comes from.  If a record fails, the applied prefix is journaled
         (exactly as the per-record path would leave it) and the error
         propagates.
+
+        Batches matching the hot routed schema take the columnar fast
+        path (:meth:`push_routed_columns`); ``want_decisions=False`` lets
+        that path skip materialising :class:`Decision` objects entirely
+        (shard workers discard them) and return ``[]``.
         """
+        cols = routed_columns_from_records(records)
+        if cols is not None:
+            fast = self._push_routed_columns(cols, want_decisions)
+            if fast is not None:
+                return fast
         applied: list[dict[str, Any]] = []
         decisions: list[Decision] = []
         base = len(self._events)
@@ -828,14 +959,73 @@ class AllocationSession:
                     (self._journal_seq + i, {"record": r})
                     for i, r in enumerate(applied)
                 ]
-                interval = self._snapshot_interval
-                if interval and (
-                    (base + len(applied)) // interval > base // interval
-                ):
-                    payloads[-1][1]["snapshot"] = self.kernel.snapshot()
+                rider = self._batch_rider(base, len(applied))
+                if rider is not None:
+                    payloads[-1][1].update(rider)
                 self._journal.record_many(payloads)
                 self._journal_seq += len(payloads)
         return decisions
+
+    def push_routed_columns(
+        self, cols: RoutedColumns, *, want_decisions: bool = False
+    ) -> list[Decision]:
+        """Absorb one decoded columnar routed batch (shard-worker intake).
+
+        The zero-re-encode twin of :meth:`push_routed_batch`: the columns
+        arrive straight off the coordinator wire frame and — when the
+        batch is eligible for the vectorized kernel path — the *same*
+        encoded blob is framed into the journal without materialising a
+        single per-record dict.  Ineligible batches (clock regressions,
+        invalid placements, v1 journals) fall back to the per-record
+        path, which reproduces the exact error text and prefix semantics.
+        """
+        fast = self._push_routed_columns(cols, want_decisions)
+        if fast is not None:
+            return fast
+        decisions = self.push_routed_batch(cols.records())
+        return decisions if want_decisions else []
+
+    def _push_routed_columns(
+        self, cols: RoutedColumns, want_decisions: bool
+    ) -> Optional[list[Decision]]:
+        """Vectorized routed ingest; ``None`` (no state change) when the
+        batch must take the general per-record path."""
+        journal = self._journal
+        if self._slo is not None:
+            return None
+        if journal is not None and journal.format != "v2":
+            return None
+        n = cols.n
+        if n == 0:
+            return []
+        times = cols.times
+        if times[0] < self._now:
+            return None
+        for i in range(1, n):
+            if times[i] < times[i - 1]:
+                return None
+        out = apply_routed_columns(self.kernel, cols, want_decisions)
+        if out is None:
+            return None
+        events, decisions = out
+        base = len(self._events)
+        self._events.extend(events)
+        self._now = times[n - 1]
+        self._offered += n
+        nid = self._next_task_id
+        kinds = cols.kinds
+        ids = cols.ids
+        for i in range(n):
+            if kinds[i] == 0 and ids[i] >= nid:
+                nid = ids[i] + 1
+        self._next_task_id = nid
+        if journal is not None:
+            rider = self._batch_rider(base, n)
+            seq = self._journal_seq
+            extras = [] if rider is None else [(seq + n - 1, rider)]
+            journal.record_batch_blob(seq, n, cols.encoded(), extras)
+            self._journal_seq = seq + n
+        return decisions if want_decisions else []
 
     def flush(self) -> None:
         """Make buffered journal records durable (group-commit boundary).
@@ -869,43 +1059,98 @@ class AllocationSession:
             self._next_task_id = max(self._next_task_id, int(tid) + 1)
         if journal and self._journal is not None:
             payload: dict[str, Any] = {"record": record}
-            if (
-                self._snapshot_interval
-                and len(self._events) % self._snapshot_interval == 0
-            ):
-                payload["snapshot"] = self.kernel.snapshot()
+            rider = self._batch_rider(len(self._events) - 1, 1)
+            if rider is not None:
+                payload.update(rider)
             self._journal.record(self._journal_seq, payload)
             self._journal_seq += 1
         return decision
 
+    def _delta_state(self) -> dict[str, Any]:
+        """O(1) digest of the session/kernel scalars, journaled between
+        full snapshots (v2 ``delta`` riders) and re-verified on resume.
+
+        Deliberately cheap: counters and running loads only, no per-task
+        state — a divergence in any replayed event perturbs at least one
+        of these, so deltas catch configuration/build drift at nearly the
+        full-snapshot granularity for ~100 bytes instead of a pickled
+        kernel.
+        """
+        k = self.kernel
+        return {
+            "events": len(self._events),
+            "now": self._now,
+            "offered": self._offered,
+            "next_id": self._next_task_id,
+            "tasks": k.num_active(),
+            "active": k.active_size(),
+            "peak_active": k.peak_active_size,
+            "max_load": k.current_max_load,
+            "peak_load": k.metrics.max_load,
+        }
+
+    def _batch_rider(self, base: int, count: int) -> Optional[dict[str, Any]]:
+        """Snapshot/delta payload extras riding a batch's last record.
+
+        ``base`` is ``len(self._events)`` before the batch; a rider is due
+        when the batch crosses an interval boundary (for ``count == 1``
+        this is exactly the old ``len % interval == 0`` schedule).  v1
+        journals keep the original contract — a full kernel snapshot
+        every ``snapshot_interval`` — while v2 journals embed a cheap
+        :meth:`_delta_state` there and reserve full snapshots for
+        ``full_snapshot_interval`` crossings.
+        """
+        if self._journal is None or count <= 0:
+            return None
+        end = base + count
+        if self._journal.format == "v2":
+            full = self._full_snapshot_interval
+            if full and end // full > base // full:
+                return {"snapshot": self.kernel.snapshot()}
+            interval = self._snapshot_interval
+            if interval and end // interval > base // interval:
+                return {"delta": self._delta_state()}
+            return None
+        interval = self._snapshot_interval
+        if interval and end // interval > base // interval:
+            return {"snapshot": self.kernel.snapshot()}
+        return None
+
     # -- Resume --------------------------------------------------------------
+
+    def _payload_record(self, payload: Any, index: int) -> dict[str, Any]:
+        try:
+            return dict(payload["record"])
+        except (TypeError, KeyError) as exc:
+            raise CheckpointError(
+                f"session journal {self._journal.path}: malformed record "
+                f"at event {index}"
+            ) from exc
 
     def _replay_journal(self) -> None:
         assert self._journal is not None
         completed = self._journal.completed()
-        for index in range(len(completed)):
+        total = len(completed)
+        for index in range(total):
             if index not in completed:
                 raise CheckpointError(
                     f"session journal {self._journal.path} has a gap at "
                     f"event {index}"
                 )
+        # Find the reconciliation cutoff before touching any state, so
+        # the snapshot fast-forward below can never restore past it.
+        stop = total
+        if self._replay_stop is not None:
+            for index in range(total):
+                if self._replay_stop(self._payload_record(completed[index], index)):
+                    stop = index
+                    break
+        start = 0
+        if self.algorithm is None and self._slo is None:
+            start = self._fast_forward(completed, stop)
+        for index in range(start, stop):
             payload = completed[index]
-            try:
-                record = dict(payload["record"])
-            except (TypeError, KeyError) as exc:
-                raise CheckpointError(
-                    f"session journal {self._journal.path}: malformed record "
-                    f"at event {index}"
-                ) from exc
-            if self._replay_stop is not None and self._replay_stop(record):
-                # Distributed durable-prefix reconciliation: the sharded
-                # coordinator computed a global cutoff and everything past
-                # it must be discarded — physically, so a later resume
-                # never sees the dropped tail.
-                self._journal.drop_tail(index)
-                self._journal_seq = index
-                return
-            self.push_replay(record)
+            self.push_replay(self._payload_record(payload, index))
             embedded = payload.get("snapshot")
             if embedded is not None:
                 replayed = self.kernel.snapshot()
@@ -916,7 +1161,78 @@ class AllocationSession:
                         "— the journal was written by a different "
                         "configuration or build"
                     )
-        self._journal_seq = len(completed)
+            delta = payload.get("delta")
+            if delta is not None and self._delta_state() != delta:
+                raise CheckpointError(
+                    f"session journal {self._journal.path}: replayed state "
+                    f"diverges from the delta embedded at event {index} "
+                    "— the journal was written by a different "
+                    "configuration or build"
+                )
+        if stop < total:
+            # Distributed durable-prefix reconciliation: the sharded
+            # coordinator computed a global cutoff and everything past
+            # it must be discarded — physically, so a later resume
+            # never sees the dropped tail.
+            self._journal.drop_tail(stop)
+            self._journal_seq = stop
+        else:
+            self._journal_seq = total
+
+    def _fast_forward(self, completed: Mapping[int, Any], stop: int) -> int:
+        """Resume an external-placement session from its last full
+        snapshot instead of replaying every event through the kernel.
+
+        Only sessions with no algorithm and no SLO are eligible: with
+        nothing but the kernel to reconstruct, the snapshot *is* the
+        state, and the session-level bookkeeping (event log, clock,
+        counters) rebuilds from the journaled records without touching
+        the kernel.  Returns the replay start index — ``0`` (full
+        replay) when no usable snapshot precedes ``stop`` or any record
+        before it falls outside the routed/wire schema.
+        """
+        snap_at = -1
+        for index in range(stop - 1, -1, -1):
+            payload = completed[index]
+            if isinstance(payload, Mapping) and payload.get("snapshot"):
+                snap_at = index
+                break
+        if snap_at < 0:
+            return 0
+        events: list[Any] = []
+        now = 0.0
+        next_id = 0
+        for index in range(snap_at + 1):
+            record = self._payload_record(completed[index], index)
+            kind = record.get("kind")
+            t = record.get("time")
+            if type(t) is not float or record.get("slo") is not None:
+                return 0
+            if kind in ("arrival", "placed"):
+                try:
+                    tid = int(record["id"])
+                    task = Task(
+                        TaskId(tid), int(record["size"]), t,
+                        work=float(record.get("work", 1.0)),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    return 0
+                events.append(Arrival(t, task))
+                next_id = max(next_id, tid + 1)
+            elif kind == "departure":
+                try:
+                    events.append(Departure(t, TaskId(int(record["id"]))))
+                except (KeyError, TypeError, ValueError):
+                    return 0
+            else:
+                return 0
+            now = t
+        self.kernel.restore(completed[snap_at]["snapshot"])
+        self._events = events
+        self._now = now
+        self._offered = snap_at + 1
+        self._next_task_id = next_id
+        return snap_at + 1
 
     def push_replay(self, record: Mapping[str, Any]) -> Optional[Decision]:
         """Absorb a journaled record without re-journaling it.

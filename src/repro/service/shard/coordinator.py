@@ -47,9 +47,6 @@ any drain placement a shard lost while its triggering event survived.
 
 from __future__ import annotations
 
-import base64
-import json
-import pickle
 import time as _time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Protocol, Sequence, Union
@@ -68,6 +65,7 @@ from repro.service.session import AllocationSession
 from repro.service.shard.plan import ShardPlan
 from repro.service.slo import Admit, AdmissionOutcome, Cancel, SLOPolicy
 from repro.sim.checkpoint import CheckpointJournal
+from repro.sim.frames import iter_journal_payloads
 from repro.types import NodeId
 
 __all__ = [
@@ -139,7 +137,7 @@ class LocalShard:
         )
 
     def submit(self, records: Sequence[Mapping[str, Any]]) -> None:
-        self.session.push_routed_batch(records)
+        self.session.push_routed_batch(records, want_decisions=False)
 
     def flush(self) -> None:
         self.session.flush()
@@ -169,30 +167,13 @@ class LocalShard:
 def _peek_payloads(path: Union[str, Path]) -> list[dict[str, Any]]:
     """Read a journal's record payloads without opening it for append.
 
-    Mirrors :class:`CheckpointJournal`'s on-disk format (header line,
-    then ``{"cell": i, "data": base64(pickle)}`` lines) with the same
-    corrupt-tail tolerance: parsing stops at the first bad or unterminated
-    line.  Duplicate indices keep the last occurrence (the journal's
-    last-wins contract).  Returns payloads in index order.
+    Delegates to :func:`repro.sim.frames.iter_journal_payloads`, which
+    sniffs the format (v1 JSONL or v2 binary frames) and applies the
+    journals' corrupt-tail tolerance and last-wins duplicate contract.
+    Returns dict payloads in index order.
     """
     by_index: dict[int, dict[str, Any]] = {}
-    try:
-        raw = Path(path).read_text(encoding="utf-8")
-    except OSError:
-        return []
-    first = True
-    for piece in raw.splitlines(keepends=True):
-        if not piece.endswith("\n"):
-            break
-        if first:
-            first = False  # header
-            continue
-        try:
-            rec = json.loads(piece)
-            value = pickle.loads(base64.b64decode(rec["data"]))
-            index = int(rec["cell"])
-        except Exception:
-            break
+    for index, value in iter_journal_payloads(path):
         if isinstance(value, dict):
             by_index[index] = value
     return [by_index[i] for i in sorted(by_index)]
@@ -321,6 +302,7 @@ class ShardedCoordinator:
                 journal_path,
                 fingerprint=self._fingerprint(),
                 fsync_policy=fsync_policy,
+                format="v2",
             )
             self._drop_coordinator_tail(cutoff)
         if resume_events:

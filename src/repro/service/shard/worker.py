@@ -1,4 +1,4 @@
-"""Process shard workers: one OS process per subtree, JSONL frames.
+"""Process shard workers: one OS process per subtree, binary frames.
 
 This is the throughput configuration of the sharded service: the
 per-event work that dominates a durable single-process session — journal
@@ -10,29 +10,35 @@ wraps exactly the same external-placement
 transport differs, so the two configurations are interchangeable
 semantically (the verify referee exploits this).
 
-Protocol — newline-delimited JSON frames over an inherited socketpair,
-strictly FIFO in both directions:
+Protocol — length-prefixed CRC'd frames (:mod:`repro.sim.frames`) over
+an inherited socketpair, strictly FIFO in both directions:
 
-* ``{"op": "apply", "records": [...]}`` → ``{"ok": "apply"}`` once the
-  batch is applied and journaled (group commit).  The parent pipelines up
-  to :data:`MAX_INFLIGHT` unacknowledged applies — the windowed-ack
-  pipelining that overlaps coordinator routing with worker fsync.
-* ``{"op": "flush" | "status" | "snapshot" | "placements" | "close"}`` →
-  synchronous tagged replies.  Because frames are answered in order, the
-  parent simply drains apply-acks until the matching tag appears.
+* ``MSG_ROUTED`` — a columnar routed batch (the hot path): the *same*
+  encoding the v2 journal uses, so the worker decodes the columns once
+  and frames the identical bytes into its journal without re-encoding
+  (:meth:`AllocationSession.push_routed_columns`).  Acked with
+  ``{"ok": "apply"}`` once applied and journaled (group commit).  The
+  parent pipelines up to :data:`MAX_INFLIGHT` unacknowledged applies —
+  the windowed-ack pipelining that overlaps coordinator routing with
+  worker fsync.
+* ``MSG_PICKLE`` op dicts — ``{"op": "apply", "records": [...]}`` for
+  batches off the hot schema, and ``{"op": "flush" | "status" |
+  "snapshot" | "placements" | "close"}`` control ops with synchronous
+  tagged replies.  Because frames are answered in order, the parent
+  simply drains apply-acks until the matching tag appears.
+* Replies are ``MSG_JSON`` acks (``{"ok": ...}`` / ``{"err": ...}``) or
+  ``MSG_PICKLE`` data payloads (kernel snapshots with tuple keys,
+  ``NodeId`` maps — pickled whole, so replies compare bit-identically
+  against in-process workers, without v1's base64-in-JSON detour).
 * Worker-side failures answer ``{"err": message}``; the parent raises
-  :class:`~repro.errors.ShardError`.  EOF (the worker died — SIGKILL,
-  OOM) raises the same, and the journals on disk remain the source of
-  truth: reopening the cluster reconciles the durable prefix.
-
-Binary-unsafe state (kernel snapshots with tuple keys, ``NodeId`` maps)
-travels pickled+base64 inside the JSON frame rather than as raw JSON, so
-replies compare bit-identically against in-process workers.
+  :class:`~repro.errors.ShardError`.  EOF or a torn frame (the worker
+  died — SIGKILL, OOM) raises the same, and the journals on disk remain
+  the source of truth: reopening the cluster reconciles the durable
+  prefix.
 """
 
 from __future__ import annotations
 
-import base64
 import json
 import multiprocessing
 import pickle
@@ -54,19 +60,21 @@ from repro.service.shard.coordinator import (
 )
 from repro.service.shard.plan import ShardPlan
 from repro.service.slo import SLOPolicy
+from repro.sim.frames import (
+    MSG_JSON,
+    MSG_PICKLE,
+    MSG_ROUTED,
+    FrameError,
+    decode_routed_columns,
+    encode_routed_records,
+    frame_bytes,
+    read_frame,
+)
 
 __all__ = ["MAX_INFLIGHT", "ProcessShard", "create_process_cluster"]
 
 #: Unacknowledged apply frames the parent keeps in flight per worker.
 MAX_INFLIGHT = 32
-
-
-def _pack(value: Any) -> str:
-    return base64.b64encode(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
-
-
-def _unpack(blob: str) -> Any:
-    return pickle.loads(base64.b64decode(blob))
 
 
 def _worker_main(
@@ -94,7 +102,14 @@ def _worker_main(
     writer = conn.makefile("wb")
 
     def reply(payload: dict[str, Any]) -> None:
-        writer.write(json.dumps(payload).encode("ascii") + b"\n")
+        writer.write(frame_bytes(MSG_JSON, json.dumps(payload).encode("ascii")))
+        writer.flush()
+
+    def reply_data(tag: str, data: Any) -> None:
+        blob = pickle.dumps(
+            {"ok": tag, "data": data}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        writer.write(frame_bytes(MSG_PICKLE, blob))
         writer.flush()
 
     session = None
@@ -111,36 +126,50 @@ def _worker_main(
                 else None
             ),
         )
-        for line in reader:
-            frame = json.loads(line)
+        while True:
+            try:
+                msg = read_frame(reader)
+            except FrameError:
+                break  # coordinator died mid-frame: unwind like EOF
+            if msg is None:
+                break
+            kind, payload = msg
+            if kind == MSG_ROUTED:
+                # Hot path: decode the columns once; the session journals
+                # the identical encoded bytes (zero re-encode).
+                try:
+                    cols = decode_routed_columns(payload)
+                    if cols is None:
+                        raise ShardError("malformed routed batch frame")
+                    session.push_routed_columns(cols)
+                    reply({"ok": "apply"})
+                except ReproError as exc:
+                    reply({"err": f"{type(exc).__name__}: {exc}"})
+                continue
+            frame = (
+                json.loads(payload) if kind == MSG_JSON else pickle.loads(payload)
+            )
             op = frame.get("op")
             try:
                 if op == "apply":
-                    session.push_routed_batch(frame["records"])
+                    session.push_routed_batch(
+                        frame["records"], want_decisions=False
+                    )
                     reply({"ok": "apply"})
                 elif op == "flush":
                     session.flush()
                     reply({"ok": "flush"})
                 elif op == "status":
-                    reply(
-                        {
-                            "ok": "status",
-                            "data": _pack({"shard": index, **session.status()}),
-                        }
-                    )
+                    reply_data("status", {"shard": index, **session.status()})
                 elif op == "snapshot":
-                    reply({"ok": "snapshot", "data": _pack(session.snapshot())})
+                    reply_data("snapshot", session.snapshot())
                 elif op == "placements":
-                    reply(
+                    reply_data(
+                        "placements",
                         {
-                            "ok": "placements",
-                            "data": _pack(
-                                {
-                                    int(tid): int(node)
-                                    for tid, node in session.placements.items()
-                                }
-                            ),
-                        }
+                            int(tid): int(node)
+                            for tid, node in session.placements.items()
+                        },
                     )
                 elif op == "close":
                     session.close()
@@ -208,9 +237,9 @@ class ProcessShard:
 
     # -- Frame plumbing ------------------------------------------------------
 
-    def _send(self, frame: Mapping[str, Any]) -> None:
+    def _send_frame(self, kind: int, payload: bytes) -> None:
         try:
-            self._writer.write(json.dumps(frame).encode("ascii") + b"\n")
+            self._writer.write(frame_bytes(kind, payload))
             self._writer.flush()
         except (OSError, ValueError) as exc:
             raise ShardError(
@@ -218,15 +247,25 @@ class ProcessShard:
                 f"gone: {exc}"
             ) from exc
 
+    def _send(self, frame: Mapping[str, Any]) -> None:
+        self._send_frame(
+            MSG_PICKLE,
+            pickle.dumps(dict(frame), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
     def _read_reply(self) -> dict[str, Any]:
-        line = self._reader.readline()
-        if not line:
+        try:
+            msg = read_frame(self._reader)
+        except FrameError:
+            msg = None  # worker died mid-frame: same as EOF
+        if msg is None:
             raise ShardError(
                 f"shard {self.index} worker (pid {self.process.pid}) died "
                 "mid-conversation; reopen the cluster from its journal "
                 "directory to resume from the durable prefix"
             )
-        payload = json.loads(line)
+        kind, body = msg
+        payload = json.loads(body) if kind == MSG_JSON else pickle.loads(body)
         if "err" in payload:
             raise ShardError(f"shard {self.index}: {payload['err']}")
         return payload
@@ -249,7 +288,11 @@ class ProcessShard:
     # -- ShardHandle ---------------------------------------------------------
 
     def submit(self, records: Sequence[Mapping[str, Any]]) -> None:
-        self._send({"op": "apply", "records": [dict(r) for r in records]})
+        blob = encode_routed_records(records)
+        if blob is not None:
+            self._send_frame(MSG_ROUTED, blob)
+        else:
+            self._send({"op": "apply", "records": [dict(r) for r in records]})
         self._inflight.append(len(records))
         while len(self._inflight) >= self._max_inflight:
             payload = self._read_reply()
@@ -268,15 +311,15 @@ class ProcessShard:
 
     def status(self) -> dict[str, Any]:
         self._send({"op": "status"})
-        return _unpack(self._await_tag("status")["data"])
+        return self._await_tag("status")["data"]
 
     def snapshot(self) -> dict[str, Any]:
         self._send({"op": "snapshot"})
-        return _unpack(self._await_tag("snapshot")["data"])
+        return self._await_tag("snapshot")["data"]
 
     def placements(self) -> dict[int, int]:
         self._send({"op": "placements"})
-        return _unpack(self._await_tag("placements")["data"])
+        return self._await_tag("placements")["data"]
 
     def close(self) -> None:
         if self._closed:

@@ -241,7 +241,13 @@ def _repo_src():
 
 
 def _has_partial_tail(journal) -> bool:
-    text = journal.read_text()
+    from repro.sim.frames import JOURNAL_MAGIC, scan_frames
+
+    data = journal.read_bytes()
+    if data.startswith(JOURNAL_MAGIC):
+        _frames, good_end, reason = scan_frames(data, len(JOURNAL_MAGIC))
+        return reason is not None and good_end < len(data)
+    text = data.decode("utf-8")
     return bool(text) and not text.endswith("\n")
 
 

@@ -185,22 +185,21 @@ class TestResume:
 
     def test_resume_detects_divergent_replay(self, tmp_path):
         """Tampered journal records fail the embedded-snapshot digest check."""
-        import base64
-        import pickle
-
         journal = tmp_path / "tamper.journal"
-        s = _session(journal_path=journal, snapshot_interval=2)
+        s = _session(
+            journal_path=journal, snapshot_interval=2, journal_format="v1"
+        )
         s.submit(2)
         s.submit(4)
         s.close()
 
         lines = journal.read_text().splitlines()
         rec = json.loads(lines[1])  # first event record
-        payload = pickle.loads(base64.b64decode(rec["data"]))
-        payload["record"]["size"] = 1  # not what the snapshot saw
-        rec["data"] = base64.b64encode(pickle.dumps(payload)).decode()
+        rec["json"]["record"]["size"] = 1  # not what the snapshot saw
         lines[1] = json.dumps(rec)
         journal.write_text("\n".join(lines) + "\n")
 
         with pytest.raises(CheckpointError, match="diverges from the snapshot"):
-            _session(journal_path=journal, snapshot_interval=2)
+            _session(
+                journal_path=journal, snapshot_interval=2, journal_format="v1"
+            )

@@ -484,8 +484,9 @@ class TestStreaming:
         assert overloaded[0]["journal_pending"] >= 2
         assert overloaded[0]["retry_after"] > 0
         # The stall committed: every admitted event is on disk.
-        lines = journal.read_text().strip().splitlines()
-        assert len(lines) == 4  # header + 3 committed records
+        from repro.sim.frames import iter_journal_payloads
+
+        assert len(iter_journal_payloads(journal)) == 3
 
 
 class TestBatchedStreaming:
@@ -581,5 +582,6 @@ class TestBatchedStreaming:
         # status saw 2 buffered records and committed them; snapshot then
         # had nothing pending.
         assert pending_at_flush == [2, 0]
-        lines = journal.read_text().strip().splitlines()
-        assert len(lines) == 3  # header + 2 committed event records
+        from repro.sim.frames import iter_journal_payloads
+
+        assert len(iter_journal_payloads(journal)) == 2
